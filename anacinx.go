@@ -1,0 +1,258 @@
+// Package anacinx is a Go reproduction of ANACIN-X, the framework
+// behind "A Research-Based Course Module to Study Non-determinism in
+// High Performance Applications" (IPPS 2022): it runs MPI-style
+// communication patterns on a deterministic simulated runtime with a
+// controllable percentage of injected non-determinism, models each
+// execution as an event graph, measures non-determinism between runs as
+// the Weisfeiler-Lehman graph-kernel distance, and localizes root
+// sources by ranking the callstacks of receive events inside
+// high-non-determinism regions of logical time.
+//
+// This package is the public facade over the implementation packages;
+// it is the API the examples, the CLI, and the course module use.
+//
+// # Quickstart
+//
+//	exp := anacinx.NewExperiment("message_race", 8, 100) // pattern, procs, %ND
+//	exp.Runs = 20
+//	rs, err := exp.Execute()
+//	if err != nil { ... }
+//	dists := rs.Distances(anacinx.WL(2))   // pairwise kernel distances
+//	fmt.Println(anacinx.Summarize(dists))  // the paper's violin data
+//
+// See examples/ for runnable programs covering every use case of the
+// course module.
+package anacinx
+
+import (
+	"io"
+
+	"github.com/anacin-go/anacinx/internal/analysis"
+	"github.com/anacin-go/anacinx/internal/core"
+	"github.com/anacin-go/anacinx/internal/experiments"
+	"github.com/anacin-go/anacinx/internal/graph"
+	"github.com/anacin-go/anacinx/internal/kernel"
+	"github.com/anacin-go/anacinx/internal/patterns"
+	"github.com/anacin-go/anacinx/internal/sim"
+	"github.com/anacin-go/anacinx/internal/trace"
+	"github.com/anacin-go/anacinx/internal/viz"
+	"github.com/anacin-go/anacinx/internal/vtime"
+)
+
+// Experiment configures a workload and its run sample; see
+// core.Experiment for field documentation.
+type Experiment = core.Experiment
+
+// RunSet holds a sample of executed runs with their traces, event
+// graphs, and simulator statistics.
+type RunSet = core.RunSet
+
+// NewExperiment returns the paper's base configuration for a pattern:
+// 20 runs, 1 iteration, 1-byte messages, 1 node, callstack capture on.
+func NewExperiment(pattern string, procs int, ndPercent float64) Experiment {
+	return core.DefaultExperiment(pattern, procs, ndPercent)
+}
+
+// Trace is the per-rank event record of one simulated execution.
+type Trace = trace.Trace
+
+// Event is one recorded MPI call.
+type Event = trace.Event
+
+// Graph is an event graph: nodes are MPI events, edges are program
+// order and message matches.
+type Graph = graph.Graph
+
+// BuildGraph constructs the event graph of a trace.
+func BuildGraph(tr *Trace) (*Graph, error) { return graph.FromTrace(tr) }
+
+// Kernel embeds event graphs for similarity computation.
+type Kernel = kernel.Kernel
+
+// WL returns the Weisfeiler-Lehman subtree kernel at the given
+// refinement depth (the ANACIN-X default is depth 2).
+func WL(depth int) Kernel { return kernel.NewWL(depth) }
+
+// VertexHistogramKernel is the label-count baseline kernel.
+func VertexHistogramKernel() Kernel { return kernel.VertexHistogram{} }
+
+// EdgeHistogramKernel is the one-hop baseline kernel.
+func EdgeHistogramKernel() Kernel { return kernel.EdgeHistogram{} }
+
+// ParseKernel resolves a kernel spec such as "wl2", "wlu3", "vertex".
+func ParseKernel(spec string) (Kernel, error) { return core.ParseKernel(spec) }
+
+// KernelDistance is the un-normalized RKHS distance between two event
+// graphs — the paper's proxy metric for non-determinism.
+func KernelDistance(k Kernel, a, b *Graph) float64 { return kernel.Distance(k, a, b) }
+
+// PairwiseDistances returns the distance of every unordered pair of
+// graphs, the sample behind one violin plot.
+func PairwiseDistances(k Kernel, graphs []*Graph) []float64 {
+	return kernel.PairwiseDistances(k, graphs)
+}
+
+// Summary is a five-number-plus-moments description of a sample.
+type Summary = analysis.Summary
+
+// Summarize computes a Summary.
+func Summarize(xs []float64) Summary { return analysis.Summarize(xs) }
+
+// Violin is the kernel-density body of a violin plot.
+type Violin = analysis.Violin
+
+// NewViolin estimates a sample's density on a grid.
+func NewViolin(sample []float64, gridN int) *Violin { return analysis.NewViolin(sample, gridN) }
+
+// CallstackFrequency is one bar of the root-source ranking.
+type CallstackFrequency = analysis.CallstackFrequency
+
+// SliceProfile is the non-determinism profile over logical time.
+type SliceProfile = analysis.SliceProfile
+
+// IdentifyRootSources runs the Fig. 8 analysis over a set of event
+// graphs: slice, profile, and rank receive callstacks in high-ND
+// regions.
+func IdentifyRootSources(k Kernel, graphs []*Graph, slices int) (*SliceProfile, []CallstackFrequency, error) {
+	return analysis.IdentifyRootSources(k, graphs, slices)
+}
+
+// Pattern is a communication-pattern mini-application.
+type Pattern = patterns.Pattern
+
+// PatternParams parameterizes a pattern instance.
+type PatternParams = patterns.Params
+
+// Patterns returns every registered mini-application.
+func Patterns() []Pattern { return patterns.All() }
+
+// PatternByName looks up a mini-application ("message_race",
+// "amg2013", "unstructured_mesh", ...).
+func PatternByName(name string) (Pattern, error) { return patterns.ByName(name) }
+
+// Rank is the MPI-style handle a rank program receives; use it to write
+// custom instrumented applications (see examples/customapp).
+type Rank = sim.Rank
+
+// Program is the per-rank body of a custom application.
+type Program = sim.Program
+
+// SimConfig configures the simulated runtime directly for custom
+// applications.
+type SimConfig = sim.Config
+
+// Schedule is a recorded message-matching order for record-and-replay.
+type Schedule = sim.Schedule
+
+// Wildcards for Rank.Recv / Irecv / Probe.
+const (
+	AnySource = sim.AnySource
+	AnyTag    = sim.AnyTag
+)
+
+// DefaultSimConfig returns a runnable single-node simulator
+// configuration.
+func DefaultSimConfig(procs int, seed int64) SimConfig { return sim.DefaultConfig(procs, seed) }
+
+// RunProgram executes a custom rank program under cfg and returns its
+// trace and statistics. meta labels the workload in reports; pass
+// TraceMeta{Pattern: "myapp"} at minimum.
+func RunProgram(cfg SimConfig, meta TraceMeta, program Program) (*Trace, *SimStats, error) {
+	return sim.Run(cfg, meta, program)
+}
+
+// TraceMeta labels a run's workload.
+type TraceMeta = trace.Meta
+
+// SimStats summarizes one simulated execution.
+type SimStats = sim.Stats
+
+// RecordSchedule extracts a replay schedule from a completed run's
+// trace (the ReMPI-style record step).
+func RecordSchedule(tr *Trace) *Schedule { return sim.RecordSchedule(tr) }
+
+// Proc is the runtime-independent rank surface (point-to-point subset)
+// shared by the deterministic and wallclock runtimes.
+type Proc = sim.Proc
+
+// WallConfig configures the wallclock runtime: real goroutines, real
+// locks, NATIVE non-determinism from the Go scheduler instead of
+// modelled delays. Use it to contrast simulated and real races; note
+// that results are inherently irreproducible.
+type WallConfig = sim.WallConfig
+
+// DefaultWallConfig returns a runnable wallclock configuration.
+func DefaultWallConfig(procs int, seed int64) WallConfig { return sim.DefaultWallConfig(procs, seed) }
+
+// RunWallclockProgram executes a Proc program on the wallclock runtime.
+func RunWallclockProgram(cfg WallConfig, meta TraceMeta, program func(Proc)) (*Trace, error) {
+	return sim.RunWallclock(cfg, meta, program)
+}
+
+// Duration and Time are virtual-time quantities used by rank programs
+// (Rank.Compute) and the network model.
+type (
+	// Duration is a span of virtual time in nanoseconds.
+	Duration = vtime.Duration
+	// Time is a point in virtual time.
+	Time = vtime.Time
+)
+
+// Common virtual durations.
+const (
+	Nanosecond  = vtime.Nanosecond
+	Microsecond = vtime.Microsecond
+	Millisecond = vtime.Millisecond
+	Second      = vtime.Second
+)
+
+// Figure reproduction: ReproduceFigure runs one of the paper's figures
+// ("fig1".."fig8") or ablation studies ("abl-kernels", "abl-replay")
+// and returns its measured series and shape checks. Artifacts
+// (SVG/DOT) are written to outDir when non-empty.
+func ReproduceFigure(id, outDir string) (*FigureResult, error) {
+	runner, ok := experiments.All()[id]
+	if !ok {
+		return nil, &UnknownFigureError{ID: id}
+	}
+	return runner(experiments.Options{OutDir: outDir})
+}
+
+// FigureResult carries one figure's reproduction output.
+type FigureResult = experiments.Result
+
+// FigureIDs lists the reproducible figures and ablations in
+// presentation order.
+func FigureIDs() []string { return experiments.IDs() }
+
+// UnknownFigureError reports a ReproduceFigure id that does not exist.
+type UnknownFigureError struct{ ID string }
+
+// Error implements the error interface.
+func (e *UnknownFigureError) Error() string {
+	return "anacinx: unknown figure " + e.ID + " (want fig1..fig8)"
+}
+
+// Visualization facade: render an event graph, violin set, or callstack
+// chart as SVG.
+
+// WriteEventGraphSVG renders g in the paper's row-per-rank layout.
+func WriteEventGraphSVG(w io.Writer, g *Graph, title string) error {
+	return viz.EventGraphSVG(w, g, title)
+}
+
+// WriteEventGraphASCII renders g as terminal text.
+func WriteEventGraphASCII(w io.Writer, g *Graph) error { return viz.EventGraphASCII(w, g) }
+
+// ViolinGroup pairs a label with a violin body for plotting.
+type ViolinGroup = viz.ViolinGroup
+
+// WriteViolinSVG renders violins side by side (the Figs. 5–7 layout).
+func WriteViolinSVG(w io.Writer, groups []ViolinGroup, title, yLabel string) error {
+	return viz.ViolinPlotSVG(w, groups, title, yLabel)
+}
+
+// WriteBarChartSVG renders a callstack-frequency ranking (Fig. 8).
+func WriteBarChartSVG(w io.Writer, ranked []CallstackFrequency, title string) error {
+	return viz.BarChartSVG(w, ranked, title)
+}

@@ -1,0 +1,197 @@
+package anacinx_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	anacinx "github.com/anacin-go/anacinx"
+)
+
+// TestFacadePipeline exercises the whole public API the way the README
+// quickstart does: experiment → runs → distances → root sources →
+// visualizations.
+func TestFacadePipeline(t *testing.T) {
+	exp := anacinx.NewExperiment("amg2013", 8, 100)
+	exp.Iterations = 2
+	exp.Runs = 6
+	rs, err := exp.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dists := rs.Distances(anacinx.WL(2))
+	if len(dists) != 15 {
+		t.Fatalf("distances: %d", len(dists))
+	}
+	s := anacinx.Summarize(dists)
+	if s.Max <= 0 {
+		t.Fatal("no measured non-determinism at 100% ND")
+	}
+
+	profile, ranked, err := anacinx.IdentifyRootSources(anacinx.WL(2), rs.Graphs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profile == nil || len(ranked) == 0 {
+		t.Fatal("root-source analysis empty")
+	}
+
+	var svg bytes.Buffer
+	if err := anacinx.WriteEventGraphSVG(&svg, rs.Graphs[0], "t"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg.String(), "<svg") {
+		t.Error("no SVG output")
+	}
+	svg.Reset()
+	if err := anacinx.WriteViolinSVG(&svg, []anacinx.ViolinGroup{
+		{Label: "x", Violin: anacinx.NewViolin(dists, 64)},
+	}, "t", "d"); err != nil {
+		t.Fatal(err)
+	}
+	svg.Reset()
+	if err := anacinx.WriteBarChartSVG(&svg, ranked, "t"); err != nil {
+		t.Fatal(err)
+	}
+	var ascii bytes.Buffer
+	if err := anacinx.WriteEventGraphASCII(&ascii, rs.Graphs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ascii.String(), "rank") {
+		t.Error("no ASCII output")
+	}
+}
+
+func TestFacadeCustomProgram(t *testing.T) {
+	// A user-authored program through the facade, as examples/customapp
+	// does.
+	cfg := anacinx.DefaultSimConfig(3, 7)
+	cfg.NDPercent = 50
+	tr, stats, err := anacinx.RunProgram(cfg, anacinx.TraceMeta{Pattern: "custom"}, func(r *anacinx.Rank) {
+		if r.Rank() == 0 {
+			for i := 0; i < 2; i++ {
+				r.Recv(anacinx.AnySource, anacinx.AnyTag)
+			}
+		} else {
+			r.Compute(5 * anacinx.Microsecond)
+			r.Send(0, 0, []byte("hi"))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Messages != 2 {
+		t.Errorf("Messages = %d", stats.Messages)
+	}
+	g, err := anacinx.BuildGraph(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MessageEdges() != 2 {
+		t.Errorf("MessageEdges = %d", g.MessageEdges())
+	}
+	if d := anacinx.KernelDistance(anacinx.WL(2), g, g); d != 0 {
+		t.Errorf("self distance %v", d)
+	}
+}
+
+func TestFacadeRecordReplay(t *testing.T) {
+	exp := anacinx.NewExperiment("message_race", 6, 100)
+	exp.Iterations = 2
+	exp.Runs = 1
+	recorded, err := exp.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := anacinx.RecordSchedule(recorded.Traces[0])
+	exp.Runs = 4
+	exp.BaseSeed = 777
+	exp.Replay = sched
+	rs, err := exp.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.DistinctStructures() != 1 {
+		t.Errorf("replayed structures = %d", rs.DistinctStructures())
+	}
+}
+
+func TestFacadePairwiseDistances(t *testing.T) {
+	exp := anacinx.NewExperiment("unstructured_mesh", 6, 100)
+	exp.Runs = 4
+	rs, err := exp.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := anacinx.PairwiseDistances(anacinx.WL(2), rs.Graphs)
+	if len(d) != 6 {
+		t.Errorf("pairwise distances: %d", len(d))
+	}
+}
+
+func TestFacadeWallclock(t *testing.T) {
+	cfg := anacinx.DefaultWallConfig(3, 1)
+	cfg.NDPercent = 50
+	tr, err := anacinx.RunWallclockProgram(cfg, anacinx.TraceMeta{Pattern: "wall"}, func(r anacinx.Proc) {
+		if r.Rank() == 0 {
+			for i := 0; i < 2; i++ {
+				r.Recv(anacinx.AnySource, anacinx.AnyTag)
+			}
+		} else {
+			r.SendSize(0, 0, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.MatchedPairs() != 2 {
+		t.Errorf("MatchedPairs = %d", tr.MatchedPairs())
+	}
+	if _, err := anacinx.BuildGraph(tr); err != nil {
+		t.Errorf("wallclock trace graph: %v", err)
+	}
+}
+
+func TestFacadePatternRegistry(t *testing.T) {
+	if len(anacinx.Patterns()) < 6 {
+		t.Errorf("patterns: %d", len(anacinx.Patterns()))
+	}
+	pat, err := anacinx.PatternByName("unstructured_mesh")
+	if err != nil || pat.Name() != "unstructured_mesh" {
+		t.Errorf("PatternByName: %v, %v", pat, err)
+	}
+}
+
+func TestFacadeKernels(t *testing.T) {
+	for _, spec := range []string{"wl2", "vertex", "edge"} {
+		if _, err := anacinx.ParseKernel(spec); err != nil {
+			t.Errorf("ParseKernel(%q): %v", spec, err)
+		}
+	}
+	if anacinx.VertexHistogramKernel().Name() != "vertex-hist" ||
+		anacinx.EdgeHistogramKernel().Name() != "edge-hist" {
+		t.Error("baseline kernel names wrong")
+	}
+}
+
+func TestReproduceFigureQuickPath(t *testing.T) {
+	// Figure reproduction through the facade; fig2 is cheap at paper
+	// scale already.
+	res, err := anacinx.ReproduceFigure("fig2", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Errorf("fig2 checks failed: %+v", res.Checks)
+	}
+	if _, err := anacinx.ReproduceFigure("fig99", ""); err == nil {
+		t.Error("unknown figure accepted")
+	} else if !strings.Contains(err.Error(), "fig99") {
+		t.Errorf("error %q does not name the figure", err)
+	}
+	ids := anacinx.FigureIDs()
+	if len(ids) != 11 || ids[0] != "fig1" || ids[7] != "fig8" || ids[10] != "abl-expose" {
+		t.Errorf("FigureIDs = %v", ids)
+	}
+}

@@ -1,0 +1,213 @@
+// Benchmark harness: one benchmark per figure of the paper, at the
+// paper's own scale (up to 32 simulated processes, 20 runs per
+// configuration), plus ablation benchmarks for the design choices
+// DESIGN.md calls out. Regenerate everything with
+//
+//	go test -bench=. -benchmem
+//
+// and the per-figure series with `go run ./cmd/anacin figures`.
+package anacinx_test
+
+import (
+	"fmt"
+	"testing"
+
+	anacinx "github.com/anacin-go/anacinx"
+	"github.com/anacin-go/anacinx/internal/experiments"
+)
+
+// benchFigure runs one paper figure end to end per iteration and fails
+// the benchmark if any paper-shape check regresses — the benchmarks
+// double as full-scale reproduction gates.
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	runner := experiments.All()[id]
+	if runner == nil {
+		b.Fatalf("unknown figure %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := runner(experiments.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range res.Checks {
+			if !c.OK {
+				b.Fatalf("%s shape check failed at paper scale: %s (%s)", id, c.Name, c.Detail)
+			}
+		}
+	}
+}
+
+// BenchmarkFig1EventGraph regenerates Figure 1: the example event graph
+// of a 3-process message race.
+func BenchmarkFig1EventGraph(b *testing.B) { benchFigure(b, "fig1") }
+
+// BenchmarkFig2MessageRace regenerates Figure 2: the message-race event
+// graph on 4 processes.
+func BenchmarkFig2MessageRace(b *testing.B) { benchFigure(b, "fig2") }
+
+// BenchmarkFig3AMG regenerates Figure 3: the AMG2013 event graph on 2
+// processes.
+func BenchmarkFig3AMG(b *testing.B) { benchFigure(b, "fig3") }
+
+// BenchmarkFig4NonDeterminism regenerates Figure 4: two 100%-ND runs of
+// one message-race configuration with different communication patterns.
+func BenchmarkFig4NonDeterminism(b *testing.B) { benchFigure(b, "fig4") }
+
+// BenchmarkFig5ProcessCount regenerates Figure 5: unstructured-mesh
+// kernel-distance violins on 32 vs 16 processes (20 runs, 100% ND).
+func BenchmarkFig5ProcessCount(b *testing.B) { benchFigure(b, "fig5") }
+
+// BenchmarkFig6Iterations regenerates Figure 6: unstructured-mesh
+// violins with 2 vs 1 pattern iterations (16 processes, 20 runs).
+func BenchmarkFig6Iterations(b *testing.B) { benchFigure(b, "fig6") }
+
+// BenchmarkFig7NDSweep regenerates Figure 7: AMG2013 kernel distance
+// against injected ND% (0..100 step 10, 32 processes, 20 runs/setting).
+func BenchmarkFig7NDSweep(b *testing.B) { benchFigure(b, "fig7") }
+
+// BenchmarkFig8Callstacks regenerates Figure 8: callstack frequencies
+// in high-ND regions of the Fig. 7 workload.
+func BenchmarkFig8Callstacks(b *testing.B) { benchFigure(b, "fig8") }
+
+// --- Ablation benchmarks (DESIGN.md "Ablations / extensions") ---
+
+// BenchmarkAblationKernelDepth sweeps the WL refinement depth on the
+// Fig. 5 workload: does the "more processes → more measured ND" shape
+// survive at other depths, and what does depth cost?
+func BenchmarkAblationKernelDepth(b *testing.B) {
+	for _, spec := range []string{"wl0", "wl1", "wl2", "wl3", "wl4", "wlu2", "vertex", "edge"} {
+		spec := spec
+		b.Run(spec, func(b *testing.B) {
+			k, err := anacinx.ParseKernel(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			exp := anacinx.NewExperiment("unstructured_mesh", 16, 100)
+			exp.Runs = 10
+			exp.CaptureStacks = false
+			rs, err := exp.Execute()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var median float64
+			for i := 0; i < b.N; i++ {
+				median = anacinx.Summarize(rs.Distances(k)).Median
+			}
+			b.ReportMetric(median, "median-distance")
+		})
+	}
+}
+
+// BenchmarkAblationReplay contrasts free-running 100%-ND executions
+// against record-and-replay (the ReMPI baseline): replay must collapse
+// the kernel-distance sample to zero.
+func BenchmarkAblationReplay(b *testing.B) {
+	record := anacinx.NewExperiment("unstructured_mesh", 16, 100)
+	record.Iterations = 4
+	record.Runs = 1
+	recorded, err := record.Execute()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched := anacinx.RecordSchedule(recorded.Traces[0])
+	for _, mode := range []string{"free-running", "replay"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			exp := anacinx.NewExperiment("unstructured_mesh", 16, 100)
+			exp.Iterations = 4
+			exp.Runs = 10
+			exp.BaseSeed = 500
+			if mode == "replay" {
+				exp.Replay = sched
+			}
+			b.ReportAllocs()
+			var median float64
+			for i := 0; i < b.N; i++ {
+				rs, err := exp.Execute()
+				if err != nil {
+					b.Fatal(err)
+				}
+				median = anacinx.Summarize(rs.Distances(anacinx.WL(2))).Median
+			}
+			if mode == "replay" && median != 0 {
+				b.Fatalf("replayed sample has median distance %v, want 0", median)
+			}
+			if mode == "free-running" && median == 0 {
+				b.Fatal("free-running sample shows no non-determinism")
+			}
+			b.ReportMetric(median, "median-distance")
+		})
+	}
+}
+
+// BenchmarkAblationNodes varies the compute-node count at fixed 10% ND
+// (a low injection level, where placement matters): the paper
+// recommends multi-node runs to surface non-determinism, and the
+// node-aware congestion model shows median distance growing with node
+// count. At high injection the match order is already saturated and
+// placement stops mattering.
+func BenchmarkAblationNodes(b *testing.B) {
+	for _, nodes := range []int{1, 2, 4} {
+		nodes := nodes
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			exp := anacinx.NewExperiment("unstructured_mesh", 16, 10)
+			exp.Nodes = nodes
+			exp.Runs = 10
+			exp.CaptureStacks = false
+			b.ReportAllocs()
+			var median float64
+			for i := 0; i < b.N; i++ {
+				rs, err := exp.Execute()
+				if err != nil {
+					b.Fatal(err)
+				}
+				median = anacinx.Summarize(rs.Distances(anacinx.WL(2))).Median
+			}
+			b.ReportMetric(median, "median-distance")
+		})
+	}
+}
+
+// BenchmarkAblationDeterministicControl runs the ring-halo control
+// pattern at 100% ND: concrete-source receives must measure zero
+// distance at any injected ND level.
+func BenchmarkAblationDeterministicControl(b *testing.B) {
+	exp := anacinx.NewExperiment("ring_halo", 16, 100)
+	exp.Iterations = 4
+	exp.Runs = 10
+	exp.CaptureStacks = false
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rs, err := exp.Execute()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s := anacinx.Summarize(rs.Distances(anacinx.WL(2))); s.Max != 0 {
+			b.Fatalf("deterministic control measured distance %v", s.Max)
+		}
+	}
+}
+
+// BenchmarkSimulatorScaling reports raw simulator throughput as the
+// process count grows (AMG2013, one iteration, stacks off).
+func BenchmarkSimulatorScaling(b *testing.B) {
+	for _, procs := range []int{8, 16, 32, 64} {
+		procs := procs
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			exp := anacinx.NewExperiment("amg2013", procs, 100)
+			exp.Runs = 1
+			exp.CaptureStacks = false
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				exp.BaseSeed = int64(i + 1)
+				if _, err := exp.Execute(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

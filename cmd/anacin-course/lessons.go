@@ -1,0 +1,401 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	anacinx "github.com/anacin-go/anacinx"
+	"github.com/anacin-go/anacinx/internal/analysis"
+	"github.com/anacin-go/anacinx/internal/viz"
+)
+
+// course carries lesson state: output sink, artifact directory, scale.
+type course struct {
+	w     io.Writer
+	out   string
+	quick bool
+}
+
+func (c *course) procs(paper int) int {
+	if !c.quick {
+		return paper
+	}
+	p := paper / 4
+	if p < 4 {
+		p = 4
+	}
+	return p
+}
+
+func (c *course) runs() int {
+	if c.quick {
+		return 8
+	}
+	return 20
+}
+
+func (c *course) say(format string, args ...any) { fmt.Fprintf(c.w, format+"\n", args...) }
+
+func (c *course) heading(title string) {
+	c.say("")
+	c.say("%s", strings.Repeat("=", 72))
+	c.say("%s", title)
+	c.say("%s", strings.Repeat("=", 72))
+}
+
+func (c *course) subheading(title string) {
+	c.say("")
+	c.say("--- %s", title)
+}
+
+// artifact writes an SVG lesson figure when -out is set.
+func (c *course) artifact(name string, render func(f *os.File) error) error {
+	if c.out == "" {
+		return nil
+	}
+	if err := os.MkdirAll(c.out, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(c.out, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	c.say("    [figure written: %s]", path)
+	return nil
+}
+
+// singleGraph runs one execution and returns its event graph.
+func (c *course) singleGraph(pattern string, procs int, nd float64, seed int64) (*anacinx.Graph, *anacinx.Trace, error) {
+	exp := anacinx.NewExperiment(pattern, procs, nd)
+	exp.Runs = 1
+	exp.BaseSeed = seed
+	rs, err := exp.Execute()
+	if err != nil {
+		return nil, nil, err
+	}
+	return rs.Graphs[0], rs.Traces[0], nil
+}
+
+// levelA is Use Case 1: distributed computing and non-determinism.
+func (c *course) levelA() error {
+	c.heading("LEVEL A (beginner) — Use Case 1: distributed computing and non-determinism")
+	c.say(`
+Prerequisites: basic point-to-point MPI (send/receive) and a passing
+acquaintance with graphs.
+
+Vocabulary for the whole course:
+  * event graph   — a graph model of an application's MPI communication:
+                    one node per MPI call, edges for program order within
+                    a rank and for each message from its send to the
+                    receive that consumed it.
+  * kernel        — a similarity function between two graphs (an inner
+                    product in a reproducing-kernel Hilbert space). We
+                    use the Weisfeiler-Lehman subtree kernel at depth 2.
+  * kernel distance — the distance induced by the kernel; because event
+                    graphs encode the communication pattern, the kernel
+                    distance between two runs is our proxy measure of
+                    non-determinism.
+  * root source   — the function(s) in the code that make execution
+                    non-deterministic (here: wildcard receives).`)
+
+	c.subheading("Goal A.1 — parallelism with message passing")
+	c.say(`
+First, a MESSAGE RACE: three processes each send one message to rank 0,
+which accepts them with wildcard (any-source) receives. Each row below
+is one MPI process; S is a send, R a receive, o process start/end:`)
+	g, _, err := c.singleGraph("message_race", 4, 0, 1)
+	if err != nil {
+		return err
+	}
+	if err := anacinx.WriteEventGraphASCII(c.w, g); err != nil {
+		return err
+	}
+	if err := c.artifact("lessonA_message_race.svg", func(f *os.File) error {
+		return anacinx.WriteEventGraphSVG(f, g, "Level A: message race, 4 processes")
+	}); err != nil {
+		return err
+	}
+	c.say(`
+Second, the AMG2013 pattern on two processes: each process sends to the
+other, twice, receiving asynchronously:`)
+	g, _, err = c.singleGraph("amg2013", 2, 0, 1)
+	if err != nil {
+		return err
+	}
+	if err := anacinx.WriteEventGraphASCII(c.w, g); err != nil {
+		return err
+	}
+	if err := c.artifact("lessonA_amg2013.svg", func(f *os.File) error {
+		return anacinx.WriteEventGraphSVG(f, g, "Level A: AMG2013, 2 processes")
+	}); err != nil {
+		return err
+	}
+	c.say(`
+Exercise: rerun these with other process counts and patterns —
+  go run ./cmd/anacin run -pattern amg2013 -procs 4
+  go run ./cmd/anacin run -pattern unstructured_mesh -procs 6`)
+
+	c.subheading("Goal A.2 — what non-determinism is")
+	c.say(`
+Now the same message-race configuration, run twice at 100%% injected
+non-determinism — same code, same inputs, two independent executions.
+Watch the order in which rank 0's receives match the senders:`)
+	gA, trA, err := c.singleGraph("message_race", 4, 100, 1)
+	if err != nil {
+		return err
+	}
+	var gB *anacinx.Graph
+	var hashB uint64
+	for seed := int64(2); seed < 64; seed++ {
+		cand, trB, err := c.singleGraph("message_race", 4, 100, seed)
+		if err != nil {
+			return err
+		}
+		if trB.OrderHash() != trA.OrderHash() {
+			gB, hashB = cand, trB.OrderHash()
+			break
+		}
+	}
+	c.say("run 1 (order hash %x):", trA.OrderHash())
+	if err := anacinx.WriteEventGraphASCII(c.w, gA); err != nil {
+		return err
+	}
+	if gB == nil {
+		c.say("(no divergent run found — rerun the lesson)")
+		return nil
+	}
+	c.say("run 2 (order hash %x):", hashB)
+	if err := anacinx.WriteEventGraphASCII(c.w, gB); err != nil {
+		return err
+	}
+	if err := c.artifact("lessonA_nd_run1.svg", func(f *os.File) error {
+		return anacinx.WriteEventGraphSVG(f, gA, "Level A: non-deterministic run 1")
+	}); err != nil {
+		return err
+	}
+	if err := c.artifact("lessonA_nd_run2.svg", func(f *os.File) error {
+		return anacinx.WriteEventGraphSVG(f, gB, "Level A: non-deterministic run 2")
+	}); err != nil {
+		return err
+	}
+	c.say(`
+The messages do not arrive at rank 0 in the same order: NON-DETERMINISM
+is when multiple executions of the same code, run the same way, produce
+different communication patterns. The runtime models the cause —
+network congestion, I/O and CPU contention delaying individual
+messages — with the "percentage of non-determinism" knob you will use
+throughout the course.`)
+	return nil
+}
+
+// levelB is Use Case 2: factors that impact non-determinism.
+func (c *course) levelB() error {
+	c.heading("LEVEL B (intermediate) — Use Case 2: factors that impact non-determinism")
+	c.say(`
+Prerequisites: level A, and the ability to read a violin/box summary.
+
+Non-determinism can be maddeningly hard to reproduce. When it is, you
+need to know which knobs make it more (or less) likely to show. We
+measure non-determinism as the pairwise kernel distance between %d
+independent runs of one configuration.`, c.runs())
+
+	kern := anacinx.WL(2)
+
+	c.subheading("Goal B.1 — effect of the number of processes")
+	big, small := c.procs(32), c.procs(16)
+	if big == small {
+		big = small * 2
+	}
+	var groups []viz.ViolinGroup
+	var medians []float64
+	for _, procs := range []int{big, small} {
+		exp := anacinx.NewExperiment("unstructured_mesh", procs, 100)
+		exp.Runs = c.runs()
+		rs, err := exp.Execute()
+		if err != nil {
+			return err
+		}
+		dists := rs.Distances(kern)
+		label := fmt.Sprintf("%d procs", procs)
+		if err := viz.ViolinASCII(c.w, label, dists); err != nil {
+			return err
+		}
+		if ci, err := analysis.BootstrapMedianCI(dists, 0.95, 1000, 1); err == nil {
+			c.say("    median 95%% bootstrap CI: %s", ci)
+		}
+		groups = append(groups, viz.ViolinGroup{Label: label, Violin: analysis.NewViolin(dists, 128)})
+		medians = append(medians, analysis.Summarize(dists).Median)
+	}
+	if err := c.artifact("lessonB_procs.svg", func(f *os.File) error {
+		return viz.ViolinPlotSVG(f, groups, "Level B: process count vs non-determinism", "kernel distance")
+	}); err != nil {
+		return err
+	}
+	c.say(`
+Median at %d processes: %.3g; at %d processes: %.3g. The number of
+processes and the amount of non-determinism are directly related: more
+ranks means more racing messages. When a heisenbug will not reproduce,
+scale UP the process count.`, big, medians[0], small, medians[1])
+
+	c.subheading("Goal B.2 — effect of iterations within one execution")
+	groups = groups[:0]
+	medians = medians[:0]
+	procs := c.procs(16)
+	for _, iters := range []int{2, 1} {
+		exp := anacinx.NewExperiment("unstructured_mesh", procs, 100)
+		exp.Iterations = iters
+		exp.Runs = c.runs()
+		rs, err := exp.Execute()
+		if err != nil {
+			return err
+		}
+		dists := rs.Distances(kern)
+		label := fmt.Sprintf("%d iteration(s)", iters)
+		if err := viz.ViolinASCII(c.w, label, dists); err != nil {
+			return err
+		}
+		groups = append(groups, viz.ViolinGroup{Label: label, Violin: analysis.NewViolin(dists, 128)})
+		medians = append(medians, analysis.Summarize(dists).Median)
+	}
+	if err := c.artifact("lessonB_iterations.svg", func(f *os.File) error {
+		return viz.ViolinPlotSVG(f, groups, "Level B: iterations vs non-determinism", "kernel distance")
+	}); err != nil {
+		return err
+	}
+	c.say(`
+Median with 2 iterations: %.3g; with 1: %.3g. Iterative codes
+accumulate non-determinism iteration over iteration — which is how
+small message-order differences snowball into different numerical
+results and, as in the Enzo example from the lecture, different
+scientific findings.
+
+Exercise: repeat both studies on amg2013 and message_race —
+  go run ./cmd/anacin sweep -knob procs -values 8,16,32 -pattern amg2013
+  go run ./cmd/anacin sweep -knob iters -values 1,2,4 -pattern amg2013`, medians[0], medians[1])
+	return nil
+}
+
+// levelC is Use Case 3: root sources of non-determinism.
+func (c *course) levelC() error {
+	c.heading("LEVEL C (advanced) — Use Case 3: root sources of non-determinism")
+	c.say(`
+Prerequisites: level B, and the ability to read source code well enough
+to recognize a wildcard receive when a call-path points you at one.`)
+
+	kern := anacinx.WL(2)
+	procs := c.procs(32)
+
+	c.subheading("Goal C.1 — the injected %ND knob directly controls measured ND")
+	levels := []float64{0, 20, 40, 60, 80, 100}
+	if c.quick {
+		levels = []float64{0, 50, 100}
+	}
+	var groups []viz.ViolinGroup
+	for _, nd := range levels {
+		exp := anacinx.NewExperiment("amg2013", procs, nd)
+		exp.Runs = c.runs()
+		rs, err := exp.Execute()
+		if err != nil {
+			return err
+		}
+		dists := rs.Distances(kern)
+		label := fmt.Sprintf("nd=%.0f%%", nd)
+		if err := viz.ViolinASCII(c.w, label, dists); err != nil {
+			return err
+		}
+		groups = append(groups, viz.ViolinGroup{Label: label, Violin: analysis.NewViolin(dists, 128)})
+	}
+	if err := c.artifact("lessonC_nd_sweep.svg", func(f *os.File) error {
+		return viz.ViolinPlotSVG(f, groups, "Level C: injected vs measured non-determinism", "kernel distance")
+	}); err != nil {
+		return err
+	}
+	c.say(`
+At 0%% every run is identical (distance 0); as the percentage of
+messages subject to congestion delays rises, so does the measured
+kernel distance. The knob IS a root source: by controlling how often
+the wildcard receives see reordered arrivals, it directly controls the
+amount of non-determinism in the execution.`)
+
+	c.subheading("Goal C.2 — finding root sources with callstack analysis")
+	exp := anacinx.NewExperiment("amg2013", procs, 100)
+	exp.Runs = c.runs()
+	rs, err := exp.Execute()
+	if err != nil {
+		return err
+	}
+	profile, ranked, err := anacinx.IdentifyRootSources(kern, rs.Graphs, 8)
+	if err != nil {
+		return err
+	}
+	c.say("\nnon-determinism across logical time (mean per-slice kernel distance):")
+	maxD := 0.0
+	for _, d := range profile.MeanDistance {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	for s, d := range profile.MeanDistance {
+		n := 0
+		if maxD > 0 {
+			n = int(36 * d / maxD)
+		}
+		c.say("  slice %2d %-36s %.4g", s, strings.Repeat("#", n), d)
+	}
+	c.say("\ncall-paths of receives inside the high-ND regions:")
+	if err := viz.BarChartASCII(c.w, ranked); err != nil {
+		return err
+	}
+	if len(ranked) > 0 {
+		if err := c.artifact("lessonC_callstacks.svg", func(f *os.File) error {
+			return anacinx.WriteBarChartSVG(f, ranked, "Level C: root sources of non-determinism")
+		}); err != nil {
+			return err
+		}
+	}
+	c.say(`
+The dominant call-path points into the function issuing the wildcard
+receives — the root source. In your own applications, the same analysis
+tells you WHERE in the code to look: wrap it with
+anacinx.RunProgram (see examples/customapp) and read the ranking.`)
+
+	c.subheading("Bonus — how little noise does it take?")
+	probes, resolution := 4, 2.0
+	if c.quick {
+		probes, resolution = 3, 5.0
+	}
+	for _, pattern := range []string{"amg2013", "ring_halo"} {
+		e := anacinx.NewExperiment(pattern, c.procs(16), 0)
+		e.Iterations = 2
+		res, err := e.ExposureSearch(probes, resolution)
+		if err != nil {
+			return err
+		}
+		if res.Exposed {
+			c.say("  %-12s diverges from ~%.2f%% injected non-determinism", pattern, res.ThresholdND)
+		} else {
+			c.say("  %-12s never diverges — concrete-source receives have no race to perturb", pattern)
+		}
+	}
+	c.say(`
+A few percent of delayed messages suffice to flip a wildcard race,
+while a pattern without wildcards cannot be flipped at all: the race in
+the CODE, not the noise in the network, is the root source.
+
+Final exercise: suppress the non-determinism entirely with
+record-and-replay, then confirm the kernel distances collapse to zero —
+  go run ./cmd/anacin record -pattern amg2013 -procs %d -nd 100 -out sched.json
+  go run ./cmd/anacin replay -pattern amg2013 -procs %d -nd 100 -in sched.json`, procs, procs)
+	return nil
+}

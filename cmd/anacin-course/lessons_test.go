@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func newTestCourse(t *testing.T, withArtifacts bool) (*course, *bytes.Buffer) {
+	t.Helper()
+	var buf bytes.Buffer
+	c := &course{w: &buf, quick: true}
+	if withArtifacts {
+		c.out = t.TempDir()
+	}
+	return c, &buf
+}
+
+func TestLevelA(t *testing.T) {
+	c, buf := newTestCourse(t, true)
+	if err := c.levelA(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"LEVEL A", "event graph", "MESSAGE RACE", "AMG2013",
+		"order hash", "NON-DETERMINISM",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("level A output missing %q", want)
+		}
+	}
+	entries, err := os.ReadDir(c.out)
+	if err != nil || len(entries) < 4 {
+		t.Errorf("level A wrote %d artifacts: %v", len(entries), err)
+	}
+}
+
+func TestLevelB(t *testing.T) {
+	c, buf := newTestCourse(t, false)
+	if err := c.levelB(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"LEVEL B", "Goal B.1", "Goal B.2", "Median", "iteration"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("level B output missing %q", want)
+		}
+	}
+}
+
+func TestLevelC(t *testing.T) {
+	c, buf := newTestCourse(t, true)
+	if err := c.levelC(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"LEVEL C", "Goal C.1", "Goal C.2", "nd=0%", "nd=100%",
+		"root source", "gatherWork", "record",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("level C output missing %q", want)
+		}
+	}
+	// The callstack chart must have been written.
+	found := false
+	entries, _ := os.ReadDir(c.out)
+	for _, e := range entries {
+		if strings.Contains(e.Name(), "callstacks") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no callstack artifact among %v", entries)
+	}
+}
+
+func TestCourseScaling(t *testing.T) {
+	quick := &course{quick: true}
+	full := &course{}
+	if quick.procs(32) >= full.procs(32) {
+		t.Error("quick mode does not shrink process counts")
+	}
+	if quick.runs() >= full.runs() {
+		t.Error("quick mode does not shrink run counts")
+	}
+	if full.procs(32) != 32 || full.runs() != 20 {
+		t.Error("full mode is not paper scale")
+	}
+}
+
+func TestArtifactPathsInsideOut(t *testing.T) {
+	c, _ := newTestCourse(t, true)
+	if err := c.artifact("x.svg", func(f *os.File) error {
+		_, err := f.WriteString("<svg/>")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(c.out, "x.svg")); err != nil {
+		t.Errorf("artifact not written: %v", err)
+	}
+	// No out dir → no write, no error.
+	c2, _ := newTestCourse(t, false)
+	if err := c2.artifact("y.svg", func(f *os.File) error { return nil }); err != nil {
+		t.Errorf("artifact without out dir: %v", err)
+	}
+}

@@ -1,0 +1,57 @@
+// Command anacin-course delivers the paper's research-based course
+// module on non-determinism in high performance applications. It walks
+// the three levels of the module — beginner (A), intermediate (B), and
+// advanced (C) — generating every demonstration live on the simulated
+// MPI runtime, exactly as the paper's use cases prescribe:
+//
+//	Level A (Use Case 1): message passing and what non-determinism is.
+//	Level B (Use Case 2): factors that impact non-determinism
+//	                      (process count, iteration count).
+//	Level C (Use Case 3): quantifying non-determinism and identifying
+//	                      its root sources in code.
+//
+// Usage:
+//
+//	anacin-course                 run all three levels
+//	anacin-course -level b        run one level (a, b, or c)
+//	anacin-course -out dir        also write the lesson figures as SVG
+//	anacin-course -quick          smaller workloads (for slow machines)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	level := flag.String("level", "all", "course level to run: a | b | c | all")
+	out := flag.String("out", "", "directory for lesson SVG artifacts (empty = terminal only)")
+	quick := flag.Bool("quick", false, "use smaller workloads")
+	flag.Parse()
+
+	c := &course{out: *out, quick: *quick, w: os.Stdout}
+	var err error
+	switch strings.ToLower(*level) {
+	case "a":
+		err = c.levelA()
+	case "b":
+		err = c.levelB()
+	case "c":
+		err = c.levelC()
+	case "all":
+		if err = c.levelA(); err == nil {
+			if err = c.levelB(); err == nil {
+				err = c.levelC()
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "anacin-course: unknown level %q (want a, b, c, all)\n", *level)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "anacin-course: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/anacin-go/anacinx/internal/campaign"
+	"github.com/anacin-go/anacinx/internal/core"
+)
+
+// cmdCampaign runs a grid of experiments (patterns × procs × iters ×
+// nodes × nd) and writes the per-cell kernel-distance statistics as a
+// markdown table and, optionally, CSV.
+func cmdCampaign(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	patternsFlag := fs.String("patterns", "message_race,amg2013,unstructured_mesh", "comma-separated pattern names")
+	procsFlag := fs.String("procs", "16", "comma-separated process counts")
+	itersFlag := fs.String("iters", "1", "comma-separated iteration counts")
+	nodesFlag := fs.String("nodes", "1", "comma-separated node counts")
+	ndFlag := fs.String("nd", "0,50,100", "comma-separated ND percentages")
+	runs := fs.Int("runs", 10, "runs per cell")
+	seed := fs.Int64("seed", 1, "base seed")
+	kernSpec := fs.String("kernel", "wl2", "graph kernel: "+core.KernelSpecs())
+	csvPath := fs.String("csv", "", "also write the cells as CSV to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	k, err := core.ParseKernel(*kernSpec)
+	if err != nil {
+		return err
+	}
+	ints := func(s string) ([]int, error) {
+		var out []int
+		for _, f := range strings.Split(s, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return nil, fmt.Errorf("bad integer %q", f)
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	floats := func(s string) ([]float64, error) {
+		var out []float64
+		for _, f := range strings.Split(s, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad number %q", f)
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	g := campaign.Grid{
+		Patterns: strings.Split(*patternsFlag, ","),
+		Runs:     *runs,
+		BaseSeed: *seed,
+		Kernel:   k,
+	}
+	for i := range g.Patterns {
+		g.Patterns[i] = strings.TrimSpace(g.Patterns[i])
+	}
+	if g.Procs, err = ints(*procsFlag); err != nil {
+		return err
+	}
+	if g.Iterations, err = ints(*itersFlag); err != nil {
+		return err
+	}
+	if g.Nodes, err = ints(*nodesFlag); err != nil {
+		return err
+	}
+	if g.NDPercents, err = floats(*ndFlag); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "campaign: %d cells x %d runs\n", g.Cells(), *runs)
+	res, err := campaign.Run(g)
+	if err != nil {
+		return err
+	}
+	if err := res.WriteMarkdown(os.Stdout); err != nil {
+		return err
+	}
+	if failed := res.Failed(); len(failed) > 0 {
+		fmt.Printf("\n%d cell(s) failed; first: %v\n", len(failed), failed[0].Err)
+	}
+	if *csvPath != "" {
+		if err := writeFile(*csvPath, func(w *os.File) error { return res.WriteCSV(w) }); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *csvPath)
+	}
+	return nil
+}

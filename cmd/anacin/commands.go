@@ -1,0 +1,524 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	anacinx "github.com/anacin-go/anacinx"
+	"github.com/anacin-go/anacinx/internal/analysis"
+	"github.com/anacin-go/anacinx/internal/core"
+	"github.com/anacin-go/anacinx/internal/experiments"
+	"github.com/anacin-go/anacinx/internal/graph"
+	"github.com/anacin-go/anacinx/internal/kernel"
+	"github.com/anacin-go/anacinx/internal/patterns"
+	"github.com/anacin-go/anacinx/internal/sim"
+	"github.com/anacin-go/anacinx/internal/trace"
+	"github.com/anacin-go/anacinx/internal/viz"
+)
+
+// expFlags binds the shared experiment knobs onto a FlagSet.
+type expFlags struct {
+	pattern  string
+	procs    int
+	nodes    int
+	iters    int
+	msgSize  int
+	nd       float64
+	runs     int
+	seed     int64
+	topoSeed int64
+	kernel   string
+}
+
+func bindExpFlags(fs *flag.FlagSet, f *expFlags, defaultRuns int) {
+	fs.StringVar(&f.pattern, "pattern", "message_race", "communication pattern (see 'anacin list')")
+	fs.IntVar(&f.procs, "procs", 8, "number of MPI processes")
+	fs.IntVar(&f.nodes, "nodes", 1, "number of compute nodes")
+	fs.IntVar(&f.iters, "iters", 1, "communication-pattern iterations")
+	fs.IntVar(&f.msgSize, "msgsize", 1, "message payload size in bytes")
+	fs.Float64Var(&f.nd, "nd", 100, "percentage of non-determinism (0..100)")
+	fs.IntVar(&f.runs, "runs", defaultRuns, "number of independent runs")
+	fs.Int64Var(&f.seed, "seed", 1, "base seed (run i uses seed+i)")
+	fs.Int64Var(&f.topoSeed, "toposeed", 1, "topology seed (unstructured mesh)")
+	fs.StringVar(&f.kernel, "kernel", "wl2", "graph kernel: "+core.KernelSpecs())
+}
+
+func (f *expFlags) experiment() core.Experiment {
+	e := core.DefaultExperiment(f.pattern, f.procs, f.nd)
+	e.Nodes = f.nodes
+	e.Iterations = f.iters
+	e.MsgSize = f.msgSize
+	e.Runs = f.runs
+	e.BaseSeed = f.seed
+	e.TopologySeed = f.topoSeed
+	return e
+}
+
+// cmdList prints the pattern registry and kernel specs.
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Println("patterns:")
+	for _, p := range patterns.All() {
+		det := "racing"
+		if p.Deterministic() {
+			det = "deterministic"
+		}
+		fmt.Printf("  %-18s %-13s min %2d procs  %s\n", p.Name(), det, p.MinProcs(), p.Description())
+	}
+	fmt.Println("\nkernels:", core.KernelSpecs())
+	fmt.Println("figures:", strings.Join(anacinx.FigureIDs(), " "))
+	return nil
+}
+
+// cmdRun executes one run and renders its event graph.
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	var f expFlags
+	bindExpFlags(fs, &f, 1)
+	svgPath := fs.String("svg", "", "write event-graph SVG to this path")
+	timeSVGPath := fs.String("timesvg", "", "write a virtual-time-layout event-graph SVG (jitter visible)")
+	dotPath := fs.String("dot", "", "write Graphviz DOT to this path")
+	graphmlPath := fs.String("graphml", "", "write GraphML (ANACIN-X interchange format) to this path")
+	tracePath := fs.String("trace", "", "write the JSON trace to this path")
+	quiet := fs.Bool("quiet", false, "suppress the ASCII event graph")
+	matrix := fs.Bool("matrix", false, "print the communication matrix (who sends to whom)")
+	matrixSVG := fs.String("matrixsvg", "", "write a communication-matrix heatmap SVG to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f.runs = 1
+	rs, err := f.experiment().Execute()
+	if err != nil {
+		return err
+	}
+	tr, g, stats := rs.Traces[0], rs.Graphs[0], rs.Stats[0]
+	fmt.Printf("pattern=%s procs=%d nodes=%d iters=%d nd=%.0f%% seed=%d\n",
+		f.pattern, f.procs, f.nodes, f.iters, f.nd, f.seed)
+	fmt.Printf("events=%d messages=%d delayed=%d final_vtime=%v\n",
+		tr.NumEvents(), stats.Messages, stats.Delayed, stats.FinalTime)
+	fmt.Printf("trace_hash=%x order_hash=%x\n", tr.Hash(), tr.OrderHash())
+	if !*quiet {
+		if err := viz.EventGraphASCII(os.Stdout, g); err != nil {
+			return err
+		}
+	}
+	if *matrix {
+		fmt.Println("communication matrix (messages sent src → dst):")
+		if err := viz.CommMatrixASCII(os.Stdout, tr.CommMatrix()); err != nil {
+			return err
+		}
+	}
+	if *matrixSVG != "" {
+		if err := writeFile(*matrixSVG, func(w *os.File) error {
+			return viz.CommMatrixSVG(w, tr.CommMatrix(),
+				fmt.Sprintf("%s, %d procs: communication matrix", f.pattern, f.procs))
+		}); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *matrixSVG)
+	}
+	if *svgPath != "" {
+		if err := writeFile(*svgPath, func(w *os.File) error {
+			return viz.EventGraphSVG(w, g, fmt.Sprintf("%s, %d procs, %.0f%% ND", f.pattern, f.procs, f.nd))
+		}); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *svgPath)
+	}
+	if *timeSVGPath != "" {
+		if err := writeFile(*timeSVGPath, func(w *os.File) error {
+			return viz.EventGraphTimeSVG(w, g, fmt.Sprintf("%s, %d procs, %.0f%% ND (time layout)", f.pattern, f.procs, f.nd))
+		}); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *timeSVGPath)
+	}
+	if *dotPath != "" {
+		if err := writeFile(*dotPath, func(w *os.File) error { return g.WriteDOT(w, f.pattern) }); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *dotPath)
+	}
+	if *graphmlPath != "" {
+		if err := writeFile(*graphmlPath, func(w *os.File) error { return g.WriteGraphML(w, f.pattern) }); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *graphmlPath)
+	}
+	if *tracePath != "" {
+		if err := tr.SaveFile(*tracePath); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *tracePath)
+	}
+	return nil
+}
+
+// cmdMeasure samples N runs and reports the kernel-distance sample.
+func cmdMeasure(args []string) error {
+	fs := flag.NewFlagSet("measure", flag.ExitOnError)
+	var f expFlags
+	bindExpFlags(fs, &f, 20)
+	svgPath := fs.String("svg", "", "write a violin-plot SVG to this path")
+	showDists := fs.Bool("raw", false, "print every pairwise distance")
+	wallclock := fs.Bool("wallclock", false,
+		"run on the wallclock runtime (real goroutines; native, irreproducible non-determinism)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	k, err := core.ParseKernel(f.kernel)
+	if err != nil {
+		return err
+	}
+	var dists []float64
+	var distinct int
+	if *wallclock {
+		dists, distinct, err = measureWallclock(&f, k)
+	} else {
+		var rs *core.RunSet
+		rs, err = f.experiment().Execute()
+		if err == nil {
+			dists, distinct = rs.Distances(k), rs.DistinctStructures()
+		}
+	}
+	if err != nil {
+		return err
+	}
+	runtimeName := "des"
+	if *wallclock {
+		runtimeName = "wallclock"
+	}
+	fmt.Printf("pattern=%s procs=%d nodes=%d iters=%d nd=%.0f%% runs=%d kernel=%s runtime=%s\n",
+		f.pattern, f.procs, f.nodes, f.iters, f.nd, f.runs, k.Name(), runtimeName)
+	fmt.Printf("distinct communication structures: %d of %d runs\n", distinct, f.runs)
+	if err := viz.ViolinASCII(os.Stdout, "distances", dists); err != nil {
+		return err
+	}
+	if *showDists {
+		for i, d := range dists {
+			fmt.Printf("  pair %3d: %.6g\n", i, d)
+		}
+	}
+	if *svgPath != "" {
+		group := []viz.ViolinGroup{{
+			Label:  fmt.Sprintf("%s/%dp/%.0f%%", f.pattern, f.procs, f.nd),
+			Violin: analysis.NewViolin(dists, 128),
+		}}
+		if err := writeFile(*svgPath, func(w *os.File) error {
+			return viz.ViolinPlotSVG(w, group, "kernel distances", "kernel distance")
+		}); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *svgPath)
+	}
+	return nil
+}
+
+// measureWallclock runs the sample on the wallclock runtime: real
+// goroutines, native scheduler non-determinism, no reproducibility.
+func measureWallclock(f *expFlags, k kernel.Kernel) (dists []float64, distinct int, err error) {
+	pat, err := patterns.ByName(f.pattern)
+	if err != nil {
+		return nil, 0, err
+	}
+	params := patterns.Params{
+		Procs: f.procs, Iterations: f.iters, MsgSize: f.msgSize, TopologySeed: f.topoSeed,
+	}
+	prog, err := pat.Program(params)
+	if err != nil {
+		return nil, 0, err
+	}
+	graphs := make([]*graph.Graph, f.runs)
+	hashes := make(map[uint64]bool)
+	for i := 0; i < f.runs; i++ {
+		cfg := sim.DefaultWallConfig(f.procs, f.seed+int64(i))
+		cfg.NDPercent = f.nd
+		tr, err := sim.RunWallclock(cfg, trace.Meta{Pattern: f.pattern, Iterations: f.iters}, prog)
+		if err != nil {
+			return nil, 0, fmt.Errorf("wallclock run %d: %w", i, err)
+		}
+		g, err := graph.FromTrace(tr)
+		if err != nil {
+			return nil, 0, err
+		}
+		graphs[i] = g
+		hashes[tr.OrderHash()] = true
+	}
+	return kernel.PairwiseDistances(k, graphs), len(hashes), nil
+}
+
+// cmdSweep varies one knob and tabulates the distance summaries.
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	var f expFlags
+	bindExpFlags(fs, &f, 20)
+	knob := fs.String("knob", "nd", "knob to sweep: nd | procs | iters | nodes")
+	values := fs.String("values", "0,25,50,75,100", "comma-separated knob values")
+	svgPath := fs.String("svg", "", "write a multi-violin SVG to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	k, err := core.ParseKernel(f.kernel)
+	if err != nil {
+		return err
+	}
+	var groups []viz.ViolinGroup
+	fmt.Printf("sweep %s over %s (pattern=%s kernel=%s runs=%d)\n", *knob, *values, f.pattern, k.Name(), f.runs)
+	for _, raw := range strings.Split(*values, ",") {
+		raw = strings.TrimSpace(raw)
+		var val float64
+		if _, err := fmt.Sscanf(raw, "%g", &val); err != nil {
+			return fmt.Errorf("bad value %q: %w", raw, err)
+		}
+		e := f.experiment()
+		switch *knob {
+		case "nd":
+			e.NDPercent = val
+		case "procs":
+			e.Procs = int(val)
+		case "iters":
+			e.Iterations = int(val)
+		case "nodes":
+			e.Nodes = int(val)
+		default:
+			return fmt.Errorf("unknown knob %q", *knob)
+		}
+		rs, err := e.Execute()
+		if err != nil {
+			return err
+		}
+		dists := rs.Distances(k)
+		label := fmt.Sprintf("%s=%s", *knob, raw)
+		if err := viz.ViolinASCII(os.Stdout, label, dists); err != nil {
+			return err
+		}
+		groups = append(groups, viz.ViolinGroup{Label: label, Violin: analysis.NewViolin(dists, 128)})
+	}
+	if *svgPath != "" {
+		if err := writeFile(*svgPath, func(w *os.File) error {
+			return viz.ViolinPlotSVG(w, groups, "kernel distance sweep", "kernel distance")
+		}); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *svgPath)
+	}
+	return nil
+}
+
+// cmdCallstack runs the root-source analysis.
+func cmdCallstack(args []string) error {
+	fs := flag.NewFlagSet("callstack", flag.ExitOnError)
+	var f expFlags
+	bindExpFlags(fs, &f, 20)
+	slices := fs.Int("slices", 8, "logical-time slices for the ND profile")
+	svgPath := fs.String("svg", "", "write the bar-chart SVG to this path")
+	profileSVG := fs.String("profilesvg", "", "write the ND-over-logical-time line plot to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	k, err := core.ParseKernel(f.kernel)
+	if err != nil {
+		return err
+	}
+	rs, err := f.experiment().Execute()
+	if err != nil {
+		return err
+	}
+	profile, ranked, err := rs.RootSources(k, *slices)
+	if err != nil {
+		return err
+	}
+	hotspots, err := analysis.RankHotspots(rs.Traces)
+	if err != nil {
+		return err
+	}
+	fmt.Println("rank hotspots (fraction of the rank's events that differ across runs):")
+	maxScore := 0.0
+	for _, h := range hotspots {
+		if h.Score > maxScore {
+			maxScore = h.Score
+		}
+	}
+	for _, h := range hotspots {
+		bar := strings.Repeat("#", int(30*safeRatio(h.Score, maxScore)))
+		fmt.Printf("  rank %3d %-30s %.3f (%d events)\n", h.Rank, bar, h.Score, h.Events)
+	}
+	fmt.Printf("\nnon-determinism profile over logical time (%d slices):\n", len(profile.MeanDistance))
+	for s, d := range profile.MeanDistance {
+		bar := strings.Repeat("#", int(40*safeRatio(d, maxOf(profile.MeanDistance))))
+		fmt.Printf("  slice %2d %-40s %.4g\n", s, bar, d)
+	}
+	fmt.Println("\nlikely root sources (receive call-paths in high-ND regions):")
+	if err := viz.BarChartASCII(os.Stdout, ranked); err != nil {
+		return err
+	}
+	if *svgPath != "" && len(ranked) > 0 {
+		if err := writeFile(*svgPath, func(w *os.File) error {
+			return viz.BarChartSVG(w, ranked, "root sources of non-determinism")
+		}); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *svgPath)
+	}
+	if *profileSVG != "" {
+		xs := make([]float64, len(profile.MeanDistance))
+		for i := range xs {
+			xs[i] = float64(i)
+		}
+		if err := writeFile(*profileSVG, func(w *os.File) error {
+			return viz.LinePlotSVG(w, []viz.Series{
+				{Label: "mean", X: xs, Y: profile.MeanDistance},
+				{Label: "max", X: xs, Y: profile.MaxDistance},
+			}, "non-determinism over logical time", "logical-time slice", "kernel distance")
+		}); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *profileSVG)
+	}
+	return nil
+}
+
+// cmdRecord records a replay schedule from one run.
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	var f expFlags
+	bindExpFlags(fs, &f, 1)
+	out := fs.String("out", "schedule.json", "schedule output path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f.runs = 1
+	rs, err := f.experiment().Execute()
+	if err != nil {
+		return err
+	}
+	sched := sim.RecordSchedule(rs.Traces[0])
+	if err := sched.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d receive matches (order_hash=%x) to %s\n",
+		sched.Receives(), rs.Traces[0].OrderHash(), *out)
+	return nil
+}
+
+// cmdReplay re-runs a configuration pinned to a recorded schedule.
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	var f expFlags
+	bindExpFlags(fs, &f, 5)
+	in := fs.String("in", "schedule.json", "schedule input path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sched, err := sim.LoadSchedule(*in)
+	if err != nil {
+		return err
+	}
+	e := f.experiment()
+	e.Replay = sched
+	rs, err := e.Execute()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d runs at %.0f%% ND: %d distinct communication structure(s)\n",
+		f.runs, f.nd, rs.DistinctStructures())
+	for i, tr := range rs.Traces {
+		fmt.Printf("  run %d (seed %d): order_hash=%x\n", i, tr.Meta.Seed, tr.OrderHash())
+	}
+	if rs.DistinctStructures() == 1 {
+		fmt.Println("replay successful: non-determinism suppressed (ReMPI-style)")
+	}
+	return nil
+}
+
+// cmdFigures regenerates paper figures.
+func cmdFigures(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ExitOnError)
+	fig := fs.String("fig", "", "single figure id (fig1..fig8); empty = all")
+	out := fs.String("out", "out", "artifact output directory")
+	quick := fs.Bool("quick", false, "shrunken workloads (seconds instead of minutes)")
+	md := fs.String("md", "", "also write a markdown reproduction report to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ids := anacinx.FigureIDs()
+	if *fig != "" {
+		ids = []string{*fig}
+	}
+	runners := experiments.All()
+	allOK := true
+	var results []*experiments.Result
+	for _, id := range ids {
+		runner, ok := runners[id]
+		if !ok {
+			return fmt.Errorf("unknown figure %q", id)
+		}
+		res, err := runner(experiments.Options{OutDir: *out, Quick: *quick})
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		results = append(results, res)
+		fmt.Printf("== %s: %s\n", res.ID, res.Title)
+		for _, line := range res.Series {
+			fmt.Println("   ", line)
+		}
+		for _, c := range res.Checks {
+			status := "PASS"
+			if !c.OK {
+				status = "FAIL"
+				allOK = false
+			}
+			fmt.Printf("   [%s] %s — %s\n", status, c.Name, c.Detail)
+		}
+		for _, fpath := range res.Files {
+			fmt.Println("    wrote", fpath)
+		}
+	}
+	if *md != "" {
+		if err := writeFile(*md, func(w *os.File) error {
+			return experiments.WriteMarkdownReport(w, results)
+		}); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *md)
+	}
+	if !allOK {
+		return fmt.Errorf("some paper-shape checks failed")
+	}
+	return nil
+}
+
+func writeFile(path string, render func(*os.File) error) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return render(f)
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

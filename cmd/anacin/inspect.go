@@ -1,0 +1,138 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"github.com/anacin-go/anacinx/internal/core"
+	"github.com/anacin-go/anacinx/internal/graph"
+	"github.com/anacin-go/anacinx/internal/kernel"
+	"github.com/anacin-go/anacinx/internal/trace"
+)
+
+// cmdDiff compares two saved traces (see `anacin run -trace`): kernel
+// distance, structural equality, and the first point of divergence.
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	aPath := fs.String("a", "", "first trace (JSON, from 'anacin run -trace')")
+	bPath := fs.String("b", "", "second trace")
+	kernSpec := fs.String("kernel", "wl2", "graph kernel: "+core.KernelSpecs())
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *aPath == "" || *bPath == "" {
+		return fmt.Errorf("need -a and -b trace paths")
+	}
+	k, err := core.ParseKernel(*kernSpec)
+	if err != nil {
+		return err
+	}
+	ta, err := trace.LoadFile(*aPath)
+	if err != nil {
+		return err
+	}
+	tb, err := trace.LoadFile(*bPath)
+	if err != nil {
+		return err
+	}
+	ga, err := graph.FromTrace(ta)
+	if err != nil {
+		return err
+	}
+	gb, err := graph.FromTrace(tb)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("a: %s (%d events, order_hash=%x)\n", *aPath, ta.NumEvents(), ta.OrderHash())
+	fmt.Printf("b: %s (%d events, order_hash=%x)\n", *bPath, tb.NumEvents(), tb.OrderHash())
+	fmt.Printf("kernel distance (%s): %.6g\n", k.Name(), kernel.Distance(k, ga, gb))
+	div, err := trace.FirstDivergence(ta, tb)
+	if err != nil {
+		return err
+	}
+	if div == nil {
+		fmt.Println("communication structures are identical")
+		return nil
+	}
+	fmt.Println("first divergence:", div)
+	return nil
+}
+
+// cmdExpose searches for the smallest injected-non-determinism
+// percentage that makes the workload's communication structure diverge
+// — the noise-injection idea of Sato et al. (PPoPP'17), which the paper
+// cites for exposing subtle message races.
+func cmdExpose(args []string) error {
+	fs := flag.NewFlagSet("expose", flag.ExitOnError)
+	var f expFlags
+	bindExpFlags(fs, &f, 1)
+	probes := fs.Int("probes", 4, "seeds tried per ND level")
+	resolution := fs.Float64("resolution", 1, "bisection tolerance in percentage points")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	e := f.experiment()
+	res, err := e.ExposureSearch(*probes, *resolution)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pattern=%s procs=%d iters=%d probes=%d resolution=%.3g%%\n",
+		f.pattern, f.procs, f.iters, res.Probes, res.Resolution)
+	for _, l := range res.Levels {
+		verdict := "stable"
+		if l.Diverged {
+			verdict = "DIVERGED"
+		}
+		fmt.Printf("  nd=%6.2f%%  %s\n", l.ND, verdict)
+	}
+	if !res.Exposed {
+		fmt.Println("never exposed: the communication structure is immune to message delays")
+		fmt.Println("(concrete-source receives — no wildcard races to perturb)")
+		return nil
+	}
+	fmt.Printf("exposure threshold: ~%.2f%% injected non-determinism\n", res.ThresholdND)
+	fmt.Println("a lower threshold means a more hair-triggered message race")
+	return nil
+}
+
+// cmdCritpath runs one execution and prints its critical path: the
+// causal chain of events that determined the virtual runtime.
+func cmdCritpath(args []string) error {
+	fs := flag.NewFlagSet("critpath", flag.ExitOnError)
+	var f expFlags
+	bindExpFlags(fs, &f, 1)
+	maxHops := fs.Int("maxhops", 40, "print at most this many path hops (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f.runs = 1
+	rs, err := f.experiment().Execute()
+	if err != nil {
+		return err
+	}
+	g := rs.Graphs[0]
+	cp, err := g.CriticalPath()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pattern=%s procs=%d nd=%.0f%% seed=%d\n", f.pattern, f.procs, f.nd, f.seed)
+	fmt.Printf("critical path: %d events, %d message hops, elapsed %v\n",
+		len(cp.Nodes), cp.MessageHops, cp.Elapsed)
+	lines := cp.Describe(g)
+	if *maxHops > 0 && len(lines) > *maxHops {
+		head := *maxHops / 2
+		tail := *maxHops - head
+		for _, l := range lines[:head] {
+			fmt.Println(" ", l)
+		}
+		fmt.Printf("  ... (%d hops elided) ...\n", len(lines)-*maxHops)
+		for _, l := range lines[len(lines)-tail:] {
+			fmt.Println(" ", l)
+		}
+		return nil
+	}
+	for _, l := range lines {
+		fmt.Println(" ", l)
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+// Command anacin is the CLI of the ANACIN-X reproduction: run
+// communication-pattern mini-applications on the simulated MPI runtime,
+// measure non-determinism as graph-kernel distances, localize its root
+// sources, record/replay match orders, and regenerate the paper's
+// figures.
+//
+// Usage:
+//
+//	anacin list                         patterns and kernels
+//	anacin run      [flags]             one execution → trace/graph/SVG
+//	anacin measure  [flags]             N executions → kernel-distance sample
+//	anacin sweep    [flags]             sweep nd|procs|iters → table
+//	anacin callstack [flags]            root-source analysis (Fig 8 style)
+//	anacin record   [flags]             record a replay schedule
+//	anacin replay   [flags]             re-run pinned to a schedule
+//	anacin figures  [flags]             regenerate paper figures
+//
+// Run `anacin <command> -h` for per-command flags.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+// commands maps subcommand names to implementations.
+var commands = map[string]func(args []string) error{
+	"list":      cmdList,
+	"run":       cmdRun,
+	"measure":   cmdMeasure,
+	"sweep":     cmdSweep,
+	"callstack": cmdCallstack,
+	"record":    cmdRecord,
+	"replay":    cmdReplay,
+	"figures":   cmdFigures,
+	"diff":      cmdDiff,
+	"critpath":  cmdCritpath,
+	"expose":    cmdExpose,
+	"campaign":  cmdCampaign,
+}
+
+func main() {
+	if len(os.Args) < 2 || os.Args[1] == "-h" || os.Args[1] == "--help" || os.Args[1] == "help" {
+		usage()
+		os.Exit(2)
+	}
+	cmd, ok := commands[os.Args[1]]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "anacin: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err := cmd(os.Args[2:]); err != nil {
+		fmt.Fprintf(os.Stderr, "anacin %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `anacin — study non-determinism in message-passing applications
+
+commands:
+  list        show available patterns and kernels
+  run         execute one run; render its event graph
+  measure     sample N runs; report kernel-distance distribution
+  sweep       sweep a knob (nd, procs, iters, nodes) and tabulate
+  callstack   identify root sources of non-determinism (callstack ranking)
+  record      record a message-matching schedule from one run
+  replay      re-run with receives pinned to a recorded schedule
+  figures     regenerate the paper's figures (fig1..fig8)
+  diff        compare two saved traces (distance + first divergence)
+  critpath    show the critical path of one execution
+  expose      find the smallest ND%% that makes the workload diverge
+  campaign    run a grid of experiments; emit markdown/CSV statistics
+
+run 'anacin <command> -h' for flags.
+`)
+}

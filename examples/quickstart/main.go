@@ -1,0 +1,39 @@
+// Quickstart: measure the non-determinism of a mini-application in
+// ~15 lines — the README example, runnable as
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	anacinx "github.com/anacin-go/anacinx"
+)
+
+func main() {
+	// 20 independent runs of the unstructured-mesh pattern on 16
+	// simulated MPI processes with 100% injected non-determinism.
+	exp := anacinx.NewExperiment("unstructured_mesh", 16, 100)
+	exp.Runs = 20
+	rs, err := exp.Execute()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Kernel distance between every pair of runs' event graphs is the
+	// paper's proxy metric for non-determinism (0 = identical).
+	dists := rs.Distances(anacinx.WL(2))
+	fmt.Println("pairwise kernel distances:", anacinx.Summarize(dists))
+	fmt.Printf("distinct communication structures: %d / %d runs\n",
+		rs.DistinctStructures(), exp.Runs)
+
+	// The same sample at 0% injected non-determinism is fully
+	// reproducible.
+	exp.NDPercent = 0
+	rs, err = exp.Execute()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("at 0% injected ND:           ", anacinx.Summarize(rs.Distances(anacinx.WL(2))))
+}

@@ -1,0 +1,3 @@
+module github.com/anacin-go/anacinx
+
+go 1.22

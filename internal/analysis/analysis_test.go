@@ -1,0 +1,366 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/anacin-go/anacinx/internal/graph"
+	"github.com/anacin-go/anacinx/internal/kernel"
+	"github.com/anacin-go/anacinx/internal/patterns"
+	"github.com/anacin-go/anacinx/internal/sim"
+	"github.com/anacin-go/anacinx/internal/trace"
+)
+
+func TestSummarizeKnownSample(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Min != 2 || s.Max != 9 {
+		t.Errorf("extremes wrong: %+v", s)
+	}
+	if s.Mean != 5 {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	if s.StdDev != 2 {
+		t.Errorf("StdDev = %v, want 2", s.StdDev)
+	}
+	if s.Median != 4.5 {
+		t.Errorf("Median = %v, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]float64{3.5})
+	if s.N != 1 || s.Min != 3.5 || s.Max != 3.5 || s.Median != 3.5 || s.Q1 != 3.5 || s.Q3 != 3.5 || s.StdDev != 0 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Summarize reordered its input")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	str := s.String()
+	for _, want := range []string{"n=3", "min=1", "max=3", "med=2"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("summary string %q missing %q", str, want)
+		}
+	}
+}
+
+func TestViolinIntegratesToOne(t *testing.T) {
+	sample := []float64{1, 1.5, 2, 2.2, 2.4, 3, 3.1, 4, 5, 5.5}
+	v := NewViolin(sample, 256)
+	if got := v.Integral(); math.Abs(got-1) > 0.02 {
+		t.Errorf("density integral = %v, want ~1", got)
+	}
+	if v.MaxDensity() <= 0 {
+		t.Error("zero peak density")
+	}
+	if len(v.Grid) != 256 || len(v.Density) != 256 {
+		t.Errorf("grid sizes %d/%d", len(v.Grid), len(v.Density))
+	}
+	for i := 1; i < len(v.Grid); i++ {
+		if v.Grid[i] <= v.Grid[i-1] {
+			t.Fatal("grid not ascending")
+		}
+	}
+}
+
+func TestViolinPeakNearMode(t *testing.T) {
+	// Bimodal sample: peaks near 0 and 10; density at 5 must be lower
+	// than at the modes.
+	var sample []float64
+	for i := 0; i < 50; i++ {
+		sample = append(sample, float64(i%5)*0.1)    // cluster near 0
+		sample = append(sample, 10+float64(i%5)*0.1) // cluster near 10
+	}
+	v := NewViolin(sample, 512)
+	at := func(x float64) float64 {
+		best, bestDist := 0.0, math.MaxFloat64
+		for i, g := range v.Grid {
+			if d := math.Abs(g - x); d < bestDist {
+				bestDist, best = d, v.Density[i]
+			}
+		}
+		return best
+	}
+	if at(5) >= at(0.2) || at(5) >= at(10.2) {
+		t.Errorf("valley density %v not below peaks %v/%v", at(5), at(0.2), at(10.2))
+	}
+}
+
+func TestViolinDegenerateSamples(t *testing.T) {
+	if v := NewViolin(nil, 100); v.Summary.N != 0 || len(v.Grid) != 0 {
+		t.Errorf("empty violin = %+v", v)
+	}
+	v := NewViolin([]float64{2, 2, 2, 2}, 100)
+	if v.MaxDensity() <= 0 {
+		t.Error("constant sample has zero density spike")
+	}
+	if v.Bandwidth <= 0 {
+		t.Error("degenerate bandwidth not defaulted")
+	}
+	v = NewViolin([]float64{0, 0, 0}, 1) // gridN raised to 2
+	if len(v.Grid) != 2 {
+		t.Errorf("gridN floor: %d", len(v.Grid))
+	}
+}
+
+// runGraphs produces event graphs of `runs` executions of a pattern.
+func runGraphs(t testing.TB, patName string, procs, iters, runs int, nd float64) []*graph.Graph {
+	t.Helper()
+	pat, err := patterns.ByName(patName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := patterns.DefaultParams(procs)
+	params.Iterations = iters
+	prog, err := pat.Program(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]*graph.Graph, runs)
+	for i := 0; i < runs; i++ {
+		cfg := sim.DefaultConfig(procs, int64(1000+i))
+		cfg.NDPercent = nd
+		tr, _, err := sim.Run(cfg, trace.Meta{Pattern: patName, Iterations: iters}, sim.Adapt(prog))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := graph.FromTrace(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = g
+	}
+	return out
+}
+
+func TestSliceProfileValidation(t *testing.T) {
+	graphs := runGraphs(t, "message_race", 4, 2, 2, 0)
+	if _, err := NewSliceProfile(kernel.NewWL(2), graphs[:1], 4); err == nil {
+		t.Error("single run accepted")
+	}
+	if _, err := NewSliceProfile(kernel.NewWL(2), graphs, 0); err == nil {
+		t.Error("zero slices accepted")
+	}
+}
+
+func TestSliceProfileZeroAtZeroND(t *testing.T) {
+	graphs := runGraphs(t, "amg2013", 6, 2, 4, 0)
+	p, err := NewSliceProfile(kernel.NewWL(2), graphs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, d := range p.MeanDistance {
+		if d != 0 {
+			t.Errorf("slice %d mean distance %v at 0%% ND", s, d)
+		}
+	}
+	if got := p.HighSlices(0.75); got != nil {
+		t.Errorf("HighSlices on a zero profile = %v, want nil", got)
+	}
+}
+
+func TestSliceProfilePositiveAtFullND(t *testing.T) {
+	graphs := runGraphs(t, "amg2013", 8, 3, 6, 100)
+	p, err := NewSliceProfile(kernel.NewWL(2), graphs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	any := false
+	for s, d := range p.MeanDistance {
+		if d < 0 {
+			t.Errorf("negative mean distance at slice %d", s)
+		}
+		if d > 0 {
+			any = true
+		}
+		if p.MaxDistance[s] < p.MeanDistance[s] {
+			t.Errorf("slice %d: max %v below mean %v", s, p.MaxDistance[s], d)
+		}
+	}
+	if !any {
+		t.Error("no slice shows non-determinism at 100% ND")
+	}
+	high := p.HighSlices(0.75)
+	if len(high) == 0 {
+		t.Error("no high slices found")
+	}
+	for _, s := range high {
+		if s < 0 || s >= 6 {
+			t.Errorf("high slice %d out of range", s)
+		}
+	}
+}
+
+func TestRankCallstacksFindsWildcardReceives(t *testing.T) {
+	// AMG2013, the workload of the paper's Fig. 8: its wildcard-receive
+	// call-path (gatherWork) must top the ranking.
+	graphs := runGraphs(t, "amg2013", 8, 3, 5, 100)
+	profile, ranked, err := IdentifyRootSources(kernel.NewWL(2), graphs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profile == nil || len(ranked) == 0 {
+		t.Fatal("no root sources identified")
+	}
+	if !strings.Contains(ranked[0].Callstack, "gatherWork") {
+		t.Errorf("top callstack %q does not name gatherWork", ranked[0].Callstack)
+	}
+	if ranked[0].Frequency != 1 {
+		t.Errorf("top frequency = %v, want 1 (normalized)", ranked[0].Frequency)
+	}
+	// Frequencies descend and stay in (0, 1].
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Frequency > ranked[i-1].Frequency {
+			t.Error("frequencies not descending")
+		}
+		if ranked[i].Frequency <= 0 || ranked[i].Frequency > 1 {
+			t.Errorf("frequency %v out of range", ranked[i].Frequency)
+		}
+	}
+}
+
+func TestIdentifyRootSourcesCoarsensForSkewedRaces(t *testing.T) {
+	// In a pure message race the senders finish at low logical time
+	// while rank 0 drains at high logical time, so fine slicing sees
+	// nothing; the fallback must coarsen until the divergence registers
+	// and still name the racing receive.
+	graphs := runGraphs(t, "message_race", 6, 4, 5, 100)
+	_, ranked, err := IdentifyRootSources(kernel.NewWL(2), graphs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) == 0 {
+		t.Fatal("coarsening fallback found nothing")
+	}
+	if !strings.Contains(ranked[0].Callstack, "drainRaces") {
+		t.Errorf("top callstack %q does not name drainRaces", ranked[0].Callstack)
+	}
+}
+
+func TestRankCallstacksValidation(t *testing.T) {
+	graphs := runGraphs(t, "message_race", 4, 1, 2, 0)
+	if _, err := RankCallstacks(graphs, 0, nil); err == nil {
+		t.Error("zero slices accepted")
+	}
+	if _, err := RankCallstacks(graphs, 4, []int{9}); err == nil {
+		t.Error("out-of-range slice accepted")
+	}
+	// No high slices → empty ranking, no error.
+	got, err := RankCallstacks(graphs, 4, nil)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty selection: %v, %v", got, err)
+	}
+}
+
+// Property: Summarize orders its quantiles for any sample.
+func TestQuickSummaryOrdered(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 && s.Q3 <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Quantile is monotone in q.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(raw []float64, qa, qb uint8) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		sort.Float64s(xs)
+		a, b := float64(qa)/255, float64(qb)/255
+		if a > b {
+			a, b = b, a
+		}
+		return Quantile(xs, a) <= Quantile(xs, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkViolin(b *testing.B) {
+	sample := make([]float64, 190)
+	for i := range sample {
+		sample[i] = float64(i%19) * 0.37
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = NewViolin(sample, 256)
+	}
+}
+
+func BenchmarkIdentifyRootSources(b *testing.B) {
+	graphs := runGraphs(b, "amg2013", 8, 2, 5, 100)
+	k := kernel.NewWL(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := IdentifyRootSources(k, graphs, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

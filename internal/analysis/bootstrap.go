@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/anacin-go/anacinx/internal/vtime"
+)
+
+// CI is a bootstrap confidence interval for a sample statistic.
+type CI struct {
+	// Point is the statistic on the original sample.
+	Point float64
+	// Lo and Hi bound the central confidence interval.
+	Lo, Hi float64
+	// Level is the nominal coverage, e.g. 0.95.
+	Level float64
+}
+
+// String renders the interval as "point [lo, hi]".
+func (ci CI) String() string {
+	return fmt.Sprintf("%.4g [%.4g, %.4g]", ci.Point, ci.Lo, ci.Hi)
+}
+
+// BootstrapMedianCI estimates a percentile-bootstrap confidence
+// interval for the sample median. The resampling stream is seeded, so
+// results are reproducible — in keeping with everything else in this
+// repository. resamples <= 0 selects the default of 2000; level must
+// lie in (0, 1).
+func BootstrapMedianCI(sample []float64, level float64, resamples int, seed int64) (CI, error) {
+	return bootstrapCI(sample, level, resamples, seed, func(sorted []float64) float64 {
+		return Quantile(sorted, 0.5)
+	})
+}
+
+// BootstrapMeanCI is BootstrapMedianCI for the mean.
+func BootstrapMeanCI(sample []float64, level float64, resamples int, seed int64) (CI, error) {
+	return bootstrapCI(sample, level, resamples, seed, func(sorted []float64) float64 {
+		sum := 0.0
+		for _, v := range sorted {
+			sum += v
+		}
+		return sum / float64(len(sorted))
+	})
+}
+
+func bootstrapCI(sample []float64, level float64, resamples int, seed int64, stat func(sorted []float64) float64) (CI, error) {
+	if len(sample) == 0 {
+		return CI{}, fmt.Errorf("analysis: bootstrap of empty sample")
+	}
+	if level <= 0 || level >= 1 {
+		return CI{}, fmt.Errorf("analysis: bootstrap level %v outside (0,1)", level)
+	}
+	if resamples <= 0 {
+		resamples = 2000
+	}
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	ci := CI{Point: stat(sorted), Level: level}
+
+	rng := vtime.NewRNG(seed).Split(0xb007)
+	stats := make([]float64, resamples)
+	resample := make([]float64, len(sample))
+	for b := 0; b < resamples; b++ {
+		for i := range resample {
+			resample[i] = sample[rng.Intn(len(sample))]
+		}
+		sort.Float64s(resample)
+		stats[b] = stat(resample)
+	}
+	sort.Float64s(stats)
+	alpha := (1 - level) / 2
+	ci.Lo = Quantile(stats, alpha)
+	ci.Hi = Quantile(stats, 1-alpha)
+	return ci, nil
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/anacin-go/anacinx/internal/vtime"
+)
+
+func TestBootstrapValidation(t *testing.T) {
+	if _, err := BootstrapMedianCI(nil, 0.95, 100, 1); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := BootstrapMedianCI([]float64{1, 2}, 0, 100, 1); err == nil {
+		t.Error("level 0 accepted")
+	}
+	if _, err := BootstrapMedianCI([]float64{1, 2}, 1, 100, 1); err == nil {
+		t.Error("level 1 accepted")
+	}
+}
+
+func TestBootstrapMedianContainsPoint(t *testing.T) {
+	sample := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9}
+	ci, err := BootstrapMedianCI(sample, 0.95, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Lo > ci.Point || ci.Point > ci.Hi {
+		t.Errorf("point %v outside [%v, %v]", ci.Point, ci.Lo, ci.Hi)
+	}
+	if ci.Lo < 1 || ci.Hi > 9 {
+		t.Errorf("interval [%v, %v] escapes the sample range", ci.Lo, ci.Hi)
+	}
+	if !strings.Contains(ci.String(), "[") {
+		t.Errorf("String = %q", ci.String())
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	sample := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	a, err := BootstrapMedianCI(sample, 0.9, 300, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BootstrapMedianCI(sample, 0.9, 300, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed gave %v vs %v", a, b)
+	}
+	c, err := BootstrapMedianCI(sample, 0.9, 300, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different seed gave an identical interval (suspicious)")
+	}
+}
+
+func TestBootstrapConstantSample(t *testing.T) {
+	ci, err := BootstrapMeanCI([]float64{5, 5, 5, 5}, 0.95, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Point != 5 || ci.Lo != 5 || ci.Hi != 5 {
+		t.Errorf("constant sample CI = %+v", ci)
+	}
+}
+
+func TestBootstrapCoverageSanity(t *testing.T) {
+	// For many normal-ish samples with true median 0, the 95% CI should
+	// contain 0 most of the time (allow generous slack: >= 80%).
+	rng := vtime.NewRNG(99)
+	contains := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		sample := make([]float64, 30)
+		for i := range sample {
+			sample[i] = rng.NormFloat64()
+		}
+		ci, err := BootstrapMedianCI(sample, 0.95, 400, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ci.Lo <= 0 && 0 <= ci.Hi {
+			contains++
+		}
+	}
+	if contains < trials*8/10 {
+		t.Errorf("95%% CI contained the true median in only %d/%d trials", contains, trials)
+	}
+}
+
+func TestBootstrapWiderAtHigherLevel(t *testing.T) {
+	sample := []float64{2, 4, 4, 4, 5, 5, 7, 9, 12, 1, 3, 8}
+	narrow, err := BootstrapMeanCI(sample, 0.5, 800, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := BootstrapMeanCI(sample, 0.99, 800, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (wide.Hi - wide.Lo) <= (narrow.Hi - narrow.Lo) {
+		t.Errorf("99%% interval [%v,%v] not wider than 50%% [%v,%v]",
+			wide.Lo, wide.Hi, narrow.Lo, narrow.Hi)
+	}
+}

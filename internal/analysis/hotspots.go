@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"fmt"
+
+	"github.com/anacin-go/anacinx/internal/trace"
+)
+
+// Rank hotspots: a coarser localization than callstack ranking. Before
+// asking "which call-path?", a developer asks "which process?": the
+// hotspot score of a rank is the mean fraction of its event stream that
+// differs between two runs, averaged over all run pairs. Ranks hosting
+// the wildcard receives score high; pure senders score near zero.
+
+// RankHotspot is one rank's divergence score.
+type RankHotspot struct {
+	Rank int
+	// Score is the mean fraction (0..1) of the rank's events that
+	// differ across run pairs.
+	Score float64
+	// Events is the rank's (first run's) event-stream length.
+	Events int
+}
+
+// RankHotspots computes per-rank divergence scores over a sample of
+// runs (>= 2 traces of one workload). The result is indexed by rank.
+func RankHotspots(traces []*trace.Trace) ([]RankHotspot, error) {
+	if len(traces) < 2 {
+		return nil, fmt.Errorf("analysis: rank hotspots need >= 2 runs, got %d", len(traces))
+	}
+	procs := traces[0].Procs()
+	sums := make([]float64, procs)
+	pairs := 0
+	for i := 0; i < len(traces); i++ {
+		for j := i + 1; j < len(traces); j++ {
+			counts, err := trace.DivergenceCounts(traces[i], traces[j])
+			if err != nil {
+				return nil, err
+			}
+			for rank, c := range counts {
+				// Normalize by the longer stream so the fraction stays
+				// in [0,1] even with length mismatches.
+				la, lb := len(traces[i].Events[rank]), len(traces[j].Events[rank])
+				denom := la
+				if lb > denom {
+					denom = lb
+				}
+				if denom > 0 {
+					sums[rank] += float64(c) / float64(denom)
+				}
+			}
+			pairs++
+		}
+	}
+	out := make([]RankHotspot, procs)
+	for rank := range out {
+		out[rank] = RankHotspot{
+			Rank:   rank,
+			Score:  sums[rank] / float64(pairs),
+			Events: len(traces[0].Events[rank]),
+		}
+	}
+	return out, nil
+}

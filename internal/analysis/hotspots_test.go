@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"testing"
+
+	"github.com/anacin-go/anacinx/internal/sim"
+	"github.com/anacin-go/anacinx/internal/trace"
+)
+
+// raceTraces runs N message-race executions (wildcards only on rank 0).
+func raceTraces(t *testing.T, procs, runs int, nd float64) []*trace.Trace {
+	t.Helper()
+	out := make([]*trace.Trace, runs)
+	for i := range out {
+		cfg := sim.DefaultConfig(procs, int64(100+i))
+		cfg.NDPercent = nd
+		tr, _, err := sim.Run(cfg, trace.Meta{}, func(r *sim.Rank) {
+			if r.Rank() == 0 {
+				for j := 0; j < 2*(procs-1); j++ {
+					r.Recv(sim.AnySource, sim.AnyTag)
+				}
+			} else {
+				r.SendSize(0, 0, 1)
+				r.SendSize(0, 1, 1)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = tr
+	}
+	return out
+}
+
+func TestRankHotspotsValidation(t *testing.T) {
+	traces := raceTraces(t, 3, 1, 0)
+	if _, err := RankHotspots(traces); err == nil {
+		t.Error("single trace accepted")
+	}
+}
+
+func TestRankHotspotsLocalizeTheReceiver(t *testing.T) {
+	traces := raceTraces(t, 6, 5, 100)
+	hotspots, err := RankHotspots(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hotspots) != 6 {
+		t.Fatalf("hotspots for %d ranks", len(hotspots))
+	}
+	// Rank 0 hosts every wildcard receive: it must dominate, and the
+	// senders (whose streams are identical across runs) must score 0.
+	if hotspots[0].Score <= 0 {
+		t.Errorf("receiver rank scored %v", hotspots[0].Score)
+	}
+	for _, h := range hotspots[1:] {
+		if h.Score != 0 {
+			t.Errorf("sender rank %d scored %v, want 0", h.Rank, h.Score)
+		}
+		if h.Score > hotspots[0].Score {
+			t.Errorf("sender rank %d outscored the receiver", h.Rank)
+		}
+	}
+	// Scores stay in [0,1].
+	for _, h := range hotspots {
+		if h.Score < 0 || h.Score > 1 {
+			t.Errorf("rank %d score %v out of range", h.Rank, h.Score)
+		}
+	}
+}
+
+func TestRankHotspotsZeroAtZeroND(t *testing.T) {
+	traces := raceTraces(t, 4, 4, 0)
+	hotspots, err := RankHotspots(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hotspots {
+		if h.Score != 0 {
+			t.Errorf("rank %d score %v at 0%% ND", h.Rank, h.Score)
+		}
+	}
+}

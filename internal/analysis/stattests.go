@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Statistical tests backing the course module's claims. The paper
+// collects "20 data points ... to improve the statistical significance
+// of the results" but reports no tests; these make the comparisons
+// quantitative: Mann-Whitney U for two-sample location shifts (Figs. 5
+// and 6: does the larger configuration really measure more
+// non-determinism?) and Kendall's tau for monotone trends (Fig. 7:
+// does measured ND really rise with injected ND?). Both are
+// distribution-free, which matters because kernel-distance samples are
+// skewed and discrete.
+
+// MannWhitneyResult reports a two-sided Mann-Whitney U test.
+type MannWhitneyResult struct {
+	// U is the test statistic of the first sample.
+	U float64
+	// Z is the normal approximation z-score (tie-corrected).
+	Z float64
+	// P is the two-sided p-value under the normal approximation.
+	P float64
+	// CommonLanguage is U/(n1*n2): the probability that a random
+	// observation from the first sample exceeds one from the second
+	// (0.5 = no effect).
+	CommonLanguage float64
+}
+
+// MannWhitney tests whether two independent samples differ in location.
+// The normal approximation is used, which is accurate for n1, n2 >= 8
+// — amply satisfied by the paper's 20-run samples (190 pairs). It
+// returns an error for empty samples.
+func MannWhitney(a, b []float64) (*MannWhitneyResult, error) {
+	n1, n2 := len(a), len(b)
+	if n1 == 0 || n2 == 0 {
+		return nil, fmt.Errorf("analysis: MannWhitney needs two nonempty samples (%d, %d)", n1, n2)
+	}
+	type obs struct {
+		v     float64
+		first bool
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range a {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Midranks with tie correction.
+	ranks := make([]float64, len(all))
+	tieTerm := 0.0
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		t := float64(j - i)
+		tieTerm += t*t*t - t
+		i = j
+	}
+	r1 := 0.0
+	for i, o := range all {
+		if o.first {
+			r1 += ranks[i]
+		}
+	}
+	u1 := r1 - float64(n1)*float64(n1+1)/2
+	mean := float64(n1) * float64(n2) / 2
+	nTot := float64(n1 + n2)
+	variance := float64(n1) * float64(n2) / 12 * (nTot + 1 - tieTerm/(nTot*(nTot-1)))
+	res := &MannWhitneyResult{U: u1, CommonLanguage: u1 / (float64(n1) * float64(n2))}
+	if variance <= 0 {
+		// All observations tied: no evidence of a shift.
+		res.Z, res.P = 0, 1
+		return res, nil
+	}
+	// Continuity correction toward the mean.
+	diff := u1 - mean
+	switch {
+	case diff > 0.5:
+		diff -= 0.5
+	case diff < -0.5:
+		diff += 0.5
+	default:
+		diff = 0
+	}
+	res.Z = diff / math.Sqrt(variance)
+	res.P = 2 * normalSF(math.Abs(res.Z))
+	if res.P > 1 {
+		res.P = 1
+	}
+	return res, nil
+}
+
+// KendallResult reports a Kendall rank-correlation test.
+type KendallResult struct {
+	// Tau is Kendall's tau-b in [-1, 1] (tie-corrected).
+	Tau float64
+	// Z is the normal approximation z-score.
+	Z float64
+	// P is the two-sided p-value.
+	P float64
+	// Concordant and Discordant count the pair classifications.
+	Concordant, Discordant int
+}
+
+// Kendall computes the tau-b rank correlation between paired samples
+// x and y (equal length >= 2). For the Fig. 7 trend, x is the injected
+// ND percentage and y the median measured distance.
+func Kendall(x, y []float64) (*KendallResult, error) {
+	n := len(x)
+	if n != len(y) {
+		return nil, fmt.Errorf("analysis: Kendall needs paired samples (%d vs %d)", n, len(y))
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("analysis: Kendall needs >= 2 pairs, got %d", n)
+	}
+	var conc, disc int
+	var tiesX, tiesY float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := sign(x[j] - x[i])
+			dy := sign(y[j] - y[i])
+			switch {
+			case dx == 0 && dy == 0:
+				tiesX++
+				tiesY++
+			case dx == 0:
+				tiesX++
+			case dy == 0:
+				tiesY++
+			case dx == dy:
+				conc++
+			default:
+				disc++
+			}
+		}
+	}
+	n0 := float64(n*(n-1)) / 2
+	denom := math.Sqrt((n0 - tiesX) * (n0 - tiesY))
+	res := &KendallResult{Concordant: conc, Discordant: disc}
+	if denom == 0 {
+		res.Tau, res.Z, res.P = 0, 0, 1
+		return res, nil
+	}
+	res.Tau = float64(conc-disc) / denom
+	// Normal approximation for the no-tie variance; adequate for the
+	// trend-detection use here.
+	nf := float64(n)
+	variance := (2 * (2*nf + 5)) / (9 * nf * (nf - 1))
+	res.Z = res.Tau / math.Sqrt(variance)
+	res.P = 2 * normalSF(math.Abs(res.Z))
+	if res.P > 1 {
+		res.P = 1
+	}
+	return res, nil
+}
+
+func sign(v float64) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// normalSF is the standard normal survival function P(X > z).
+func normalSF(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}

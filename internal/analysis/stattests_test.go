@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/anacin-go/anacinx/internal/vtime"
+)
+
+func TestMannWhitneyValidation(t *testing.T) {
+	if _, err := MannWhitney(nil, []float64{1}); err == nil {
+		t.Error("empty first sample accepted")
+	}
+	if _, err := MannWhitney([]float64{1}, nil); err == nil {
+		t.Error("empty second sample accepted")
+	}
+}
+
+func TestMannWhitneyClearShift(t *testing.T) {
+	// Two well-separated samples: p must be tiny and the common
+	// language effect size near 1.
+	var a, b []float64
+	for i := 0; i < 20; i++ {
+		a = append(a, 10+float64(i)*0.1)
+		b = append(b, 1+float64(i)*0.1)
+	}
+	res, err := MannWhitney(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-6 {
+		t.Errorf("p = %v for fully separated samples", res.P)
+	}
+	if res.CommonLanguage != 1 {
+		t.Errorf("common language = %v, want 1", res.CommonLanguage)
+	}
+	if res.Z <= 0 {
+		t.Errorf("z = %v, want positive (a > b)", res.Z)
+	}
+}
+
+func TestMannWhitneyNoShift(t *testing.T) {
+	// Identical samples: no evidence.
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	res, err := MannWhitney(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.9 {
+		t.Errorf("p = %v for identical samples, want ~1", res.P)
+	}
+	if math.Abs(res.CommonLanguage-0.5) > 1e-9 {
+		t.Errorf("common language = %v, want 0.5", res.CommonLanguage)
+	}
+}
+
+func TestMannWhitneyAllTied(t *testing.T) {
+	a := []float64{3, 3, 3}
+	b := []float64{3, 3, 3, 3}
+	res, err := MannWhitney(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 || res.Z != 0 {
+		t.Errorf("all-tied: %+v", res)
+	}
+}
+
+func TestMannWhitneyKnownValue(t *testing.T) {
+	// Hand-checkable case: a = {1,2}, b = {3,4,5}. All b exceed all a,
+	// so U1 = 0 and the effect size is 0.
+	res, err := MannWhitney([]float64{1, 2}, []float64{3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.U != 0 || res.CommonLanguage != 0 {
+		t.Errorf("U = %v, CL = %v, want 0, 0", res.U, res.CommonLanguage)
+	}
+}
+
+func TestMannWhitneySymmetry(t *testing.T) {
+	a := []float64{1, 5, 3, 7, 2, 8}
+	b := []float64{4, 6, 2, 9, 5}
+	r1, err := MannWhitney(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := MannWhitney(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1.P-r2.P) > 1e-12 {
+		t.Errorf("p asymmetric: %v vs %v", r1.P, r2.P)
+	}
+	if math.Abs((r1.CommonLanguage+r2.CommonLanguage)-1) > 1e-12 {
+		t.Errorf("effect sizes don't complement: %v + %v", r1.CommonLanguage, r2.CommonLanguage)
+	}
+}
+
+// Property: p-values stay in [0,1] and U in [0, n1*n2] for random
+// samples.
+func TestQuickMannWhitneyRanges(t *testing.T) {
+	f := func(seed int64, n1Raw, n2Raw uint8) bool {
+		rng := vtime.NewRNG(seed)
+		n1, n2 := int(n1Raw)%20+1, int(n2Raw)%20+1
+		a := make([]float64, n1)
+		b := make([]float64, n2)
+		for i := range a {
+			a[i] = rng.Float64() * 10
+		}
+		for i := range b {
+			b[i] = rng.Float64() * 10
+		}
+		res, err := MannWhitney(a, b)
+		if err != nil {
+			return false
+		}
+		return res.P >= 0 && res.P <= 1 && res.U >= 0 && res.U <= float64(n1*n2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKendallValidation(t *testing.T) {
+	if _, err := Kendall([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("unequal lengths accepted")
+	}
+	if _, err := Kendall([]float64{1}, []float64{1}); err == nil {
+		t.Error("single pair accepted")
+	}
+}
+
+func TestKendallPerfectTrends(t *testing.T) {
+	x := []float64{0, 10, 20, 30, 40, 50}
+	up := []float64{1, 2, 3, 4, 5, 6}
+	down := []float64{6, 5, 4, 3, 2, 1}
+	res, err := Kendall(x, up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tau != 1 {
+		t.Errorf("tau = %v for perfect ascent", res.Tau)
+	}
+	if res.P > 0.01 {
+		t.Errorf("p = %v for perfect ascent of 6 points", res.P)
+	}
+	res, err = Kendall(x, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tau != -1 {
+		t.Errorf("tau = %v for perfect descent", res.Tau)
+	}
+}
+
+func TestKendallNoTrend(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 5, 5, 5} // constant: all y-pairs tied
+	res, err := Kendall(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tau != 0 || res.P != 1 {
+		t.Errorf("constant y: %+v", res)
+	}
+}
+
+func TestKendallWithTies(t *testing.T) {
+	// A rising-then-flat series, like a saturating Fig. 7 sweep: tau
+	// must be positive.
+	x := []float64{0, 10, 20, 30, 40, 50, 60}
+	y := []float64{0, 5, 9, 12, 12, 12, 12}
+	res, err := Kendall(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tau <= 0.5 {
+		t.Errorf("tau = %v for rising-saturating series", res.Tau)
+	}
+	if res.Concordant == 0 || res.Discordant != 0 {
+		t.Errorf("pair counts: %d concordant, %d discordant", res.Concordant, res.Discordant)
+	}
+}
+
+// Property: tau stays in [-1, 1] and flipping y negates it.
+func TestQuickKendallAntisymmetric(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := vtime.NewRNG(seed)
+		n := int(nRaw)%15 + 2
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i)
+			y[i] = rng.Float64()
+		}
+		r1, err := Kendall(x, y)
+		if err != nil {
+			return false
+		}
+		neg := make([]float64, n)
+		for i, v := range y {
+			neg[i] = -v
+		}
+		r2, err := Kendall(x, neg)
+		if err != nil {
+			return false
+		}
+		return r1.Tau >= -1 && r1.Tau <= 1 && math.Abs(r1.Tau+r2.Tau) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalSF(t *testing.T) {
+	// Known values: SF(0)=0.5, SF(1.96)≈0.025.
+	if got := normalSF(0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("SF(0) = %v", got)
+	}
+	if got := normalSF(1.959964); math.Abs(got-0.025) > 1e-4 {
+		t.Errorf("SF(1.96) = %v", got)
+	}
+}

@@ -1,0 +1,261 @@
+// Package campaign runs grids of experiments — the cross product of
+// patterns, process counts, iteration counts, node counts, and injected
+// non-determinism levels — and reduces each cell to its kernel-distance
+// statistics. It is the batch layer a study like the paper's own
+// evaluation needs: Figs. 5–7 are single rows/columns of such a grid.
+//
+// Results serialize to CSV (for external plotting) and markdown (for
+// reports); cells are independent and keyed, so output ordering is
+// deterministic regardless of execution interleaving.
+package campaign
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/anacin-go/anacinx/internal/analysis"
+	"github.com/anacin-go/anacinx/internal/core"
+	"github.com/anacin-go/anacinx/internal/kernel"
+)
+
+// Grid declares the cross product to run. Empty dimension slices
+// default to a single paper-flavoured value.
+type Grid struct {
+	// Patterns lists pattern registry names (default: the paper's
+	// three mini-applications).
+	Patterns []string
+	// Procs lists process counts (default: 16).
+	Procs []int
+	// Iterations lists iteration counts (default: 1).
+	Iterations []int
+	// Nodes lists node counts (default: 1).
+	Nodes []int
+	// NDPercents lists injection levels (default: 0, 50, 100).
+	NDPercents []float64
+	// Runs per cell (default: 10).
+	Runs int
+	// BaseSeed seeds every cell identically (runs use BaseSeed+i).
+	BaseSeed int64
+	// Kernel is the graph kernel (nil = WL depth 2).
+	Kernel kernel.Kernel
+	// CaptureStacks enables callstack capture (off by default: the
+	// campaign reduces to distances only).
+	CaptureStacks bool
+}
+
+func (g *Grid) withDefaults() Grid {
+	q := *g
+	if len(q.Patterns) == 0 {
+		q.Patterns = []string{"message_race", "amg2013", "unstructured_mesh"}
+	}
+	if len(q.Procs) == 0 {
+		q.Procs = []int{16}
+	}
+	if len(q.Iterations) == 0 {
+		q.Iterations = []int{1}
+	}
+	if len(q.Nodes) == 0 {
+		q.Nodes = []int{1}
+	}
+	if len(q.NDPercents) == 0 {
+		q.NDPercents = []float64{0, 50, 100}
+	}
+	if q.Runs == 0 {
+		q.Runs = 10
+	}
+	if q.BaseSeed == 0 {
+		q.BaseSeed = 1
+	}
+	if q.Kernel == nil {
+		q.Kernel = kernel.NewWL(2)
+	}
+	return q
+}
+
+// Cells returns how many experiments the grid will run.
+func (g *Grid) Cells() int {
+	q := g.withDefaults()
+	return len(q.Patterns) * len(q.Procs) * len(q.Iterations) * len(q.Nodes) * len(q.NDPercents)
+}
+
+// Cell is one grid point's configuration and reduced measurements.
+type Cell struct {
+	Pattern    string
+	Procs      int
+	Iterations int
+	Nodes      int
+	NDPercent  float64
+	Runs       int
+	// Summary describes the pairwise kernel-distance sample.
+	Summary analysis.Summary
+	// DistinctStructures counts distinct match orders in the sample.
+	DistinctStructures int
+	// Err records a per-cell failure (the campaign continues).
+	Err error
+}
+
+// key orders cells deterministically.
+func (c *Cell) key() string {
+	return fmt.Sprintf("%s|%06d|%06d|%06d|%012.4f", c.Pattern, c.Procs, c.Iterations, c.Nodes, c.NDPercent)
+}
+
+// Result is a completed campaign.
+type Result struct {
+	KernelName string
+	Cells      []Cell
+}
+
+// Run executes every cell of the grid sequentially (each cell already
+// parallelizes its runs across cores via core.Execute) and returns the
+// cells sorted by (pattern, procs, iterations, nodes, nd).
+func Run(g Grid) (*Result, error) {
+	q := g.withDefaults()
+	res := &Result{KernelName: q.Kernel.Name()}
+	for _, pattern := range q.Patterns {
+		for _, procs := range q.Procs {
+			for _, iters := range q.Iterations {
+				for _, nodes := range q.Nodes {
+					for _, nd := range q.NDPercents {
+						cell := Cell{
+							Pattern: pattern, Procs: procs, Iterations: iters,
+							Nodes: nodes, NDPercent: nd, Runs: q.Runs,
+						}
+						e := core.DefaultExperiment(pattern, procs, nd)
+						e.Iterations = iters
+						e.Nodes = nodes
+						e.Runs = q.Runs
+						e.BaseSeed = q.BaseSeed
+						e.CaptureStacks = q.CaptureStacks
+						rs, err := e.Execute()
+						if err != nil {
+							cell.Err = err
+						} else {
+							cell.Summary = analysis.Summarize(rs.Distances(q.Kernel))
+							cell.DistinctStructures = rs.DistinctStructures()
+						}
+						res.Cells = append(res.Cells, cell)
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(res.Cells, func(i, j int) bool { return res.Cells[i].key() < res.Cells[j].key() })
+	return res, nil
+}
+
+// Failed returns the cells that errored.
+func (r *Result) Failed() []Cell {
+	var out []Cell
+	for _, c := range r.Cells {
+		if c.Err != nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// csvHeader is the column layout of WriteCSV.
+var csvHeader = []string{
+	"pattern", "procs", "iterations", "nodes", "nd_percent", "runs",
+	"pairs", "min", "q1", "median", "q3", "max", "mean", "stddev",
+	"distinct_structures", "error",
+}
+
+// WriteCSV emits one row per cell.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	for _, c := range r.Cells {
+		errStr := ""
+		if c.Err != nil {
+			errStr = c.Err.Error()
+		}
+		row := []string{
+			c.Pattern,
+			strconv.Itoa(c.Procs), strconv.Itoa(c.Iterations), strconv.Itoa(c.Nodes),
+			f(c.NDPercent), strconv.Itoa(c.Runs),
+			strconv.Itoa(c.Summary.N),
+			f(c.Summary.Min), f(c.Summary.Q1), f(c.Summary.Median),
+			f(c.Summary.Q3), f(c.Summary.Max), f(c.Summary.Mean), f(c.Summary.StdDev),
+			strconv.Itoa(c.DistinctStructures),
+			errStr,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a campaign CSV back into cells (summaries only; the
+// error column round-trips as an opaque message).
+func ReadCSV(rd io.Reader) (*Result, error) {
+	cr := csv.NewReader(rd)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("campaign: csv: %w", err)
+	}
+	if len(rows) == 0 || strings.Join(rows[0], ",") != strings.Join(csvHeader, ",") {
+		return nil, fmt.Errorf("campaign: unrecognized csv header")
+	}
+	res := &Result{}
+	for i, row := range rows[1:] {
+		if len(row) != len(csvHeader) {
+			return nil, fmt.Errorf("campaign: row %d has %d columns", i+1, len(row))
+		}
+		var c Cell
+		c.Pattern = row[0]
+		ints := map[int]*int{1: &c.Procs, 2: &c.Iterations, 3: &c.Nodes, 5: &c.Runs, 6: &c.Summary.N, 14: &c.DistinctStructures}
+		for col, dst := range ints {
+			v, err := strconv.Atoi(row[col])
+			if err != nil {
+				return nil, fmt.Errorf("campaign: row %d col %d: %w", i+1, col, err)
+			}
+			*dst = v
+		}
+		floats := map[int]*float64{
+			4: &c.NDPercent, 7: &c.Summary.Min, 8: &c.Summary.Q1, 9: &c.Summary.Median,
+			10: &c.Summary.Q3, 11: &c.Summary.Max, 12: &c.Summary.Mean, 13: &c.Summary.StdDev,
+		}
+		for col, dst := range floats {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: row %d col %d: %w", i+1, col, err)
+			}
+			*dst = v
+		}
+		if row[15] != "" {
+			c.Err = fmt.Errorf("%s", row[15])
+		}
+		res.Cells = append(res.Cells, c)
+	}
+	return res, nil
+}
+
+// WriteMarkdown renders the campaign as a table.
+func (r *Result) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Campaign (%s kernel, %d cells)\n\n", r.KernelName, len(r.Cells))
+	b.WriteString("| pattern | procs | iters | nodes | nd% | median | mean | max | structures |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|\n")
+	for _, c := range r.Cells {
+		if c.Err != nil {
+			fmt.Fprintf(&b, "| %s | %d | %d | %d | %.0f | ERROR: %v | | | |\n",
+				c.Pattern, c.Procs, c.Iterations, c.Nodes, c.NDPercent, c.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "| %s | %d | %d | %d | %.0f | %.4g | %.4g | %.4g | %d/%d |\n",
+			c.Pattern, c.Procs, c.Iterations, c.Nodes, c.NDPercent,
+			c.Summary.Median, c.Summary.Mean, c.Summary.Max, c.DistinctStructures, c.Runs)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,148 @@
+package campaign
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/anacin-go/anacinx/internal/kernel"
+)
+
+func smallGrid() Grid {
+	return Grid{
+		Patterns:   []string{"message_race", "ring_halo"},
+		Procs:      []int{4, 6},
+		NDPercents: []float64{0, 100},
+		Runs:       4,
+	}
+}
+
+func TestGridDefaults(t *testing.T) {
+	var g Grid
+	q := g.withDefaults()
+	if len(q.Patterns) != 3 || q.Runs != 10 || q.Kernel == nil {
+		t.Errorf("defaults wrong: %+v", q)
+	}
+	if g.Cells() != 3*1*1*1*3 {
+		t.Errorf("default Cells = %d", g.Cells())
+	}
+	sg := smallGrid()
+	if sg.Cells() != 2*2*1*1*2 {
+		t.Errorf("small Cells = %d", sg.Cells())
+	}
+}
+
+func TestRunGrid(t *testing.T) {
+	res, err := Run(smallGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 8 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	if len(res.Failed()) != 0 {
+		t.Fatalf("failed cells: %+v", res.Failed())
+	}
+	// Sorted deterministically.
+	for i := 1; i < len(res.Cells); i++ {
+		if res.Cells[i-1].key() > res.Cells[i].key() {
+			t.Fatal("cells not sorted")
+		}
+	}
+	// Semantics: 0% ND always 1 structure and zero distance;
+	// ring_halo everywhere deterministic; message_race at 100% racy.
+	for _, c := range res.Cells {
+		if c.NDPercent == 0 || c.Pattern == "ring_halo" {
+			if c.Summary.Max != 0 || c.DistinctStructures != 1 {
+				t.Errorf("cell %+v should be deterministic", c)
+			}
+		}
+		if c.Pattern == "message_race" && c.NDPercent == 100 && c.Procs == 6 {
+			if c.DistinctStructures < 2 {
+				t.Errorf("100%% race shows no structural diversity: %+v", c)
+			}
+		}
+	}
+}
+
+func TestRunGridRecordsCellErrors(t *testing.T) {
+	g := smallGrid()
+	g.Patterns = []string{"message_race", "definitely_not_a_pattern"}
+	res, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := res.Failed()
+	if len(failed) != 4 { // 2 procs x 2 nd for the bad pattern
+		t.Fatalf("failed = %d", len(failed))
+	}
+	for _, c := range failed {
+		if c.Pattern != "definitely_not_a_pattern" || c.Err == nil {
+			t.Errorf("unexpected failure: %+v", c)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	res, err := Run(smallGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cells) != len(res.Cells) {
+		t.Fatalf("round trip lost cells: %d vs %d", len(got.Cells), len(res.Cells))
+	}
+	for i := range got.Cells {
+		a, b := res.Cells[i], got.Cells[i]
+		if a.Pattern != b.Pattern || a.Procs != b.Procs || a.NDPercent != b.NDPercent ||
+			a.Summary.Median != b.Summary.Median || a.DistinctStructures != b.DistinctStructures {
+			t.Errorf("cell %d mangled:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("not,a,campaign\n1,2,3\n")); err == nil {
+		t.Error("garbage header accepted")
+	}
+	head := strings.Join(csvHeader, ",")
+	if _, err := ReadCSV(strings.NewReader(head + "\nrace,notanint,1,1,0,4,6,0,0,0,0,0,0,0,1,\n")); err == nil {
+		t.Error("bad int accepted")
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	res, err := Run(Grid{Patterns: []string{"message_race"}, Procs: []int{4}, NDPercents: []float64{100}, Runs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# Campaign", "| pattern |", "message_race", "3/3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCustomKernel(t *testing.T) {
+	g := Grid{Patterns: []string{"message_race"}, Procs: []int{4}, NDPercents: []float64{0}, Runs: 3,
+		Kernel: kernel.VertexHistogram{}}
+	res, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KernelName != "vertex-hist" {
+		t.Errorf("kernel name %q", res.KernelName)
+	}
+}

@@ -1,0 +1,226 @@
+// Package core orchestrates the full ANACIN-X pipeline: configure a
+// communication-pattern workload, execute a sample of independent
+// simulated runs, build their event graphs, and reduce them to
+// kernel-distance samples and root-source rankings. The CLI, the course
+// module, the examples, and the figure-regeneration benchmarks are all
+// thin layers over this package.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/anacin-go/anacinx/internal/analysis"
+	"github.com/anacin-go/anacinx/internal/graph"
+	"github.com/anacin-go/anacinx/internal/kernel"
+	"github.com/anacin-go/anacinx/internal/patterns"
+	"github.com/anacin-go/anacinx/internal/sim"
+	"github.com/anacin-go/anacinx/internal/trace"
+)
+
+// Experiment describes one workload configuration and how many
+// independent runs to sample from it. Fields mirror the knobs the paper
+// exposes to students: pattern, processes, nodes, iterations, message
+// size, and the percentage of non-determinism.
+type Experiment struct {
+	// Pattern is a patterns registry key, e.g. "unstructured_mesh".
+	Pattern string
+	// Procs is the MPI process count.
+	Procs int
+	// Nodes is the compute-node count (>=1).
+	Nodes int
+	// Iterations is the communication-pattern iteration count.
+	Iterations int
+	// MsgSize is the per-message payload size in bytes.
+	MsgSize int
+	// NDPercent is the injected percentage of non-determinism (0..100).
+	NDPercent float64
+	// Runs is the number of independent executions to sample (the
+	// paper uses 20 per configuration).
+	Runs int
+	// BaseSeed seeds run i with BaseSeed + i.
+	BaseSeed int64
+	// TopologySeed fixes randomized topologies (unstructured mesh);
+	// it is shared by all runs of the experiment.
+	TopologySeed int64
+	// Degree is the unstructured-mesh out-degree (0 = default).
+	Degree int
+	// CaptureStacks records callstacks on every event; required for
+	// root-source analysis, skippable for pure distance measurements.
+	CaptureStacks bool
+	// Net optionally overrides the network model (zero = sim.DefaultNet).
+	Net sim.NetModel
+	// Replay optionally pins receives to a recorded schedule.
+	Replay *sim.Schedule
+}
+
+// DefaultExperiment returns the paper's base configuration for a
+// pattern: 20 runs, 1 iteration, 1-byte messages, 1 node, stacks on.
+func DefaultExperiment(pattern string, procs int, ndPercent float64) Experiment {
+	return Experiment{
+		Pattern:       pattern,
+		Procs:         procs,
+		Nodes:         1,
+		Iterations:    1,
+		MsgSize:       1,
+		NDPercent:     ndPercent,
+		Runs:          20,
+		BaseSeed:      1,
+		TopologySeed:  1,
+		CaptureStacks: true,
+	}
+}
+
+// params converts the experiment to pattern parameters.
+func (e *Experiment) params() patterns.Params {
+	return patterns.Params{
+		Procs:        e.Procs,
+		Iterations:   e.Iterations,
+		MsgSize:      e.MsgSize,
+		TopologySeed: e.TopologySeed,
+		Degree:       e.Degree,
+	}
+}
+
+// config builds the simulator configuration for run index i.
+func (e *Experiment) config(i int) sim.Config {
+	return sim.Config{
+		Procs:         e.Procs,
+		Nodes:         e.Nodes,
+		NDPercent:     e.NDPercent,
+		Seed:          e.BaseSeed + int64(i),
+		Net:           e.Net,
+		Replay:        e.Replay,
+		CaptureStacks: e.CaptureStacks,
+	}
+}
+
+// Validate checks the experiment without running it.
+func (e *Experiment) Validate() error {
+	if e.Runs < 1 {
+		return fmt.Errorf("core: Runs = %d, need >= 1", e.Runs)
+	}
+	pat, err := patterns.ByName(e.Pattern)
+	if err != nil {
+		return err
+	}
+	p := e.params()
+	if err := p.Validate(pat.MinProcs()); err != nil {
+		return err
+	}
+	// Build one program to surface pattern-level validation, and one
+	// config to surface simulator-level validation.
+	if _, err := pat.Program(p); err != nil {
+		return err
+	}
+	cfg := e.config(0)
+	probe := cfg
+	if _, _, err := sim.Run(probe, trace.Meta{}, func(r *sim.Rank) {}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// RunSet holds the sampled executions of one experiment.
+type RunSet struct {
+	Experiment Experiment
+	// Traces[i] is run i's trace (seed BaseSeed+i).
+	Traces []*trace.Trace
+	// Graphs[i] is run i's event graph.
+	Graphs []*graph.Graph
+	// Stats[i] summarizes run i's simulation.
+	Stats []*sim.Stats
+}
+
+// Execute runs the experiment's sample. Runs are independent, so they
+// execute concurrently across the machine's cores; results are indexed
+// by run number, so the output is identical regardless of scheduling.
+func (e Experiment) Execute() (*RunSet, error) {
+	pat, err := patterns.ByName(e.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	if e.Runs < 1 {
+		return nil, fmt.Errorf("core: Runs = %d, need >= 1", e.Runs)
+	}
+	program, err := pat.Program(e.params())
+	if err != nil {
+		return nil, err
+	}
+	adapted := sim.Adapt(program)
+	meta := trace.Meta{Pattern: e.Pattern, Iterations: e.Iterations, MsgSize: e.MsgSize}
+
+	rs := &RunSet{
+		Experiment: e,
+		Traces:     make([]*trace.Trace, e.Runs),
+		Graphs:     make([]*graph.Graph, e.Runs),
+		Stats:      make([]*sim.Stats, e.Runs),
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > e.Runs {
+		workers = e.Runs
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		next     = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				tr, stats, err := sim.Run(e.config(i), meta, adapted)
+				if err != nil {
+					errOnce.Do(func() { firstErr = fmt.Errorf("core: run %d: %w", i, err) })
+					continue
+				}
+				g, err := graph.FromTrace(tr)
+				if err != nil {
+					errOnce.Do(func() { firstErr = fmt.Errorf("core: run %d: %w", i, err) })
+					continue
+				}
+				rs.Traces[i], rs.Graphs[i], rs.Stats[i] = tr, g, stats
+			}
+		}()
+	}
+	for i := 0; i < e.Runs; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return rs, nil
+}
+
+// Distances returns the pairwise kernel-distance sample of the run
+// set's event graphs — the data behind one violin of Figs. 5–7.
+func (rs *RunSet) Distances(k kernel.Kernel) []float64 {
+	return kernel.PairwiseDistances(k, rs.Graphs)
+}
+
+// DistanceSummary summarizes the pairwise distances.
+func (rs *RunSet) DistanceSummary(k kernel.Kernel) analysis.Summary {
+	return analysis.Summarize(rs.Distances(k))
+}
+
+// RootSources runs the Fig. 8 analysis on the sample: the slice profile
+// and ranked receive callstacks of high-non-determinism regions.
+func (rs *RunSet) RootSources(k kernel.Kernel, slices int) (*analysis.SliceProfile, []analysis.CallstackFrequency, error) {
+	return analysis.IdentifyRootSources(k, rs.Graphs, slices)
+}
+
+// DistinctStructures reports how many distinct communication structures
+// (trace order hashes) the sample contains: 1 means every run matched
+// messages identically.
+func (rs *RunSet) DistinctStructures() int {
+	set := make(map[uint64]bool, len(rs.Traces))
+	for _, tr := range rs.Traces {
+		set[tr.OrderHash()] = true
+	}
+	return len(set)
+}

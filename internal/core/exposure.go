@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/anacin-go/anacinx/internal/patterns"
+	"github.com/anacin-go/anacinx/internal/sim"
+	"github.com/anacin-go/anacinx/internal/trace"
+)
+
+// Exposure search, in the spirit of the noise-injection work the paper
+// cites (Sato et al., PPoPP'17: expose subtle message races by
+// injecting noise): find the smallest injected-non-determinism
+// percentage at which an application's communication structure starts
+// to diverge from its deterministic (0%) structure. A low threshold
+// means a hair-trigger race; "never" means the workload's matching is
+// structurally immune (concrete-source receives).
+
+// ExposureResult reports an exposure search.
+type ExposureResult struct {
+	// Exposed is false when no tested level diverged (deterministic
+	// workload).
+	Exposed bool
+	// ThresholdND is the smallest ND% at which divergence was observed,
+	// within Resolution.
+	ThresholdND float64
+	// Resolution is the bisection tolerance in percentage points.
+	Resolution float64
+	// Probes is how many seeds were tried per level.
+	Probes int
+	// Levels lists every tested (nd, diverged) pair in test order.
+	Levels []ExposureLevel
+}
+
+// ExposureLevel is one probe batch of the search.
+type ExposureLevel struct {
+	ND       float64
+	Diverged bool
+}
+
+// ExposureSearch bisects the ND axis for the smallest percentage at
+// which any of `probes` seeds produces a communication structure
+// different from the experiment's 0% structure. Divergence probability
+// grows with ND%, so bisection converges to the practical threshold;
+// `resolution` (percentage points, >= 0.5 recommended) sets when to
+// stop. The experiment's Runs field is ignored.
+func (e Experiment) ExposureSearch(probes int, resolution float64) (*ExposureResult, error) {
+	if probes < 1 {
+		return nil, fmt.Errorf("core: ExposureSearch probes = %d, need >= 1", probes)
+	}
+	if resolution <= 0 {
+		return nil, fmt.Errorf("core: ExposureSearch resolution = %v, need > 0", resolution)
+	}
+	pat, err := patterns.ByName(e.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	program, err := pat.Program(e.params())
+	if err != nil {
+		return nil, err
+	}
+	adapted := sim.Adapt(program)
+
+	runOnce := func(nd float64, seed int64) (uint64, error) {
+		cfg := e.config(0)
+		cfg.NDPercent = nd
+		cfg.Seed = seed
+		cfg.CaptureStacks = false
+		tr, _, err := sim.Run(cfg, trace.Meta{Pattern: e.Pattern}, adapted)
+		if err != nil {
+			return 0, err
+		}
+		return tr.OrderHash(), nil
+	}
+
+	baseline, err := runOnce(0, e.BaseSeed)
+	if err != nil {
+		return nil, err
+	}
+	res := &ExposureResult{Resolution: resolution, Probes: probes}
+	diverges := func(nd float64) (bool, error) {
+		for p := 0; p < probes; p++ {
+			h, err := runOnce(nd, e.BaseSeed+int64(p))
+			if err != nil {
+				return false, err
+			}
+			if h != baseline {
+				res.Levels = append(res.Levels, ExposureLevel{ND: nd, Diverged: true})
+				return true, nil
+			}
+		}
+		res.Levels = append(res.Levels, ExposureLevel{ND: nd, Diverged: false})
+		return false, nil
+	}
+
+	top, err := diverges(100)
+	if err != nil {
+		return nil, err
+	}
+	if !top {
+		return res, nil // never exposed
+	}
+	lo, hi := 0.0, 100.0 // lo never diverged, hi diverged
+	for hi-lo > resolution {
+		mid := (lo + hi) / 2
+		d, err := diverges(mid)
+		if err != nil {
+			return nil, err
+		}
+		if d {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	res.Exposed = true
+	res.ThresholdND = hi
+	return res, nil
+}

@@ -1,0 +1,81 @@
+package core
+
+import "testing"
+
+func TestExposureSearchValidation(t *testing.T) {
+	e := DefaultExperiment("message_race", 6, 0)
+	if _, err := e.ExposureSearch(0, 1); err == nil {
+		t.Error("zero probes accepted")
+	}
+	if _, err := e.ExposureSearch(3, 0); err == nil {
+		t.Error("zero resolution accepted")
+	}
+	e.Pattern = "nope"
+	if _, err := e.ExposureSearch(3, 1); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}
+
+func TestExposureSearchFindsRacyThreshold(t *testing.T) {
+	// A wide message race exposes at low injection levels.
+	e := DefaultExperiment("message_race", 16, 0)
+	e.Iterations = 2
+	res, err := e.ExposureSearch(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exposed {
+		t.Fatal("racy workload never exposed")
+	}
+	if res.ThresholdND <= 0 || res.ThresholdND > 100 {
+		t.Errorf("threshold = %v", res.ThresholdND)
+	}
+	if res.ThresholdND > 50 {
+		t.Errorf("threshold %v suspiciously high for a 16-way race", res.ThresholdND)
+	}
+	if len(res.Levels) < 3 {
+		t.Errorf("bisection tested only %d levels", len(res.Levels))
+	}
+	// The reported threshold is consistent with the observations: some
+	// level at or above it diverged.
+	found := false
+	for _, l := range res.Levels {
+		if l.Diverged && l.ND <= res.ThresholdND+1e-9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("threshold %v unsupported by levels %+v", res.ThresholdND, res.Levels)
+	}
+}
+
+func TestExposureSearchDeterministicPatternNeverExposes(t *testing.T) {
+	e := DefaultExperiment("ring_halo", 8, 0)
+	e.Iterations = 3
+	res, err := e.ExposureSearch(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exposed {
+		t.Errorf("concrete-source pattern exposed at %v%%", res.ThresholdND)
+	}
+	// Only the 100% probe batch should have been tested.
+	if len(res.Levels) != 1 || res.Levels[0].ND != 100 || res.Levels[0].Diverged {
+		t.Errorf("levels = %+v", res.Levels)
+	}
+}
+
+func TestExposureSearchReproducible(t *testing.T) {
+	e := DefaultExperiment("amg2013", 8, 0)
+	a, err := e.ExposureSearch(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.ExposureSearch(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Exposed != b.Exposed || a.ThresholdND != b.ThresholdND {
+		t.Errorf("search not reproducible: %+v vs %+v", a, b)
+	}
+}

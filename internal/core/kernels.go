@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/anacin-go/anacinx/internal/kernel"
+)
+
+// ParseKernel resolves a kernel spec string from CLI flags and configs:
+//
+//	"wl2"          Weisfeiler-Lehman subtree, depth 2, directed (default)
+//	"wl0".."wl9"   other depths
+//	"wlu2"         undirected refinement
+//	"vertex"       vertex histogram
+//	"edge"         edge histogram
+//	"sp"           shortest-path kernel (depth-capped)
+func ParseKernel(spec string) (kernel.Kernel, error) {
+	switch spec {
+	case "", "wl", "default":
+		return kernel.NewWL(2), nil
+	case "vertex", "vertex-hist":
+		return kernel.VertexHistogram{}, nil
+	case "edge", "edge-hist":
+		return kernel.EdgeHistogram{}, nil
+	case "sp", "shortest-path":
+		return kernel.ShortestPath{}, nil
+	}
+	directed := true
+	rest := ""
+	switch {
+	case strings.HasPrefix(spec, "wlu"):
+		directed = false
+		rest = spec[3:]
+	case strings.HasPrefix(spec, "wl"):
+		rest = spec[2:]
+	default:
+		return nil, fmt.Errorf("core: unknown kernel %q (want wlN, wluN, vertex, edge)", spec)
+	}
+	h, err := strconv.Atoi(rest)
+	if err != nil || h < 0 || h > 9 {
+		return nil, fmt.Errorf("core: bad WL depth in %q", spec)
+	}
+	return kernel.WL{H: h, Directed: directed}, nil
+}
+
+// KernelSpecs lists the accepted kernel spec forms for help text.
+func KernelSpecs() string { return "wl<depth> (default wl2), wlu<depth>, vertex, edge, sp" }

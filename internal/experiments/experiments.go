@@ -1,0 +1,166 @@
+// Package experiments reproduces every figure of the paper's course
+// module, one runner per figure:
+//
+//	Fig 1   example event graph (message race, 3 processes)
+//	Fig 2   message-race event graph, 4 processes
+//	Fig 3   AMG2013 event graph, 2 processes
+//	Fig 4   two 100%-ND runs of one configuration differ (a/b)
+//	Fig 5   kernel-distance violins: 32 vs 16 processes (a/b)
+//	Fig 6   kernel-distance violins: 2 vs 1 iterations (a/b)
+//	Fig 7   kernel distance vs injected ND% (0..100 step 10)
+//	Fig 8   callstack frequencies in high-ND regions
+//
+// Tables I and II of the paper are curricular outlines, not
+// measurements; they are reproduced in docs/COURSE.md.
+//
+// Each runner returns a Result carrying the measured series, the
+// paper-shape checks (does the qualitative claim hold in this
+// reproduction?), and the artifact files written to Options.OutDir.
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/anacin-go/anacinx/internal/kernel"
+)
+
+// Options control where artifacts go and how large the workloads are.
+type Options struct {
+	// OutDir receives SVG/DOT artifacts; empty disables file output.
+	OutDir string
+	// Quick shrinks process and run counts (~8 procs, 6 runs) so the
+	// full suite executes in seconds — used by tests; benchmarks and
+	// the CLI default to the paper-scale configuration.
+	Quick bool
+	// Kernel overrides the graph kernel (nil = WL depth 2, the
+	// ANACIN-X default).
+	Kernel kernel.Kernel
+}
+
+func (o *Options) kernel() kernel.Kernel {
+	if o.Kernel != nil {
+		return o.Kernel
+	}
+	return kernel.NewWL(2)
+}
+
+// scale maps a paper-scale process count to the quick-mode equivalent.
+func (o *Options) scale(procs int) int {
+	if !o.Quick {
+		return procs
+	}
+	scaled := procs / 4
+	if scaled < 4 {
+		scaled = 4
+	}
+	return scaled
+}
+
+// runs returns the per-configuration sample size (paper: 20).
+func (o *Options) runs() int {
+	if o.Quick {
+		return 6
+	}
+	return 20
+}
+
+// alpha is the significance level the shape checks demand. Quick mode
+// uses tiny samples (6 runs → 15 pairs), which cannot reach
+// paper-scale significance, so the gate is loosened there; the
+// benchmarks run at paper scale with the strict level.
+func (o *Options) alpha() float64 {
+	if o.Quick {
+		return 0.2
+	}
+	return 0.01
+}
+
+// Check is one qualitative claim from the paper evaluated against this
+// reproduction's measurements.
+type Check struct {
+	// Name states the claim, e.g. "median distance grows with procs".
+	Name string
+	// OK reports whether the reproduction exhibits the claimed shape.
+	OK bool
+	// Detail carries the numbers behind the verdict.
+	Detail string
+}
+
+// Result is one figure's reproduction output.
+type Result struct {
+	// ID is the figure identifier, e.g. "fig5".
+	ID string
+	// Title is a human-readable description.
+	Title string
+	// Series holds printable data lines (the rows the paper plots).
+	Series []string
+	// Checks are the paper-shape verdicts.
+	Checks []Check
+	// Files lists artifacts written to OutDir.
+	Files []string
+}
+
+// Passed reports whether every shape check held.
+func (r *Result) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// writeArtifact saves bytes under OutDir (if set) and records the path
+// in the result.
+func (r *Result) writeArtifact(o *Options, name string, render func(f *os.File) error) error {
+	if o.OutDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(o.OutDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(o.OutDir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return fmt.Errorf("experiments: render %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	r.Files = append(r.Files, path)
+	return nil
+}
+
+// Runner is a figure-reproduction entry point.
+type Runner func(o Options) (*Result, error)
+
+// All maps experiment IDs to their runners: the paper's eight figures
+// plus the two ablation studies.
+func All() map[string]Runner {
+	return map[string]Runner{
+		"fig1":        Fig1EventGraph,
+		"fig2":        Fig2MessageRace,
+		"fig3":        Fig3AMG,
+		"fig4":        Fig4NonDeterminism,
+		"fig5":        Fig5ProcessCount,
+		"fig6":        Fig6Iterations,
+		"fig7":        Fig7NDSweep,
+		"fig8":        Fig8Callstacks,
+		"abl-kernels": AblationKernels,
+		"abl-replay":  AblationReplay,
+		"abl-expose":  AblationExposure,
+	}
+}
+
+// IDs returns the experiment ids in presentation order (figures first,
+// then ablations).
+func IDs() []string {
+	return []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"abl-kernels", "abl-replay", "abl-expose"}
+}

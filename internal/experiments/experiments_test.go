@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/anacin-go/anacinx/internal/kernel"
+)
+
+func TestAllCoversEveryID(t *testing.T) {
+	runners := All()
+	ids := IDs()
+	if len(runners) != len(ids) {
+		t.Fatalf("%d runners for %d ids", len(runners), len(ids))
+	}
+	for _, id := range ids {
+		if runners[id] == nil {
+			t.Errorf("no runner for %s", id)
+		}
+	}
+}
+
+// TestEveryFigureQuick executes each figure in quick mode, asserts every
+// paper-shape check passes, and verifies the artifacts land on disk.
+func TestEveryFigureQuick(t *testing.T) {
+	outDir := t.TempDir()
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := All()[id](Options{Quick: true, OutDir: outDir})
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if res.ID != id {
+				t.Errorf("result ID %q", res.ID)
+			}
+			if res.Title == "" || len(res.Series) == 0 {
+				t.Error("missing title or series")
+			}
+			for _, c := range res.Checks {
+				if !c.OK {
+					t.Errorf("shape check failed: %s (%s)", c.Name, c.Detail)
+				}
+			}
+			if !res.Passed() {
+				t.Error("Passed() = false")
+			}
+			if strings.HasPrefix(id, "fig") && len(res.Files) == 0 {
+				t.Error("no artifacts written")
+			}
+			for _, f := range res.Files {
+				info, err := os.Stat(f)
+				if err != nil || info.Size() == 0 {
+					t.Errorf("artifact %s missing or empty: %v", f, err)
+				}
+				if dir := filepath.Dir(f); dir != outDir {
+					t.Errorf("artifact %s escaped OutDir", f)
+				}
+			}
+		})
+	}
+}
+
+func TestNoOutDirWritesNothing(t *testing.T) {
+	res, err := Fig2MessageRace(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != 0 {
+		t.Errorf("files written without OutDir: %v", res.Files)
+	}
+}
+
+func TestKernelOverride(t *testing.T) {
+	// The process-count relation must survive a deeper WL kernel.
+	res, err := Fig5ProcessCount(Options{Quick: true, Kernel: kernel.NewWL(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Errorf("WL-3 kernel broke the Fig 5 shape: %+v", res.Checks)
+	}
+	// The edge-histogram baseline, by contrast, is blind to pure
+	// match-order changes: both settings measure ~zero. This is the
+	// ablation argument for WL depth >= 2.
+	res, err = Fig5ProcessCount(Options{Quick: true, Kernel: kernel.EdgeHistogram{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed() {
+		t.Log("edge histogram unexpectedly separated the settings (harmless, but surprising)")
+	}
+}
+
+func TestFig7SettingsShape(t *testing.T) {
+	quick := Options{Quick: true}
+	procs, levels := Fig7Settings(&quick)
+	if procs < 4 || len(levels) < 3 {
+		t.Errorf("quick settings %d procs, %d levels", procs, len(levels))
+	}
+	full := Options{}
+	procs, levels = Fig7Settings(&full)
+	if procs != 32 || len(levels) != 11 || levels[0] != 0 || levels[10] != 100 {
+		t.Errorf("paper settings wrong: %d procs, levels %v", procs, levels)
+	}
+}
+
+func TestResultPassed(t *testing.T) {
+	r := &Result{Checks: []Check{{OK: true}, {OK: true}}}
+	if !r.Passed() {
+		t.Error("all-OK result not passed")
+	}
+	r.Checks = append(r.Checks, Check{OK: false})
+	if r.Passed() {
+		t.Error("failed check ignored")
+	}
+	empty := &Result{}
+	if !empty.Passed() {
+		t.Error("no checks should pass vacuously")
+	}
+}
+
+func TestFig4SeriesMentionOrderHashes(t *testing.T) {
+	res, err := Fig4NonDeterminism(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(res.Series, "\n")
+	if !strings.Contains(joined, "order hashes") {
+		t.Errorf("fig4 series missing order hashes:\n%s", joined)
+	}
+}

@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"github.com/anacin-go/anacinx/internal/analysis"
+	"github.com/anacin-go/anacinx/internal/core"
+	"github.com/anacin-go/anacinx/internal/viz"
+)
+
+// Figures 5–8: the quantitative experiments. Paper-scale settings run
+// 20 executions per configuration on up to 32 simulated processes;
+// Quick mode shrinks both so the full suite stays test-sized.
+
+// sample executes one configuration and returns its pairwise
+// kernel-distance sample plus the run set.
+func sample(o *Options, pattern string, procs, iterations int, nd float64) (*core.RunSet, []float64, error) {
+	e := core.DefaultExperiment(pattern, procs, nd)
+	e.Iterations = iterations
+	e.Runs = o.runs()
+	rs, err := e.Execute()
+	if err != nil {
+		return nil, nil, err
+	}
+	return rs, rs.Distances(o.kernel()), nil
+}
+
+// violinSeries formats one configuration's sample as a printable row.
+func violinSeries(label string, dists []float64) string {
+	s := analysis.Summarize(dists)
+	return fmt.Sprintf("%-16s %s", label, s.String())
+}
+
+// Fig5ProcessCount reproduces Figure 5: kernel distances of 20
+// executions of the unstructured mesh on 32 vs 16 processes at 100%
+// non-determinism. The paper's claim (Goal B.1): more processes, more
+// non-determinism.
+func Fig5ProcessCount(o Options) (*Result, error) {
+	big, small := o.scale(32), o.scale(16)
+	if big == small { // quick-mode floor collision
+		big = small * 2
+	}
+	r := &Result{ID: "fig5", Title: fmt.Sprintf(
+		"Kernel distances, unstructured mesh, %d vs %d processes (100%% ND, %d runs)", big, small, o.runs())}
+
+	_, dBig, err := sample(&o, "unstructured_mesh", big, 1, 100)
+	if err != nil {
+		return nil, err
+	}
+	_, dSmall, err := sample(&o, "unstructured_mesh", small, 1, 100)
+	if err != nil {
+		return nil, err
+	}
+	sBig, sSmall := analysis.Summarize(dBig), analysis.Summarize(dSmall)
+	r.Series = append(r.Series,
+		violinSeries(fmt.Sprintf("(a) %d procs", big), dBig),
+		violinSeries(fmt.Sprintf("(b) %d procs", small), dSmall),
+	)
+	mw, err := analysis.MannWhitney(dBig, dSmall)
+	if err != nil {
+		return nil, err
+	}
+	r.Checks = append(r.Checks, Check{
+		Name: "number of processes and amount of non-determinism are directly related",
+		OK:   sBig.Median > sSmall.Median && mw.Z > 0 && mw.P < o.alpha(),
+		Detail: fmt.Sprintf("median(%d procs)=%.4g vs median(%d procs)=%.4g (Mann-Whitney p=%.2g, effect=%.2f)",
+			big, sBig.Median, small, sSmall.Median, mw.P, mw.CommonLanguage),
+	})
+	if err := r.writeArtifact(&o, "fig5_process_count.svg", func(f *os.File) error {
+		return viz.ViolinPlotSVG(f, []viz.ViolinGroup{
+			{Label: fmt.Sprintf("%d procs", big), Violin: analysis.NewViolin(dBig, 128)},
+			{Label: fmt.Sprintf("%d procs", small), Violin: analysis.NewViolin(dSmall, 128)},
+		}, r.Title, "kernel distance")
+	}); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Fig6Iterations reproduces Figure 6: kernel distances of the
+// unstructured mesh on 16 processes with 2 vs 1 communication-pattern
+// iterations at 100% non-determinism. The paper's claim (Goal B.2):
+// more iterations accumulate more non-determinism.
+func Fig6Iterations(o Options) (*Result, error) {
+	procs := o.scale(16)
+	r := &Result{ID: "fig6", Title: fmt.Sprintf(
+		"Kernel distances, unstructured mesh, 2 vs 1 iterations (%d procs, 100%% ND, %d runs)", procs, o.runs())}
+
+	_, dTwo, err := sample(&o, "unstructured_mesh", procs, 2, 100)
+	if err != nil {
+		return nil, err
+	}
+	_, dOne, err := sample(&o, "unstructured_mesh", procs, 1, 100)
+	if err != nil {
+		return nil, err
+	}
+	sTwo, sOne := analysis.Summarize(dTwo), analysis.Summarize(dOne)
+	r.Series = append(r.Series,
+		violinSeries("(a) 2 iterations", dTwo),
+		violinSeries("(b) 1 iteration", dOne),
+	)
+	mw, err := analysis.MannWhitney(dTwo, dOne)
+	if err != nil {
+		return nil, err
+	}
+	r.Checks = append(r.Checks, Check{
+		Name: "iterations accumulate non-determinism",
+		OK:   sTwo.Median > sOne.Median && mw.Z > 0 && mw.P < o.alpha(),
+		Detail: fmt.Sprintf("median(2 iters)=%.4g vs median(1 iter)=%.4g (Mann-Whitney p=%.2g, effect=%.2f)",
+			sTwo.Median, sOne.Median, mw.P, mw.CommonLanguage),
+	})
+	if err := r.writeArtifact(&o, "fig6_iterations.svg", func(f *os.File) error {
+		return viz.ViolinPlotSVG(f, []viz.ViolinGroup{
+			{Label: "2 iterations", Violin: analysis.NewViolin(dTwo, 128)},
+			{Label: "1 iteration", Violin: analysis.NewViolin(dOne, 128)},
+		}, r.Title, "kernel distance")
+	}); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Fig7Settings returns the ND sweep used by Figure 7 (and Figure 8's
+// workload): percentages 0..100 in steps of 10 at paper scale, a
+// coarser sweep in quick mode.
+func Fig7Settings(o *Options) (procs int, ndLevels []float64) {
+	procs = o.scale(32)
+	if o.Quick {
+		return procs, []float64{0, 25, 50, 75, 100}
+	}
+	for nd := 0.0; nd <= 100; nd += 10 {
+		ndLevels = append(ndLevels, nd)
+	}
+	return procs, ndLevels
+}
+
+// Fig7NDSweep reproduces Figure 7: the measured (un-normalized) kernel
+// distance of AMG2013 against the injected percentage of
+// non-determinism, 0%..100%, on 32 processes, 1 node, 1 iteration,
+// 1-byte messages, 20 runs per setting. The paper's claim (Goal C.1):
+// the root-source knob directly controls the measured amount of
+// non-determinism.
+func Fig7NDSweep(o Options) (*Result, error) {
+	procs, ndLevels := Fig7Settings(&o)
+	r := &Result{ID: "fig7", Title: fmt.Sprintf(
+		"Kernel distance vs %% non-determinism, AMG2013, %d procs, %d runs/setting", procs, o.runs())}
+
+	medians := make([]float64, len(ndLevels))
+	groups := make([]viz.ViolinGroup, len(ndLevels))
+	for i, nd := range ndLevels {
+		_, dists, err := sample(&o, "amg2013", procs, 1, nd)
+		if err != nil {
+			return nil, err
+		}
+		s := analysis.Summarize(dists)
+		medians[i] = s.Median
+		label := fmt.Sprintf("%.0f%%", nd)
+		r.Series = append(r.Series, violinSeries(label, dists))
+		groups[i] = viz.ViolinGroup{Label: label, Violin: analysis.NewViolin(dists, 128)}
+	}
+
+	zeroOK := medians[0] == 0
+	endOK := medians[len(medians)-1] > 0
+	// Trend: the sweep should rise overall (a saturating curve is
+	// fine); require the endpoint to sit near the maximum and a
+	// significantly positive Kendall rank correlation between injected
+	// and measured ND.
+	maxMedian := 0.0
+	for _, m := range medians {
+		if m > maxMedian {
+			maxMedian = m
+		}
+	}
+	trendOK := endOK && medians[len(medians)-1] >= 0.75*maxMedian
+	kt, err := analysis.Kendall(ndLevels, medians)
+	if err != nil {
+		return nil, err
+	}
+
+	r.Checks = append(r.Checks,
+		Check{
+			Name:   "0% injected ND measures zero kernel distance",
+			OK:     zeroOK,
+			Detail: fmt.Sprintf("median(0%%)=%.4g", medians[0]),
+		},
+		Check{
+			Name: "measured ND grows with injected ND (rising trend)",
+			OK:   trendOK && kt.Tau > 0 && kt.P < math.Max(o.alpha(), 0.05),
+			Detail: fmt.Sprintf("medians=%v Kendall tau=%.2f (p=%.2g, %d concordant / %d discordant)",
+				medians, kt.Tau, kt.P, kt.Concordant, kt.Discordant),
+		},
+	)
+	if err := r.writeArtifact(&o, "fig7_nd_sweep.svg", func(f *os.File) error {
+		return viz.ViolinPlotSVG(f, groups, r.Title, "kernel distance")
+	}); err != nil {
+		return nil, err
+	}
+	if err := r.writeArtifact(&o, "fig7_nd_trend.svg", func(f *os.File) error {
+		return viz.LinePlotSVG(f, []viz.Series{{Label: "median", X: ndLevels, Y: medians}},
+			r.Title, "injected non-determinism (%)", "median kernel distance")
+	}); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Fig8Callstacks reproduces Figure 8: the normalized relative frequency
+// of call-paths observed at receive events inside high-non-determinism
+// regions of logical time, for the same AMG2013 workload as Figure 7 at
+// 100% injected non-determinism. The paper's claim (Goal C.2): the
+// call-paths surfaced this way point at the root sources — here,
+// AMG2013's wildcard-receive function.
+func Fig8Callstacks(o Options) (*Result, error) {
+	procs, _ := Fig7Settings(&o)
+	r := &Result{ID: "fig8", Title: fmt.Sprintf(
+		"Callstack frequencies in high-ND regions, AMG2013, %d procs, 100%% ND, %d runs", procs, o.runs())}
+
+	rs, _, err := sample(&o, "amg2013", procs, 1, 100)
+	if err != nil {
+		return nil, err
+	}
+	slices := 8
+	profile, ranked, err := rs.RootSources(o.kernel(), slices)
+	if err != nil {
+		return nil, err
+	}
+	for s, d := range profile.MeanDistance {
+		r.Series = append(r.Series, fmt.Sprintf("slice %d: mean distance %.4g (max %.4g)", s, d, profile.MaxDistance[s]))
+	}
+	for _, cf := range ranked {
+		r.Series = append(r.Series, fmt.Sprintf("%.3f (n=%d) %s", cf.Frequency, cf.Count, cf.Callstack))
+	}
+	topNamesGather := len(ranked) > 0 && containsFrame(ranked[0].Callstack, "gatherWork")
+	r.Checks = append(r.Checks, Check{
+		Name:   "top-ranked call-path is the wildcard receive (AMG2013.gatherWork)",
+		OK:     topNamesGather,
+		Detail: topDetail(ranked),
+	})
+	if len(ranked) > 0 {
+		if err := r.writeArtifact(&o, "fig8_callstacks.svg", func(f *os.File) error {
+			return viz.BarChartSVG(f, ranked, r.Title)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+func containsFrame(callstack, frame string) bool {
+	return strings.Contains(callstack, frame)
+}
+
+func topDetail(ranked []analysis.CallstackFrequency) string {
+	if len(ranked) == 0 {
+		return "no callstacks ranked"
+	}
+	return "top: " + ranked[0].Callstack
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteMarkdownReport(t *testing.T) {
+	results := []*Result{
+		{
+			ID:     "fig5",
+			Title:  "process count",
+			Series: []string{"32 procs med=10.9", "16 procs med=7.5"},
+			Checks: []Check{{Name: "grows with procs", OK: true, Detail: "10.9 > 7.5"}},
+			Files:  []string{"out/fig5.svg"},
+		},
+		{
+			ID:     "fig7",
+			Title:  "nd sweep",
+			Checks: []Check{{Name: "rising", OK: false, Detail: "flat"}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteMarkdownReport(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# Reproduction report",
+		"Checks passed: 1 / 2",
+		"## fig5 — process count",
+		"[PASS]", "[FAIL]",
+		"32 procs med=10.9",
+		"artifact: `out/fig5.svg`",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteMarkdownReportEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMarkdownReport(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0 / 0") {
+		t.Error("empty report lacks zero summary")
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/anacin-go/anacinx/internal/analysis"
+	"github.com/anacin-go/anacinx/internal/core"
+	"github.com/anacin-go/anacinx/internal/kernel"
+)
+
+// Seed-robustness meta-tests: the figure runners use committed seeds,
+// so a skeptic could ask whether the paper-shape claims hold only for
+// those. These tests re-draw the run samples from several unrelated
+// seed bases and require the qualitative orderings to hold every time.
+
+// medianAt samples a configuration from the given seed base and returns
+// the median pairwise WL-2 distance.
+func medianAt(t *testing.T, pattern string, procs, iters int, nd float64, baseSeed int64, runs int) float64 {
+	t.Helper()
+	e := core.DefaultExperiment(pattern, procs, nd)
+	e.Iterations = iters
+	e.Runs = runs
+	e.BaseSeed = baseSeed
+	e.CaptureStacks = false
+	rs, err := e.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analysis.Summarize(rs.Distances(kernel.NewWL(2))).Median
+}
+
+func TestFig5ShapeRobustAcrossSeeds(t *testing.T) {
+	for _, base := range []int64{1, 5000, 123456} {
+		big := medianAt(t, "unstructured_mesh", 12, 1, 100, base, 8)
+		small := medianAt(t, "unstructured_mesh", 6, 1, 100, base, 8)
+		if big <= small {
+			t.Errorf("seed base %d: median(12p)=%v not above median(6p)=%v", base, big, small)
+		}
+	}
+}
+
+func TestFig6ShapeRobustAcrossSeeds(t *testing.T) {
+	for _, base := range []int64{1, 5000, 123456} {
+		two := medianAt(t, "unstructured_mesh", 8, 2, 100, base, 8)
+		one := medianAt(t, "unstructured_mesh", 8, 1, 100, base, 8)
+		if two <= one {
+			t.Errorf("seed base %d: median(2 iters)=%v not above median(1 iter)=%v", base, two, one)
+		}
+	}
+}
+
+func TestFig7AnchorsRobustAcrossSeeds(t *testing.T) {
+	for _, base := range []int64{1, 5000, 123456} {
+		zero := medianAt(t, "amg2013", 8, 1, 0, base, 6)
+		full := medianAt(t, "amg2013", 8, 1, 100, base, 6)
+		if zero != 0 {
+			t.Errorf("seed base %d: median at 0%% ND = %v", base, zero)
+		}
+		if full <= 0 {
+			t.Errorf("seed base %d: median at 100%% ND = %v", base, full)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"fmt"
+
+	"github.com/anacin-go/anacinx/internal/vtime"
+)
+
+// Critical-path analysis: the longest chain of causally ordered events,
+// weighted by virtual time. In a message-passing execution the critical
+// path is the sequence of computation and communication that determined
+// the total runtime; everything off it had slack. The course module
+// uses it to show students *which* messages mattered — and how the
+// critical path itself changes between non-deterministic runs.
+
+// CriticalPath is the result of (*Graph).CriticalPath.
+type CriticalPath struct {
+	// Nodes lists the path's node ids in execution order.
+	Nodes []NodeID
+	// Elapsed is the virtual time spanned by the path (the time of its
+	// last event).
+	Elapsed vtime.Time
+	// MessageHops counts the message edges traversed.
+	MessageHops int
+}
+
+// CriticalPath returns the heaviest causal chain through the event
+// graph: the path ending at the latest event, followed backwards
+// through the predecessor (program or message) whose own completion
+// time is largest. The graph must be sealed and causally valid.
+func (g *Graph) CriticalPath() (*CriticalPath, error) {
+	if g.Out == nil || g.In == nil {
+		return nil, fmt.Errorf("graph: not sealed")
+	}
+	cp := &CriticalPath{}
+	if len(g.Nodes) == 0 {
+		return cp, nil
+	}
+	// Find the globally latest event (ties: larger node id, i.e. the
+	// later rank/seq in the deterministic node order).
+	end := NodeID(0)
+	for i := range g.Nodes {
+		if g.Nodes[i].Time >= g.Nodes[end].Time {
+			end = NodeID(i)
+		}
+	}
+	cp.Elapsed = g.Nodes[end].Time
+
+	// Walk backwards greedily: among in-neighbors pick the one with the
+	// latest completion time (the binding dependency). Event graphs are
+	// DAGs in Lamport order, so this terminates.
+	var rev []NodeID
+	cur := end
+	for {
+		rev = append(rev, cur)
+		if len(rev) > len(g.Nodes) {
+			return nil, fmt.Errorf("graph: critical path longer than node count; cycle?")
+		}
+		var best NodeID = None
+		var bestEdge EdgeKind
+		for _, ei := range g.In[cur] {
+			e := &g.Edges[ei]
+			from := e.From
+			if best == None || g.Nodes[from].Time > g.Nodes[best].Time ||
+				(g.Nodes[from].Time == g.Nodes[best].Time && from > best) {
+				best = from
+				bestEdge = e.Kind
+			}
+		}
+		if best == None {
+			break
+		}
+		if bestEdge == EdgeMessage {
+			cp.MessageHops++
+		}
+		cur = best
+	}
+	// Reverse into execution order.
+	cp.Nodes = make([]NodeID, len(rev))
+	for i, id := range rev {
+		cp.Nodes[len(rev)-1-i] = id
+	}
+	return cp, nil
+}
+
+// Describe renders the path as "rank#seq kind" hops, for course output.
+func (cp *CriticalPath) Describe(g *Graph) []string {
+	out := make([]string, len(cp.Nodes))
+	for i, id := range cp.Nodes {
+		n := &g.Nodes[id]
+		out[i] = fmt.Sprintf("%d#%d %s@%v", n.Rank, n.Seq, n.Label, n.Time)
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/anacin-go/anacinx/internal/sim"
+	"github.com/anacin-go/anacinx/internal/trace"
+	"github.com/anacin-go/anacinx/internal/vtime"
+)
+
+func TestCriticalPathEmptyAndUnsealed(t *testing.T) {
+	g := &Graph{}
+	if _, err := g.CriticalPath(); err == nil {
+		t.Error("unsealed graph accepted")
+	}
+	g.Seal()
+	cp, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Nodes) != 0 || cp.Elapsed != 0 {
+		t.Errorf("empty graph path: %+v", cp)
+	}
+}
+
+func TestCriticalPathThroughMessage(t *testing.T) {
+	// Rank 0 computes 1ms then sends to rank 1; rank 1's recv (and
+	// finalize) dominate the runtime, so the critical path must cross
+	// the message edge and start on rank 0.
+	cfg := sim.DefaultConfig(2, 1)
+	tr, _, err := sim.Run(cfg, trace.Meta{}, func(r *sim.Rank) {
+		if r.Rank() == 0 {
+			r.Compute(vtime.Millisecond)
+			r.Send(1, 0, nil)
+		} else {
+			r.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := FromTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.MessageHops != 1 {
+		t.Errorf("MessageHops = %d, want 1", cp.MessageHops)
+	}
+	if len(cp.Nodes) < 3 {
+		t.Fatalf("path too short: %v", cp.Nodes)
+	}
+	// The path must start at rank 0's init and end at rank 1's final
+	// event (the late receiver side).
+	first, last := g.Nodes[cp.Nodes[0]], g.Nodes[cp.Nodes[len(cp.Nodes)-1]]
+	if first.Rank != 0 || first.Seq != 0 {
+		t.Errorf("path starts at rank %d seq %d", first.Rank, first.Seq)
+	}
+	if last.Rank != 1 {
+		t.Errorf("path ends on rank %d, want 1", last.Rank)
+	}
+	if cp.Elapsed < vtime.Time(vtime.Millisecond) {
+		t.Errorf("Elapsed = %v, want >= 1ms", cp.Elapsed)
+	}
+	// Times along the path are non-decreasing.
+	for i := 1; i < len(cp.Nodes); i++ {
+		if g.Nodes[cp.Nodes[i]].Time < g.Nodes[cp.Nodes[i-1]].Time {
+			t.Fatal("path times regress")
+		}
+	}
+}
+
+func TestCriticalPathDescribe(t *testing.T) {
+	g := mustGraph(t, raceTrace(t, 3, 0, 1))
+	cp, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := cp.Describe(g)
+	if len(lines) != len(cp.Nodes) {
+		t.Fatalf("describe length %d vs %d", len(lines), len(cp.Nodes))
+	}
+	if !strings.Contains(lines[len(lines)-1], "finalize") {
+		t.Errorf("last hop %q is not a finalize", lines[len(lines)-1])
+	}
+}
+
+func TestCriticalPathChangesAcrossNDRuns(t *testing.T) {
+	// At 100% ND different runs can have different critical paths; at
+	// least the path is always well-formed.
+	for seed := int64(0); seed < 5; seed++ {
+		g := mustGraph(t, raceTrace(t, 5, 100, seed))
+		cp, err := g.CriticalPath()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cp.Nodes) == 0 || cp.Elapsed <= 0 {
+			t.Fatalf("seed %d: degenerate path %+v", seed, cp)
+		}
+	}
+}

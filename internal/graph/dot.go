@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteDOT emits the graph in Graphviz DOT form, laid out the way the
+// paper draws event graphs: one horizontal row per rank (enforced with
+// rank=same groups), program edges solid, message edges dashed.
+// Node fill colors follow the paper's legend: green for process
+// start/end, blue for sends, red for receives, grey otherwise.
+func (g *Graph) WriteDOT(w io.Writer, title string) error {
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	pf("digraph %q {\n", title)
+	pf("  rankdir=LR;\n  node [shape=circle, style=filled, fontsize=10];\n")
+
+	byRank := make(map[int][]NodeID)
+	for i := range g.Nodes {
+		byRank[g.Nodes[i].Rank] = append(byRank[g.Nodes[i].Rank], NodeID(i))
+	}
+	ranks := make([]int, 0, len(byRank))
+	for r := range byRank {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+
+	for _, r := range ranks {
+		pf("  { rank=same;")
+		for _, id := range byRank[r] {
+			pf(" n%d;", id)
+		}
+		pf(" }\n")
+		for _, id := range byRank[r] {
+			n := &g.Nodes[id]
+			pf("  n%d [label=%q, fillcolor=%q];\n", id, n.Label, dotColor(n))
+		}
+	}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		style := "solid"
+		if e.Kind == EdgeMessage {
+			style = "dashed"
+		}
+		pf("  n%d -> n%d [style=%s];\n", e.From, e.To, style)
+	}
+	pf("}\n")
+	return err
+}
+
+func dotColor(n *Node) string {
+	switch {
+	case n.Kind.IsSend():
+		return "#7aa6ff" // blue: send
+	case n.Kind.IsReceive():
+		return "#ff8d7a" // red: receive
+	case n.Kind.IsCollective():
+		return "#c9a6ff" // violet: collective
+	default:
+		return "#8fd68f" // green: init/finalize (process start/end)
+	}
+}

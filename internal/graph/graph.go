@@ -1,0 +1,261 @@
+// Package graph builds and manipulates event graphs: the graph model of
+// an MPI communication pattern at the heart of ANACIN-X.
+//
+// An event graph has one node per traced MPI event. Edges are of two
+// kinds: program edges link consecutive events on one rank (logical
+// time within a process), and message edges link each send event to the
+// receive event that consumed its message. Figure 1 of the paper shows
+// exactly this structure; the graph-kernel distance between two runs'
+// event graphs is the paper's proxy metric for non-determinism.
+package graph
+
+import (
+	"fmt"
+
+	"github.com/anacin-go/anacinx/internal/trace"
+	"github.com/anacin-go/anacinx/internal/vtime"
+)
+
+// NodeID indexes a node within its Graph.
+type NodeID int32
+
+// None marks the absence of a node reference.
+const None NodeID = -1
+
+// EdgeKind distinguishes the two edge classes of an event graph.
+type EdgeKind uint8
+
+const (
+	// EdgeProgram links consecutive events on the same rank.
+	EdgeProgram EdgeKind = iota
+	// EdgeMessage links a send event to its matched receive event.
+	EdgeMessage
+)
+
+// String names the edge kind.
+func (k EdgeKind) String() string {
+	if k == EdgeProgram {
+		return "program"
+	}
+	return "message"
+}
+
+// Node is one event-graph vertex.
+type Node struct {
+	ID   NodeID
+	Rank int
+	// Seq is the event's position in its rank's stream of the source
+	// trace (or of the parent graph, for sliced subgraphs).
+	Seq  int
+	Kind trace.EventKind
+	// Label is the kernel label, the MPI operation name.
+	Label string
+	// Lamport is the event's logical timestamp.
+	Lamport int64
+	// Time is the event's virtual timestamp.
+	Time vtime.Time
+	// CallstackKey is the ";"-joined application call-path that issued
+	// the event (see trace.Event.CallstackKey).
+	CallstackKey string
+}
+
+// Edge is one directed event-graph edge.
+type Edge struct {
+	From, To NodeID
+	Kind     EdgeKind
+}
+
+// Graph is a directed event graph with adjacency in both directions.
+// Construct with FromTrace or Builder; a manually assembled Graph must
+// be finished with Seal before use.
+type Graph struct {
+	Nodes []Node
+	Edges []Edge
+	// Out and In are adjacency lists indexed by NodeID, populated by
+	// Seal, listing edge indices.
+	Out [][]int32
+	In  [][]int32
+	// Meta describes the run this graph models (zero for synthetic
+	// graphs).
+	Meta trace.Meta
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.Nodes) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// MessageEdges returns how many edges are message edges.
+func (g *Graph) MessageEdges() int {
+	n := 0
+	for i := range g.Edges {
+		if g.Edges[i].Kind == EdgeMessage {
+			n++
+		}
+	}
+	return n
+}
+
+// Ranks returns the number of distinct ranks among the nodes.
+func (g *Graph) Ranks() int {
+	max := -1
+	for i := range g.Nodes {
+		if g.Nodes[i].Rank > max {
+			max = g.Nodes[i].Rank
+		}
+	}
+	return max + 1
+}
+
+// Seal populates the adjacency lists from Edges. It must be called after
+// all nodes and edges are added and before neighbor queries.
+func (g *Graph) Seal() {
+	g.Out = make([][]int32, len(g.Nodes))
+	g.In = make([][]int32, len(g.Nodes))
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		g.Out[e.From] = append(g.Out[e.From], int32(i))
+		g.In[e.To] = append(g.In[e.To], int32(i))
+	}
+}
+
+// OutNeighbors appends the successor node ids of n to dst and returns it.
+func (g *Graph) OutNeighbors(n NodeID, dst []NodeID) []NodeID {
+	for _, ei := range g.Out[n] {
+		dst = append(dst, g.Edges[ei].To)
+	}
+	return dst
+}
+
+// InNeighbors appends the predecessor node ids of n to dst and returns it.
+func (g *Graph) InNeighbors(n NodeID, dst []NodeID) []NodeID {
+	for _, ei := range g.In[n] {
+		dst = append(dst, g.Edges[ei].From)
+	}
+	return dst
+}
+
+// Validate checks structural invariants:
+//   - edge endpoints are in range and adjacency is sealed;
+//   - node IDs are dense and self-describing;
+//   - message edges connect a send-capable node to a receive-capable one;
+//   - program edges connect consecutive events of one rank;
+//   - the graph is acyclic in Lamport order (every edge increases the
+//     Lamport timestamp), which any causally consistent execution must
+//     satisfy.
+func (g *Graph) Validate() error {
+	if g.Out == nil || g.In == nil {
+		return fmt.Errorf("graph: not sealed")
+	}
+	for i := range g.Nodes {
+		if g.Nodes[i].ID != NodeID(i) {
+			return fmt.Errorf("graph: node %d has ID %d", i, g.Nodes[i].ID)
+		}
+	}
+	n := NodeID(len(g.Nodes))
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			return fmt.Errorf("graph: edge %d endpoints (%d,%d) out of range", i, e.From, e.To)
+		}
+		from, to := &g.Nodes[e.From], &g.Nodes[e.To]
+		switch e.Kind {
+		case EdgeProgram:
+			if from.Rank != to.Rank {
+				return fmt.Errorf("graph: program edge %d crosses ranks %d→%d", i, from.Rank, to.Rank)
+			}
+			if to.Seq <= from.Seq {
+				return fmt.Errorf("graph: program edge %d goes backwards (%d→%d)", i, from.Seq, to.Seq)
+			}
+		case EdgeMessage:
+			if !from.Kind.IsSend() {
+				return fmt.Errorf("graph: message edge %d leaves non-send node %v", i, from.Kind)
+			}
+			if !to.Kind.IsReceive() {
+				return fmt.Errorf("graph: message edge %d enters non-receive node %v", i, to.Kind)
+			}
+		default:
+			return fmt.Errorf("graph: edge %d has unknown kind %d", i, e.Kind)
+		}
+		if to.Lamport <= from.Lamport {
+			return fmt.Errorf("graph: edge %d violates causality: lamport %d→%d", i, from.Lamport, to.Lamport)
+		}
+	}
+	return nil
+}
+
+// FromTrace builds the event graph of a validated trace. Nodes appear in
+// rank-major, sequence order; program edges follow each rank's stream;
+// message edges join each send to the receive that matched its message.
+func FromTrace(tr *trace.Trace) (*Graph, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: source trace invalid: %w", err)
+	}
+	g := &Graph{Meta: tr.Meta}
+	sendNode := make(map[int64]NodeID)
+	for _, evs := range tr.Events {
+		for i := range evs {
+			e := &evs[i]
+			id := NodeID(len(g.Nodes))
+			g.Nodes = append(g.Nodes, Node{
+				ID:           id,
+				Rank:         e.Rank,
+				Seq:          e.Seq,
+				Kind:         e.Kind,
+				Label:        e.Label(),
+				Lamport:      e.Lamport,
+				Time:         e.Time,
+				CallstackKey: e.CallstackKey(),
+			})
+			if i > 0 {
+				g.Edges = append(g.Edges, Edge{From: id - 1, To: id, Kind: EdgeProgram})
+			}
+			if e.MsgID != trace.NoMsg && e.Kind.IsSend() {
+				sendNode[e.MsgID] = id
+			}
+		}
+	}
+	// Second pass for message edges: a receive may precede its sender in
+	// rank-major order.
+	var id NodeID
+	for _, evs := range tr.Events {
+		for i := range evs {
+			e := &evs[i]
+			if e.MsgID != trace.NoMsg && e.Kind.IsReceive() {
+				from, ok := sendNode[e.MsgID]
+				if !ok {
+					return nil, fmt.Errorf("graph: recv of msg %d has no send", e.MsgID)
+				}
+				g.Edges = append(g.Edges, Edge{From: from, To: id, Kind: EdgeMessage})
+			}
+			id++
+		}
+	}
+	g.Seal()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// NodesOfRank returns the node ids of one rank, in sequence order.
+func (g *Graph) NodesOfRank(rank int) []NodeID {
+	var out []NodeID
+	for i := range g.Nodes {
+		if g.Nodes[i].Rank == rank {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// LabelCounts returns the multiset of node labels, the degree-0 kernel
+// feature vector.
+func (g *Graph) LabelCounts() map[string]int {
+	counts := make(map[string]int, 8)
+	for i := range g.Nodes {
+		counts[g.Nodes[i].Label]++
+	}
+	return counts
+}

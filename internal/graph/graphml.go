@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+)
+
+// GraphML export. ANACIN-X stores event graphs as GraphML for its
+// Python/GraKeL kernel stage; emitting the same format lets this
+// repository's graphs flow into those external tools (igraph, networkx,
+// Gephi) unchanged. Node attributes carry the kernel label, rank,
+// sequence, Lamport and virtual timestamps, and callstack; edge
+// attributes carry the edge kind.
+
+// WriteGraphML emits the graph as a GraphML document.
+func (g *Graph) WriteGraphML(w io.Writer, name string) error {
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	esc := func(s string) string {
+		var buf []byte
+		buf, _ = xmlEscape(s) //nolint:errcheck // cannot fail for valid UTF-8
+		return string(buf)
+	}
+	pf("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n")
+	pf(`<graphml xmlns="http://graphml.graphdrawing.org/xmlns">` + "\n")
+	for _, key := range []struct{ id, target, name, typ string }{
+		{"label", "node", "label", "string"},
+		{"rank", "node", "rank", "int"},
+		{"seq", "node", "seq", "int"},
+		{"lamport", "node", "lamport", "long"},
+		{"vtime", "node", "vtime_ns", "long"},
+		{"callstack", "node", "callstack", "string"},
+		{"kind", "edge", "kind", "string"},
+	} {
+		pf(`  <key id="%s" for="%s" attr.name="%s" attr.type="%s"/>`+"\n",
+			key.id, key.target, key.name, key.typ)
+	}
+	pf(`  <graph id="%s" edgedefault="directed">`+"\n", esc(name))
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		pf(`    <node id="n%d">`+"\n", i)
+		pf(`      <data key="label">%s</data>`+"\n", esc(n.Label))
+		pf(`      <data key="rank">%d</data>`+"\n", n.Rank)
+		pf(`      <data key="seq">%d</data>`+"\n", n.Seq)
+		pf(`      <data key="lamport">%d</data>`+"\n", n.Lamport)
+		pf(`      <data key="vtime">%d</data>`+"\n", int64(n.Time))
+		pf(`      <data key="callstack">%s</data>`+"\n", esc(n.CallstackKey))
+		pf("    </node>\n")
+	}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		pf(`    <edge id="e%d" source="n%d" target="n%d"><data key="kind">%s</data></edge>`+"\n",
+			i, e.From, e.To, e.Kind)
+	}
+	pf("  </graph>\n</graphml>\n")
+	return err
+}
+
+// xmlEscape escapes a string for XML character data.
+func xmlEscape(s string) ([]byte, error) {
+	var buf []byte
+	w := &sliceWriter{&buf}
+	if err := xml.EscapeText(w, []byte(s)); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+type sliceWriter struct{ buf *[]byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	*w.buf = append(*w.buf, p...)
+	return len(p), nil
+}

@@ -1,0 +1,91 @@
+package graph
+
+import "fmt"
+
+// Slicing partitions an event graph along logical time. The root-source
+// analysis (paper Fig. 8) compares corresponding slices of two runs'
+// event graphs: slices whose kernel distance is high are "regions of
+// high non-determinism", and the callstacks of events inside them point
+// at the code responsible.
+
+// SliceByLamport partitions g into `count` induced subgraphs of equal
+// Lamport width. A node with Lamport timestamp L falls into slice
+// min(count-1, (L-1)*count/maxLamport) — slice boundaries are identical
+// for two graphs with equal maxLamport, and near-identical otherwise,
+// which is what makes cross-run slice comparison meaningful.
+//
+// Edges are induced: an edge survives only if both endpoints land in the
+// same slice. Each subgraph keeps the parent's node metadata (rank,
+// label, callstack) with remapped dense IDs.
+func (g *Graph) SliceByLamport(count int) ([]*Graph, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("graph: slice count %d < 1", count)
+	}
+	maxL := int64(0)
+	for i := range g.Nodes {
+		if g.Nodes[i].Lamport > maxL {
+			maxL = g.Nodes[i].Lamport
+		}
+	}
+	slices := make([]*Graph, count)
+	for i := range slices {
+		slices[i] = &Graph{Meta: g.Meta}
+	}
+	if maxL == 0 {
+		for _, s := range slices {
+			s.Seal()
+		}
+		return slices, nil
+	}
+
+	sliceOf := func(lamport int64) int {
+		if lamport < 1 {
+			lamport = 1
+		}
+		k := int((lamport - 1) * int64(count) / maxL)
+		if k >= count {
+			k = count - 1
+		}
+		return k
+	}
+
+	remap := make([]NodeID, len(g.Nodes))
+	home := make([]int, len(g.Nodes))
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		k := sliceOf(n.Lamport)
+		home[i] = k
+		s := slices[k]
+		id := NodeID(len(s.Nodes))
+		remap[i] = id
+		cp := *n
+		cp.ID = id
+		s.Nodes = append(s.Nodes, cp)
+	}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		if home[e.From] != home[e.To] {
+			continue
+		}
+		s := slices[home[e.From]]
+		s.Edges = append(s.Edges, Edge{From: remap[e.From], To: remap[e.To], Kind: e.Kind})
+	}
+	for _, s := range slices {
+		s.Seal()
+	}
+	return slices, nil
+}
+
+// SliceCallstacks returns, for each receive-capable node in the slice,
+// its callstack key. These are the call-paths the root-source analysis
+// counts: receives are where message-matching non-determinism
+// materializes.
+func (g *Graph) SliceCallstacks() []string {
+	var out []string
+	for i := range g.Nodes {
+		if g.Nodes[i].Kind.IsReceive() {
+			out = append(out, g.Nodes[i].CallstackKey)
+		}
+	}
+	return out
+}

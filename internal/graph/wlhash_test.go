@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"testing"
+
+	"github.com/anacin-go/anacinx/internal/sim"
+	"github.com/anacin-go/anacinx/internal/trace"
+)
+
+func TestWLHashIdenticalRuns(t *testing.T) {
+	a := mustGraph(t, raceTrace(t, 4, 100, 9))
+	b := mustGraph(t, raceTrace(t, 4, 100, 9))
+	for _, h := range []int{0, 1, 2, 3} {
+		if !WLEquivalent(a, b, h) {
+			t.Errorf("identical runs not WL-%d equivalent", h)
+		}
+	}
+}
+
+func TestWLHashIsomorphicPermutation(t *testing.T) {
+	// A single-round symmetric message race: permuting which sender's
+	// message lands first is a graph automorphism, so two such runs
+	// with different match orders must hash EQUAL — the formal content
+	// of the Fig. 4 caveat documented in EXPERIMENTS.md.
+	var a, b *Graph
+	base := raceTrace(t, 4, 100, 1)
+	a = mustGraph(t, base)
+	for seed := int64(2); seed < 64; seed++ {
+		cand := raceTrace(t, 4, 100, seed)
+		if cand.OrderHash() != base.OrderHash() {
+			b = mustGraph(t, cand)
+			break
+		}
+	}
+	if b == nil {
+		t.Skip("no divergent seed found")
+	}
+	if !WLEquivalent(a, b, 3) {
+		t.Error("permuted symmetric race not WL-equivalent (expected isomorphic)")
+	}
+}
+
+func TestWLHashDistinguishesStructure(t *testing.T) {
+	// Different process counts are trivially non-isomorphic.
+	a := mustGraph(t, raceTrace(t, 4, 0, 1))
+	b := mustGraph(t, raceTrace(t, 5, 0, 1))
+	if WLEquivalent(a, b, 2) {
+		t.Error("4-proc and 5-proc races hash equal")
+	}
+	// An asymmetric workload's two ND runs differ structurally.
+	c := meshLikeGraph(t, 1)
+	d := meshLikeGraph(t, 2)
+	if WLEquivalent(c, d, 3) {
+		t.Skip("these two seeds happened to be isomorphic; informational only")
+	}
+}
+
+// meshLikeGraph builds a small asymmetric racing workload.
+func meshLikeGraph(t *testing.T, seed int64) *Graph {
+	t.Helper()
+	cfg := sim.DefaultConfig(6, seed)
+	cfg.NDPercent = 100
+	tr, _, err := sim.Run(cfg, trace.Meta{}, func(r *sim.Rank) {
+		p := r.Size()
+		for i := 0; i < 2; i++ {
+			r.SendSize((r.Rank()+1)%p, i, 1)
+			r.SendSize((r.Rank()+2)%p, i, 1)
+		}
+		for i := 0; i < 4; i++ {
+			r.Recv(sim.AnySource, sim.AnyTag)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mustGraph(t, tr)
+}
+
+func TestWLHashEmptyAndDepthZero(t *testing.T) {
+	empty := &Graph{}
+	empty.Seal()
+	if empty.WLHash(2) == mustGraph(t, raceTrace(t, 3, 0, 1)).WLHash(2) {
+		t.Error("empty graph hashes like a real one")
+	}
+	// Depth 0 is the label multiset: two runs of one config always
+	// agree there.
+	a := mustGraph(t, raceTrace(t, 4, 100, 1))
+	b := mustGraph(t, raceTrace(t, 4, 100, 2))
+	if !WLEquivalent(a, b, 0) {
+		t.Error("same config runs differ at depth 0 (label multiset)")
+	}
+}
+
+func TestNodeIDString(t *testing.T) {
+	if NodeID(7).String() != "7" {
+		t.Error("NodeID.String wrong")
+	}
+}

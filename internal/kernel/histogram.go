@@ -1,0 +1,45 @@
+package kernel
+
+import "github.com/anacin-go/anacinx/internal/graph"
+
+// VertexHistogram is the simplest graph kernel: the embedding is the
+// histogram of node labels. It sees only how many events of each MPI
+// kind occurred, not how they are wired, so it is blind to pure
+// match-order non-determinism — which makes it a useful ablation
+// baseline against WL (paper Fig. 7's shape should NOT survive under
+// it when only matching changes).
+type VertexHistogram struct{}
+
+// Name implements Kernel.
+func (VertexHistogram) Name() string { return "vertex-hist" }
+
+// Features implements Kernel.
+func (VertexHistogram) Features(g *graph.Graph) Features {
+	feats := make(Features, 8)
+	for i := range g.Nodes {
+		feats[hashString(g.Nodes[i].Label)]++
+	}
+	return feats
+}
+
+// EdgeHistogram embeds a graph as the histogram of
+// (source label, edge kind, destination label) triples. It sees one hop
+// of wiring: enough to notice, for example, that a message edge
+// send→recv changed into send→wait, but not deeper structure.
+type EdgeHistogram struct{}
+
+// Name implements Kernel.
+func (EdgeHistogram) Name() string { return "edge-hist" }
+
+// Features implements Kernel.
+func (EdgeHistogram) Features(g *graph.Graph) Features {
+	feats := make(Features, 16)
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		h := hashWord(fnvOffset, hashString(g.Nodes[e.From].Label))
+		h = hashWord(h, uint64(e.Kind)+1)
+		h = hashWord(h, hashString(g.Nodes[e.To].Label))
+		feats[h]++
+	}
+	return feats
+}

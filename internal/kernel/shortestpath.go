@@ -1,0 +1,79 @@
+package kernel
+
+import (
+	"github.com/anacin-go/anacinx/internal/graph"
+)
+
+// ShortestPath is the shortest-path graph kernel (Borgwardt & Kriegel,
+// ICDM 2005): the embedding is the histogram of
+// (source label, shortest-path length, destination label) triples over
+// all connected ordered node pairs, with path lengths computed on the
+// directed event graph and capped at MaxDepth (longer connections
+// count as MaxDepth). Compared to WL it sees long-range structure —
+// e.g. how far apart two receives sit along a rank — at a higher cost:
+// a BFS per node, O(V·(V+E)).
+//
+// MaxDepth keeps both cost and feature explosion bounded on long
+// event chains; ANACIN-X-scale graphs (thousands of nodes) stay fast.
+type ShortestPath struct {
+	// MaxDepth caps BFS depth; 0 means the default of 8.
+	MaxDepth int
+}
+
+// Name implements Kernel.
+func (k ShortestPath) Name() string { return "shortest-path" }
+
+func (k ShortestPath) maxDepth() int {
+	if k.MaxDepth <= 0 {
+		return 8
+	}
+	return k.MaxDepth
+}
+
+// Features implements Kernel.
+func (k ShortestPath) Features(g *graph.Graph) Features {
+	n := g.NumNodes()
+	feats := make(Features, 32)
+	if n == 0 {
+		return feats
+	}
+	maxDepth := k.maxDepth()
+	labels := make([]uint64, n)
+	for i := range g.Nodes {
+		labels[i] = hashString(g.Nodes[i].Label)
+	}
+	// BFS from every node over out-edges.
+	dist := make([]int, n)
+	queue := make([]int32, 0, n)
+	for src := 0; src < n; src++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue = queue[:0]
+		queue = append(queue, int32(src))
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			if dist[u] >= maxDepth {
+				continue
+			}
+			for _, ei := range g.Out[u] {
+				v := g.Edges[ei].To
+				if dist[v] == -1 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, int32(v))
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if v == src || dist[v] <= 0 {
+				continue
+			}
+			h := hashWord(fnvOffset, labels[src])
+			h = hashWord(h, uint64(dist[v]))
+			h = hashWord(h, labels[v])
+			feats[h]++
+		}
+	}
+	return feats
+}

@@ -1,0 +1,108 @@
+package kernel
+
+import (
+	"testing"
+
+	"github.com/anacin-go/anacinx/internal/graph"
+)
+
+func TestShortestPathName(t *testing.T) {
+	if (ShortestPath{}).Name() != "shortest-path" {
+		t.Error("name wrong")
+	}
+}
+
+func TestShortestPathBasics(t *testing.T) {
+	g1 := meshGraph(t, 6, 3, 100, 7)
+	g2 := meshGraph(t, 6, 3, 100, 7)
+	k := ShortestPath{}
+	if d := Distance(k, g1, g2); d != 0 {
+		t.Errorf("identical graphs distance %v", d)
+	}
+	if d := Distance(k, g1, g1); d != 0 {
+		t.Errorf("self distance %v", d)
+	}
+}
+
+func TestShortestPathSeparatesRuns(t *testing.T) {
+	// Long-range structure: shortest-path sees the match-order change
+	// that the mesh produces at 100% ND.
+	g1 := meshGraph(t, 8, 4, 100, 1)
+	g2 := meshGraph(t, 8, 4, 100, 2)
+	if d := Distance(ShortestPath{}, g1, g2); d <= 0 {
+		t.Errorf("distinct runs distance %v", d)
+	}
+}
+
+func TestShortestPathEmptyGraph(t *testing.T) {
+	empty := &graph.Graph{}
+	empty.Seal()
+	if f := (ShortestPath{}).Features(empty); len(f) != 0 {
+		t.Errorf("empty graph produced %d features", len(f))
+	}
+}
+
+func TestShortestPathKnownChain(t *testing.T) {
+	// A 3-node chain a->b->c with distinct labels: pairs are
+	// (a,1,b), (b,1,c), (a,2,c) — exactly 3 features with count 1.
+	g := &graph.Graph{}
+	for i, label := range []string{"a", "b", "c"} {
+		g.Nodes = append(g.Nodes, graph.Node{ID: graph.NodeID(i), Rank: 0, Seq: i, Label: label, Lamport: int64(i + 1)})
+	}
+	g.Edges = []graph.Edge{
+		{From: 0, To: 1, Kind: graph.EdgeProgram},
+		{From: 1, To: 2, Kind: graph.EdgeProgram},
+	}
+	g.Seal()
+	f := ShortestPath{}.Features(g)
+	if len(f) != 3 {
+		t.Fatalf("chain features = %d, want 3", len(f))
+	}
+	total := 0.0
+	for _, v := range f {
+		total += v
+	}
+	if total != 3 {
+		t.Errorf("total multiplicity = %v, want 3", total)
+	}
+}
+
+func TestShortestPathDepthCap(t *testing.T) {
+	// A long chain with MaxDepth 2: node 0 reaches only nodes 1 and 2.
+	g := &graph.Graph{}
+	const n = 10
+	for i := 0; i < n; i++ {
+		g.Nodes = append(g.Nodes, graph.Node{ID: graph.NodeID(i), Rank: 0, Seq: i, Label: "x", Lamport: int64(i + 1)})
+	}
+	for i := 0; i+1 < n; i++ {
+		g.Edges = append(g.Edges, graph.Edge{From: graph.NodeID(i), To: graph.NodeID(i + 1), Kind: graph.EdgeProgram})
+	}
+	g.Seal()
+	shallow := ShortestPath{MaxDepth: 2}.Features(g)
+	deep := ShortestPath{MaxDepth: 9}.Features(g)
+	countOf := func(f Features) float64 {
+		total := 0.0
+		for _, v := range f {
+			total += v
+		}
+		return total
+	}
+	// Depth 2: each of the first n-1 nodes reaches 1..2 successors:
+	// (n-1) + (n-2) pairs. Depth 9: all n(n-1)/2 pairs.
+	if got := countOf(shallow); got != float64((n-1)+(n-2)) {
+		t.Errorf("depth-2 pair count = %v", got)
+	}
+	if got := countOf(deep); got != float64(n*(n-1)/2) {
+		t.Errorf("depth-9 pair count = %v", got)
+	}
+}
+
+func BenchmarkShortestPathFeatures(b *testing.B) {
+	g := meshGraph(b, 16, 4, 100, 1)
+	k := ShortestPath{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = k.Features(g)
+	}
+}

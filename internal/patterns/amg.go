@@ -1,0 +1,70 @@
+package patterns
+
+import "github.com/anacin-go/anacinx/internal/sim"
+
+func init() { register(&AMG2013{}) }
+
+// AMG2013 mimics the communication pattern of the Algebraic Multigrid
+// 2013 proxy application as packaged with ANACIN-X: per iteration,
+// "each process sends a message to all other processes. Each process
+// ... does this twice" (paper §II-B), receiving with AnySource. The
+// two rounds model AMG's down- and up-sweep halo exchanges.
+type AMG2013 struct{}
+
+// roundsPerIteration is the paper-specified number of all-to-all
+// exchanges per pattern iteration.
+const roundsPerIteration = 2
+
+// Name implements Pattern.
+func (*AMG2013) Name() string { return "amg2013" }
+
+// Description implements Pattern.
+func (*AMG2013) Description() string {
+	return "two rounds per iteration of every-rank-to-every-rank messages with wildcard receives"
+}
+
+// MinProcs implements Pattern.
+func (*AMG2013) MinProcs() int { return 2 }
+
+// Deterministic implements Pattern.
+func (*AMG2013) Deterministic() bool { return false }
+
+// Program implements Pattern.
+func (a *AMG2013) Program(p Params) (sim.ProcProgram, error) {
+	if err := p.Validate(a.MinProcs()); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	return func(r sim.Proc) {
+		for iter := 0; iter < p.Iterations; iter++ {
+			for round := 0; round < roundsPerIteration; round++ {
+				a.exchangeAll(r, p, round)
+			}
+			r.Compute(p.ComputeGrain)
+		}
+	}, nil
+}
+
+// exchangeAll performs one all-to-all round: send to every other rank,
+// then admit every other rank's message in arrival order. The wildcard
+// receives are the round's root source of non-determinism.
+func (a *AMG2013) exchangeAll(r sim.Proc, p Params, round int) {
+	a.broadcastWork(r, p, round)
+	a.gatherWork(r, p)
+}
+
+// broadcastWork sends this round's boundary data to every other rank.
+func (a *AMG2013) broadcastWork(r sim.Proc, p Params, round int) {
+	me, size := r.Rank(), r.Size()
+	for off := 1; off < size; off++ {
+		r.SendSize((me+off)%size, round, p.MsgSize)
+	}
+}
+
+// gatherWork admits every other rank's contribution, first come first
+// served.
+func (a *AMG2013) gatherWork(r sim.Proc, p Params) {
+	for i := 0; i < r.Size()-1; i++ {
+		r.Recv(sim.AnySource, sim.AnyTag)
+	}
+}

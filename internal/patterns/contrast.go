@@ -1,0 +1,257 @@
+package patterns
+
+import (
+	"encoding/binary"
+	"math"
+
+	"github.com/anacin-go/anacinx/internal/sim"
+)
+
+// Contrast patterns for the course module's exercises. They are not in
+// the paper's benchmark set; they exist so students can compare the
+// racing patterns against workloads whose communication structure is
+// immune to arrival order (concrete-source receives) or whose
+// non-determinism lives in the data rather than the event graph
+// (arrival-order reductions).
+
+func init() {
+	register(&RingHalo{})
+	register(&Stencil2D{})
+	register(&ReducePipeline{})
+}
+
+// RingHalo exchanges halos around a ring with concrete-source receives:
+// rank r sends to both ring neighbors and receives explicitly from
+// each. Because no wildcard is involved, the event graph is identical
+// at any ND level — the deterministic control for Use Case 1.
+type RingHalo struct{}
+
+// Name implements Pattern.
+func (*RingHalo) Name() string { return "ring_halo" }
+
+// Description implements Pattern.
+func (*RingHalo) Description() string {
+	return "ring neighbor exchange with concrete-source receives (deterministic control)"
+}
+
+// MinProcs implements Pattern.
+func (*RingHalo) MinProcs() int { return 3 }
+
+// Deterministic implements Pattern.
+func (*RingHalo) Deterministic() bool { return true }
+
+// Program implements Pattern.
+func (h *RingHalo) Program(p Params) (sim.ProcProgram, error) {
+	if err := p.Validate(h.MinProcs()); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	return func(r sim.Proc) {
+		size := r.Size()
+		left := (r.Rank() - 1 + size) % size
+		right := (r.Rank() + 1) % size
+		for iter := 0; iter < p.Iterations; iter++ {
+			h.pushHalos(r, p, left, right, iter)
+			h.pullHalos(r, left, right, iter)
+			r.Compute(p.ComputeGrain)
+		}
+	}, nil
+}
+
+// pushHalos sends this rank's boundary cells to both neighbors.
+func (h *RingHalo) pushHalos(r sim.Proc, p Params, left, right, iter int) {
+	r.SendSize(left, iter, p.MsgSize)
+	r.SendSize(right, iter, p.MsgSize)
+}
+
+// pullHalos receives each neighbor's boundary explicitly by source:
+// arrival order cannot change what matches where.
+func (h *RingHalo) pullHalos(r sim.Proc, left, right, iter int) {
+	r.Recv(left, iter)
+	r.Recv(right, iter)
+}
+
+// Stencil2D is a 5-point halo exchange on the largest sqrt-shaped
+// process grid that fits Procs. Like RingHalo it receives from concrete
+// sources; unlike RingHalo it leaves ranks outside the grid idle, which
+// gives event graphs with heterogeneous per-rank structure.
+type Stencil2D struct{}
+
+// Name implements Pattern.
+func (*Stencil2D) Name() string { return "stencil2d" }
+
+// Description implements Pattern.
+func (*Stencil2D) Description() string {
+	return "5-point 2-D halo exchange with concrete-source receives"
+}
+
+// MinProcs implements Pattern.
+func (*Stencil2D) MinProcs() int { return 4 }
+
+// Deterministic implements Pattern.
+func (*Stencil2D) Deterministic() bool { return true }
+
+// Grid returns the process-grid dimensions used for the given process
+// count: the largest rows x cols with rows = floor(sqrt(P)) that fits.
+func (*Stencil2D) Grid(procs int) (rows, cols int) {
+	rows = int(math.Sqrt(float64(procs)))
+	if rows < 2 {
+		rows = 2
+	}
+	cols = procs / rows
+	return rows, cols
+}
+
+// Program implements Pattern.
+func (s *Stencil2D) Program(p Params) (sim.ProcProgram, error) {
+	if err := p.Validate(s.MinProcs()); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	rows, cols := s.Grid(p.Procs)
+	return func(r sim.Proc) {
+		me := r.Rank()
+		if me >= rows*cols {
+			return // outside the grid
+		}
+		row, col := me/cols, me%cols
+		var neighbors []int
+		if row > 0 {
+			neighbors = append(neighbors, me-cols)
+		}
+		if row < rows-1 {
+			neighbors = append(neighbors, me+cols)
+		}
+		if col > 0 {
+			neighbors = append(neighbors, me-1)
+		}
+		if col < cols-1 {
+			neighbors = append(neighbors, me+1)
+		}
+		for iter := 0; iter < p.Iterations; iter++ {
+			s.exchange(r, p, neighbors, iter)
+			r.Compute(p.ComputeGrain)
+		}
+	}, nil
+}
+
+// exchange sends to all grid neighbors then receives from each by
+// concrete source.
+func (s *Stencil2D) exchange(r sim.Proc, p Params, neighbors []int, iter int) {
+	for _, n := range neighbors {
+		r.SendSize(n, iter, p.MsgSize)
+	}
+	for _, n := range neighbors {
+		r.Recv(n, iter)
+	}
+}
+
+// ReducePipeline alternates a racing message burst with an
+// arrival-order global sum (sim.ReduceArrival + Bcast). Its event
+// graph carries the race's non-determinism, and its numerical result
+// additionally depends on reduction order — the pattern behind the
+// paper's references on irreproducible floating-point reductions.
+type ReducePipeline struct{}
+
+// Name implements Pattern.
+func (*ReducePipeline) Name() string { return "reduce_pipeline" }
+
+// Description implements Pattern.
+func (*ReducePipeline) Description() string {
+	return "message race followed by an arrival-order float reduction each iteration"
+}
+
+// MinProcs implements Pattern.
+func (*ReducePipeline) MinProcs() int { return 2 }
+
+// Deterministic implements Pattern.
+func (*ReducePipeline) Deterministic() bool { return false }
+
+// Result extraction: the reduced value ends up broadcast to all ranks;
+// tools can re-run the pattern and read it from the returned closure via
+// ResultOf. Because patterns are pure rank programs, the value is
+// reported through a caller-provided sink.
+
+// SumSink receives rank 0's final reduced value.
+type SumSink func(v float64)
+
+// Program implements Pattern. The reduced value is discarded; use
+// ProgramWithSink to observe it. Because the pattern uses collective
+// operations, it requires the DES runtime: running it on the wallclock
+// runtime panics with an explanatory message.
+func (rp *ReducePipeline) Program(p Params) (sim.ProcProgram, error) {
+	prog, err := rp.ProgramWithSink(p, nil)
+	if err != nil {
+		return nil, err
+	}
+	return func(r sim.Proc) {
+		rank, ok := r.(*sim.Rank)
+		if !ok {
+			panic("patterns: reduce_pipeline uses collectives and requires the DES runtime")
+		}
+		prog(rank)
+	}, nil
+}
+
+// ProgramWithSink builds the program and, when sink is non-nil, calls
+// it on rank 0 with the final iteration's globally reduced sum.
+func (rp *ReducePipeline) ProgramWithSink(p Params, sink SumSink) (sim.Program, error) {
+	if err := p.Validate(rp.MinProcs()); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	return func(r *sim.Rank) {
+		var last float64
+		for iter := 0; iter < p.Iterations; iter++ {
+			rp.racePhase(r, p, iter)
+			last = rp.reducePhase(r, iter)
+			r.Compute(p.ComputeGrain)
+		}
+		if sink != nil && r.Rank() == 0 {
+			sink(last)
+		}
+	}, nil
+}
+
+// racePhase is the message-race burst into rank 0.
+func (rp *ReducePipeline) racePhase(r *sim.Rank, p Params, iter int) {
+	if r.Rank() == 0 {
+		for i := 0; i < r.Size()-1; i++ {
+			r.Recv(sim.AnySource, sim.AnyTag)
+		}
+	} else {
+		r.SendSize(0, iter, p.MsgSize)
+	}
+}
+
+// reducePhase performs the arrival-order float sum. The addends mix two
+// huge cancelling terms with small ones: when the huge terms meet first
+// they cancel exactly and the small terms survive; when a small term is
+// absorbed into a huge one first, it is lost to rounding — so the
+// rounded result depends on arrival order.
+func (rp *ReducePipeline) reducePhase(r *sim.Rank, iter int) float64 {
+	var contribution float64
+	switch r.Rank() {
+	case 0:
+		contribution = 1e16
+	case 1:
+		contribution = -1e16
+	default:
+		contribution = 0.1 * float64(r.Rank()) * float64(iter+1)
+	}
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, math.Float64bits(contribution))
+	sum := r.ReduceArrival(0, buf, sumFloat64)
+	out := r.Bcast(0, sum)
+	return math.Float64frombits(binary.LittleEndian.Uint64(out))
+}
+
+// sumFloat64 adds two little-endian float64 payloads; it is associative
+// only up to rounding, which is the point.
+func sumFloat64(a, b []byte) []byte {
+	x := math.Float64frombits(binary.LittleEndian.Uint64(a))
+	y := math.Float64frombits(binary.LittleEndian.Uint64(b))
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint64(out, math.Float64bits(x+y))
+	return out
+}

@@ -1,0 +1,94 @@
+package patterns
+
+import (
+	"github.com/anacin-go/anacinx/internal/sim"
+	"github.com/anacin-go/anacinx/internal/vtime"
+)
+
+func init() { register(&MonteCarlo{}) }
+
+// MonteCarlo mimics the communication of the Monte Carlo Benchmark
+// (MCB), one of the two mini-applications the ANACIN-X research papers
+// evaluate (paper reference [13]): ranks exchange particle batches with
+// randomly chosen partners, and each rank drains however many batches
+// the (fixed) transport plan routes to it, first come, first served.
+//
+// The batch plan — which rank sends how many batches to whom — is drawn
+// from Params.TopologySeed and is part of the application input, so all
+// runs of one configuration move identical particle counts; only the
+// arrival order varies. Batch multiplicities distinguish MCB from the
+// unstructured mesh: hot destinations receive many racing messages per
+// iteration.
+type MonteCarlo struct{}
+
+// batchesPerRank is how many particle batches each rank emits per
+// iteration.
+const batchesPerRank = 4
+
+// Name implements Pattern.
+func (*MonteCarlo) Name() string { return "mcb" }
+
+// Description implements Pattern.
+func (*MonteCarlo) Description() string {
+	return "Monte Carlo transport: fixed random batch plan, wildcard receives of racing batches"
+}
+
+// MinProcs implements Pattern.
+func (*MonteCarlo) MinProcs() int { return 2 }
+
+// Deterministic implements Pattern.
+func (*MonteCarlo) Deterministic() bool { return false }
+
+// Plan returns the batch routing for the given parameters: dests[r] is
+// the (ordered, possibly repeating) list of destinations of rank r's
+// batches in one iteration; inbound[r] is how many batches rank r
+// receives per iteration.
+func (m *MonteCarlo) Plan(p Params) (dests [][]int, inbound []int) {
+	p = p.withDefaults()
+	rng := vtime.NewRNG(p.TopologySeed).Split(0x4cb)
+	dests = make([][]int, p.Procs)
+	inbound = make([]int, p.Procs)
+	for r := 0; r < p.Procs; r++ {
+		for b := 0; b < batchesPerRank; b++ {
+			dst := rng.Intn(p.Procs - 1)
+			if dst >= r {
+				dst++ // skip self
+			}
+			dests[r] = append(dests[r], dst)
+			inbound[dst]++
+		}
+	}
+	return dests, inbound
+}
+
+// Program implements Pattern.
+func (m *MonteCarlo) Program(p Params) (sim.ProcProgram, error) {
+	if err := p.Validate(m.MinProcs()); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	dests, inbound := m.Plan(p)
+	return func(r sim.Proc) {
+		for iter := 0; iter < p.Iterations; iter++ {
+			m.emitBatches(r, p, dests[r.Rank()], iter)
+			m.absorbBatches(r, inbound[r.Rank()])
+			r.Compute(p.ComputeGrain)
+		}
+	}, nil
+}
+
+// emitBatches sends this iteration's particle batches along the fixed
+// transport plan.
+func (m *MonteCarlo) emitBatches(r sim.Proc, p Params, dests []int, iter int) {
+	for _, dst := range dests {
+		r.SendSize(dst, iter, p.MsgSize)
+	}
+}
+
+// absorbBatches drains the inbound batches in arrival order — MCB's
+// root source of non-determinism.
+func (m *MonteCarlo) absorbBatches(r sim.Proc, inbound int) {
+	for i := 0; i < inbound; i++ {
+		r.Recv(sim.AnySource, sim.AnyTag)
+	}
+}

@@ -1,0 +1,98 @@
+package patterns
+
+import (
+	"github.com/anacin-go/anacinx/internal/sim"
+	"github.com/anacin-go/anacinx/internal/vtime"
+)
+
+func init() { register(&UnstructuredMesh{}) }
+
+// UnstructuredMesh mimics the Chatterbug unstructured-mesh proxy as
+// packaged with ANACIN-X: the communicating pairs are randomized
+// (paper §II-B — "randomizing which processes are allowed to
+// communicate"), then fixed for the lifetime of the configuration.
+// Per iteration each rank sends to its out-neighbors and admits its
+// in-neighbors' messages with AnySource receives.
+//
+// The neighbor topology is drawn from Params.TopologySeed, which is an
+// application input: all 20 runs of one configuration share a topology,
+// so the kernel distance between runs measures message-order
+// non-determinism, not topology differences.
+type UnstructuredMesh struct{}
+
+// Name implements Pattern.
+func (*UnstructuredMesh) Name() string { return "unstructured_mesh" }
+
+// Description implements Pattern.
+func (*UnstructuredMesh) Description() string {
+	return "randomized fixed neighbor graph; wildcard receives from in-neighbors"
+}
+
+// MinProcs implements Pattern.
+func (*UnstructuredMesh) MinProcs() int { return 2 }
+
+// Deterministic implements Pattern.
+func (*UnstructuredMesh) Deterministic() bool { return false }
+
+// Topology returns the mesh's directed neighbor lists for the given
+// parameters: out[r] is rank r's out-neighbor set (sorted), indeg[r]
+// how many messages rank r receives per iteration. Exposed so tools can
+// display the topology a configuration uses.
+func (m *UnstructuredMesh) Topology(p Params) (out [][]int, indeg []int) {
+	p = p.withDefaults()
+	rng := vtime.NewRNG(p.TopologySeed).Split(0x3e54)
+	out = make([][]int, p.Procs)
+	indeg = make([]int, p.Procs)
+	for r := 0; r < p.Procs; r++ {
+		// Sample Degree distinct targets != r via a partial
+		// Fisher-Yates over the other ranks.
+		candidates := make([]int, 0, p.Procs-1)
+		for i := 0; i < p.Procs; i++ {
+			if i != r {
+				candidates = append(candidates, i)
+			}
+		}
+		rng.Shuffle(len(candidates), func(i, j int) {
+			candidates[i], candidates[j] = candidates[j], candidates[i]
+		})
+		picked := candidates[:p.Degree]
+		neighbors := append([]int(nil), picked...)
+		out[r] = neighbors
+		for _, dst := range neighbors {
+			indeg[dst]++
+		}
+	}
+	return out, indeg
+}
+
+// Program implements Pattern.
+func (m *UnstructuredMesh) Program(p Params) (sim.ProcProgram, error) {
+	if err := p.Validate(m.MinProcs()); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	out, indeg := m.Topology(p)
+	return func(r sim.Proc) {
+		for iter := 0; iter < p.Iterations; iter++ {
+			m.exchangeHalo(r, p, out[r.Rank()], iter)
+			m.collectUpdates(r, indeg[r.Rank()])
+			r.Compute(p.ComputeGrain)
+		}
+	}, nil
+}
+
+// exchangeHalo pushes this iteration's boundary data to the fixed
+// random out-neighbors.
+func (m *UnstructuredMesh) exchangeHalo(r sim.Proc, p Params, neighbors []int, iter int) {
+	for _, dst := range neighbors {
+		r.SendSize(dst, iter, p.MsgSize)
+	}
+}
+
+// collectUpdates admits the in-neighbors' messages in arrival order —
+// the mesh's root source of non-determinism.
+func (m *UnstructuredMesh) collectUpdates(r sim.Proc, indegree int) {
+	for i := 0; i < indegree; i++ {
+		r.Recv(sim.AnySource, sim.AnyTag)
+	}
+}

@@ -1,0 +1,58 @@
+package patterns
+
+import "github.com/anacin-go/anacinx/internal/sim"
+
+func init() { register(&MessageRace{}) }
+
+// MessageRace is the simplest of the paper's three mini-applications:
+// every nonzero rank sends one message per iteration to rank 0, which
+// receives them with AnySource — so the order in which the racing
+// messages match is unknown ahead of time (paper §II-B and Figs. 2, 4).
+type MessageRace struct{}
+
+// Name implements Pattern.
+func (*MessageRace) Name() string { return "message_race" }
+
+// Description implements Pattern.
+func (*MessageRace) Description() string {
+	return "all nonzero ranks race messages into rank 0's wildcard receives"
+}
+
+// MinProcs implements Pattern.
+func (*MessageRace) MinProcs() int { return 2 }
+
+// Deterministic implements Pattern.
+func (*MessageRace) Deterministic() bool { return false }
+
+// Program implements Pattern.
+func (m *MessageRace) Program(p Params) (sim.ProcProgram, error) {
+	if err := p.Validate(m.MinProcs()); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	return func(r sim.Proc) {
+		for iter := 0; iter < p.Iterations; iter++ {
+			if r.Rank() == 0 {
+				m.drainRaces(r, p)
+			} else {
+				m.fireMessage(r, p, iter)
+			}
+			r.Compute(p.ComputeGrain)
+		}
+	}, nil
+}
+
+// fireMessage is the root source of non-determinism on the sender side:
+// the message it posts races against every other rank's.
+func (m *MessageRace) fireMessage(r sim.Proc, p Params, iter int) {
+	r.SendSize(0, iter, p.MsgSize)
+}
+
+// drainRaces is the root source of non-determinism on the receiver
+// side: its wildcard receives admit whichever racing message arrives
+// first.
+func (m *MessageRace) drainRaces(r sim.Proc, p Params) {
+	for i := 0; i < r.Size()-1; i++ {
+		r.Recv(sim.AnySource, sim.AnyTag)
+	}
+}

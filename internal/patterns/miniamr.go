@@ -1,0 +1,112 @@
+package patterns
+
+import (
+	"github.com/anacin-go/anacinx/internal/sim"
+	"github.com/anacin-go/anacinx/internal/vtime"
+)
+
+func init() { register(&MiniAMR{}) }
+
+// MiniAMR mimics the communication of the miniAMR adaptive-mesh-
+// refinement proxy, the second mini-application (besides MCB) that the
+// ANACIN-X research papers evaluate. Ranks exchange halos around a
+// ring, but a fixed, topology-seeded subset of ranks is "refined" each
+// iteration and exchanges proportionally more boundary messages — so
+// message multiplicities are heterogeneous and drift across
+// iterations, the way refinement makes real AMR communication evolve.
+// Receives are wildcard, making the pattern racing.
+type MiniAMR struct{}
+
+// refineFraction is the fraction of ranks refined per iteration.
+const refineFraction = 0.25
+
+// refinedMessages is how many messages a refined rank sends to each
+// ring neighbor (an unrefined rank sends one).
+const refinedMessages = 3
+
+// Name implements Pattern.
+func (*MiniAMR) Name() string { return "miniamr" }
+
+// Description implements Pattern.
+func (*MiniAMR) Description() string {
+	return "AMR halo exchange: refined ranks send extra boundary messages; wildcard receives"
+}
+
+// MinProcs implements Pattern.
+func (*MiniAMR) MinProcs() int { return 3 }
+
+// Deterministic implements Pattern.
+func (*MiniAMR) Deterministic() bool { return false }
+
+// RefinementPlan returns, per iteration, the set of refined ranks, and
+// per (iteration, rank) the inbound message count. The plan is drawn
+// from Params.TopologySeed, so all runs of one configuration refine
+// identically.
+func (m *MiniAMR) RefinementPlan(p Params) (refined [][]bool, inbound [][]int) {
+	p = p.withDefaults()
+	rng := vtime.NewRNG(p.TopologySeed).Split(0xa312)
+	refined = make([][]bool, p.Iterations)
+	inbound = make([][]int, p.Iterations)
+	nRefined := int(refineFraction * float64(p.Procs))
+	if nRefined < 1 {
+		nRefined = 1
+	}
+	for iter := 0; iter < p.Iterations; iter++ {
+		refined[iter] = make([]bool, p.Procs)
+		for _, r := range rng.Perm(p.Procs)[:nRefined] {
+			refined[iter][r] = true
+		}
+		inbound[iter] = make([]int, p.Procs)
+		for r := 0; r < p.Procs; r++ {
+			count := 1
+			if refined[iter][r] {
+				count = refinedMessages
+			}
+			left := (r - 1 + p.Procs) % p.Procs
+			right := (r + 1) % p.Procs
+			inbound[iter][left] += count
+			inbound[iter][right] += count
+		}
+	}
+	return refined, inbound
+}
+
+// Program implements Pattern.
+func (m *MiniAMR) Program(p Params) (sim.ProcProgram, error) {
+	if err := p.Validate(m.MinProcs()); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	refined, inbound := m.RefinementPlan(p)
+	return func(r sim.Proc) {
+		for iter := 0; iter < p.Iterations; iter++ {
+			m.exchangeBoundaries(r, p, refined[iter][r.Rank()], iter)
+			m.receiveBoundaries(r, inbound[iter][r.Rank()])
+			r.Compute(p.ComputeGrain)
+		}
+	}, nil
+}
+
+// exchangeBoundaries sends this iteration's halo messages to both ring
+// neighbors; a refined rank sends refinedMessages per side.
+func (m *MiniAMR) exchangeBoundaries(r sim.Proc, p Params, isRefined bool, iter int) {
+	count := 1
+	if isRefined {
+		count = refinedMessages
+	}
+	size := r.Size()
+	left := (r.Rank() - 1 + size) % size
+	right := (r.Rank() + 1) % size
+	for i := 0; i < count; i++ {
+		r.SendSize(left, iter, p.MsgSize)
+		r.SendSize(right, iter, p.MsgSize)
+	}
+}
+
+// receiveBoundaries admits the planned inbound halos in arrival order —
+// miniAMR's root source of non-determinism.
+func (m *MiniAMR) receiveBoundaries(r sim.Proc, inbound int) {
+	for i := 0; i < inbound; i++ {
+		r.Recv(sim.AnySource, sim.AnyTag)
+	}
+}

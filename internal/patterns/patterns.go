@@ -1,0 +1,156 @@
+// Package patterns implements the communication-pattern
+// mini-applications packaged with ANACIN-X — message race, AMG2013, and
+// unstructured mesh — plus contrast patterns used by the course module's
+// exercises.
+//
+// Each pattern is a rank program for the simulated MPI runtime. The
+// paper's knobs map directly onto Params: number of processes, number
+// of communication-pattern iterations, message size, and (via
+// sim.Config) the percentage of non-determinism and the node count.
+//
+// The three paper patterns receive with AnySource, so their
+// communication structure is sensitive to message-arrival order; the
+// contrast patterns (ring halo, 2-D stencil) receive from concrete
+// sources, so their structure is reproducible at any ND level — a
+// distinction the course module asks students to discover.
+//
+// Pattern methods are deliberately small named functions: recorded
+// callstacks such as "patterns.(*MessageRace).drainRaces" are what the
+// root-source analysis (paper Fig. 8) surfaces to students.
+package patterns
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/anacin-go/anacinx/internal/sim"
+	"github.com/anacin-go/anacinx/internal/vtime"
+)
+
+// Params configures one pattern instance. The zero value is not valid;
+// start from DefaultParams.
+type Params struct {
+	// Procs is the number of ranks the pattern will run on.
+	Procs int
+	// Iterations is how many times the communication pattern repeats
+	// within one execution (the paper's intermediate-level knob,
+	// Fig. 6).
+	Iterations int
+	// MsgSize is the payload size in bytes of every pattern message
+	// (the paper's figures use 1-byte messages).
+	MsgSize int
+	// TopologySeed fixes randomized topology choices (unstructured
+	// mesh neighbors). It is part of the application input, NOT of the
+	// run's random stream: every run of one configuration must use the
+	// same topology or the kernel distance would measure topology
+	// changes rather than non-determinism.
+	TopologySeed int64
+	// Degree is the out-neighbor count for the unstructured mesh.
+	// 0 means the default (3, clamped to Procs-1).
+	Degree int
+	// ComputeGrain is the virtual compute time inserted between
+	// communication phases. 0 means the default (1µs).
+	ComputeGrain vtime.Duration
+}
+
+// DefaultParams returns a valid parameter set for the given process
+// count: one iteration, 1-byte messages, topology seed 1.
+func DefaultParams(procs int) Params {
+	return Params{
+		Procs:        procs,
+		Iterations:   1,
+		MsgSize:      1,
+		TopologySeed: 1,
+	}
+}
+
+func (p *Params) withDefaults() Params {
+	q := *p
+	if q.Iterations == 0 {
+		q.Iterations = 1
+	}
+	if q.ComputeGrain == 0 {
+		q.ComputeGrain = vtime.Microsecond
+	}
+	if q.Degree == 0 {
+		q.Degree = 3
+	}
+	if q.Degree > q.Procs-1 {
+		q.Degree = q.Procs - 1
+	}
+	return q
+}
+
+// Validate checks the parameters against a pattern's requirements.
+func (p *Params) Validate(minProcs int) error {
+	if p.Procs < minProcs {
+		return fmt.Errorf("patterns: %d procs, need >= %d", p.Procs, minProcs)
+	}
+	if p.Iterations < 0 {
+		return fmt.Errorf("patterns: negative iterations %d", p.Iterations)
+	}
+	if p.MsgSize < 0 {
+		return fmt.Errorf("patterns: negative message size %d", p.MsgSize)
+	}
+	return nil
+}
+
+// Pattern is a runnable communication-pattern mini-application.
+type Pattern interface {
+	// Name is the registry key, e.g. "message_race".
+	Name() string
+	// Description is a one-line summary for CLI listings.
+	Description() string
+	// MinProcs is the smallest process count the pattern supports.
+	MinProcs() int
+	// Deterministic reports whether the pattern's communication
+	// structure is invariant to message-arrival order (concrete-source
+	// receives only).
+	Deterministic() bool
+	// Program builds the rank program for the given parameters.
+	// It returns an error if the parameters are invalid.
+	Program(p Params) (sim.ProcProgram, error)
+}
+
+// registry holds all known patterns, populated by init functions of the
+// pattern files.
+var registry = map[string]Pattern{}
+
+func register(p Pattern) {
+	if _, dup := registry[p.Name()]; dup {
+		panic("patterns: duplicate registration of " + p.Name())
+	}
+	registry[p.Name()] = p
+}
+
+// All returns every registered pattern, sorted by name.
+func All() []Pattern {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Pattern, len(names))
+	for i, name := range names {
+		out[i] = registry[name]
+	}
+	return out
+}
+
+// ByName looks a pattern up by its registry key.
+func ByName(name string) (Pattern, error) {
+	p, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("patterns: unknown pattern %q (have %v)", name, names())
+	}
+	return p, nil
+}
+
+func names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

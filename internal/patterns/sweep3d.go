@@ -1,0 +1,93 @@
+package patterns
+
+import (
+	"math"
+
+	"github.com/anacin-go/anacinx/internal/sim"
+)
+
+func init() { register(&Sweep3D{}) }
+
+// Sweep3D mimics the wavefront communication of the Sweep3D transport
+// proxy from the Chatterbug suite (paper reference [20], the same suite
+// the unstructured-mesh pattern comes from): ranks form a 2-D grid and
+// each iteration performs four corner-to-corner sweeps. A rank waits
+// for its upstream neighbours (concrete sources), "computes" its cell,
+// and forwards to its downstream neighbours — a dependency pipeline.
+//
+// Matching is concrete-source, so like the other controls the
+// communication *structure* is immune to delays; what the pattern adds
+// to the course is its critical-path behaviour: sweeps serialize along
+// the grid diagonal, so delays compound along the wavefront
+// (`anacin critpath -pattern sweep3d`).
+type Sweep3D struct{}
+
+// Name implements Pattern.
+func (*Sweep3D) Name() string { return "sweep3d" }
+
+// Description implements Pattern.
+func (*Sweep3D) Description() string {
+	return "four diagonal wavefront sweeps over a 2-D grid (concrete-source pipeline)"
+}
+
+// MinProcs implements Pattern.
+func (*Sweep3D) MinProcs() int { return 4 }
+
+// Deterministic implements Pattern.
+func (*Sweep3D) Deterministic() bool { return true }
+
+// Grid returns the process-grid shape (same policy as Stencil2D).
+func (*Sweep3D) Grid(procs int) (rows, cols int) {
+	rows = int(math.Sqrt(float64(procs)))
+	if rows < 2 {
+		rows = 2
+	}
+	cols = procs / rows
+	return rows, cols
+}
+
+// sweepDirections are the four corner origins: (rowStep, colStep).
+var sweepDirections = [4][2]int{{1, 1}, {1, -1}, {-1, 1}, {-1, -1}}
+
+// Program implements Pattern.
+func (s *Sweep3D) Program(p Params) (sim.ProcProgram, error) {
+	if err := p.Validate(s.MinProcs()); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	rows, cols := s.Grid(p.Procs)
+	return func(r sim.Proc) {
+		me := r.Rank()
+		if me >= rows*cols {
+			return // outside the grid
+		}
+		row, col := me/cols, me%cols
+		for iter := 0; iter < p.Iterations; iter++ {
+			for dir, step := range sweepDirections {
+				tag := iter*len(sweepDirections) + dir
+				s.sweepCell(r, p, row, col, rows, cols, step, tag)
+			}
+		}
+	}, nil
+}
+
+// sweepCell processes one rank's part of one wavefront: receive from
+// the upstream row/column neighbours, compute, forward downstream.
+func (s *Sweep3D) sweepCell(r sim.Proc, p Params, row, col, rows, cols int, step [2]int, tag int) {
+	me := row*cols + col
+	upRow, upCol := row-step[0], col-step[1]
+	if upRow >= 0 && upRow < rows {
+		r.Recv(upRow*cols+col, tag)
+	}
+	if upCol >= 0 && upCol < cols {
+		r.Recv(row*cols+upCol, tag)
+	}
+	r.Compute(p.ComputeGrain)
+	downRow, downCol := row+step[0], col+step[1]
+	if downRow >= 0 && downRow < rows {
+		r.SendSize(downRow*cols+col, tag, p.MsgSize)
+	}
+	if downCol >= 0 && downCol < cols {
+		r.SendSize(me+step[1], tag, p.MsgSize)
+	}
+}

@@ -1,0 +1,338 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/anacin-go/anacinx/internal/trace"
+)
+
+// Collective operations, built entirely on the point-to-point machinery.
+// The paper lists collective support as ANACIN-X future work; this
+// implementation provides it. Every collective appears in the trace as a
+// single event per rank (the call an MPI tracer would see); the tree,
+// dissemination, and ring messages underneath are internal and untraced,
+// though they do move virtual time, Lamport clocks, and are subject to
+// the same non-determinism injection as user messages.
+//
+// As in MPI, all ranks must call the same sequence of collectives with
+// compatible arguments; a mismatched sequence manifests as a deadlock
+// (which the runtime detects and reports).
+
+// ReduceOp combines two payloads. It must be associative; if it is not
+// commutative, ReduceArrival exposes ordering non-determinism.
+type ReduceOp func(a, b []byte) []byte
+
+// collTag returns the reserved tag for round `round` of this rank's
+// current collective instance. Tags are negative, outside the user tag
+// space, and unique per (instance, round) so consecutive collectives
+// can never cross-match.
+func (r *Rank) collTag(round int) int {
+	const maxRounds = 1 << 20
+	if round < 0 || round >= maxRounds {
+		panic(fmt.Sprintf("sim: collective round %d out of range", round))
+	}
+	return -(r.collSeq*maxRounds + round) - 2
+}
+
+// finishCollective records the single trace event for a completed
+// collective and advances the instance counter.
+func (r *Rank) finishCollective(kind trace.EventKind, root, size int, stack []string) {
+	r.collSeq++
+	r.lamport++
+	r.record(kind, root, 0, size, trace.NoMsg, 0, stack)
+	r.yield()
+}
+
+func (r *Rank) checkRoot(root int) {
+	if root < 0 || root >= r.Size() {
+		panic(fmt.Sprintf("sim: collective root %d out of range [0,%d)", root, r.Size()))
+	}
+}
+
+// Barrier blocks until every rank has entered it (dissemination
+// algorithm: ceil(log2 P) rounds of shifted exchanges).
+func (r *Rank) Barrier() {
+	stack := r.capture()
+	p := r.Size()
+	round := 0
+	for k := 1; k < p; k <<= 1 {
+		dst := (r.id + k) % p
+		src := (r.id - k + p) % p
+		tag := r.collTag(round)
+		r.sendInternal(dst, tag, nil)
+		r.recvInternal(src, tag)
+		round++
+	}
+	r.finishCollective(trace.KindBarrier, trace.NoPeer, 0, stack)
+}
+
+// Bcast distributes root's data to every rank along a binomial tree and
+// returns each rank's copy.
+func (r *Rank) Bcast(root int, data []byte) []byte {
+	r.checkRoot(root)
+	stack := r.capture()
+	p := r.Size()
+	rel := (r.id - root + p) % p
+	abs := func(relRank int) int { return (relRank + root) % p }
+	tag := r.collTag(0)
+
+	// Receive from the parent (the highest set bit of rel).
+	mask := 1
+	for mask < p {
+		if rel&mask != 0 {
+			msg := r.recvInternal(abs(rel-mask), tag)
+			data = msg.data
+			break
+		}
+		mask <<= 1
+	}
+	// Forward to children in decreasing mask order.
+	mask >>= 1
+	for mask > 0 {
+		if rel&mask == 0 && rel+mask < p {
+			r.sendInternal(abs(rel+mask), tag, data)
+		}
+		mask >>= 1
+	}
+	out := append([]byte(nil), data...)
+	r.finishCollective(trace.KindBcast, root, len(out), stack)
+	return out
+}
+
+// Reduce combines every rank's data with op along a binomial tree and
+// returns the result on root (nil elsewhere). Combination order is
+// deterministic (tree order), so a non-commutative op still yields a
+// reproducible result; contrast ReduceArrival.
+func (r *Rank) Reduce(root int, data []byte, op ReduceOp) []byte {
+	r.checkRoot(root)
+	if op == nil {
+		panic("sim: Reduce with nil op")
+	}
+	stack := r.capture()
+	p := r.Size()
+	rel := (r.id - root + p) % p
+	abs := func(relRank int) int { return (relRank + root) % p }
+	tag := r.collTag(0)
+
+	acc := append([]byte(nil), data...)
+	mask := 1
+	for mask < p {
+		if rel&mask == 0 {
+			childRel := rel | mask
+			if childRel < p {
+				msg := r.recvInternal(abs(childRel), tag)
+				acc = op(acc, msg.data)
+			}
+		} else {
+			r.sendInternal(abs(rel&^mask), tag, acc)
+			acc = nil
+			break
+		}
+		mask <<= 1
+	}
+	r.finishCollective(trace.KindReduce, root, len(data), stack)
+	return acc
+}
+
+// ReduceArrival is a linear reduction in which the root combines
+// contributions in ARRIVAL order. With a non-commutative op (for
+// example floating-point summation, whose rounding depends on order)
+// different executions can produce different results — the numerical
+// face of communication non-determinism discussed in the paper's
+// references on reproducible reductions.
+func (r *Rank) ReduceArrival(root int, data []byte, op ReduceOp) []byte {
+	r.checkRoot(root)
+	if op == nil {
+		panic("sim: ReduceArrival with nil op")
+	}
+	stack := r.capture()
+	tag := r.collTag(0)
+	var acc []byte
+	if r.id == root {
+		acc = append([]byte(nil), data...)
+		for i := 1; i < r.Size(); i++ {
+			msg := r.recvInternal(AnySource, tag)
+			acc = op(acc, msg.data)
+		}
+	} else {
+		r.sendInternal(root, tag, data)
+	}
+	r.finishCollective(trace.KindReduce, root, len(data), stack)
+	return acc
+}
+
+// Allreduce combines every rank's data with op and returns the result on
+// every rank (Reduce to rank 0, then Bcast).
+func (r *Rank) Allreduce(data []byte, op ReduceOp) []byte {
+	if op == nil {
+		panic("sim: Allreduce with nil op")
+	}
+	stack := r.capture()
+	p := r.Size()
+	tagReduce := r.collTag(0)
+	tagBcast := r.collTag(1)
+
+	// Reduce phase toward rank 0 (binomial tree, root 0).
+	acc := append([]byte(nil), data...)
+	mask := 1
+	for mask < p {
+		if r.id&mask == 0 {
+			child := r.id | mask
+			if child < p {
+				msg := r.recvInternal(child, tagReduce)
+				acc = op(acc, msg.data)
+			}
+		} else {
+			r.sendInternal(r.id&^mask, tagReduce, acc)
+			acc = nil
+			break
+		}
+		mask <<= 1
+	}
+	// Broadcast phase from rank 0 (binomial tree).
+	mask = 1
+	for mask < p {
+		if r.id&mask != 0 {
+			msg := r.recvInternal(r.id&^mask, tagBcast)
+			acc = msg.data
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if r.id&mask == 0 && r.id+mask < p {
+			r.sendInternal(r.id+mask, tagBcast, acc)
+		}
+		mask >>= 1
+	}
+	out := append([]byte(nil), acc...)
+	r.finishCollective(trace.KindAllreduce, trace.NoPeer, len(data), stack)
+	return out
+}
+
+// Gather collects each rank's data on root. On root the result is
+// indexed by rank; other ranks receive nil.
+func (r *Rank) Gather(root int, data []byte) [][]byte {
+	r.checkRoot(root)
+	stack := r.capture()
+	tag := r.collTag(0)
+	var out [][]byte
+	if r.id == root {
+		out = make([][]byte, r.Size())
+		out[root] = append([]byte(nil), data...)
+		for src := 0; src < r.Size(); src++ {
+			if src == root {
+				continue
+			}
+			msg := r.recvInternal(src, tag)
+			out[src] = msg.data
+		}
+	} else {
+		r.sendInternal(root, tag, data)
+	}
+	r.finishCollective(trace.KindGather, root, len(data), stack)
+	return out
+}
+
+// Scatter distributes parts[i] from root to rank i and returns each
+// rank's part. On root, parts must have one entry per rank; it is
+// ignored elsewhere.
+func (r *Rank) Scatter(root int, parts [][]byte) []byte {
+	r.checkRoot(root)
+	stack := r.capture()
+	tag := r.collTag(0)
+	var out []byte
+	if r.id == root {
+		if len(parts) != r.Size() {
+			panic(fmt.Sprintf("sim: Scatter root has %d parts for %d ranks", len(parts), r.Size()))
+		}
+		out = append([]byte(nil), parts[root]...)
+		for dst := 0; dst < r.Size(); dst++ {
+			if dst == root {
+				continue
+			}
+			r.sendInternal(dst, tag, parts[dst])
+		}
+	} else {
+		msg := r.recvInternal(root, tag)
+		out = msg.data
+	}
+	r.finishCollective(trace.KindScatter, root, len(out), stack)
+	return out
+}
+
+// Allgather collects every rank's data on every rank (ring algorithm:
+// P-1 steps, each forwarding the block received in the previous step).
+func (r *Rank) Allgather(data []byte) [][]byte {
+	stack := r.capture()
+	p := r.Size()
+	out := make([][]byte, p)
+	out[r.id] = append([]byte(nil), data...)
+	if p > 1 {
+		next := (r.id + 1) % p
+		prev := (r.id - 1 + p) % p
+		block := r.id // index of the block we send next
+		for step := 0; step < p-1; step++ {
+			tag := r.collTag(step)
+			r.sendInternal(next, tag, out[block])
+			msg := r.recvInternal(prev, tag)
+			block = (block - 1 + p) % p
+			out[block] = msg.data
+		}
+	}
+	r.finishCollective(trace.KindAllgather, trace.NoPeer, len(data), stack)
+	return out
+}
+
+// Scan computes the inclusive prefix reduction: rank r returns
+// op(data_0, op(data_1, ... data_r)). The pipeline algorithm chains the
+// ranks: each receives the running prefix from rank-1, combines its own
+// contribution, and forwards to rank+1. Combination order is fixed by
+// rank order, so Scan is reproducible at any ND level.
+func (r *Rank) Scan(data []byte, op ReduceOp) []byte {
+	if op == nil {
+		panic("sim: Scan with nil op")
+	}
+	stack := r.capture()
+	tag := r.collTag(0)
+	acc := append([]byte(nil), data...)
+	if r.id > 0 {
+		msg := r.recvInternal(r.id-1, tag)
+		acc = op(msg.data, acc)
+	}
+	if r.id < r.Size()-1 {
+		r.sendInternal(r.id+1, tag, acc)
+	}
+	r.finishCollective(trace.KindScan, trace.NoPeer, len(data), stack)
+	return acc
+}
+
+// Alltoall sends parts[j] to rank j and returns the parts received,
+// indexed by source rank. parts must have one entry per rank; the entry
+// for the caller's own rank is copied through locally.
+func (r *Rank) Alltoall(parts [][]byte) [][]byte {
+	if len(parts) != r.Size() {
+		panic(fmt.Sprintf("sim: Alltoall with %d parts for %d ranks", len(parts), r.Size()))
+	}
+	stack := r.capture()
+	p := r.Size()
+	tag := r.collTag(0)
+	out := make([][]byte, p)
+	out[r.id] = append([]byte(nil), parts[r.id]...)
+	// Eager sends cannot block, so send everything then receive in
+	// source order.
+	var bytes int
+	for off := 1; off < p; off++ {
+		dst := (r.id + off) % p
+		r.sendInternal(dst, tag, parts[dst])
+		bytes += len(parts[dst])
+	}
+	for off := 1; off < p; off++ {
+		src := (r.id - off + p) % p
+		msg := r.recvInternal(src, tag)
+		out[src] = msg.data
+	}
+	r.finishCollective(trace.KindAlltoall, trace.NoPeer, bytes, stack)
+	return out
+}

@@ -1,0 +1,543 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/anacin-go/anacinx/internal/trace"
+	"github.com/anacin-go/anacinx/internal/vtime"
+)
+
+// opConcat is an associative, non-commutative reduce op used to observe
+// combination order.
+func opConcat(a, b []byte) []byte { return append(append([]byte(nil), a...), b...) }
+
+// opSumF64 adds two little-endian float64 payloads.
+func opSumF64(a, b []byte) []byte {
+	x := math.Float64frombits(binary.LittleEndian.Uint64(a))
+	y := math.Float64frombits(binary.LittleEndian.Uint64(b))
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint64(out, math.Float64bits(x+y))
+	return out
+}
+
+func f64Bytes(v float64) []byte {
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint64(out, math.Float64bits(v))
+	return out
+}
+
+func f64Of(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+// procCounts exercises power-of-two and ragged sizes, plus the P=1 edge.
+var procCounts = []int{1, 2, 3, 4, 5, 7, 8, 13}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	for _, p := range procCounts {
+		p := p
+		t.Run(fmt.Sprint(p), func(t *testing.T) {
+			// Rank 0 computes for 1ms before the barrier; everyone's
+			// clock after the barrier must be at least that.
+			after := make([]vtime.Time, p)
+			mustRun(t, DefaultConfig(p, 1), func(r *Rank) {
+				if r.Rank() == 0 {
+					r.Compute(vtime.Millisecond)
+				}
+				r.Barrier()
+				after[r.Rank()] = r.Now()
+			})
+			for rank, tm := range after {
+				if p > 1 && tm < vtime.Time(vtime.Millisecond) {
+					t.Errorf("rank %d left the barrier at %v, before the slowest rank entered", rank, tm)
+				}
+			}
+		})
+	}
+}
+
+func TestBcastAllRoots(t *testing.T) {
+	for _, p := range procCounts {
+		for root := 0; root < p; root++ {
+			payload := []byte(fmt.Sprintf("payload-from-%d", root))
+			got := make([][]byte, p)
+			mustRun(t, DefaultConfig(p, 1), func(r *Rank) {
+				var data []byte
+				if r.Rank() == root {
+					data = payload
+				}
+				got[r.Rank()] = r.Bcast(root, data)
+			})
+			for rank, g := range got {
+				if !bytes.Equal(g, payload) {
+					t.Fatalf("p=%d root=%d rank=%d got %q", p, root, rank, g)
+				}
+			}
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, p := range procCounts {
+		for root := 0; root < p; root += 2 {
+			var result []byte
+			mustRun(t, DefaultConfig(p, 1), func(r *Rank) {
+				out := r.Reduce(root, f64Bytes(float64(r.Rank()+1)), opSumF64)
+				if r.Rank() == root {
+					result = out
+				} else if out != nil {
+					panic("non-root got a reduce result")
+				}
+			})
+			want := float64(p*(p+1)) / 2
+			if f64Of(result) != want {
+				t.Fatalf("p=%d root=%d: sum = %v, want %v", p, root, f64Of(result), want)
+			}
+		}
+	}
+}
+
+func TestReduceDeterministicOrder(t *testing.T) {
+	// Tree reduce with a non-commutative op must give the same result
+	// for every seed, even at 100% ND.
+	cfg := DefaultConfig(6, 1)
+	cfg.NDPercent = 100
+	var first []byte
+	for seed := int64(0); seed < 8; seed++ {
+		cfg.Seed = seed
+		var result []byte
+		mustRun(t, cfg, func(r *Rank) {
+			out := r.Reduce(0, []byte{byte('a' + r.Rank())}, opConcat)
+			if r.Rank() == 0 {
+				result = out
+			}
+		})
+		if seed == 0 {
+			first = result
+		} else if !bytes.Equal(result, first) {
+			t.Fatalf("seed %d changed tree-reduce order: %q vs %q", seed, result, first)
+		}
+	}
+}
+
+func TestReduceArrivalOrderNondeterministic(t *testing.T) {
+	// Arrival-order reduce with a non-commutative op at 100% ND must
+	// produce at least two distinct results across seeds — the
+	// numerical-reproducibility failure mode the paper's references
+	// [4][5] discuss.
+	cfg := DefaultConfig(8, 1)
+	cfg.NDPercent = 100
+	results := make(map[string]bool)
+	for seed := int64(0); seed < 16; seed++ {
+		cfg.Seed = seed
+		var result []byte
+		mustRun(t, cfg, func(r *Rank) {
+			out := r.ReduceArrival(0, []byte{byte('a' + r.Rank())}, opConcat)
+			if r.Rank() == 0 {
+				result = out
+			}
+		})
+		if len(result) != 8 || result[0] != 'a' {
+			t.Fatalf("seed %d: malformed result %q", seed, result)
+		}
+		results[string(result)] = true
+	}
+	if len(results) < 2 {
+		t.Error("arrival-order reduce was deterministic across 16 seeds at 100% ND")
+	}
+}
+
+func TestReduceArrivalZeroNDDeterministic(t *testing.T) {
+	cfg := DefaultConfig(8, 1)
+	results := make(map[string]bool)
+	for seed := int64(0); seed < 8; seed++ {
+		cfg.Seed = seed
+		var result []byte
+		mustRun(t, cfg, func(r *Rank) {
+			out := r.ReduceArrival(0, []byte{byte('a' + r.Rank())}, opConcat)
+			if r.Rank() == 0 {
+				result = out
+			}
+		})
+		results[string(result)] = true
+	}
+	if len(results) != 1 {
+		t.Errorf("arrival-order reduce at 0%% ND gave %d distinct results", len(results))
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	for _, p := range procCounts {
+		got := make([]float64, p)
+		mustRun(t, DefaultConfig(p, 1), func(r *Rank) {
+			out := r.Allreduce(f64Bytes(float64(r.Rank()+1)), opSumF64)
+			got[r.Rank()] = f64Of(out)
+		})
+		want := float64(p*(p+1)) / 2
+		for rank, v := range got {
+			if v != want {
+				t.Fatalf("p=%d rank=%d allreduce = %v, want %v", p, rank, v, want)
+			}
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	for _, p := range procCounts {
+		root := p / 2
+		var gathered [][]byte
+		mustRun(t, DefaultConfig(p, 1), func(r *Rank) {
+			out := r.Gather(root, []byte{byte(r.Rank() * 3)})
+			if r.Rank() == root {
+				gathered = out
+			}
+		})
+		if len(gathered) != p {
+			t.Fatalf("p=%d: gathered %d parts", p, len(gathered))
+		}
+		for rank, part := range gathered {
+			if len(part) != 1 || part[0] != byte(rank*3) {
+				t.Fatalf("p=%d rank=%d part %v", p, rank, part)
+			}
+		}
+	}
+}
+
+func TestScatter(t *testing.T) {
+	for _, p := range procCounts {
+		root := 0
+		parts := make([][]byte, p)
+		for i := range parts {
+			parts[i] = []byte{byte(i + 10)}
+		}
+		got := make([][]byte, p)
+		mustRun(t, DefaultConfig(p, 1), func(r *Rank) {
+			var in [][]byte
+			if r.Rank() == root {
+				in = parts
+			}
+			got[r.Rank()] = r.Scatter(root, in)
+		})
+		for rank, part := range got {
+			if len(part) != 1 || part[0] != byte(rank+10) {
+				t.Fatalf("p=%d rank=%d got %v", p, rank, part)
+			}
+		}
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	for _, p := range procCounts {
+		got := make([][][]byte, p)
+		mustRun(t, DefaultConfig(p, 1), func(r *Rank) {
+			got[r.Rank()] = r.Allgather([]byte{byte(r.Rank() + 1)})
+		})
+		for rank, all := range got {
+			if len(all) != p {
+				t.Fatalf("p=%d rank=%d: %d blocks", p, rank, len(all))
+			}
+			for src, block := range all {
+				if len(block) != 1 || block[0] != byte(src+1) {
+					t.Fatalf("p=%d rank=%d block[%d] = %v", p, rank, src, block)
+				}
+			}
+		}
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	for _, p := range procCounts {
+		got := make([][][]byte, p)
+		mustRun(t, DefaultConfig(p, 1), func(r *Rank) {
+			parts := make([][]byte, p)
+			for dst := range parts {
+				parts[dst] = []byte{byte(r.Rank()), byte(dst)}
+			}
+			got[r.Rank()] = r.Alltoall(parts)
+		})
+		for rank, all := range got {
+			for src, part := range all {
+				if len(part) != 2 || part[0] != byte(src) || part[1] != byte(rank) {
+					t.Fatalf("p=%d rank=%d from %d: %v", p, rank, src, part)
+				}
+			}
+		}
+	}
+}
+
+func TestScan(t *testing.T) {
+	for _, p := range procCounts {
+		got := make([]float64, p)
+		mustRun(t, DefaultConfig(p, 1), func(r *Rank) {
+			out := r.Scan(f64Bytes(float64(r.Rank()+1)), opSumF64)
+			got[r.Rank()] = f64Of(out)
+		})
+		for rank, v := range got {
+			want := float64((rank+1)*(rank+2)) / 2 // 1+2+...+(rank+1)
+			if v != want {
+				t.Fatalf("p=%d rank=%d scan = %v, want %v", p, rank, v, want)
+			}
+		}
+	}
+}
+
+func TestScanOrderFixedUnderND(t *testing.T) {
+	// Scan combines in rank order by construction: a non-commutative op
+	// gives identical results at 100% ND across seeds.
+	cfg := DefaultConfig(5, 1)
+	cfg.NDPercent = 100
+	var first []byte
+	for seed := int64(0); seed < 5; seed++ {
+		cfg.Seed = seed
+		var last []byte
+		mustRun(t, cfg, func(r *Rank) {
+			out := r.Scan([]byte{byte('a' + r.Rank())}, opConcat)
+			if r.Rank() == 4 {
+				last = out
+			}
+		})
+		if string(last) != "abcde" {
+			t.Fatalf("seed %d: scan tail = %q", seed, last)
+		}
+		if seed == 0 {
+			first = last
+		} else if string(first) != string(last) {
+			t.Fatal("scan result varied across seeds")
+		}
+	}
+}
+
+func TestScanNilOpPanics(t *testing.T) {
+	_, _, err := Run(DefaultConfig(2, 1), trace.Meta{}, func(r *Rank) { r.Scan(nil, nil) })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want PanicError", err)
+	}
+}
+
+func TestCollectivesTraceSingleEvent(t *testing.T) {
+	// Each collective call appears exactly once per rank in the trace;
+	// the internal plumbing messages are invisible.
+	tr, stats := mustRun(t, DefaultConfig(4, 1), func(r *Rank) {
+		r.Barrier()
+		r.Bcast(0, []byte("x"))
+		r.Allreduce(f64Bytes(1), opSumF64)
+	})
+	counts := tr.KindCounts()
+	if counts[trace.KindBarrier] != 4 || counts[trace.KindBcast] != 4 || counts[trace.KindAllreduce] != 4 {
+		t.Errorf("KindCounts = %v", counts)
+	}
+	if counts[trace.KindSend] != 0 || counts[trace.KindRecv] != 0 {
+		t.Errorf("internal messages leaked into the trace: %v", counts)
+	}
+	// ... but they do traverse the network.
+	if stats.Messages == 0 {
+		t.Error("collectives moved no messages")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("trace invalid: %v", err)
+	}
+}
+
+func TestCollectivesUnderND(t *testing.T) {
+	// Correctness must hold at 100% ND for every algorithm.
+	cfg := DefaultConfig(7, 2)
+	cfg.NDPercent = 100
+	for seed := int64(0); seed < 5; seed++ {
+		cfg.Seed = seed
+		var sum float64
+		mustRun(t, cfg, func(r *Rank) {
+			r.Barrier()
+			data := r.Bcast(0, f64Bytes(2.5))
+			if f64Of(data) != 2.5 {
+				panic("bcast corrupted under ND")
+			}
+			out := r.Allreduce(f64Bytes(float64(r.Rank())), opSumF64)
+			if r.Rank() == 3 {
+				sum = f64Of(out)
+			}
+			all := r.Allgather([]byte{byte(r.Rank())})
+			for src, b := range all {
+				if b[0] != byte(src) {
+					panic("allgather corrupted under ND")
+				}
+			}
+		})
+		if sum != 21 { // 0+1+...+6
+			t.Fatalf("seed %d: allreduce sum = %v", seed, sum)
+		}
+	}
+}
+
+func TestMixedP2PAndCollectives(t *testing.T) {
+	// Interleaving user messages with collectives must not cross-match:
+	// user payloads survive intact.
+	cfg := DefaultConfig(4, 1)
+	cfg.NDPercent = 100
+	mustRun(t, cfg, func(r *Rank) {
+		if r.Rank() == 0 {
+			for i := 1; i < 4; i++ {
+				r.Send(i, 0, []byte{0xAA})
+			}
+		}
+		r.Barrier()
+		if r.Rank() != 0 {
+			m := r.Recv(0, 0)
+			if len(m.Data) != 1 || m.Data[0] != 0xAA {
+				panic("user message corrupted by collective plumbing")
+			}
+		}
+		r.Barrier()
+	})
+}
+
+func TestCollectiveValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		program Program
+	}{
+		{"bad bcast root", func(r *Rank) { r.Bcast(99, nil) }},
+		{"nil reduce op", func(r *Rank) { r.Reduce(0, nil, nil) }},
+		{"nil allreduce op", func(r *Rank) { r.Allreduce(nil, nil) }},
+		{"nil reduce-arrival op", func(r *Rank) { r.ReduceArrival(0, nil, nil) }},
+		{"short scatter", func(r *Rank) { r.Scatter(0, [][]byte{nil}) }},
+		{"short alltoall", func(r *Rank) { r.Alltoall([][]byte{nil}) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, _, err := Run(DefaultConfig(3, 1), trace.Meta{}, c.program)
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Errorf("err = %v, want PanicError", err)
+			}
+		})
+	}
+}
+
+func TestMismatchedCollectivesDeadlock(t *testing.T) {
+	// Rank 0 enters a barrier no one else joins: detected as deadlock.
+	_, _, err := Run(DefaultConfig(3, 1), trace.Meta{}, func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Barrier()
+		}
+	})
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+}
+
+func TestLamportOrderAcrossCollective(t *testing.T) {
+	// A collective is a synchronization point: every rank's collective
+	// event must have a Lamport timestamp greater than every rank's
+	// pre-collective event... for Barrier (full synchronization) the
+	// weaker, always-true property is: each rank's barrier event exceeds
+	// its own prior events and at least one remote contribution chain.
+	tr, _ := mustRun(t, DefaultConfig(4, 1), func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Compute(vtime.Millisecond)
+		}
+		r.Barrier()
+	})
+	// Rank 0 did Init(1)... Barrier(n). Other ranks' barriers causally
+	// follow rank 0's init through the dissemination messages; with the
+	// strict-increase validation this reduces to: validate passes and
+	// every barrier lamport > its rank's init lamport.
+	for rank, evs := range tr.Events {
+		var initL, barrierL int64
+		for i := range evs {
+			switch evs[i].Kind {
+			case trace.KindInit:
+				initL = evs[i].Lamport
+			case trace.KindBarrier:
+				barrierL = evs[i].Lamport
+			}
+		}
+		if barrierL <= initL {
+			t.Errorf("rank %d: barrier lamport %d <= init %d", rank, barrierL, initL)
+		}
+	}
+}
+
+func TestCollectivesWithRendezvousUserTraffic(t *testing.T) {
+	// Large (rendezvous) user messages interleaved with collectives:
+	// the protocols must not interfere, at 100% ND, across seeds.
+	for seed := int64(0); seed < 4; seed++ {
+		cfg := DefaultConfig(6, seed)
+		cfg.NDPercent = 100
+		cfg.Net.RendezvousThreshold = 512
+		mustRun(t, cfg, func(r *Rank) {
+			other := (r.Rank() + 3) % 6
+			req := r.Isend(other, 1, make([]byte, 2048))
+			r.Barrier()
+			m := r.Recv((r.Rank()+3)%6, 1)
+			if m.Size != 2048 {
+				panic("rendezvous payload lost around a barrier")
+			}
+			sum := r.Allreduce(f64Bytes(1), opSumF64)
+			if f64Of(sum) != 6 {
+				panic("allreduce wrong amid rendezvous traffic")
+			}
+			r.Wait(req)
+		})
+	}
+}
+
+func TestReplayWithCollectives(t *testing.T) {
+	// Replay pins only traced user receives; collective plumbing runs
+	// free. A program mixing both must still replay exactly.
+	program := func(r *Rank) {
+		if r.Rank() == 0 {
+			for i := 0; i < 4; i++ {
+				r.Recv(AnySource, AnyTag)
+			}
+		} else {
+			r.SendSize(0, 0, 1)
+		}
+		r.Barrier()
+		r.Allreduce(f64Bytes(float64(r.Rank())), opSumF64)
+	}
+	cfg := DefaultConfig(5, 9)
+	cfg.NDPercent = 100
+	recorded, _ := mustRun(t, cfg, program)
+	sched := RecordSchedule(recorded)
+	for seed := int64(100); seed < 105; seed++ {
+		rc := cfg
+		rc.Seed = seed
+		rc.Replay = sched
+		tr, _ := mustRun(t, rc, program)
+		if tr.OrderHash() != recorded.OrderHash() {
+			t.Fatalf("seed %d: replay diverged with collectives present", seed)
+		}
+	}
+}
+
+func BenchmarkBarrier32(b *testing.B) {
+	cfg := DefaultConfig(32, 1)
+	cfg.CaptureStacks = false
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Run(cfg, trace.Meta{}, func(r *Rank) { r.Barrier() }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllreduce32(b *testing.B) {
+	cfg := DefaultConfig(32, 1)
+	cfg.CaptureStacks = false
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _, err := Run(cfg, trace.Meta{}, func(r *Rank) {
+			r.Allreduce(f64Bytes(float64(r.Rank())), opSumF64)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

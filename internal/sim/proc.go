@@ -1,0 +1,39 @@
+package sim
+
+import "github.com/anacin-go/anacinx/internal/vtime"
+
+// Proc is the runtime-independent face of a rank: the point-to-point
+// subset shared by the deterministic DES runtime (*Rank) and the
+// wallclock runtime (*WallRank). Communication patterns written against
+// Proc run on either substrate, which is how the course contrasts
+// *modelled* non-determinism (injected delays, reproducible per seed)
+// with *native* non-determinism (the Go scheduler's real races).
+type Proc interface {
+	// Rank returns this process's id in [0, Size).
+	Rank() int
+	// Size returns the number of processes.
+	Size() int
+	// Send transmits data to dst with the given tag.
+	Send(dst, tag int, data []byte)
+	// SendSize transmits a size-only message.
+	SendSize(dst, tag, size int)
+	// Recv blocks for a message matching (src, tag); wildcards allowed.
+	Recv(src, tag int) Message
+	// Compute models local computation of the given virtual duration.
+	Compute(d vtime.Duration)
+}
+
+// ProcProgram is a rank program written against the runtime-independent
+// Proc surface: it runs under Run (via Adapt) and under RunWallclock.
+type ProcProgram func(Proc)
+
+// Adapt converts a runtime-independent program to a DES Program.
+func Adapt(p ProcProgram) Program {
+	return func(r *Rank) { p(r) }
+}
+
+// Compile-time checks that both runtimes satisfy Proc.
+var (
+	_ Proc = (*Rank)(nil)
+	_ Proc = (*WallRank)(nil)
+)

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/anacin-go/anacinx/internal/trace"
+	"github.com/anacin-go/anacinx/internal/vtime"
+)
+
+// rvConfig returns a config whose sends of >= 1024 bytes use the
+// rendezvous protocol.
+func rvConfig(procs int, seed int64) Config {
+	cfg := DefaultConfig(procs, seed)
+	cfg.Net.RendezvousThreshold = 1024
+	return cfg
+}
+
+func TestRendezvousSendCompletesOnMatch(t *testing.T) {
+	// The sender's clock after a rendezvous Send must be at least the
+	// receiver's matching time — here delayed by 1ms of compute.
+	var sendDone, recvDone vtime.Time
+	mustRun(t, rvConfig(2, 1), func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 0, make([]byte, 4096))
+			sendDone = r.Now()
+		} else {
+			r.Compute(vtime.Millisecond)
+			r.Recv(0, 0)
+			recvDone = r.Now()
+		}
+	})
+	if sendDone < vtime.Time(vtime.Millisecond) {
+		t.Errorf("rendezvous send completed at %v, before the receive at %v", sendDone, recvDone)
+	}
+}
+
+func TestEagerSendBelowThreshold(t *testing.T) {
+	// Small sends stay eager: the sender finishes long before the
+	// receiver bothers to receive.
+	var sendDone vtime.Time
+	mustRun(t, rvConfig(2, 1), func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 0, make([]byte, 8))
+			sendDone = r.Now()
+		} else {
+			r.Compute(vtime.Millisecond)
+			r.Recv(0, 0)
+		}
+	})
+	if sendDone >= vtime.Time(vtime.Millisecond) {
+		t.Errorf("small send blocked until the receive: %v", sendDone)
+	}
+}
+
+func TestRendezvousHeadToHeadDeadlocks(t *testing.T) {
+	// The classic MPI bug: both ranks Send large payloads first. Under
+	// the rendezvous protocol this deadlocks, and the error must say
+	// both ranks are stuck in rendezvous sends.
+	_, _, err := Run(rvConfig(2, 1), trace.Meta{}, func(r *Rank) {
+		other := 1 - r.Rank()
+		r.Send(other, 0, make([]byte, 2048))
+		r.Recv(other, 0)
+	})
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(dl.Blocked) != 2 {
+		t.Errorf("blocked ranks: %v", dl.Blocked)
+	}
+	if !strings.Contains(err.Error(), "rendezvous") {
+		t.Errorf("error %q does not mention rendezvous", err)
+	}
+}
+
+func TestSendrecvAvoidsHeadToHeadDeadlock(t *testing.T) {
+	// The canonical fix: Sendrecv. Must complete and deliver payloads.
+	payload := make([]byte, 2048)
+	var got [2]Message
+	mustRun(t, rvConfig(2, 1), func(r *Rank) {
+		other := 1 - r.Rank()
+		payload[0] = byte(r.Rank()) // sender id in byte 0 (copied at send)
+		p := append([]byte(nil), payload...)
+		p[0] = byte(r.Rank())
+		got[r.Rank()] = r.Sendrecv(other, 0, p, other, 0)
+	})
+	for rank := 0; rank < 2; rank++ {
+		m := got[rank]
+		if m.Size != 2048 || m.Data[0] != byte(1-rank) {
+			t.Errorf("rank %d received %d bytes from marker %d", rank, m.Size, m.Data[0])
+		}
+	}
+}
+
+func TestRendezvousIsendWaitAfterConsumption(t *testing.T) {
+	// The receive happens while the sender computes; the later Wait
+	// must complete instantly but not before the consumption time.
+	mustRun(t, rvConfig(2, 1), func(r *Rank) {
+		if r.Rank() == 0 {
+			req := r.Isend(1, 0, make([]byte, 4096))
+			r.Compute(2 * vtime.Millisecond) // receiver consumes meanwhile
+			before := r.Now()
+			r.Wait(req)
+			if r.Now() < before {
+				panic("Wait moved the clock backwards")
+			}
+		} else {
+			r.Recv(0, 0)
+		}
+	})
+}
+
+func TestRendezvousIsendWaitBlocksUntilConsumption(t *testing.T) {
+	var waitDone vtime.Time
+	mustRun(t, rvConfig(2, 1), func(r *Rank) {
+		if r.Rank() == 0 {
+			req := r.Isend(1, 0, make([]byte, 4096))
+			r.Wait(req) // receiver is still computing: must block
+			waitDone = r.Now()
+		} else {
+			r.Compute(3 * vtime.Millisecond)
+			r.Recv(0, 0)
+		}
+	})
+	if waitDone < vtime.Time(3*vtime.Millisecond) {
+		t.Errorf("Wait returned at %v, before consumption", waitDone)
+	}
+}
+
+func TestRendezvousWithPostedIrecv(t *testing.T) {
+	// Receiver posts an Irecv first; sender's rendezvous Send completes
+	// at message arrival.
+	mustRun(t, rvConfig(2, 1), func(r *Rank) {
+		if r.Rank() == 1 {
+			req := r.Irecv(0, 0)
+			r.Compute(vtime.Millisecond)
+			m := r.Wait(req)
+			if m.Size != 4096 {
+				panic("wrong payload")
+			}
+		} else {
+			r.Send(1, 0, make([]byte, 4096))
+		}
+	})
+}
+
+func TestRendezvousUnderND(t *testing.T) {
+	// Rendezvous + 100% ND: a race of large messages still completes
+	// and validates, across seeds.
+	for seed := int64(0); seed < 5; seed++ {
+		cfg := rvConfig(5, seed)
+		cfg.NDPercent = 100
+		mustRun(t, cfg, func(r *Rank) {
+			if r.Rank() == 0 {
+				for i := 0; i < 4; i++ {
+					r.Recv(AnySource, AnyTag)
+				}
+			} else {
+				r.Send(0, 0, make([]byte, 2048))
+			}
+		})
+	}
+}
+
+func TestCollectivesIgnoreRendezvous(t *testing.T) {
+	// Internal collective messages must stay eager even above the
+	// threshold — ring allgather of 4 KiB blocks would deadlock
+	// otherwise.
+	cfg := rvConfig(6, 1)
+	mustRun(t, cfg, func(r *Rank) {
+		blocks := r.Allgather(make([]byte, 4096))
+		if len(blocks) != 6 {
+			panic("allgather lost blocks")
+		}
+		r.Reduce(0, make([]byte, 8192), func(a, b []byte) []byte { return a })
+		r.Barrier()
+	})
+}
+
+func TestRendezvousDeterministic(t *testing.T) {
+	cfg := rvConfig(4, 7)
+	cfg.NDPercent = 100
+	program := func(r *Rank) {
+		if r.Rank() == 0 {
+			for i := 0; i < 3; i++ {
+				r.Recv(AnySource, AnyTag)
+			}
+		} else {
+			r.Send(0, 0, make([]byte, 2048))
+		}
+	}
+	tr1, _ := mustRun(t, cfg, program)
+	tr2, _ := mustRun(t, cfg, program)
+	if tr1.Hash() != tr2.Hash() {
+		t.Error("rendezvous runs not reproducible for one seed")
+	}
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/anacin-go/anacinx/internal/trace"
+)
+
+// Record-and-replay in the style of ReMPI (Sato et al., SC'15), the
+// related-work tool the paper cites for suppressing non-determinism:
+// a recorded Schedule pins every wildcard receive of a later run to the
+// message it matched in the recorded run, making the communication
+// structure reproducible even at 100% injected non-determinism.
+
+// MatchKey identifies a message independently of the run that carried
+// it: the sending rank plus the message's sequence number on its
+// (src → dst) channel. Channel sequence numbers are stable across runs
+// as long as the program's per-channel send order does not depend on
+// received data, which holds for all patterns in this repository.
+type MatchKey struct {
+	Src     int `json:"src"`
+	ChanSeq int `json:"chan_seq"`
+}
+
+// Schedule is the per-rank ordered list of receive matches recorded from
+// a run. Installing it in Config.Replay pins each traced receive of the
+// next run, in issue order, to its recorded message.
+//
+// Limitation (shared with the recording granularity of the trace): for
+// programs with several outstanding Irecv requests, matches are replayed
+// in completion order, so replay is faithful when requests are waited in
+// posting order.
+type Schedule struct {
+	PerRank [][]MatchKey `json:"per_rank"`
+}
+
+// RecordSchedule extracts the match order of every traced receive from a
+// completed run's trace.
+func RecordSchedule(tr *trace.Trace) *Schedule {
+	s := &Schedule{PerRank: make([][]MatchKey, tr.Procs())}
+	for rank, evs := range tr.Events {
+		for i := range evs {
+			e := &evs[i]
+			if e.Kind.IsReceive() && e.MsgID != trace.NoMsg {
+				s.PerRank[rank] = append(s.PerRank[rank], MatchKey{Src: e.Peer, ChanSeq: e.ChanSeq})
+			}
+		}
+	}
+	return s
+}
+
+// validate checks the schedule covers exactly the configured rank count
+// and references only valid source ranks.
+func (s *Schedule) validate(procs int) error {
+	if len(s.PerRank) != procs {
+		return fmt.Errorf("sim: replay schedule covers %d ranks, run has %d", len(s.PerRank), procs)
+	}
+	for rank, keys := range s.PerRank {
+		for i, k := range keys {
+			if k.Src < 0 || k.Src >= procs {
+				return fmt.Errorf("sim: replay schedule rank %d entry %d: src %d out of range", rank, i, k.Src)
+			}
+			if k.ChanSeq < 0 {
+				return fmt.Errorf("sim: replay schedule rank %d entry %d: negative chan seq", rank, i)
+			}
+		}
+	}
+	return nil
+}
+
+// Receives returns the total number of recorded matches.
+func (s *Schedule) Receives() int {
+	n := 0
+	for _, keys := range s.PerRank {
+		n += len(keys)
+	}
+	return n
+}
+
+// WriteJSON serializes the schedule.
+func (s *Schedule) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(s)
+}
+
+// ReadSchedule parses a schedule written with WriteJSON.
+func ReadSchedule(r io.Reader) (*Schedule, error) {
+	var s Schedule
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("sim: decode schedule: %w", err)
+	}
+	return &s, nil
+}
+
+// SaveFile writes the schedule to path as JSON.
+func (s *Schedule) SaveFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	bw := bufio.NewWriter(f)
+	if err := s.WriteJSON(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadSchedule reads a JSON schedule from path.
+func LoadSchedule(path string) (*Schedule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSchedule(bufio.NewReader(f))
+}

@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"github.com/anacin-go/anacinx/internal/trace"
+)
+
+func TestRecordScheduleCoversReceives(t *testing.T) {
+	cfg := DefaultConfig(4, 1)
+	cfg.NDPercent = 100
+	tr, _ := mustRun(t, cfg, racyProgram(4, 3))
+	sched := RecordSchedule(tr)
+	if len(sched.PerRank) != 4 {
+		t.Fatalf("PerRank len = %d", len(sched.PerRank))
+	}
+	if got := sched.Receives(); got != 9 { // 3 senders x 3 rounds, all into rank 0
+		t.Errorf("Receives = %d, want 9", got)
+	}
+	if len(sched.PerRank[0]) != 9 {
+		t.Errorf("rank 0 schedule has %d entries", len(sched.PerRank[0]))
+	}
+}
+
+func TestReplayReproducesMatchOrder(t *testing.T) {
+	// Record a 100%-ND run, then replay it under a different seed: the
+	// match order (OrderHash) must be identical to the recording even
+	// though the new seed would otherwise shuffle arrivals.
+	program := racyProgram(6, 4)
+	cfg := DefaultConfig(6, 1)
+	cfg.NDPercent = 100
+	cfg.Seed = 42
+	recorded, _ := mustRun(t, cfg, program)
+	sched := RecordSchedule(recorded)
+
+	replayCfg := cfg
+	replayCfg.Seed = 4242 // different randomness
+	replayCfg.Replay = sched
+	replayed, _ := mustRun(t, replayCfg, program)
+
+	if recorded.OrderHash() != replayed.OrderHash() {
+		t.Error("replay did not reproduce the recorded match order")
+	}
+
+	// Control: without replay, seed 4242 gives a different order (this
+	// particular seed pair is verified to differ; if the workload or
+	// network model changes, pick another pair).
+	controlCfg := cfg
+	controlCfg.Seed = 4242
+	control, _ := mustRun(t, controlCfg, program)
+	if control.OrderHash() == recorded.OrderHash() {
+		t.Skip("control seeds happened to match; replay assertion above still meaningful")
+	}
+}
+
+func TestReplayManySeeds(t *testing.T) {
+	// Replaying the same schedule under many seeds always reproduces the
+	// recorded order — the ReMPI property.
+	program := racyProgram(5, 3)
+	cfg := DefaultConfig(5, 1)
+	cfg.NDPercent = 100
+	cfg.Seed = 7
+	recorded, _ := mustRun(t, cfg, program)
+	sched := RecordSchedule(recorded)
+	want := recorded.OrderHash()
+	for seed := int64(100); seed < 110; seed++ {
+		rc := cfg
+		rc.Seed = seed
+		rc.Replay = sched
+		tr, _ := mustRun(t, rc, program)
+		if tr.OrderHash() != want {
+			t.Fatalf("seed %d: replay diverged", seed)
+		}
+	}
+}
+
+func TestReplayWithIrecv(t *testing.T) {
+	program := func(r *Rank) {
+		if r.Rank() == 0 {
+			for i := 0; i < 4; i++ {
+				req := r.Irecv(AnySource, AnyTag)
+				r.Wait(req)
+			}
+		} else {
+			r.SendSize(0, 0, 1)
+		}
+	}
+	cfg := DefaultConfig(5, 1)
+	cfg.NDPercent = 100
+	cfg.Seed = 3
+	recorded, _ := mustRun(t, cfg, program)
+	sched := RecordSchedule(recorded)
+	rc := cfg
+	rc.Seed = 33
+	rc.Replay = sched
+	replayed, _ := mustRun(t, rc, program)
+	if recorded.OrderHash() != replayed.OrderHash() {
+		t.Error("irecv replay diverged")
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	cfg := DefaultConfig(3, 1)
+	cfg.Replay = &Schedule{PerRank: make([][]MatchKey, 2)} // wrong rank count
+	if _, _, err := Run(cfg, trace.Meta{}, func(r *Rank) {}); err == nil {
+		t.Error("mismatched schedule accepted")
+	}
+	cfg.Replay = &Schedule{PerRank: [][]MatchKey{{{Src: 9, ChanSeq: 0}}, nil, nil}}
+	if _, _, err := Run(cfg, trace.Meta{}, func(r *Rank) {}); err == nil {
+		t.Error("out-of-range src accepted")
+	}
+	cfg.Replay = &Schedule{PerRank: [][]MatchKey{{{Src: 1, ChanSeq: -1}}, nil, nil}}
+	if _, _, err := Run(cfg, trace.Meta{}, func(r *Rank) {}); err == nil {
+		t.Error("negative chan seq accepted")
+	}
+}
+
+func TestReplayTooFewEntriesPanics(t *testing.T) {
+	// The program issues more receives than the schedule recorded.
+	cfg := DefaultConfig(2, 1)
+	cfg.Replay = &Schedule{PerRank: [][]MatchKey{nil, nil}}
+	_, _, err := Run(cfg, trace.Meta{}, func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Recv(AnySource, AnyTag)
+		} else {
+			r.SendSize(0, 0, 1)
+		}
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want PanicError", err)
+	}
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	sched := &Schedule{PerRank: [][]MatchKey{
+		{{Src: 1, ChanSeq: 0}, {Src: 2, ChanSeq: 0}},
+		nil,
+		{{Src: 0, ChanSeq: 3}},
+	}}
+	var buf bytes.Buffer
+	if err := sched.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSchedule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Receives() != 3 || len(got.PerRank) != 3 {
+		t.Errorf("round trip lost entries: %+v", got)
+	}
+	if got.PerRank[2][0] != (MatchKey{Src: 0, ChanSeq: 3}) {
+		t.Errorf("entry mangled: %+v", got.PerRank[2][0])
+	}
+}
+
+func TestScheduleFileRoundTrip(t *testing.T) {
+	cfg := DefaultConfig(3, 1)
+	cfg.NDPercent = 100
+	tr, _ := mustRun(t, cfg, racyProgram(3, 2))
+	sched := RecordSchedule(tr)
+	path := filepath.Join(t.TempDir(), "sched.json")
+	if err := sched.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSchedule(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Receives() != sched.Receives() {
+		t.Error("file round trip changed schedule")
+	}
+}
+
+func TestReadScheduleRejectsGarbage(t *testing.T) {
+	if _, err := ReadSchedule(bytes.NewBufferString("{nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

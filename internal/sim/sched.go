@@ -1,0 +1,495 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime/debug"
+
+	"github.com/anacin-go/anacinx/internal/trace"
+	"github.com/anacin-go/anacinx/internal/vtime"
+)
+
+// message is one point-to-point payload in flight or in a mailbox.
+type message struct {
+	id          int64 // global identity, unique within a run
+	src, dst    int
+	tag         int
+	size        int
+	data        []byte
+	chanSeq     int   // sequence on the (src,dst) channel
+	sendLamport int64 // sender's Lamport clock at the send event
+	arrival     vtime.Time
+	deliverSeq  int64    // heap tie-break; assigned at scheduling time
+	delayed     bool     // true when congestion jitter was applied
+	internal    bool     // true for untraced collective plumbing
+	rendezvous  bool     // sender completion deferred until consumption
+	sendReq     *Request // pending non-blocking rendezvous send, if any
+}
+
+// eventHeap orders in-flight messages by (arrival, deliverSeq).
+type eventHeap []*message
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].arrival != h[j].arrival {
+		return h[i].arrival < h[j].arrival
+	}
+	return h[i].deliverSeq < h[j].deliverSeq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*message)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	m := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return m
+}
+
+type rankStatus uint8
+
+const (
+	statusReady rankStatus = iota
+	statusRunning
+	statusBlocked
+	statusDone
+)
+
+type waitKind uint8
+
+const (
+	waitRecv waitKind = iota
+	waitProbe
+	waitRequest
+	waitAny
+	waitRendezvous
+)
+
+// waiter describes why a rank is blocked.
+type waiter struct {
+	kind     waitKind
+	src      int // filter (AnySource ok) for waitRecv/waitProbe
+	tag      int
+	internal bool       // waiting for collective plumbing, not user messages
+	key      *MatchKey  // exact replay match, when replaying
+	req      *Request   // for waitRequest
+	reqs     []*Request // for waitAny
+	msg      *message   // filled by the scheduler on match
+}
+
+func (w *waiter) describe() string {
+	src := "any"
+	if w.src != AnySource {
+		src = fmt.Sprint(w.src)
+	}
+	tag := "any"
+	if w.tag != AnyTag {
+		tag = fmt.Sprint(w.tag)
+	}
+	switch w.kind {
+	case waitRecv:
+		return fmt.Sprintf("in Recv(src=%s, tag=%s)", src, tag)
+	case waitProbe:
+		return fmt.Sprintf("in Probe(src=%s, tag=%s)", src, tag)
+	case waitRequest:
+		if w.req != nil && w.req.isRecv {
+			return fmt.Sprintf("in Wait(Irecv src=%s, tag=%s)", src, tag)
+		}
+		return "in Wait(Isend)"
+	case waitAny:
+		return fmt.Sprintf("in Waitany(%d requests)", len(w.reqs))
+	case waitRendezvous:
+		if w.msg != nil {
+			return fmt.Sprintf("in Send(rendezvous to %d, tag=%d, %d B)", w.msg.dst, w.msg.tag, w.msg.size)
+		}
+		return "in Send(rendezvous)"
+	}
+	return "blocked"
+}
+
+// matches reports whether msg satisfies the waiter's filter and, when a
+// replay key is pinned, whether it is exactly the recorded message.
+func (w *waiter) matches(msg *message) bool {
+	return msg.internal == w.internal && filterMatches(w.src, w.tag, w.key, msg)
+}
+
+// filterMatches applies the (src, tag) wildcard filter plus an optional
+// replay pin. Internal/user isolation is enforced separately (by
+// matchAllowed on mailbox scans and by the internal flags on waiters and
+// posted requests), so collective plumbing may use wildcard receives.
+func filterMatches(src, tag int, key *MatchKey, msg *message) bool {
+	if src != AnySource && msg.src != src {
+		return false
+	}
+	if tag != AnyTag && msg.tag != tag {
+		return false
+	}
+	if key != nil && (msg.src != key.Src || msg.chanSeq != key.ChanSeq) {
+		return false
+	}
+	return true
+}
+
+type chanKey struct{ src, dst int }
+
+// abortSentinel unwinds rank goroutines during shutdown.
+type abortSentinel struct{}
+
+// containsRequest reports whether req is one of reqs.
+func containsRequest(reqs []*Request, req *Request) bool {
+	for _, r := range reqs {
+		if r == req {
+			return true
+		}
+	}
+	return false
+}
+
+// errStepBudget builds the runaway-program error (shared by the
+// scheduler loop and the fast-path yield).
+func errStepBudget(budget int) error {
+	return fmt.Errorf("sim: step budget %d exceeded (runaway program?)", budget)
+}
+
+// simulation holds all scheduler state. Exactly one goroutine — either
+// the scheduler or a single resumed rank — touches it at any moment.
+type simulation struct {
+	cfg   Config
+	tr    *trace.Trace
+	ranks []*Rank
+
+	events      eventHeap
+	yielded     chan int // rank id that just yielded control
+	netRNG      *vtime.RNG
+	msgID       int64
+	deliverSeq  int64
+	chanSeqs    map[chanKey]int
+	lastArrival map[chanKey]vtime.Time
+	stats       Stats
+	steps       int
+	abortFlag   bool
+	panicErr    *PanicError
+	budgetErr   error
+}
+
+func newSim(cfg Config, meta trace.Meta) *simulation {
+	s := &simulation{
+		cfg:         cfg,
+		tr:          trace.New(meta),
+		yielded:     make(chan int),
+		netRNG:      vtime.NewRNG(cfg.Seed).Split(0xC0FFEE),
+		chanSeqs:    make(map[chanKey]int),
+		lastArrival: make(map[chanKey]vtime.Time),
+	}
+	base := vtime.NewRNG(cfg.Seed)
+	s.ranks = make([]*Rank, cfg.Procs)
+	for i := range s.ranks {
+		s.ranks[i] = &Rank{
+			sim:    s,
+			id:     i,
+			node:   cfg.NodeOf(i),
+			status: statusReady,
+			resume: make(chan struct{}),
+			rng:    base.Split(uint64(i) + 1),
+		}
+	}
+	return s
+}
+
+// run launches the rank goroutines and drives the event loop to
+// completion.
+func (s *simulation) run(program Program) (*trace.Trace, *Stats, error) {
+	for _, r := range s.ranks {
+		go s.rankMain(r, program)
+	}
+	err := s.loop()
+	s.shutdown()
+	if s.panicErr != nil {
+		return nil, nil, s.panicErr
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	s.stats.Events = s.tr.NumEvents()
+	return s.tr, &s.stats, nil
+}
+
+// rankMain is the goroutine body for one rank: wait for the first
+// resume, record Init, run the program, record Finalize.
+func (s *simulation) rankMain(r *Rank, program Program) {
+	defer func() {
+		if v := recover(); v != nil {
+			if _, isAbort := v.(abortSentinel); !isAbort && s.panicErr == nil {
+				s.panicErr = &PanicError{Rank: r.id, Value: v, Stack: string(debug.Stack())}
+			}
+		}
+		r.status = statusDone
+		s.yielded <- r.id
+	}()
+	<-r.resume
+	if s.abortFlag {
+		panic(abortSentinel{})
+	}
+	r.lamport++
+	r.record(trace.KindInit, trace.NoPeer, 0, 0, trace.NoMsg, 0, nil)
+	r.yield()
+	program(r)
+	r.lamport++
+	r.record(trace.KindFinalize, trace.NoPeer, 0, 0, trace.NoMsg, 0, nil)
+	// The deferred handler marks the rank done and yields.
+}
+
+// loop is the discrete-event core: repeatedly perform the globally
+// earliest action — deliver the earliest in-flight message or resume the
+// ready rank with the earliest local clock.
+func (s *simulation) loop() error {
+	for {
+		if s.panicErr != nil {
+			return nil // surfaced by run
+		}
+		if s.budgetErr != nil {
+			return s.budgetErr
+		}
+		s.steps++
+		if s.steps > s.cfg.MaxEvents {
+			return errStepBudget(s.cfg.MaxEvents)
+		}
+
+		next := s.pickReady()
+		var eventTime vtime.Time = vtime.Forever
+		if len(s.events) > 0 {
+			eventTime = s.events[0].arrival
+		}
+
+		switch {
+		case next == nil && eventTime == vtime.Forever:
+			if s.allDone() {
+				return nil
+			}
+			return s.deadlock()
+		case next == nil || eventTime <= next.clock:
+			s.deliver(heap.Pop(&s.events).(*message))
+		default:
+			next.status = statusRunning
+			next.resume <- struct{}{}
+			<-s.yielded
+		}
+	}
+}
+
+// pickReady returns the ready rank with the smallest (clock, id), or nil.
+func (s *simulation) pickReady() *Rank {
+	var best *Rank
+	for _, r := range s.ranks {
+		if r.status != statusReady {
+			continue
+		}
+		if best == nil || r.clock < best.clock {
+			best = r
+		}
+	}
+	return best
+}
+
+func (s *simulation) allDone() bool {
+	for _, r := range s.ranks {
+		if r.status != statusDone {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *simulation) deadlock() error {
+	e := &DeadlockError{Blocked: make(map[int]string), Time: s.maxClock()}
+	for _, r := range s.ranks {
+		if r.status == statusBlocked && r.waiting != nil {
+			e.Blocked[r.id] = r.waiting.describe()
+		}
+	}
+	return e
+}
+
+func (s *simulation) maxClock() vtime.Time {
+	var t vtime.Time
+	for _, r := range s.ranks {
+		if r.clock > t {
+			t = r.clock
+		}
+	}
+	return t
+}
+
+// consumed notifies the sender side that a matching receive took msg,
+// completing a rendezvous-protocol send: a blocked Send (or a Wait on a
+// rendezvous Isend request) resumes with its clock advanced to the
+// consumption time.
+func (s *simulation) consumed(msg *message, at vtime.Time) {
+	if !msg.rendezvous {
+		return
+	}
+	snd := s.ranks[msg.src]
+	if req := msg.sendReq; req != nil {
+		req.done = true
+		if at > req.completeAt {
+			req.completeAt = at
+		}
+		if snd.status == statusBlocked && snd.waiting != nil &&
+			snd.waiting.kind == waitRequest && snd.waiting.req == req {
+			if at > snd.clock {
+				snd.clock = at
+			}
+			snd.waiting = nil
+			snd.status = statusReady
+		}
+		return
+	}
+	if snd.status == statusBlocked && snd.waiting != nil &&
+		snd.waiting.kind == waitRendezvous && snd.waiting.msg == msg {
+		if at > snd.clock {
+			snd.clock = at
+		}
+		snd.waiting = nil
+		snd.status = statusReady
+	}
+}
+
+// deliver routes an arrived message: posted non-blocking receives are
+// consulted first (MPI matches posted receives in posting order), then a
+// blocking Recv/Probe waiter, and otherwise the message queues in the
+// destination's mailbox as an "unexpected" message.
+func (s *simulation) deliver(msg *message) {
+	d := s.ranks[msg.dst]
+	s.stats.Messages++
+	s.stats.Bytes += int64(msg.size)
+	if msg.delayed {
+		s.stats.Delayed++
+	}
+
+	// Posted Irecv requests (always user-level), in posting order.
+	for i, req := range d.posted {
+		if req.done || msg.internal || !filterMatches(req.src, req.tag, req.key, msg) {
+			continue
+		}
+		req.done = true
+		req.msg = msg
+		d.posted = append(d.posted[:i], d.posted[i+1:]...)
+		s.consumed(msg, msg.arrival)
+		// If the rank is parked in Wait on exactly this request — or in
+		// a Waitany that includes it — release it; the receive
+		// completes at arrival + overhead.
+		if d.status == statusBlocked && d.waiting != nil {
+			w := d.waiting
+			switch {
+			case w.kind == waitRequest && w.req == req:
+				// The rank resumes inside Wait, past its overhead
+				// accounting: charge the receive overhead here.
+				d.clock = msg.arrival.Add(s.cfg.Net.RecvOverhead)
+				d.waiting = nil
+				d.status = statusReady
+			case w.kind == waitAny && containsRequest(w.reqs, req):
+				// The rank resumes inside Waitany and then calls Wait,
+				// which charges the overhead itself: advance only to
+				// the arrival.
+				w.req = req // report which request completed
+				if msg.arrival > d.clock {
+					d.clock = msg.arrival
+				}
+				d.waiting = nil
+				d.status = statusReady
+			}
+		}
+		return
+	}
+
+	// Blocking waiter.
+	if d.status == statusBlocked && d.waiting != nil {
+		w := d.waiting
+		switch w.kind {
+		case waitRecv:
+			if w.matches(msg) {
+				w.msg = msg
+				d.clock = msg.arrival.Add(s.cfg.Net.RecvOverhead)
+				d.waiting = nil
+				d.status = statusReady
+				s.consumed(msg, d.clock)
+				return
+			}
+		case waitProbe:
+			if w.matches(msg) {
+				// Probe observes but does not consume.
+				d.mailbox = append(d.mailbox, msg)
+				w.msg = msg
+				if msg.arrival > d.clock {
+					d.clock = msg.arrival
+				}
+				d.waiting = nil
+				d.status = statusReady
+				return
+			}
+		}
+	}
+
+	d.mailbox = append(d.mailbox, msg)
+}
+
+// schedule computes a message's arrival time under the network model and
+// pushes it onto the event heap.
+func (s *simulation) schedule(msg *message, sendClock vtime.Time) {
+	net := &s.cfg.Net
+	var alpha vtime.Duration
+	var jitterMean vtime.Duration
+	delayProb := s.cfg.NDPercent / 100
+	if s.ranks[msg.src].node == s.ranks[msg.dst].node {
+		alpha, jitterMean = net.IntraNodeLatency, net.JitterMeanIntra
+	} else {
+		alpha, jitterMean = net.InterNodeLatency, net.JitterMeanInter
+		delayProb *= net.InterNodeNDBoost
+	}
+	transfer := vtime.Duration(float64(msg.size) / net.BandwidthBytesPerNs)
+	arrival := sendClock.Add(net.SendOverhead).Add(alpha).Add(transfer)
+	// The paper's "percentage of non-determinism": each message is
+	// independently selected for a congestion delay; crossing a node
+	// boundary raises the selection probability (InterNodeNDBoost).
+	if s.netRNG.Bernoulli(delayProb) {
+		arrival = arrival.Add(s.netRNG.ExpDuration(jitterMean))
+		msg.delayed = true
+	}
+	// MPI non-overtaking: arrivals on one (src,dst) channel are strictly
+	// increasing, so jitter can reorder messages from different senders
+	// but never two messages on the same channel.
+	ck := chanKey{msg.src, msg.dst}
+	if last, ok := s.lastArrival[ck]; ok && arrival <= last {
+		arrival = last.Add(1)
+	}
+	s.lastArrival[ck] = arrival
+	msg.arrival = arrival
+	s.deliverSeq++
+	msg.deliverSeq = s.deliverSeq
+	heap.Push(&s.events, msg)
+	if msg.arrival.Add(0) > s.stats.FinalTime {
+		// FinalTime is finalized from rank clocks at the end; tracking
+		// arrivals here keeps it monotone for aborted runs too.
+		s.stats.FinalTime = msg.arrival
+	}
+}
+
+// shutdown unwinds any rank goroutine that has not finished, so no
+// goroutines leak when a run ends early (deadlock, panic, budget).
+func (s *simulation) shutdown() {
+	s.abortFlag = true
+	for _, r := range s.ranks {
+		for r.status != statusDone {
+			r.status = statusRunning
+			r.resume <- struct{}{}
+			<-s.yielded
+		}
+	}
+	// Record the true final time from rank clocks.
+	for _, r := range s.ranks {
+		if r.clock > s.stats.FinalTime {
+			s.stats.FinalTime = r.clock
+		}
+	}
+}

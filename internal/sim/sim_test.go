@@ -1,0 +1,1045 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/anacin-go/anacinx/internal/trace"
+	"github.com/anacin-go/anacinx/internal/vtime"
+)
+
+// mustRun executes program under cfg and fails the test on error.
+func mustRun(t *testing.T, cfg Config, program Program) (*trace.Trace, *Stats) {
+	t.Helper()
+	tr, stats, err := Run(cfg, trace.Meta{Pattern: "test"}, program)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	return tr, stats
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	noop := func(r *Rank) {}
+	cases := []Config{
+		{Procs: 0, Nodes: 1},
+		{Procs: 4, Nodes: 0},
+		{Procs: 2, Nodes: 3},
+		{Procs: 2, Nodes: 1, NDPercent: -1},
+		{Procs: 2, Nodes: 1, NDPercent: 101},
+		{Procs: 2, Nodes: 1, Net: NetModel{SendOverhead: 1}}, // zero bandwidth
+	}
+	for i, cfg := range cases {
+		if _, _, err := Run(cfg, trace.Meta{}, noop); err == nil {
+			t.Errorf("case %d: bad config accepted: %+v", i, cfg)
+		}
+	}
+	if _, _, err := Run(DefaultConfig(2, 1), trace.Meta{}, nil); err == nil {
+		t.Error("nil program accepted")
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	tr, stats := mustRun(t, DefaultConfig(3, 1), func(r *Rank) {})
+	if tr.NumEvents() != 6 { // init + finalize per rank
+		t.Errorf("NumEvents = %d, want 6", tr.NumEvents())
+	}
+	if stats.Messages != 0 {
+		t.Errorf("Messages = %d, want 0", stats.Messages)
+	}
+	counts := tr.KindCounts()
+	if counts[trace.KindInit] != 3 || counts[trace.KindFinalize] != 3 {
+		t.Errorf("KindCounts = %v", counts)
+	}
+}
+
+func TestSendRecvDeliversPayload(t *testing.T) {
+	var got Message
+	mustRun(t, DefaultConfig(2, 1), func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 7, []byte("hello"))
+		} else {
+			got = r.Recv(0, 7)
+		}
+	})
+	if got.Src != 0 || got.Tag != 7 || string(got.Data) != "hello" || got.Size != 5 {
+		t.Errorf("received %+v", got)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	var got Message
+	mustRun(t, DefaultConfig(2, 1), func(r *Rank) {
+		if r.Rank() == 0 {
+			buf := []byte("aaaa")
+			r.Send(1, 0, buf)
+			buf[0] = 'z' // mutate after send; receiver must not see it
+		} else {
+			got = r.Recv(0, 0)
+		}
+	})
+	if string(got.Data) != "aaaa" {
+		t.Errorf("payload aliased sender buffer: %q", got.Data)
+	}
+}
+
+func TestSendSizeCarriesNoData(t *testing.T) {
+	var got Message
+	mustRun(t, DefaultConfig(2, 1), func(r *Rank) {
+		if r.Rank() == 0 {
+			r.SendSize(1, 3, 1024)
+		} else {
+			got = r.Recv(AnySource, AnyTag)
+		}
+	})
+	if got.Size != 1024 || got.Data != nil {
+		t.Errorf("SendSize produced %+v", got)
+	}
+}
+
+func TestRecvBySourceAndTag(t *testing.T) {
+	// Rank 2 receives tag 5 from rank 1 first even though rank 0's
+	// message (tag 9) arrives earlier; concrete filters must not be
+	// fooled by mailbox order.
+	var first, second Message
+	mustRun(t, DefaultConfig(3, 1), func(r *Rank) {
+		switch r.Rank() {
+		case 0:
+			r.Send(2, 9, []byte("early"))
+		case 1:
+			r.Compute(50 * vtime.Microsecond)
+			r.Send(2, 5, []byte("late"))
+		case 2:
+			r.Compute(100 * vtime.Microsecond) // both messages arrive first
+			first = r.Recv(1, 5)
+			second = r.Recv(0, 9)
+		}
+	})
+	if string(first.Data) != "late" || string(second.Data) != "early" {
+		t.Errorf("filtered receive wrong: %q, %q", first.Data, second.Data)
+	}
+}
+
+func TestAnySourceMatchesEarliestArrival(t *testing.T) {
+	// With no jitter, rank 1's message (sent immediately) beats rank 2's
+	// (sent after compute): arrival order is deterministic.
+	var order []int
+	mustRun(t, DefaultConfig(3, 1), func(r *Rank) {
+		switch r.Rank() {
+		case 0:
+			for i := 0; i < 2; i++ {
+				m := r.Recv(AnySource, AnyTag)
+				order = append(order, m.Src)
+			}
+		case 1:
+			r.Send(0, 0, nil)
+		case 2:
+			r.Compute(20 * vtime.Microsecond)
+			r.Send(0, 0, nil)
+		}
+	})
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Errorf("arrival order = %v, want [1 2]", order)
+	}
+}
+
+func TestNonOvertakingSameChannel(t *testing.T) {
+	// 100% ND: every message gets jitter, but two messages on the same
+	// (src,dst) channel must still arrive in send order.
+	cfg := DefaultConfig(2, 1)
+	cfg.NDPercent = 100
+	for seed := int64(0); seed < 20; seed++ {
+		cfg.Seed = seed
+		var tags []int
+		mustRun(t, cfg, func(r *Rank) {
+			if r.Rank() == 0 {
+				for i := 0; i < 10; i++ {
+					r.Send(1, i, nil)
+				}
+			} else {
+				for i := 0; i < 10; i++ {
+					m := r.Recv(0, AnyTag)
+					tags = append(tags, m.Tag)
+				}
+			}
+		})
+		for i, tag := range tags {
+			if tag != i {
+				t.Fatalf("seed %d: same-channel overtaking: tags = %v", seed, tags)
+			}
+		}
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	cfg := DefaultConfig(8, 1234)
+	cfg.Nodes = 2
+	cfg.NDPercent = 100
+	program := racyProgram(8, 3)
+	tr1, _ := mustRun(t, cfg, program)
+	tr2, _ := mustRun(t, cfg, program)
+	if tr1.Hash() != tr2.Hash() {
+		t.Error("identical config+seed produced different traces")
+	}
+}
+
+func TestSeedsChangeMatchingAt100PercentND(t *testing.T) {
+	// At 100% ND, some pair of seeds must produce different match orders
+	// in a message race — this is the paper's Fig. 4 in miniature.
+	cfg := DefaultConfig(6, 1)
+	cfg.NDPercent = 100
+	program := racyProgram(6, 4)
+	hashes := make(map[uint64]bool)
+	for seed := int64(0); seed < 10; seed++ {
+		cfg.Seed = seed
+		tr, _ := mustRun(t, cfg, program)
+		hashes[tr.OrderHash()] = true
+	}
+	if len(hashes) < 2 {
+		t.Error("10 seeds at 100%% ND all produced the same match order")
+	}
+}
+
+func TestZeroNDIsSeedInvariant(t *testing.T) {
+	// At 0% ND the communication structure must not depend on the seed.
+	cfg := DefaultConfig(6, 1)
+	program := racyProgram(6, 4)
+	var want uint64
+	for seed := int64(0); seed < 10; seed++ {
+		cfg.Seed = seed
+		tr, _ := mustRun(t, cfg, program)
+		if seed == 0 {
+			want = tr.OrderHash()
+		} else if tr.OrderHash() != want {
+			t.Fatalf("seed %d changed match order at 0%% ND", seed)
+		}
+	}
+}
+
+// racyProgram returns a message-race program: every nonzero rank sends
+// rounds messages to rank 0, which receives them with AnySource.
+func racyProgram(procs, rounds int) Program {
+	return func(r *Rank) {
+		if r.Rank() == 0 {
+			for i := 0; i < (procs-1)*rounds; i++ {
+				r.Recv(AnySource, AnyTag)
+			}
+		} else {
+			for i := 0; i < rounds; i++ {
+				r.SendSize(0, i, 1)
+			}
+		}
+	}
+}
+
+func TestVirtualTimeAdvances(t *testing.T) {
+	_, stats := mustRun(t, DefaultConfig(2, 1), func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Compute(1 * vtime.Millisecond)
+			r.Send(1, 0, nil)
+		} else {
+			r.Recv(0, 0)
+		}
+	})
+	if stats.FinalTime < vtime.Time(1*vtime.Millisecond) {
+		t.Errorf("FinalTime = %v, want >= 1ms", stats.FinalTime)
+	}
+}
+
+func TestComputeNegativeIgnored(t *testing.T) {
+	mustRun(t, DefaultConfig(1, 1), func(r *Rank) {
+		before := r.Now()
+		r.Compute(-5 * vtime.Second)
+		if r.Now() != before {
+			t.Errorf("negative Compute moved the clock")
+		}
+	})
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	_, _, err := Run(DefaultConfig(2, 1), trace.Meta{}, func(r *Rank) {
+		r.Recv(AnySource, AnyTag) // everyone waits, nobody sends
+	})
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(dl.Blocked) != 2 {
+		t.Errorf("Blocked = %v, want 2 ranks", dl.Blocked)
+	}
+	if !strings.Contains(dl.Error(), "rank 0") || !strings.Contains(dl.Error(), "Recv") {
+		t.Errorf("error message %q lacks rank/wait detail", dl.Error())
+	}
+}
+
+func TestPartialDeadlockDetected(t *testing.T) {
+	// Rank 1 finishes fine; rank 0 waits for a message that never comes.
+	_, _, err := Run(DefaultConfig(2, 1), trace.Meta{}, func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Recv(1, 99)
+		}
+	})
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if _, ok := dl.Blocked[0]; !ok || len(dl.Blocked) != 1 {
+		t.Errorf("Blocked = %v, want rank 0 only", dl.Blocked)
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	_, _, err := Run(DefaultConfig(3, 1), trace.Meta{}, func(r *Rank) {
+		if r.Rank() == 2 {
+			panic("boom")
+		}
+		// Other ranks block so the scheduler must unwind them.
+		if r.Rank() == 0 {
+			r.Recv(AnySource, AnyTag)
+		}
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want PanicError", err)
+	}
+	if pe.Rank != 2 || pe.Value != "boom" {
+		t.Errorf("PanicError = %+v", pe)
+	}
+}
+
+func TestSelfSendPanics(t *testing.T) {
+	_, _, err := Run(DefaultConfig(2, 1), trace.Meta{}, func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(0, 0, nil)
+		}
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("self-send: err = %v, want PanicError", err)
+	}
+}
+
+func TestInvalidPeerPanics(t *testing.T) {
+	_, _, err := Run(DefaultConfig(2, 1), trace.Meta{}, func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(5, 0, nil)
+		}
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("bad peer: err = %v, want PanicError", err)
+	}
+}
+
+func TestReservedTagPanics(t *testing.T) {
+	_, _, err := Run(DefaultConfig(2, 1), trace.Meta{}, func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, -3, nil)
+		}
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("negative tag: err = %v, want PanicError", err)
+	}
+}
+
+func TestIsendIrecvWait(t *testing.T) {
+	var got Message
+	tr, _ := mustRun(t, DefaultConfig(2, 1), func(r *Rank) {
+		if r.Rank() == 0 {
+			req := r.Isend(1, 4, []byte("nb"))
+			r.Wait(req)
+		} else {
+			req := r.Irecv(0, 4)
+			got = r.Wait(req)
+		}
+	})
+	if string(got.Data) != "nb" || got.Src != 0 {
+		t.Errorf("Irecv/Wait got %+v", got)
+	}
+	counts := tr.KindCounts()
+	if counts[trace.KindIsend] != 1 || counts[trace.KindIrecv] != 1 || counts[trace.KindWait] != 2 {
+		t.Errorf("KindCounts = %v", counts)
+	}
+}
+
+func TestIrecvMatchesPostedBeforeArrival(t *testing.T) {
+	// The Irecv is posted before the message is sent; the scheduler must
+	// complete the posted request, not queue the message.
+	var got Message
+	mustRun(t, DefaultConfig(2, 1), func(r *Rank) {
+		if r.Rank() == 1 {
+			req := r.Irecv(0, 0)
+			got = r.Wait(req)
+		} else {
+			r.Compute(10 * vtime.Microsecond)
+			r.Send(1, 0, []byte("x"))
+		}
+	})
+	if string(got.Data) != "x" {
+		t.Errorf("posted irecv got %+v", got)
+	}
+}
+
+func TestIrecvMatchesAlreadyArrived(t *testing.T) {
+	var got Message
+	mustRun(t, DefaultConfig(2, 1), func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 0, []byte("y"))
+		} else {
+			r.Compute(50 * vtime.Microsecond) // message is already in the mailbox
+			req := r.Irecv(0, 0)
+			got = r.Wait(req)
+		}
+	})
+	if string(got.Data) != "y" {
+		t.Errorf("late irecv got %+v", got)
+	}
+}
+
+func TestIrecvPostingOrderMatching(t *testing.T) {
+	// Two posted irecvs with AnySource: MPI matches in posting order, so
+	// the first-posted request gets the first-arriving message.
+	var m1, m2 Message
+	mustRun(t, DefaultConfig(3, 1), func(r *Rank) {
+		switch r.Rank() {
+		case 0:
+			req1 := r.Irecv(AnySource, AnyTag)
+			req2 := r.Irecv(AnySource, AnyTag)
+			m1 = r.Wait(req1)
+			m2 = r.Wait(req2)
+		case 1:
+			r.Send(0, 0, nil)
+		case 2:
+			r.Compute(30 * vtime.Microsecond)
+			r.Send(0, 0, nil)
+		}
+	})
+	if m1.Src != 1 || m2.Src != 2 {
+		t.Errorf("posting-order matching violated: %d then %d", m1.Src, m2.Src)
+	}
+}
+
+func TestWaitTwicePanics(t *testing.T) {
+	_, _, err := Run(DefaultConfig(2, 1), trace.Meta{}, func(r *Rank) {
+		if r.Rank() == 0 {
+			req := r.Isend(1, 0, nil)
+			r.Wait(req)
+			r.Wait(req)
+		} else {
+			r.Recv(0, 0)
+		}
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("double Wait: err = %v, want PanicError", err)
+	}
+}
+
+func TestWaitall(t *testing.T) {
+	var msgs []Message
+	mustRun(t, DefaultConfig(3, 1), func(r *Rank) {
+		if r.Rank() == 0 {
+			reqs := []*Request{r.Irecv(1, 0), r.Irecv(2, 0)}
+			msgs = r.Waitall(reqs)
+		} else {
+			r.Send(0, 0, []byte{byte(r.Rank())})
+		}
+	})
+	if len(msgs) != 2 || msgs[0].Src != 1 || msgs[1].Src != 2 {
+		t.Errorf("Waitall = %+v", msgs)
+	}
+}
+
+func TestWaitanyBlocksForFirstCompletion(t *testing.T) {
+	// Rank 0 posts Irecvs from both senders; rank 2 sends much later,
+	// so Waitany must report rank 1's request first, then rank 2's.
+	var order []int
+	mustRun(t, DefaultConfig(3, 1), func(r *Rank) {
+		switch r.Rank() {
+		case 0:
+			reqs := []*Request{r.Irecv(1, 0), r.Irecv(2, 0)}
+			for len(order) < 2 {
+				idx, m := r.Waitany(reqs)
+				if m.Src != idx+1 {
+					panic("index/source mismatch")
+				}
+				order = append(order, idx)
+			}
+		case 1:
+			r.SendSize(0, 0, 1)
+		case 2:
+			r.Compute(vtime.Millisecond)
+			r.SendSize(0, 0, 1)
+		}
+	})
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Errorf("completion order = %v, want [0 1]", order)
+	}
+}
+
+func TestWaitanyPrefersEarliestArrived(t *testing.T) {
+	// Both messages already arrived before Waitany: the earlier arrival
+	// wins even though it is the later-posted request.
+	mustRun(t, DefaultConfig(3, 1), func(r *Rank) {
+		switch r.Rank() {
+		case 0:
+			r.Compute(vtime.Millisecond) // let both messages land first
+			reqs := []*Request{r.Irecv(2, 0), r.Irecv(1, 0)}
+			idx, m := r.Waitany(reqs)
+			// Rank 1 sent immediately; rank 2 after compute: rank 1's
+			// message arrived first and is reqs[1].
+			if idx != 1 || m.Src != 1 {
+				panic(fmt.Sprintf("Waitany picked idx=%d src=%d", idx, m.Src))
+			}
+			r.Wait(reqs[0])
+		case 1:
+			r.SendSize(0, 0, 1)
+		case 2:
+			r.Compute(200 * vtime.Microsecond)
+			r.SendSize(0, 0, 1)
+		}
+	})
+}
+
+func TestWaitanyPanics(t *testing.T) {
+	cases := []Program{
+		func(r *Rank) { r.Waitany(nil) },
+		func(r *Rank) {
+			if r.Rank() == 0 {
+				req := r.Irecv(1, 0)
+				r.Wait(req)
+				r.Waitany([]*Request{req}) // already waited
+			} else {
+				r.SendSize(0, 0, 1)
+			}
+		},
+	}
+	for i, program := range cases {
+		_, _, err := Run(DefaultConfig(2, 1), trace.Meta{}, program)
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Errorf("case %d: err = %v, want PanicError", i, err)
+		}
+	}
+}
+
+func TestWaitanyOrderNondeterministicUnderND(t *testing.T) {
+	// With wildcardless Irecvs from two symmetric senders at 100% ND,
+	// the Waitany completion order varies across seeds: Waitany itself
+	// is a root source of non-determinism.
+	orders := map[string]bool{}
+	for seed := int64(0); seed < 12; seed++ {
+		cfg := DefaultConfig(3, seed)
+		cfg.NDPercent = 100
+		var got string
+		_, _, err := Run(cfg, trace.Meta{}, func(r *Rank) {
+			switch r.Rank() {
+			case 0:
+				reqs := []*Request{r.Irecv(1, 0), r.Irecv(2, 0)}
+				for i := 0; i < 2; i++ {
+					idx, _ := r.Waitany(reqs)
+					got += fmt.Sprint(idx)
+				}
+			default:
+				r.SendSize(0, 0, 1)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		orders[got] = true
+	}
+	if len(orders) < 2 {
+		t.Error("Waitany order identical across 12 seeds at 100% ND")
+	}
+}
+
+func TestProbeDoesNotConsume(t *testing.T) {
+	mustRun(t, DefaultConfig(2, 1), func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 8, []byte("abc"))
+		} else {
+			src, tag, size := r.Probe(AnySource, AnyTag)
+			if src != 0 || tag != 8 || size != 3 {
+				panic("probe envelope wrong")
+			}
+			m := r.Recv(src, tag)
+			if string(m.Data) != "abc" {
+				panic("probe consumed the message")
+			}
+		}
+	})
+}
+
+func TestIprobe(t *testing.T) {
+	mustRun(t, DefaultConfig(2, 1), func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Compute(10 * vtime.Microsecond)
+			r.Send(1, 2, []byte("z"))
+		} else {
+			polls := 0
+			for {
+				ok, src, tag, _ := r.Iprobe(AnySource, AnyTag)
+				if ok {
+					if src != 0 || tag != 2 {
+						panic("iprobe envelope wrong")
+					}
+					r.Recv(src, tag)
+					break
+				}
+				polls++
+				if polls > 1_000_000 {
+					panic("iprobe never saw the message")
+				}
+			}
+		}
+	})
+}
+
+func TestNodePlacement(t *testing.T) {
+	cfg := DefaultConfig(8, 1)
+	cfg.Nodes = 2
+	if cfg.NodeOf(0) != 0 || cfg.NodeOf(3) != 0 || cfg.NodeOf(4) != 1 || cfg.NodeOf(7) != 1 {
+		t.Errorf("block distribution wrong: %d %d %d %d",
+			cfg.NodeOf(0), cfg.NodeOf(3), cfg.NodeOf(4), cfg.NodeOf(7))
+	}
+	mustRun(t, cfg, func(r *Rank) {
+		want := r.Rank() / 4
+		if r.Node() != want {
+			panic("rank sees wrong node")
+		}
+	})
+}
+
+func TestInterNodeLatencyHigher(t *testing.T) {
+	// A message crossing nodes must arrive later than an identical
+	// intra-node message.
+	intra := measureLatency(t, 2, 1)
+	inter := measureLatency(t, 2, 2)
+	if inter <= intra {
+		t.Errorf("inter-node latency %v not above intra-node %v", inter, intra)
+	}
+}
+
+func measureLatency(t *testing.T, procs, nodes int) vtime.Time {
+	t.Helper()
+	var arrival vtime.Time
+	cfg := DefaultConfig(procs, 1)
+	cfg.Nodes = nodes
+	mustRun(t, cfg, func(r *Rank) {
+		if r.Rank() == 0 {
+			r.SendSize(procs-1, 0, 1)
+		} else if r.Rank() == procs-1 {
+			r.Recv(0, 0)
+			arrival = r.Now()
+		}
+	})
+	return arrival
+}
+
+func TestStatsCountsMessages(t *testing.T) {
+	_, stats := mustRun(t, DefaultConfig(4, 1), func(r *Rank) {
+		if r.Rank() == 0 {
+			for i := 1; i < 4; i++ {
+				r.Recv(i, 0)
+			}
+		} else {
+			r.Send(0, 0, make([]byte, 100))
+		}
+	})
+	if stats.Messages != 3 {
+		t.Errorf("Messages = %d, want 3", stats.Messages)
+	}
+	if stats.Bytes != 300 {
+		t.Errorf("Bytes = %d, want 300", stats.Bytes)
+	}
+}
+
+func TestNDPercentControlsDelayedFraction(t *testing.T) {
+	count := func(nd float64) int {
+		cfg := DefaultConfig(2, 1)
+		cfg.NDPercent = nd
+		cfg.Seed = 99
+		_, stats, err := Run(cfg, trace.Meta{}, func(r *Rank) {
+			if r.Rank() == 0 {
+				for i := 0; i < 400; i++ {
+					r.SendSize(1, 0, 1)
+				}
+			} else {
+				for i := 0; i < 400; i++ {
+					r.Recv(0, 0)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Delayed
+	}
+	if got := count(0); got != 0 {
+		t.Errorf("0%% ND delayed %d messages", got)
+	}
+	if got := count(100); got != 400 {
+		t.Errorf("100%% ND delayed %d/400 messages", got)
+	}
+	mid := count(50)
+	if mid < 130 || mid > 270 {
+		t.Errorf("50%% ND delayed %d/400 messages, want ~200", mid)
+	}
+}
+
+func TestCallstacksRecorded(t *testing.T) {
+	tr, _ := mustRun(t, DefaultConfig(2, 1), func(r *Rank) {
+		if r.Rank() == 0 {
+			sendHelper(r)
+		} else {
+			r.Recv(0, 0)
+		}
+	})
+	var sendEvent *trace.Event
+	for i := range tr.Events[0] {
+		if tr.Events[0][i].Kind == trace.KindSend {
+			sendEvent = &tr.Events[0][i]
+		}
+	}
+	if sendEvent == nil {
+		t.Fatal("no send event")
+	}
+	joined := strings.Join(sendEvent.Callstack, ";")
+	if !strings.Contains(joined, "sendHelper") {
+		t.Errorf("callstack %v does not name the caller", sendEvent.Callstack)
+	}
+	for _, f := range sendEvent.Callstack {
+		if strings.HasPrefix(f, "sim.(*Rank)") || strings.HasPrefix(f, "sim.(*simulation)") {
+			t.Errorf("callstack leaked simulator machinery frame %q", f)
+		}
+	}
+}
+
+//go:noinline
+func sendHelper(r *Rank) { r.Send(1, 0, nil) }
+
+func TestCaptureStacksDisabled(t *testing.T) {
+	cfg := DefaultConfig(2, 1)
+	cfg.CaptureStacks = false
+	tr, _ := mustRun(t, cfg, func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 0, nil)
+		} else {
+			r.Recv(0, 0)
+		}
+	})
+	for _, evs := range tr.Events {
+		for i := range evs {
+			if len(evs[i].Callstack) != 0 {
+				t.Fatalf("callstack recorded with capture disabled: %+v", evs[i])
+			}
+		}
+	}
+}
+
+func TestLamportClockRespectsMessages(t *testing.T) {
+	tr, _ := mustRun(t, DefaultConfig(2, 1), func(r *Rank) {
+		if r.Rank() == 0 {
+			for i := 0; i < 5; i++ {
+				r.Compute(vtime.Microsecond)
+			}
+			r.Send(1, 0, nil) // sender did work first; receiver's clock must jump
+		} else {
+			r.Recv(0, 0)
+		}
+	})
+	var sendL, recvL int64
+	for _, evs := range tr.Events {
+		for i := range evs {
+			switch evs[i].Kind {
+			case trace.KindSend:
+				sendL = evs[i].Lamport
+			case trace.KindRecv:
+				recvL = evs[i].Lamport
+			}
+		}
+	}
+	if recvL <= sendL {
+		t.Errorf("recv lamport %d not after send lamport %d", recvL, sendL)
+	}
+}
+
+func TestMetaFilledByRun(t *testing.T) {
+	cfg := DefaultConfig(4, 77)
+	cfg.Nodes = 2
+	cfg.NDPercent = 25
+	tr, _, err := Run(cfg, trace.Meta{Pattern: "p", Iterations: 3, MsgSize: 9}, func(r *Rank) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tr.Meta
+	if m.Pattern != "p" || m.Iterations != 3 || m.MsgSize != 9 ||
+		m.Procs != 4 || m.Nodes != 2 || m.NDPercent != 25 || m.Seed != 77 {
+		t.Errorf("Meta = %+v", m)
+	}
+}
+
+func TestStepBudgetAborts(t *testing.T) {
+	cfg := DefaultConfig(1, 1)
+	cfg.MaxEvents = 100
+	_, _, err := Run(cfg, trace.Meta{}, func(r *Rank) {
+		for {
+			r.Compute(vtime.Nanosecond)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Errorf("runaway program: err = %v", err)
+	}
+}
+
+// Property: for any small proc count, seed, and ND level, the simulator
+// produces a structurally valid trace and is deterministic.
+func TestQuickRunValidAndDeterministic(t *testing.T) {
+	f := func(seed int64, procsRaw, ndRaw uint8) bool {
+		procs := int(procsRaw)%6 + 2
+		nd := float64(ndRaw) / 255 * 100
+		cfg := DefaultConfig(procs, 1)
+		cfg.Seed = seed
+		cfg.NDPercent = nd
+		program := racyProgram(procs, 2)
+		tr1, _, err := Run(cfg, trace.Meta{}, program)
+		if err != nil || tr1.Validate() != nil {
+			return false
+		}
+		tr2, _, err := Run(cfg, trace.Meta{}, program)
+		if err != nil {
+			return false
+		}
+		return tr1.Hash() == tr2.Hash()
+	}
+	cfgQuick := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfgQuick); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every message sent is eventually received when the program
+// receives everything it was sent (conservation of messages).
+func TestQuickMessageConservation(t *testing.T) {
+	f := func(seed int64, ndRaw uint8) bool {
+		cfg := DefaultConfig(5, 1)
+		cfg.Seed = seed
+		cfg.NDPercent = float64(ndRaw) / 255 * 100
+		tr, _, err := Run(cfg, trace.Meta{}, racyProgram(5, 3))
+		if err != nil {
+			return false
+		}
+		counts := tr.KindCounts()
+		return counts[trace.KindSend] == 12 && counts[trace.KindRecv] == 12 &&
+			tr.MatchedPairs() == 12
+	}
+	cfgQuick := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfgQuick); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankIntrospection(t *testing.T) {
+	mustRun(t, DefaultConfig(2, 11), func(r *Rank) {
+		if r.Lamport() < 1 {
+			panic("lamport not initialized by Init")
+		}
+		if r.RNG() == nil {
+			panic("nil rank RNG")
+		}
+		// The rank RNG is usable and private.
+		_ = r.RNG().Intn(10)
+		if r.Rank() == 0 {
+			before := r.Lamport()
+			r.Send(1, 0, nil)
+			if r.Lamport() <= before {
+				panic("send did not advance lamport")
+			}
+		} else {
+			r.Recv(0, 0)
+		}
+	})
+}
+
+func TestPanicErrorMessage(t *testing.T) {
+	_, _, err := Run(DefaultConfig(2, 1), trace.Meta{}, func(r *Rank) {
+		if r.Rank() == 1 {
+			panic("kaboom")
+		}
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatal(err)
+	}
+	if !strings.Contains(pe.Error(), "rank 1") || !strings.Contains(pe.Error(), "kaboom") {
+		t.Errorf("PanicError message %q", pe.Error())
+	}
+	if pe.Stack == "" {
+		t.Error("PanicError carries no stack")
+	}
+}
+
+func TestSendSizeNegativePanics(t *testing.T) {
+	_, _, err := Run(DefaultConfig(2, 1), trace.Meta{}, func(r *Rank) {
+		if r.Rank() == 0 {
+			r.SendSize(1, 0, -1)
+		}
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("negative size: err = %v", err)
+	}
+}
+
+func TestProbeBlocksUntilArrival(t *testing.T) {
+	// Probe posted before any message exists: the waiter path.
+	var probedAt vtime.Time
+	mustRun(t, DefaultConfig(2, 1), func(r *Rank) {
+		if r.Rank() == 1 {
+			src, tag, size := r.Probe(0, 3)
+			probedAt = r.Now()
+			if src != 0 || tag != 3 || size != 7 {
+				panic("probe envelope wrong")
+			}
+			r.Recv(src, tag)
+		} else {
+			r.Compute(40 * vtime.Microsecond)
+			r.SendSize(1, 3, 7)
+		}
+	})
+	if probedAt < vtime.Time(40*vtime.Microsecond) {
+		t.Errorf("probe returned at %v, before the send", probedAt)
+	}
+}
+
+func TestWaiterDescriptions(t *testing.T) {
+	// Exercise describe() variants through deadlock reports.
+	cases := []struct {
+		program Program
+		want    string
+	}{
+		{func(r *Rank) {
+			if r.Rank() == 0 {
+				r.Probe(1, 2)
+			}
+		}, "Probe"},
+		{func(r *Rank) {
+			if r.Rank() == 0 {
+				req := r.Irecv(1, 9)
+				r.Wait(req)
+			}
+		}, "Wait(Irecv"},
+		{func(r *Rank) {
+			if r.Rank() == 0 {
+				r.Recv(1, AnyTag)
+			}
+		}, "tag=any"},
+	}
+	for i, c := range cases {
+		_, _, err := Run(DefaultConfig(2, 1), trace.Meta{}, c.program)
+		var dl *DeadlockError
+		if !errors.As(err, &dl) {
+			t.Fatalf("case %d: err = %v", i, err)
+		}
+		if !strings.Contains(dl.Error(), c.want) {
+			t.Errorf("case %d: %q lacks %q", i, dl.Error(), c.want)
+		}
+	}
+}
+
+// TestQuickRandomPlans stresses the matching engine with randomized
+// (but conserved) communication plans: every rank sends a random
+// multiset of messages to random peers, and receives exactly the
+// number routed to it with AnySource. Any plan must complete, validate,
+// and match everything, at any ND level — and deterministically per
+// seed.
+func TestQuickRandomPlans(t *testing.T) {
+	f := func(planSeed, runSeed int64, procsRaw, ndRaw uint8) bool {
+		procs := int(procsRaw)%6 + 2
+		nd := float64(ndRaw) / 255 * 100
+		// Build the plan from planSeed (fixed across both runs).
+		prng := vtime.NewRNG(planSeed)
+		dests := make([][]int, procs)
+		inbound := make([]int, procs)
+		totalMsgs := 0
+		for r := 0; r < procs; r++ {
+			k := prng.Intn(5)
+			for j := 0; j < k; j++ {
+				dst := prng.Intn(procs - 1)
+				if dst >= r {
+					dst++
+				}
+				dests[r] = append(dests[r], dst)
+				inbound[dst]++
+				totalMsgs++
+			}
+		}
+		program := func(r *Rank) {
+			for i, dst := range dests[r.Rank()] {
+				r.SendSize(dst, i, 1)
+			}
+			for i := 0; i < inbound[r.Rank()]; i++ {
+				r.Recv(AnySource, AnyTag)
+			}
+		}
+		cfg := DefaultConfig(procs, runSeed)
+		cfg.NDPercent = nd
+		cfg.CaptureStacks = false
+		tr1, stats, err := Run(cfg, trace.Meta{}, program)
+		if err != nil || tr1.Validate() != nil {
+			return false
+		}
+		if stats.Messages != totalMsgs || tr1.MatchedPairs() != totalMsgs {
+			return false
+		}
+		tr2, _, err := Run(cfg, trace.Meta{}, program)
+		return err == nil && tr1.Hash() == tr2.Hash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMessageRace32(b *testing.B) {
+	cfg := DefaultConfig(32, 1)
+	cfg.NDPercent = 100
+	cfg.CaptureStacks = false
+	program := racyProgram(32, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, _, err := Run(cfg, trace.Meta{}, program); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSendRecvThroughput(b *testing.B) {
+	cfg := DefaultConfig(2, 1)
+	cfg.CaptureStacks = false
+	const msgs = 1000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _, err := Run(cfg, trace.Meta{}, func(r *Rank) {
+			if r.Rank() == 0 {
+				for j := 0; j < msgs; j++ {
+					r.SendSize(1, 0, 1)
+				}
+			} else {
+				for j := 0; j < msgs; j++ {
+					r.Recv(0, 0)
+				}
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

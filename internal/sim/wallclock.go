@@ -1,0 +1,291 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/anacin-go/anacinx/internal/trace"
+	"github.com/anacin-go/anacinx/internal/vtime"
+)
+
+// The wallclock runtime runs every rank as a real goroutine with real
+// locks and real time: non-determinism is NATIVE — the Go scheduler and
+// the operating system interleave the racing sends however they please
+// — rather than modelled. It exists as the course module's contrast to
+// the deterministic DES runtime: at 0% injected non-determinism the DES
+// reproduces one structure forever, while the wallclock runtime may
+// differ run to run with no injection at all, exactly like a real MPI
+// cluster. Traces it produces are structurally identical in format, so
+// every downstream tool (event graphs, kernels, root-source analysis)
+// works unchanged.
+//
+// Supported surface: the Proc subset (Send, SendSize, Recv, Compute).
+// Collectives and non-blocking operations are DES-only.
+
+// WallConfig parameterizes a wallclock execution.
+type WallConfig struct {
+	// Procs is the number of ranks (goroutines).
+	Procs int
+	// NDPercent adds an explicit random pre-delivery delay to this
+	// percentage of messages, amplifying the native non-determinism.
+	// 0 still leaves scheduler non-determinism in play.
+	NDPercent float64
+	// Seed seeds the per-rank jitter streams.
+	Seed int64
+	// JitterMax bounds the injected real-time delay per message.
+	// 0 means the default of 200µs.
+	JitterMax time.Duration
+	// ComputeScale converts virtual Compute durations to real sleeps:
+	// realNs = virtualNs / ComputeScale. 0 means the default of 1000
+	// (1ms of virtual work ≈ 1µs real).
+	ComputeScale int
+	// RecvTimeout aborts a receive that waits longer than this in real
+	// time (deadlock guard; there is no global deadlock detector on
+	// this substrate). 0 means the default of 10s.
+	RecvTimeout time.Duration
+}
+
+// DefaultWallConfig returns a runnable wallclock configuration.
+func DefaultWallConfig(procs int, seed int64) WallConfig {
+	return WallConfig{Procs: procs, Seed: seed}
+}
+
+func (c *WallConfig) withDefaults() (WallConfig, error) {
+	q := *c
+	if q.Procs < 1 {
+		return q, fmt.Errorf("sim: wallclock Procs = %d, need >= 1", q.Procs)
+	}
+	if q.NDPercent < 0 || q.NDPercent > 100 {
+		return q, fmt.Errorf("sim: wallclock NDPercent = %v, need 0..100", q.NDPercent)
+	}
+	if q.JitterMax == 0 {
+		q.JitterMax = 200 * time.Microsecond
+	}
+	if q.ComputeScale == 0 {
+		q.ComputeScale = 1000
+	}
+	if q.RecvTimeout == 0 {
+		q.RecvTimeout = 10 * time.Second
+	}
+	return q, nil
+}
+
+// wallSim is the shared state of one wallclock execution.
+type wallSim struct {
+	cfg    WallConfig
+	start  time.Time
+	msgID  atomic.Int64
+	ranks  []*WallRank
+	failMu sync.Mutex
+	failed error
+}
+
+func (s *wallSim) now() vtime.Time { return vtime.Time(time.Since(s.start).Nanoseconds()) }
+
+func (s *wallSim) fail(err error) {
+	s.failMu.Lock()
+	if s.failed == nil {
+		s.failed = err
+	}
+	s.failMu.Unlock()
+	// Wake every sleeper so blocked receives observe the failure.
+	for _, r := range s.ranks {
+		r.mu.Lock()
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	}
+}
+
+func (s *wallSim) failure() error {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	return s.failed
+}
+
+// WallRank is the wallclock counterpart of Rank. Methods must only be
+// called from the rank's own goroutine.
+type WallRank struct {
+	sim     *wallSim
+	id      int
+	lamport int64
+	rng     *vtime.RNG
+	events  []trace.Event // rank-local; merged after the run
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	mailbox  []*message // guarded by mu; append order = arrival order
+	chanSeqs map[int]int
+}
+
+// Rank implements Proc.
+func (r *WallRank) Rank() int { return r.id }
+
+// Size implements Proc.
+func (r *WallRank) Size() int { return len(r.sim.ranks) }
+
+// record appends a trace event with the current wallclock timestamp.
+func (r *WallRank) record(kind trace.EventKind, peer, tag, size int, msgID int64, chanSeq int) {
+	now := r.sim.now()
+	// Per-rank monotonicity guard: the coarse clock can tie.
+	if n := len(r.events); n > 0 && now < r.events[n-1].Time {
+		now = r.events[n-1].Time
+	}
+	r.events = append(r.events, trace.Event{
+		Rank: r.id, Kind: kind, Peer: peer, Tag: tag, Size: size,
+		MsgID: msgID, ChanSeq: chanSeq, Time: now, Lamport: r.lamport,
+	})
+}
+
+// Send implements Proc.
+func (r *WallRank) Send(dst, tag int, data []byte) {
+	r.send(dst, tag, len(data), append([]byte(nil), data...))
+}
+
+// SendSize implements Proc.
+func (r *WallRank) SendSize(dst, tag, size int) {
+	if size < 0 {
+		panic(fmt.Sprintf("sim: negative message size %d", size))
+	}
+	r.send(dst, tag, size, nil)
+}
+
+func (r *WallRank) send(dst, tag, size int, data []byte) {
+	if dst < 0 || dst >= r.Size() || dst == r.id {
+		panic(fmt.Sprintf("sim: wallclock rank %d sent to invalid peer %d", r.id, dst))
+	}
+	if tag < 0 {
+		panic(fmt.Sprintf("sim: wallclock rank %d used negative tag %d", r.id, tag))
+	}
+	// Injected congestion: a real sleep before delivery. Delivering
+	// inline from the (sequential) sender preserves per-channel FIFO.
+	if r.rng.Bernoulli(r.sim.cfg.NDPercent / 100) {
+		delay := time.Duration(r.rng.Intn(int(r.sim.cfg.JitterMax) + 1))
+		time.Sleep(delay)
+	}
+	seq := r.chanSeqs[dst]
+	r.chanSeqs[dst] = seq + 1
+	r.lamport++
+	msg := &message{
+		id:          r.sim.msgID.Add(1) - 1,
+		src:         r.id,
+		dst:         dst,
+		tag:         tag,
+		size:        size,
+		data:        data,
+		chanSeq:     seq,
+		sendLamport: r.lamport,
+	}
+	r.record(trace.KindSend, dst, tag, size, msg.id, seq)
+
+	d := r.sim.ranks[dst]
+	d.mu.Lock()
+	d.mailbox = append(d.mailbox, msg)
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
+// Recv implements Proc.
+func (r *WallRank) Recv(src, tag int) Message {
+	if src != AnySource && (src < 0 || src >= r.Size()) {
+		panic(fmt.Sprintf("sim: wallclock rank %d received from invalid src %d", r.id, src))
+	}
+	deadline := time.Now().Add(r.sim.cfg.RecvTimeout)
+	timer := time.AfterFunc(r.sim.cfg.RecvTimeout, func() {
+		r.sim.fail(fmt.Errorf("sim: wallclock rank %d receive (src=%d, tag=%d) timed out — deadlock?", r.id, src, tag))
+	})
+	defer timer.Stop()
+
+	r.mu.Lock()
+	for {
+		if err := r.sim.failure(); err != nil {
+			r.mu.Unlock()
+			panic(abortSentinel{})
+		}
+		for i, msg := range r.mailbox {
+			if filterMatches(src, tag, nil, msg) {
+				r.mailbox = append(r.mailbox[:i], r.mailbox[i+1:]...)
+				r.mu.Unlock()
+				r.lamport = maxInt64(r.lamport, msg.sendLamport) + 1
+				r.record(trace.KindRecv, msg.src, msg.tag, msg.size, msg.id, msg.chanSeq)
+				return Message{Src: msg.src, Tag: msg.tag, Size: msg.size, Data: msg.data}
+			}
+		}
+		if time.Now().After(deadline) {
+			r.mu.Unlock()
+			panic(abortSentinel{})
+		}
+		r.cond.Wait()
+	}
+}
+
+// Compute implements Proc: sleeps the scaled-down real equivalent.
+func (r *WallRank) Compute(d vtime.Duration) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(int64(d) / int64(r.sim.cfg.ComputeScale)))
+}
+
+// RunWallclock executes program on every rank as a real goroutine and
+// returns the recorded trace. Unlike Run, the result is NOT
+// reproducible: the Go scheduler's interleaving is part of the
+// execution. Collectives and non-blocking calls are unavailable; use
+// the DES runtime for those.
+func RunWallclock(cfg WallConfig, meta trace.Meta, program func(Proc)) (*trace.Trace, error) {
+	if program == nil {
+		return nil, fmt.Errorf("sim: nil program")
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	meta.Procs = cfg.Procs
+	meta.Nodes = 1
+	meta.NDPercent = cfg.NDPercent
+	meta.Seed = cfg.Seed
+
+	s := &wallSim{cfg: cfg, start: time.Now()}
+	base := vtime.NewRNG(cfg.Seed)
+	s.ranks = make([]*WallRank, cfg.Procs)
+	for i := range s.ranks {
+		r := &WallRank{sim: s, id: i, rng: base.Split(uint64(i) + 1), chanSeqs: make(map[int]int)}
+		r.cond = sync.NewCond(&r.mu)
+		s.ranks[i] = r
+	}
+
+	var wg sync.WaitGroup
+	for _, r := range s.ranks {
+		wg.Add(1)
+		go func(r *WallRank) {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					if _, isAbort := v.(abortSentinel); !isAbort {
+						s.fail(fmt.Errorf("sim: wallclock rank %d panicked: %v", r.id, v))
+					}
+				}
+			}()
+			r.lamport++
+			r.record(trace.KindInit, trace.NoPeer, 0, 0, trace.NoMsg, 0)
+			program(r)
+			r.lamport++
+			r.record(trace.KindFinalize, trace.NoPeer, 0, 0, trace.NoMsg, 0)
+		}(r)
+	}
+	wg.Wait()
+	if err := s.failure(); err != nil {
+		return nil, err
+	}
+	tr := trace.New(meta)
+	for _, r := range s.ranks {
+		for i := range r.events {
+			tr.Append(r.events[i])
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: wallclock trace invalid: %w", err)
+	}
+	return tr, nil
+}

@@ -1,0 +1,212 @@
+package sim_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/anacin-go/anacinx/internal/patterns"
+	"github.com/anacin-go/anacinx/internal/sim"
+	"github.com/anacin-go/anacinx/internal/trace"
+	"github.com/anacin-go/anacinx/internal/vtime"
+)
+
+// Wallclock tests assert STRUCTURE only (counts, matching, validity) —
+// never timing or order, which the real scheduler owns.
+
+// wallRace is a message race program on the sim.Proc surface.
+func wallRace(procs, rounds int) func(sim.Proc) {
+	return func(r sim.Proc) {
+		if r.Rank() == 0 {
+			for i := 0; i < (procs-1)*rounds; i++ {
+				r.Recv(sim.AnySource, sim.AnyTag)
+			}
+		} else {
+			for i := 0; i < rounds; i++ {
+				r.SendSize(0, i, 1)
+			}
+		}
+	}
+}
+
+func TestWallclockValidation(t *testing.T) {
+	if _, err := sim.RunWallclock(sim.DefaultWallConfig(0, 1), trace.Meta{}, func(sim.Proc) {}); err == nil {
+		t.Error("zero procs accepted")
+	}
+	bad := sim.DefaultWallConfig(2, 1)
+	bad.NDPercent = 101
+	if _, err := sim.RunWallclock(bad, trace.Meta{}, func(sim.Proc) {}); err == nil {
+		t.Error("bad ND accepted")
+	}
+	if _, err := sim.RunWallclock(sim.DefaultWallConfig(2, 1), trace.Meta{}, nil); err == nil {
+		t.Error("nil program accepted")
+	}
+}
+
+func TestWallclockBasicExchange(t *testing.T) {
+	tr, err := sim.RunWallclock(sim.DefaultWallConfig(4, 1), trace.Meta{Pattern: "wall"}, wallRace(4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	counts := tr.KindCounts()
+	if counts[trace.KindSend] != 9 || counts[trace.KindRecv] != 9 {
+		t.Errorf("counts = %v", counts)
+	}
+	if tr.MatchedPairs() != 9 {
+		t.Errorf("MatchedPairs = %d", tr.MatchedPairs())
+	}
+	if tr.Meta.Procs != 4 || tr.Meta.Pattern != "wall" {
+		t.Errorf("meta = %+v", tr.Meta)
+	}
+}
+
+func TestWallclockPayloadIntegrity(t *testing.T) {
+	tr, err := sim.RunWallclock(sim.DefaultWallConfig(2, 1), trace.Meta{}, func(r sim.Proc) {
+		if r.Rank() == 0 {
+			r.Send(1, 5, []byte("payload"))
+		} else {
+			m := r.Recv(0, 5)
+			if string(m.Data) != "payload" || m.Src != 0 || m.Tag != 5 {
+				panic("corrupt message")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumEvents() != 6 {
+		t.Errorf("events = %d", tr.NumEvents())
+	}
+}
+
+func TestWallclockFIFOPerChannel(t *testing.T) {
+	// Same-channel messages keep send order even with injected jitter.
+	cfg := sim.DefaultWallConfig(2, 7)
+	cfg.NDPercent = 100
+	cfg.JitterMax = 100 * time.Microsecond
+	tr, err := sim.RunWallclock(cfg, trace.Meta{}, func(r sim.Proc) {
+		if r.Rank() == 0 {
+			for i := 0; i < 20; i++ {
+				r.SendSize(1, i, 1)
+			}
+		} else {
+			for i := 0; i < 20; i++ {
+				m := r.Recv(0, sim.AnyTag)
+				if m.Tag != i {
+					panic("same-channel overtaking")
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.MatchedPairs() != 20 {
+		t.Errorf("MatchedPairs = %d", tr.MatchedPairs())
+	}
+}
+
+func TestWallclockDeadlockTimesOut(t *testing.T) {
+	cfg := sim.DefaultWallConfig(2, 1)
+	cfg.RecvTimeout = 50 * time.Millisecond
+	_, err := sim.RunWallclock(cfg, trace.Meta{}, func(r sim.Proc) {
+		r.Recv(sim.AnySource, sim.AnyTag) // no one sends
+	})
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Errorf("err = %v, want receive timeout", err)
+	}
+}
+
+func TestWallclockPanicPropagates(t *testing.T) {
+	cfg := sim.DefaultWallConfig(3, 1)
+	cfg.RecvTimeout = time.Second
+	_, err := sim.RunWallclock(cfg, trace.Meta{}, func(r sim.Proc) {
+		if r.Rank() == 2 {
+			panic("wall boom")
+		}
+		if r.Rank() == 0 {
+			r.Recv(sim.AnySource, sim.AnyTag) // unblocked by the failure broadcast
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "wall boom") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestWallclockRunsPaperPatterns(t *testing.T) {
+	// Every sim.Proc-only pattern must complete on the wallclock runtime
+	// and produce a structurally valid trace whose event graph builds.
+	for _, name := range []string{"message_race", "amg2013", "unstructured_mesh", "mcb", "ring_halo", "stencil2d"} {
+		pat, err := patterns.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params := patterns.DefaultParams(6)
+		params.Iterations = 2
+		prog, err := pat.Program(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := sim.DefaultWallConfig(6, 3)
+		cfg.NDPercent = 50
+		tr, err := sim.RunWallclock(cfg, trace.Meta{Pattern: name}, prog)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: invalid trace: %v", name, err)
+		}
+	}
+}
+
+func TestWallclockReducePipelineRefused(t *testing.T) {
+	pat, err := patterns.ByName("reduce_pipeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := pat.Program(patterns.DefaultParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sim.RunWallclock(sim.DefaultWallConfig(4, 1), trace.Meta{}, prog)
+	if err == nil || !strings.Contains(err.Error(), "DES runtime") {
+		t.Errorf("collective pattern on wallclock: err = %v", err)
+	}
+}
+
+func TestWallclockComputeSleepsScaled(t *testing.T) {
+	cfg := sim.DefaultWallConfig(1, 1)
+	cfg.ComputeScale = 1000
+	start := time.Now()
+	_, err := sim.RunWallclock(cfg, trace.Meta{}, func(r sim.Proc) {
+		r.Compute(20 * vtime.Millisecond) // ≈ 20µs real
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("Compute slept way too long: %v", elapsed)
+	}
+}
+
+func TestWallclockAdaptRunsOnDES(t *testing.T) {
+	// The same generic program runs under the deterministic runtime via
+	// Adapt; determinism still holds there.
+	prog := wallRace(4, 2)
+	cfg := sim.DefaultConfig(4, 5)
+	cfg.NDPercent = 100
+	tr1, _, err := sim.Run(cfg, trace.Meta{}, sim.Adapt(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, _, err := sim.Run(cfg, trace.Meta{}, sim.Adapt(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr1.Hash() != tr2.Hash() {
+		t.Error("DES runtime lost determinism through Adapt")
+	}
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"runtime"
+	"strings"
+)
+
+// maxStackDepth bounds how many application frames a recorded callstack
+// keeps. Deep recursion beyond this is truncated from the outermost end.
+const maxStackDepth = 32
+
+// framePrefixesToTrim lists function-name prefixes that belong to the
+// runtime plumbing rather than the "application" (the pattern code a
+// student would inspect). ANACIN-X similarly strips MPI-library and
+// tracer frames so callstack analysis surfaces user code.
+var framePrefixesToTrim = []string{
+	"runtime.",
+	"testing.",
+	// Simulator machinery is all methods on these receivers; free
+	// functions in package sim (e.g. test programs) are kept.
+	"github.com/anacin-go/anacinx/internal/sim.(*Rank).",
+	"github.com/anacin-go/anacinx/internal/sim.(*simulation).",
+}
+
+// CaptureStack records the current goroutine's call-path as a slice of
+// function names, innermost application frame first. skip extra frames
+// below the caller are dropped (0 means the caller of CaptureStack is the
+// innermost candidate). Runtime, testing, and simulator frames are
+// removed so the result reads like the call-path of the traced program.
+func CaptureStack(skip int) []string {
+	pcs := make([]uintptr, maxStackDepth+8)
+	n := runtime.Callers(skip+2, pcs)
+	if n == 0 {
+		return nil
+	}
+	frames := runtime.CallersFrames(pcs[:n])
+	var stack []string
+	for {
+		frame, more := frames.Next()
+		name := frame.Function
+		if name != "" && !trimmedFrame(name) {
+			stack = append(stack, shortFuncName(name))
+			if len(stack) >= maxStackDepth {
+				break
+			}
+		}
+		if !more {
+			break
+		}
+	}
+	return stack
+}
+
+func trimmedFrame(name string) bool {
+	for _, p := range framePrefixesToTrim {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	// sim.Adapt's wrapper closure gets caller-scoped synthesized names
+	// when inlined ("pkg.caller.Adapt.funcN", with N depending on the
+	// instantiation), so matching by substring is required to keep
+	// callstacks stable across otherwise-identical runs.
+	return strings.Contains(name, ".Adapt.func")
+}
+
+// shortFuncName reduces a fully qualified function name such as
+// "github.com/anacin-go/anacinx/internal/patterns.(*AMG).exchange" to
+// "patterns.(*AMG).exchange": the last path element plus symbol. That is
+// the granularity a student reads in the Fig. 8 bar chart.
+func shortFuncName(full string) string {
+	if i := strings.LastIndexByte(full, '/'); i >= 0 {
+		return full[i+1:]
+	}
+	return full
+}

@@ -1,0 +1,97 @@
+package trace
+
+import "fmt"
+
+// Divergence reports the first point at which two traces' communication
+// structures differ — the starting point for debugging a
+// non-deterministic pair of runs.
+type Divergence struct {
+	// Rank is the rank whose streams differ first (the smallest such
+	// rank).
+	Rank int
+	// Seq is the first differing event index on that rank; -1 when one
+	// stream is a strict prefix of the other (Len* then differ).
+	Seq int
+	// A and B describe the differing events ("<none>" past the end).
+	A, B string
+	// LenA and LenB are the stream lengths on that rank.
+	LenA, LenB int
+}
+
+// String renders the divergence for humans.
+func (d *Divergence) String() string {
+	if d.Seq < 0 {
+		return fmt.Sprintf("rank %d: stream lengths differ (%d vs %d events)", d.Rank, d.LenA, d.LenB)
+	}
+	return fmt.Sprintf("rank %d event #%d: %s vs %s", d.Rank, d.Seq, d.A, d.B)
+}
+
+// structKey is the communication-structure identity of one event: what
+// OrderHash hashes, rendered comparably.
+func structKey(e *Event) string {
+	if e.MsgID == NoMsg {
+		return e.Kind.String()
+	}
+	return fmt.Sprintf("%s(peer=%d,tag=%d,chan=%d)", e.Kind, e.Peer, e.Tag, e.ChanSeq)
+}
+
+// DivergenceCounts returns, per rank, how many event positions differ
+// structurally between two traces of the same workload (kind, peer,
+// tag, or channel sequence). Positions past the shorter stream's end
+// count as differing. Timestamps are ignored.
+func DivergenceCounts(a, b *Trace) ([]int, error) {
+	if a.Procs() != b.Procs() {
+		return nil, fmt.Errorf("trace: diff of %d-rank and %d-rank traces", a.Procs(), b.Procs())
+	}
+	counts := make([]int, a.Procs())
+	for rank := 0; rank < a.Procs(); rank++ {
+		ea, eb := a.Events[rank], b.Events[rank]
+		n := len(ea)
+		if len(eb) < n {
+			n = len(eb)
+		}
+		for i := 0; i < n; i++ {
+			if structKey(&ea[i]) != structKey(&eb[i]) {
+				counts[rank]++
+			}
+		}
+		counts[rank] += max(len(ea), len(eb)) - n
+	}
+	return counts, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FirstDivergence locates the first structural difference between two
+// traces of the same workload: the lowest rank, then lowest event
+// index, at which event kind, peer, tag, or channel sequence differ.
+// It returns nil when the structures are identical (equal OrderHash).
+// Timestamps are ignored — two runs that matched messages identically
+// but at different speeds do not diverge.
+func FirstDivergence(a, b *Trace) (*Divergence, error) {
+	if a.Procs() != b.Procs() {
+		return nil, fmt.Errorf("trace: diff of %d-rank and %d-rank traces", a.Procs(), b.Procs())
+	}
+	for rank := 0; rank < a.Procs(); rank++ {
+		ea, eb := a.Events[rank], b.Events[rank]
+		n := len(ea)
+		if len(eb) < n {
+			n = len(eb)
+		}
+		for i := 0; i < n; i++ {
+			ka, kb := structKey(&ea[i]), structKey(&eb[i])
+			if ka != kb {
+				return &Divergence{Rank: rank, Seq: i, A: ka, B: kb, LenA: len(ea), LenB: len(eb)}, nil
+			}
+		}
+		if len(ea) != len(eb) {
+			return &Divergence{Rank: rank, Seq: -1, A: "<none>", B: "<none>", LenA: len(ea), LenB: len(eb)}, nil
+		}
+	}
+	return nil, nil
+}

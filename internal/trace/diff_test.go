@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFirstDivergenceIdentical(t *testing.T) {
+	a, b := buildValidTrace(), buildValidTrace()
+	d, err := FirstDivergence(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != nil {
+		t.Errorf("identical traces diverge: %v", d)
+	}
+}
+
+func TestFirstDivergenceIgnoresTimestamps(t *testing.T) {
+	a, b := buildValidTrace(), buildValidTrace()
+	for r := range b.Events {
+		for i := range b.Events[r] {
+			b.Events[r][i].Time += 12345
+		}
+	}
+	d, err := FirstDivergence(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != nil {
+		t.Errorf("timestamp-only change reported: %v", d)
+	}
+}
+
+func TestFirstDivergenceOnMatchChange(t *testing.T) {
+	a, b := buildValidTrace(), buildValidTrace()
+	// Pretend rank 0's recv matched a different channel position.
+	b.Events[0][1].ChanSeq = 7
+	d, err := FirstDivergence(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil {
+		t.Fatal("match change not detected")
+	}
+	if d.Rank != 0 || d.Seq != 1 {
+		t.Errorf("divergence at rank %d seq %d, want 0/1", d.Rank, d.Seq)
+	}
+	if !strings.Contains(d.String(), "recv") || !strings.Contains(d.String(), "chan=7") {
+		t.Errorf("description %q", d.String())
+	}
+}
+
+func TestFirstDivergenceOnLength(t *testing.T) {
+	a, b := buildValidTrace(), buildValidTrace()
+	b.Events[1] = b.Events[1][:2] // drop rank 1's tail
+	d, err := FirstDivergence(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil || d.Rank != 1 || d.Seq != -1 {
+		t.Fatalf("length divergence: %+v", d)
+	}
+	if !strings.Contains(d.String(), "lengths differ") {
+		t.Errorf("description %q", d.String())
+	}
+}
+
+func TestDivergenceCounts(t *testing.T) {
+	a, b := buildValidTrace(), buildValidTrace()
+	counts, err := DivergenceCounts(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 0 || counts[1] != 0 {
+		t.Errorf("identical traces diverge: %v", counts)
+	}
+	b.Events[0][1].ChanSeq = 9 // one differing position on rank 0
+	b.Events[1] = b.Events[1][:2]
+	counts, err = DivergenceCounts(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 1 {
+		t.Errorf("rank 0 count = %d, want 1", counts[0])
+	}
+	if counts[1] != 1 { // one missing tail event
+		t.Errorf("rank 1 count = %d, want 1", counts[1])
+	}
+	if _, err := DivergenceCounts(a, New(Meta{Procs: 9})); err == nil {
+		t.Error("rank mismatch accepted")
+	}
+}
+
+func TestFirstDivergenceRankMismatch(t *testing.T) {
+	a := buildValidTrace()
+	b := New(Meta{Procs: 3})
+	if _, err := FirstDivergence(a, b); err == nil {
+		t.Error("rank-count mismatch accepted")
+	}
+}

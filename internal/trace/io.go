@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+)
+
+// WriteJSON serializes the trace as indented JSON.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t)
+}
+
+// ReadJSON parses a trace previously written with WriteJSON and
+// validates it.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if t.Meta.Procs != len(t.Events) {
+		return nil, fmt.Errorf("trace: meta declares %d procs but %d event streams present",
+			t.Meta.Procs, len(t.Events))
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: invalid: %w", err)
+	}
+	return &t, nil
+}
+
+// SaveFile writes the trace to path as JSON.
+func (t *Trace) SaveFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	bw := bufio.NewWriter(f)
+	if err := t.WriteJSON(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadFile reads a JSON trace from path.
+func LoadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(bufio.NewReader(f))
+}
+
+// Hash returns a 64-bit FNV-1a digest over the trace's semantic content
+// (meta, event streams including matching and callstacks). Two runs with
+// identical communication behaviour hash equal; any reordering of message
+// matches changes the hash. Used by determinism tests and by the CLI to
+// show at a glance whether two runs differed.
+func (t *Trace) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeStr := func(s string) {
+		writeInt(int64(len(s)))
+		io.WriteString(h, s)
+	}
+	writeStr(t.Meta.Pattern)
+	writeInt(int64(t.Meta.Procs))
+	writeInt(int64(t.Meta.Nodes))
+	writeInt(int64(t.Meta.Iterations))
+	writeInt(int64(t.Meta.MsgSize))
+	writeInt(int64(t.Meta.NDPercent * 1e6))
+	writeInt(t.Meta.Seed)
+	for _, evs := range t.Events {
+		writeInt(int64(len(evs)))
+		for i := range evs {
+			e := &evs[i]
+			writeInt(int64(e.Kind))
+			writeInt(int64(e.Peer))
+			writeInt(int64(e.Tag))
+			writeInt(int64(e.Size))
+			writeInt(e.MsgID)
+			writeInt(int64(e.ChanSeq))
+			writeInt(int64(e.Time))
+			writeInt(e.Lamport)
+			writeInt(int64(len(e.Callstack)))
+			for _, f := range e.Callstack {
+				writeStr(f)
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+// OrderHash is like Hash but covers only the communication structure
+// (kinds, peers, tags, and message matching), ignoring timestamps. Two
+// runs whose messages matched identically have equal OrderHash even if
+// virtual times differ; this is the quantity record-and-replay must
+// preserve.
+func (t *Trace) OrderHash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	for _, evs := range t.Events {
+		writeInt(int64(len(evs)))
+		for i := range evs {
+			e := &evs[i]
+			writeInt(int64(e.Kind))
+			writeInt(int64(e.Peer))
+			writeInt(int64(e.Tag))
+			writeInt(int64(e.ChanSeq))
+		}
+	}
+	return h.Sum64()
+}

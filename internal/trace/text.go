@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteText renders the trace as a human-readable per-rank listing, the
+// format students read when inspecting a single run:
+//
+//	rank 0:
+//	  #0 init      t=0        L=1
+//	  #1 recv      t=2.9µs    L=3   from 2 tag 0 (1 B) msg 1 chan 0
+//
+// Callstacks are shown compacted to their innermost frame when present.
+func (t *Trace) WriteText(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: pattern=%s procs=%d nodes=%d iters=%d msgsize=%d nd=%g%% seed=%d\n",
+		t.Meta.Pattern, t.Meta.Procs, t.Meta.Nodes, t.Meta.Iterations,
+		t.Meta.MsgSize, t.Meta.NDPercent, t.Meta.Seed)
+	for rank, evs := range t.Events {
+		fmt.Fprintf(&b, "rank %d:\n", rank)
+		for i := range evs {
+			e := &evs[i]
+			fmt.Fprintf(&b, "  #%-3d %-10s t=%-10v L=%-4d", e.Seq, e.Kind, e.Time, e.Lamport)
+			if e.Peer != NoPeer {
+				role := "peer"
+				switch {
+				case e.Kind.IsSend():
+					role = "to"
+				case e.Kind.IsReceive() && e.MsgID != NoMsg:
+					role = "from"
+				case e.Kind.IsCollective():
+					role = "root"
+				}
+				fmt.Fprintf(&b, " %s %d", role, e.Peer)
+			}
+			if e.MsgID != NoMsg {
+				fmt.Fprintf(&b, " tag %d (%d B) msg %d chan %d", e.Tag, e.Size, e.MsgID, e.ChanSeq)
+			}
+			if len(e.Callstack) > 0 {
+				fmt.Fprintf(&b, "  [%s]", e.Callstack[0])
+			}
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// FilterKind returns a copy of the trace containing only events of the
+// given kinds (per-rank order preserved, Seq reassigned densely,
+// Lamport values kept). The copy is suitable for inspection and
+// counting; note that message-matching invariants may no longer
+// validate if sends are kept without their receives or vice versa.
+func (t *Trace) FilterKind(kinds ...EventKind) *Trace {
+	want := make(map[EventKind]bool, len(kinds))
+	for _, k := range kinds {
+		want[k] = true
+	}
+	out := New(t.Meta)
+	for _, evs := range t.Events {
+		for i := range evs {
+			if want[evs[i].Kind] {
+				out.Append(evs[i])
+			}
+		}
+	}
+	return out
+}
+
+// EventsOfRank returns rank's event stream (nil if out of range).
+func (t *Trace) EventsOfRank(rank int) []Event {
+	if rank < 0 || rank >= len(t.Events) {
+		return nil
+	}
+	return t.Events[rank]
+}

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteText(t *testing.T) {
+	tr := buildValidTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"pattern=test", "rank 0:", "rank 1:",
+		"send", "to 0", "recv", "from 1",
+		"tag 3 (8 B)", "[patterns.send]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFilterKind(t *testing.T) {
+	tr := buildValidTrace()
+	sends := tr.FilterKind(KindSend)
+	if sends.NumEvents() != 1 {
+		t.Fatalf("filtered to %d events, want 1", sends.NumEvents())
+	}
+	if sends.Events[1][0].Kind != KindSend || sends.Events[1][0].Seq != 0 {
+		t.Errorf("filtered event %+v", sends.Events[1][0])
+	}
+	both := tr.FilterKind(KindInit, KindFinalize)
+	if both.NumEvents() != 4 {
+		t.Errorf("init+finalize count %d, want 4", both.NumEvents())
+	}
+	none := tr.FilterKind()
+	if none.NumEvents() != 0 {
+		t.Errorf("empty filter kept %d events", none.NumEvents())
+	}
+}
+
+func TestEventsOfRank(t *testing.T) {
+	tr := buildValidTrace()
+	if evs := tr.EventsOfRank(0); len(evs) != 3 {
+		t.Errorf("rank 0 has %d events", len(evs))
+	}
+	if evs := tr.EventsOfRank(-1); evs != nil {
+		t.Error("negative rank returned events")
+	}
+	if evs := tr.EventsOfRank(99); evs != nil {
+		t.Error("out-of-range rank returned events")
+	}
+}

@@ -1,0 +1,90 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/anacin-go/anacinx/internal/analysis"
+)
+
+// Callstack bar charts (paper Fig. 8): one horizontal bar per
+// call-path, length proportional to its normalized frequency among
+// receive events in high-non-determinism regions.
+
+// BarChartSVG renders ranked callstack frequencies. Long call-paths are
+// compacted to their innermost frames so labels stay readable, with the
+// full path in a <title> tooltip.
+func BarChartSVG(w io.Writer, ranked []analysis.CallstackFrequency, title string) error {
+	if len(ranked) == 0 {
+		return fmt.Errorf("viz: no callstacks to chart")
+	}
+	const (
+		marginL = 260.0
+		marginR = 70.0
+		marginT = 56.0
+		rowH    = 30.0
+		barH    = 18.0
+	)
+	width := 760.0
+	height := marginT + rowH*float64(len(ranked)) + 40
+	s := NewSVG(width, height)
+	s.Text(width/2, 26, "middle", `font-size="15" fill="black"`, title)
+	s.Text(marginL+(width-marginL-marginR)/2, marginT-12, "middle",
+		`font-size="12" fill="#333"`, "normalized frequency in high-ND regions")
+
+	span := width - marginL - marginR
+	for i, cf := range ranked {
+		y := marginT + rowH*float64(i)
+		s.Text(marginL-10, y+barH-4, "end", `font-size="11" fill="#333"`, CompactCallstack(cf.Callstack, 2))
+		s.Rect(marginL, y, span*cf.Frequency, barH,
+			`fill="#d88a3f" stroke="#8a5220" stroke-width="0.8"`)
+		s.Text(marginL+span*cf.Frequency+6, y+barH-4, "start", `font-size="11" fill="#333"`,
+			fmt.Sprintf("%.2f (n=%d)", cf.Frequency, cf.Count))
+	}
+	_, err := s.WriteTo(w)
+	return err
+}
+
+// BarChartASCII writes the ranking as terminal bars.
+func BarChartASCII(w io.Writer, ranked []analysis.CallstackFrequency) error {
+	const width = 40
+	var b strings.Builder
+	if len(ranked) == 0 {
+		b.WriteString("(no callstacks in high-ND regions)\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	labelW := 0
+	labels := make([]string, len(ranked))
+	for i, cf := range ranked {
+		labels[i] = CompactCallstack(cf.Callstack, 2)
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
+	}
+	if labelW > 48 {
+		labelW = 48
+	}
+	for i, cf := range ranked {
+		bar := int(cf.Frequency*float64(width) + 0.5)
+		label := labels[i]
+		if len(label) > labelW {
+			label = label[:labelW-1] + "…"
+		}
+		fmt.Fprintf(&b, "%-*s %s %.2f (n=%d)\n", labelW, label,
+			strings.Repeat("#", bar), cf.Frequency, cf.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CompactCallstack keeps the innermost `frames` frames of a ";"-joined
+// call-path, prefixing "…" when frames were dropped.
+func CompactCallstack(key string, frames int) string {
+	parts := strings.Split(key, ";")
+	if len(parts) <= frames {
+		return key
+	}
+	return strings.Join(parts[:frames], ";") + ";…"
+}

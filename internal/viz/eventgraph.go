@@ -1,0 +1,206 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/anacin-go/anacinx/internal/graph"
+)
+
+// Event-graph rendering follows the paper's visual encoding (Figs. 1–4):
+// one horizontal row per MPI rank; green circles for process start/end,
+// blue for sends, red for receives (violet for collectives); solid
+// horizontal edges for program order and colored arrows for messages.
+
+// Node fill colors, matching the legend repeated under every event-graph
+// figure in the paper.
+const (
+	colorStartEnd   = "#3faf5f" // green: init / finalize
+	colorSend       = "#3f6fdf" // blue: send / isend
+	colorRecv       = "#df4f3f" // red: recv / wait
+	colorCollective = "#8f5fdf" // violet: collectives
+	colorOther      = "#9f9f9f"
+)
+
+func nodeColor(n *graph.Node) string {
+	switch {
+	case n.Kind.IsSend():
+		return colorSend
+	case n.Kind.IsReceive():
+		return colorRecv
+	case n.Kind.IsCollective():
+		return colorCollective
+	case n.Label == "init" || n.Label == "finalize":
+		return colorStartEnd
+	default:
+		return colorOther
+	}
+}
+
+// EventGraphSVG renders g in the paper's row-per-rank layout and writes
+// the SVG document to w. Events are spaced by their per-rank sequence
+// position (logical layout, like the paper's figures), not by virtual
+// time; see EventGraphTimeSVG for the time-true layout.
+func EventGraphSVG(w io.Writer, g *graph.Graph, title string) error {
+	const (
+		marginL = 90.0
+		marginT = 56.0
+		colW    = 46.0
+		rowH    = 56.0
+		radius  = 9.0
+	)
+	ranks := g.Ranks()
+	maxSeq := 0
+	for i := range g.Nodes {
+		if g.Nodes[i].Seq > maxSeq {
+			maxSeq = g.Nodes[i].Seq
+		}
+	}
+	width := marginL + float64(maxSeq+1)*colW + 40
+	height := marginT + float64(ranks)*rowH + 40
+	s := NewSVG(width, height)
+	s.Text(width/2, 26, "middle", `font-size="16" fill="black"`, title)
+
+	pos := func(n *graph.Node) (float64, float64) {
+		return marginL + float64(n.Seq)*colW, marginT + float64(n.Rank)*rowH
+	}
+
+	// Row labels and faint row guide lines.
+	for r := 0; r < ranks; r++ {
+		y := marginT + float64(r)*rowH
+		s.Text(marginL-16, y+4, "end", `font-size="12" fill="#333"`, fmt.Sprintf("rank %d", r))
+		s.Line(marginL-8, y, width-30, y, `stroke="#eee" stroke-width="1"`)
+	}
+
+	// Edges under nodes: program edges as grey lines, message edges as
+	// arrows colored by destination.
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		x1, y1 := pos(&g.Nodes[e.From])
+		x2, y2 := pos(&g.Nodes[e.To])
+		if e.Kind == graph.EdgeProgram {
+			s.Line(x1+radius, y1, x2-radius, y2, `stroke="#555" stroke-width="1.4"`)
+		} else {
+			s.Arrow(x1, y1+sign(y2-y1)*radius, x2, y2-sign(y2-y1)*radius,
+				`stroke="#c06030" stroke-width="1.3"`)
+		}
+	}
+
+	// Nodes on top.
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		x, y := pos(n)
+		s.Circle(x, y, radius, fmt.Sprintf(`fill="%s" stroke="black" stroke-width="0.7"`, nodeColor(n)))
+	}
+
+	// Legend.
+	legendY := height - 18.0
+	legend := []struct {
+		color, label string
+	}{
+		{colorStartEnd, "start/end"},
+		{colorSend, "send"},
+		{colorRecv, "receive"},
+		{colorCollective, "collective"},
+	}
+	x := marginL
+	for _, item := range legend {
+		s.Circle(x, legendY, 6, fmt.Sprintf(`fill="%s" stroke="black" stroke-width="0.5"`, item.color))
+		s.Text(x+12, legendY+4, "start", `font-size="11" fill="#333"`, item.label)
+		x += 110
+	}
+
+	_, err := s.WriteTo(w)
+	return err
+}
+
+func sign(v float64) float64 {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// EventGraphASCII writes a terminal sketch of g: one line per rank with
+// one glyph per event, followed by the message edges. Glyphs: o =
+// start/end, S = send, R = receive, W = wait completion, C = collective,
+// . = other.
+func EventGraphASCII(w io.Writer, g *graph.Graph) error {
+	ranks := g.Ranks()
+	rows := make([][]byte, ranks)
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		row := rows[n.Rank]
+		for len(row) <= n.Seq {
+			row = append(row, ' ')
+		}
+		row[n.Seq] = asciiGlyph(n)
+		rows[n.Rank] = row
+	}
+	var b strings.Builder
+	for r := 0; r < ranks; r++ {
+		fmt.Fprintf(&b, "rank %2d: ", r)
+		for i, glyph := range rows[r] {
+			if i > 0 {
+				b.WriteByte('-')
+			}
+			b.WriteByte(glyph)
+		}
+		b.WriteByte('\n')
+	}
+	// Message edges, sorted by destination position for readability.
+	type msgEdge struct{ fr, fs, tr, ts int }
+	var msgs []msgEdge
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		if e.Kind != graph.EdgeMessage {
+			continue
+		}
+		from, to := &g.Nodes[e.From], &g.Nodes[e.To]
+		msgs = append(msgs, msgEdge{from.Rank, from.Seq, to.Rank, to.Seq})
+	}
+	sort.Slice(msgs, func(i, j int) bool {
+		if msgs[i].tr != msgs[j].tr {
+			return msgs[i].tr < msgs[j].tr
+		}
+		if msgs[i].ts != msgs[j].ts {
+			return msgs[i].ts < msgs[j].ts
+		}
+		if msgs[i].fr != msgs[j].fr {
+			return msgs[i].fr < msgs[j].fr
+		}
+		return msgs[i].fs < msgs[j].fs
+	})
+	if len(msgs) > 0 {
+		b.WriteString("messages (src#event -> dst#event):\n")
+		for _, m := range msgs {
+			fmt.Fprintf(&b, "  %d#%d -> %d#%d\n", m.fr, m.fs, m.tr, m.ts)
+		}
+	}
+	b.WriteString("legend: o start/end, S send, R recv, W wait, C collective\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func asciiGlyph(n *graph.Node) byte {
+	switch {
+	case n.Kind.IsSend():
+		return 'S'
+	case n.Label == "recv":
+		return 'R'
+	case n.Kind.IsReceive(): // wait completions
+		return 'W'
+	case n.Kind.IsCollective():
+		return 'C'
+	case n.Label == "init" || n.Label == "finalize":
+		return 'o'
+	default:
+		return '.'
+	}
+}

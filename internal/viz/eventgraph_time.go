@@ -1,0 +1,80 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/anacin-go/anacinx/internal/graph"
+	"github.com/anacin-go/anacinx/internal/vtime"
+)
+
+// EventGraphTimeSVG renders g with the x axis proportional to VIRTUAL
+// TIME instead of event position: message edges become slanted by their
+// latency, and injected congestion delays are visible as long flat
+// arrows — the picture that shows students *why* the arrival order
+// flipped, not just that it did. Rows per rank and the node color
+// legend match EventGraphSVG.
+func EventGraphTimeSVG(w io.Writer, g *graph.Graph, title string) error {
+	const (
+		marginL = 90.0
+		marginR = 50.0
+		marginT = 56.0
+		rowH    = 56.0
+		radius  = 7.0
+		plotW   = 860.0
+	)
+	ranks := g.Ranks()
+	var maxT vtime.Time
+	for i := range g.Nodes {
+		if g.Nodes[i].Time > maxT {
+			maxT = g.Nodes[i].Time
+		}
+	}
+	if maxT == 0 {
+		maxT = 1
+	}
+	width := marginL + plotW + marginR
+	height := marginT + float64(ranks)*rowH + 70
+	s := NewSVG(width, height)
+	s.Text(width/2, 26, "middle", `font-size="16" fill="black"`, title)
+
+	pos := func(n *graph.Node) (float64, float64) {
+		x := marginL + float64(n.Time)/float64(maxT)*plotW
+		return x, marginT + float64(n.Rank)*rowH
+	}
+
+	// Row labels, guides, and a time axis.
+	for r := 0; r < ranks; r++ {
+		y := marginT + float64(r)*rowH
+		s.Text(marginL-16, y+4, "end", `font-size="12" fill="#333"`, fmt.Sprintf("rank %d", r))
+		s.Line(marginL, y, marginL+plotW, y, `stroke="#eee" stroke-width="1"`)
+	}
+	axisY := marginT + float64(ranks)*rowH
+	s.Line(marginL, axisY, marginL+plotW, axisY, `stroke="black" stroke-width="1"`)
+	for i := 0; i <= 5; i++ {
+		tv := vtime.Time(float64(maxT) * float64(i) / 5)
+		x := marginL + plotW*float64(i)/5
+		s.Line(x, axisY, x, axisY+4, `stroke="black" stroke-width="1"`)
+		s.Text(x, axisY+18, "middle", `font-size="11" fill="#333"`, tv.String())
+	}
+	s.Text(marginL+plotW/2, axisY+36, "middle", `font-size="12" fill="#333"`, "virtual time")
+
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		x1, y1 := pos(&g.Nodes[e.From])
+		x2, y2 := pos(&g.Nodes[e.To])
+		if e.Kind == graph.EdgeProgram {
+			s.Line(x1, y1, x2, y2, `stroke="#555" stroke-width="1.2"`)
+		} else {
+			s.Arrow(x1, y1+sign(y2-y1)*radius, x2, y2-sign(y2-y1)*radius,
+				`stroke="#c06030" stroke-width="1.2"`)
+		}
+	}
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		x, y := pos(n)
+		s.Circle(x, y, radius, fmt.Sprintf(`fill="%s" stroke="black" stroke-width="0.6"`, nodeColor(n)))
+	}
+	_, err := s.WriteTo(w)
+	return err
+}

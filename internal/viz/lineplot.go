@@ -1,0 +1,96 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Series is one line of a line plot: (x, y) pairs in x order.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// LinePlotSVG renders one or more series against shared axes — used for
+// the Fig. 7 median-trend view (injected ND% on x, median kernel
+// distance on y) and for ablation comparisons.
+func LinePlotSVG(w io.Writer, series []Series, title, xLabel, yLabel string) error {
+	if len(series) == 0 {
+		return fmt.Errorf("viz: no series")
+	}
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("viz: series %q has %d x for %d y", s.Label, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return fmt.Errorf("viz: series %q is empty", s.Label)
+		}
+	}
+	const (
+		width   = 640.0
+		height  = 420.0
+		marginL = 70.0
+		marginR = 130.0
+		marginT = 54.0
+		marginB = 64.0
+	)
+	s := NewSVG(width, height)
+	s.Text(width/2, 26, "middle", `font-size="15" fill="black"`, title)
+
+	xlo, xhi := math.MaxFloat64, -math.MaxFloat64
+	ylo, yhi := math.MaxFloat64, -math.MaxFloat64
+	for _, sr := range series {
+		for i := range sr.X {
+			xlo, xhi = math.Min(xlo, sr.X[i]), math.Max(xhi, sr.X[i])
+			ylo, yhi = math.Min(ylo, sr.Y[i]), math.Max(yhi, sr.Y[i])
+		}
+	}
+	if ylo > 0 {
+		ylo = 0 // distances and medians read best anchored at zero
+	}
+	if xhi == xlo {
+		xhi = xlo + 1
+	}
+	if yhi == ylo {
+		yhi = ylo + 1
+	}
+
+	plotL, plotR := marginL, width-marginR
+	plotT, plotB := marginT, height-marginB
+	xOf := func(v float64) float64 { return plotL + (v-xlo)/(xhi-xlo)*(plotR-plotL) }
+	yOf := func(v float64) float64 { return plotB - (v-ylo)/(yhi-ylo)*(plotB-plotT) }
+
+	// Axes and ticks.
+	s.Line(plotL, plotT, plotL, plotB, `stroke="black" stroke-width="1"`)
+	s.Line(plotL, plotB, plotR, plotB, `stroke="black" stroke-width="1"`)
+	for i := 0; i <= 5; i++ {
+		xv := xlo + (xhi-xlo)*float64(i)/5
+		yv := ylo + (yhi-ylo)*float64(i)/5
+		s.Line(xOf(xv), plotB, xOf(xv), plotB+4, `stroke="black" stroke-width="1"`)
+		s.Text(xOf(xv), plotB+18, "middle", `font-size="11" fill="#333"`, formatTick(xv))
+		s.Line(plotL-4, yOf(yv), plotL, yOf(yv), `stroke="black" stroke-width="1"`)
+		s.Text(plotL-8, yOf(yv)+4, "end", `font-size="11" fill="#333"`, formatTick(yv))
+	}
+	s.Text((plotL+plotR)/2, height-16, "middle", `font-size="12" fill="#333"`, xLabel)
+	s.Text(16, (plotT+plotB)/2, "middle",
+		fmt.Sprintf(`font-size="12" fill="#333" transform="rotate(-90 16 %.1f)"`, (plotT+plotB)/2), yLabel)
+
+	palette := []string{"#3a6698", "#c06030", "#3faf5f", "#8f5fdf", "#af3f5f", "#5f8f9f"}
+	for si, sr := range series {
+		color := palette[si%len(palette)]
+		pts := make([]Point, len(sr.X))
+		for i := range sr.X {
+			pts[i] = Point{xOf(sr.X[i]), yOf(sr.Y[i])}
+		}
+		s.Polyline(pts, fmt.Sprintf(`stroke="%s" stroke-width="2"`, color))
+		for _, p := range pts {
+			s.Circle(p.X, p.Y, 3, fmt.Sprintf(`fill="%s" stroke="none"`, color))
+		}
+		ly := plotT + 18*float64(si)
+		s.Line(plotR+10, ly, plotR+30, ly, fmt.Sprintf(`stroke="%s" stroke-width="2"`, color))
+		s.Text(plotR+36, ly+4, "start", `font-size="11" fill="#333"`, sr.Label)
+	}
+	_, err := s.WriteTo(w)
+	return err
+}

@@ -1,0 +1,53 @@
+package viz
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestLinePlotSVG(t *testing.T) {
+	series := []Series{
+		{Label: "median", X: []float64{0, 10, 20, 30}, Y: []float64{0, 5, 8, 9}},
+		{Label: "mean", X: []float64{0, 10, 20, 30}, Y: []float64{0, 6, 9, 10}},
+	}
+	var buf bytes.Buffer
+	if err := LinePlotSVG(&buf, series, "trend", "nd%", "distance"); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	checkWellFormedXML(t, doc)
+	for _, want := range []string{"trend", "nd%", "distance", "median", "mean", "<polyline"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("line plot missing %q", want)
+		}
+	}
+	if got := strings.Count(doc, "<polyline"); got != 2 {
+		t.Errorf("%d polylines for 2 series", got)
+	}
+}
+
+func TestLinePlotValidation(t *testing.T) {
+	if err := LinePlotSVG(io.Discard, nil, "t", "x", "y"); err == nil {
+		t.Error("no series accepted")
+	}
+	bad := []Series{{Label: "a", X: []float64{1, 2}, Y: []float64{1}}}
+	if err := LinePlotSVG(io.Discard, bad, "t", "x", "y"); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	empty := []Series{{Label: "a"}}
+	if err := LinePlotSVG(io.Discard, empty, "t", "x", "y"); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestLinePlotDegenerateRanges(t *testing.T) {
+	// Constant x and constant y must not divide by zero.
+	series := []Series{{Label: "flat", X: []float64{5, 5}, Y: []float64{3, 3}}}
+	var buf bytes.Buffer
+	if err := LinePlotSVG(&buf, series, "t", "x", "y"); err != nil {
+		t.Fatal(err)
+	}
+	checkWellFormedXML(t, buf.String())
+}

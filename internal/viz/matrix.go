@@ -1,0 +1,125 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Communication-matrix heatmap: cell (src, dst) shows how many messages
+// src sent to dst during an execution — the standard at-a-glance view
+// of a communication pattern's shape (all-to-all fills the plane, a
+// message race fills one column, a ring fills two diagonals).
+
+// CommMatrixSVG renders the matrix as a heatmap with counts in cells.
+func CommMatrixSVG(w io.Writer, counts [][]int, title string) error {
+	n := len(counts)
+	if n == 0 {
+		return fmt.Errorf("viz: empty communication matrix")
+	}
+	for r, row := range counts {
+		if len(row) != n {
+			return fmt.Errorf("viz: matrix row %d has %d columns for %d ranks", r, len(row), n)
+		}
+	}
+	const (
+		marginL = 80.0
+		marginT = 80.0
+		maxCell = 40.0
+		minCell = 14.0
+	)
+	cell := 560.0 / float64(n)
+	if cell > maxCell {
+		cell = maxCell
+	}
+	if cell < minCell {
+		cell = minCell
+	}
+	width := marginL + float64(n)*cell + 30
+	height := marginT + float64(n)*cell + 30
+	s := NewSVG(width, height)
+	s.Text(width/2, 26, "middle", `font-size="15" fill="black"`, title)
+	s.Text(marginL+float64(n)*cell/2, marginT-34, "middle", `font-size="12" fill="#333"`, "destination rank")
+	s.Text(20, marginT+float64(n)*cell/2, "middle",
+		fmt.Sprintf(`font-size="12" fill="#333" transform="rotate(-90 20 %.1f)"`, marginT+float64(n)*cell/2),
+		"source rank")
+
+	max := 0
+	for _, row := range counts {
+		for _, c := range row {
+			if c > max {
+				max = c
+			}
+		}
+	}
+	labelEvery := 1
+	if n > 16 {
+		labelEvery = n / 8
+	}
+	for i := 0; i < n; i++ {
+		if i%labelEvery == 0 {
+			s.Text(marginL+(float64(i)+0.5)*cell, marginT-8, "middle", `font-size="10" fill="#333"`, fmt.Sprint(i))
+			s.Text(marginL-6, marginT+(float64(i)+0.72)*cell, "end", `font-size="10" fill="#333"`, fmt.Sprint(i))
+		}
+	}
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			x := marginL + float64(dst)*cell
+			y := marginT + float64(src)*cell
+			s.Rect(x, y, cell, cell, fmt.Sprintf(`fill="%s" stroke="#ddd" stroke-width="0.5"`,
+				heatColor(counts[src][dst], max)))
+			if counts[src][dst] > 0 && cell >= 18 {
+				s.Text(x+cell/2, y+cell*0.68, "middle", `font-size="9" fill="#222"`,
+					fmt.Sprint(counts[src][dst]))
+			}
+		}
+	}
+	_, err := s.WriteTo(w)
+	return err
+}
+
+// heatColor maps a count to a white→orange→red ramp.
+func heatColor(count, max int) string {
+	if count == 0 || max == 0 {
+		return "#ffffff"
+	}
+	f := float64(count) / float64(max)
+	// white (255,255,255) → orange (230,140,60) → dark red (150,30,30)
+	var red, green, blue int
+	if f < 0.5 {
+		t := f * 2
+		red = int(255 - t*25)
+		green = int(255 - t*115)
+		blue = int(255 - t*195)
+	} else {
+		t := (f - 0.5) * 2
+		red = int(230 - t*80)
+		green = int(140 - t*110)
+		blue = int(60 - t*30)
+	}
+	return fmt.Sprintf("#%02x%02x%02x", red, green, blue)
+}
+
+// CommMatrixASCII renders the matrix as aligned text, "." for zero.
+func CommMatrixASCII(w io.Writer, counts [][]int) error {
+	n := len(counts)
+	var b strings.Builder
+	b.WriteString("      dst:")
+	for d := 0; d < n; d++ {
+		fmt.Fprintf(&b, " %3d", d)
+	}
+	b.WriteByte('\n')
+	for src, row := range counts {
+		fmt.Fprintf(&b, "src %3d:  ", src)
+		for _, c := range row {
+			if c == 0 {
+				b.WriteString("   .")
+			} else {
+				fmt.Fprintf(&b, " %3d", c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,76 @@
+package viz
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestCommMatrixSVG(t *testing.T) {
+	counts := [][]int{
+		{0, 3, 0},
+		{1, 0, 2},
+		{5, 0, 0},
+	}
+	var buf bytes.Buffer
+	if err := CommMatrixSVG(&buf, counts, "race matrix"); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	checkWellFormedXML(t, doc)
+	for _, want := range []string{"race matrix", "destination rank", "source rank", ">5<", ">3<"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("matrix SVG missing %q", want)
+		}
+	}
+	// 9 cells plus the background rect.
+	if got := strings.Count(doc, "<rect"); got != 10 {
+		t.Errorf("%d rects, want 10", got)
+	}
+}
+
+func TestCommMatrixSVGValidation(t *testing.T) {
+	if err := CommMatrixSVG(io.Discard, nil, "t"); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	ragged := [][]int{{1, 2}, {3}}
+	if err := CommMatrixSVG(io.Discard, ragged, "t"); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+func TestCommMatrixASCII(t *testing.T) {
+	counts := [][]int{
+		{0, 2},
+		{7, 0},
+	}
+	var buf bytes.Buffer
+	if err := CommMatrixASCII(&buf, counts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"dst:", "src   0", "src   1", "  2", "  7", "."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII matrix missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHeatColorRamp(t *testing.T) {
+	if heatColor(0, 10) != "#ffffff" {
+		t.Error("zero not white")
+	}
+	if heatColor(5, 0) != "#ffffff" {
+		t.Error("zero max not white")
+	}
+	lo, mid, hi := heatColor(1, 10), heatColor(5, 10), heatColor(10, 10)
+	if lo == mid || mid == hi || lo == hi {
+		t.Errorf("ramp not distinct: %s %s %s", lo, mid, hi)
+	}
+	for _, c := range []string{lo, mid, hi} {
+		if len(c) != 7 || c[0] != '#' {
+			t.Errorf("bad color %q", c)
+		}
+	}
+}

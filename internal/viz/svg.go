@@ -1,0 +1,142 @@
+// Package viz renders the three ANACIN-X visualizations — event graphs
+// (paper Figs. 1–4), kernel-distance violin plots (Figs. 5–7), and
+// callstack frequency bar charts (Fig. 8) — as standalone SVG documents
+// and as plain-text (ASCII) sketches for terminal use in the course
+// module. Only the standard library is used; the SVG builder below is
+// the minimal subset the renderers need.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// SVG accumulates a single SVG document. Create with NewSVG, draw, then
+// WriteTo.
+type SVG struct {
+	width, height float64
+	body          strings.Builder
+}
+
+// NewSVG starts a document of the given pixel size with a white
+// background.
+func NewSVG(width, height float64) *SVG {
+	s := &SVG{width: width, height: height}
+	s.Rect(0, 0, width, height, `fill="white"`)
+	return s
+}
+
+// Width returns the document width.
+func (s *SVG) Width() float64 { return s.width }
+
+// Height returns the document height.
+func (s *SVG) Height() float64 { return s.height }
+
+// Rect draws a rectangle. style is a raw attribute string such as
+// `fill="#eee" stroke="black"`.
+func (s *SVG) Rect(x, y, w, h float64, style string) {
+	fmt.Fprintf(&s.body, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" %s/>`+"\n", x, y, w, h, style)
+}
+
+// Circle draws a circle.
+func (s *SVG) Circle(cx, cy, r float64, style string) {
+	fmt.Fprintf(&s.body, `<circle cx="%.2f" cy="%.2f" r="%.2f" %s/>`+"\n", cx, cy, r, style)
+}
+
+// Line draws a line segment.
+func (s *SVG) Line(x1, y1, x2, y2 float64, style string) {
+	fmt.Fprintf(&s.body, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" %s/>`+"\n", x1, y1, x2, y2, style)
+}
+
+// Point is a 2-D coordinate for polygons and polylines.
+type Point struct{ X, Y float64 }
+
+// Polygon draws a closed filled polygon.
+func (s *SVG) Polygon(pts []Point, style string) {
+	if len(pts) == 0 {
+		return
+	}
+	var b strings.Builder
+	for i, p := range pts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.2f,%.2f", p.X, p.Y)
+	}
+	fmt.Fprintf(&s.body, `<polygon points="%s" %s/>`+"\n", b.String(), style)
+}
+
+// Polyline draws an open poly-segment path.
+func (s *SVG) Polyline(pts []Point, style string) {
+	if len(pts) == 0 {
+		return
+	}
+	var b strings.Builder
+	for i, p := range pts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.2f,%.2f", p.X, p.Y)
+	}
+	fmt.Fprintf(&s.body, `<polyline points="%s" fill="none" %s/>`+"\n", b.String(), style)
+}
+
+// Text draws a string. anchor is "start", "middle", or "end".
+func (s *SVG) Text(x, y float64, anchor, style, text string) {
+	fmt.Fprintf(&s.body, `<text x="%.2f" y="%.2f" text-anchor="%s" %s>%s</text>`+"\n",
+		x, y, anchor, style, escapeXML(text))
+}
+
+// Arrow draws a line with a small triangular head at the destination.
+func (s *SVG) Arrow(x1, y1, x2, y2 float64, style string) {
+	s.Line(x1, y1, x2, y2, style)
+	dx, dy := x2-x1, y2-y1
+	l := dx*dx + dy*dy
+	if l == 0 {
+		return
+	}
+	inv := 1 / math.Sqrt(l)
+	ux, uy := dx*inv, dy*inv
+	const headLen, headW = 6.0, 3.0
+	bx, by := x2-ux*headLen, y2-uy*headLen
+	s.Polygon([]Point{
+		{x2, y2},
+		{bx - uy*headW, by + ux*headW},
+		{bx + uy*headW, by - ux*headW},
+	}, arrowHeadStyle(style))
+}
+
+// arrowHeadStyle derives a fill style from a stroke style by reusing
+// the stroke color when present.
+func arrowHeadStyle(style string) string {
+	const key = `stroke="`
+	if i := strings.Index(style, key); i >= 0 {
+		rest := style[i+len(key):]
+		if j := strings.IndexByte(rest, '"'); j >= 0 {
+			return fmt.Sprintf(`fill="%s" stroke="none"`, rest[:j])
+		}
+	}
+	return `fill="black" stroke="none"`
+}
+
+// WriteTo emits the complete document.
+func (s *SVG) WriteTo(w io.Writer) (int64, error) {
+	header := fmt.Sprintf(`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f" font-family="sans-serif">`+"\n",
+		s.width, s.height, s.width, s.height)
+	n, err := io.WriteString(w, header+s.body.String()+"</svg>\n")
+	return int64(n), err
+}
+
+// String returns the document as a string.
+func (s *SVG) String() string {
+	var b strings.Builder
+	s.WriteTo(&b) //nolint:errcheck // strings.Builder cannot fail
+	return b.String()
+}
+
+func escapeXML(t string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(t)
+}

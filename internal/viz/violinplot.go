@@ -1,0 +1,171 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"github.com/anacin-go/anacinx/internal/analysis"
+)
+
+// ViolinGroup is one violin body with its x-axis label, e.g. the kernel
+// distances measured at one setting ("32 procs", "nd=40%").
+type ViolinGroup struct {
+	Label  string
+	Violin *analysis.Violin
+}
+
+// ViolinPlotSVG renders one or more violins side by side against a
+// shared value axis — the layout of the paper's Figures 5–7. Each body
+// is the mirrored density; the white dot marks the median and the thick
+// bar the interquartile range.
+func ViolinPlotSVG(w io.Writer, groups []ViolinGroup, title, yLabel string) error {
+	if len(groups) == 0 {
+		return fmt.Errorf("viz: no violin groups")
+	}
+	const (
+		marginL = 78.0
+		marginR = 24.0
+		marginT = 54.0
+		marginB = 64.0
+		slotW   = 86.0
+	)
+	width := marginL + marginR + slotW*float64(len(groups))
+	if width < 360 {
+		width = 360
+	}
+	height := 430.0
+	s := NewSVG(width, height)
+	s.Text(width/2, 26, "middle", `font-size="15" fill="black"`, title)
+
+	// Shared value range across groups.
+	lo, hi := math.MaxFloat64, -math.MaxFloat64
+	for _, g := range groups {
+		v := g.Violin
+		if v.Summary.N == 0 {
+			continue
+		}
+		if len(v.Grid) > 0 {
+			lo = math.Min(lo, v.Grid[0])
+			hi = math.Max(hi, v.Grid[len(v.Grid)-1])
+		} else {
+			lo = math.Min(lo, v.Summary.Min)
+			hi = math.Max(hi, v.Summary.Max)
+		}
+	}
+	if lo > hi { // every group empty
+		lo, hi = 0, 1
+	}
+	if lo > 0 {
+		lo = math.Max(0, lo) // distances are non-negative; anchor at 0 when close
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	plotTop, plotBottom := marginT, height-marginB
+	yOf := func(val float64) float64 {
+		return plotBottom - (val-lo)/(hi-lo)*(plotBottom-plotTop)
+	}
+
+	// Y axis with 5 ticks.
+	s.Line(marginL, plotTop, marginL, plotBottom, `stroke="black" stroke-width="1"`)
+	for i := 0; i <= 5; i++ {
+		val := lo + (hi-lo)*float64(i)/5
+		y := yOf(val)
+		s.Line(marginL-4, y, marginL, y, `stroke="black" stroke-width="1"`)
+		s.Text(marginL-8, y+4, "end", `font-size="11" fill="#333"`, formatTick(val))
+	}
+	s.Text(16, (plotTop+plotBottom)/2, "middle",
+		fmt.Sprintf(`font-size="12" fill="#333" transform="rotate(-90 16 %.1f)"`, (plotTop+plotBottom)/2), yLabel)
+	s.Line(marginL, plotBottom, width-marginR, plotBottom, `stroke="black" stroke-width="1"`)
+
+	for gi, g := range groups {
+		cx := marginL + slotW*(float64(gi)+0.5)
+		v := g.Violin
+		s.Text(cx, plotBottom+20, "middle", `font-size="12" fill="#333"`, g.Label)
+		if v.Summary.N == 0 {
+			s.Text(cx, (plotTop+plotBottom)/2, "middle", `font-size="11" fill="#999"`, "no data")
+			continue
+		}
+		maxD := v.MaxDensity()
+		halfW := slotW * 0.42
+		if maxD > 0 && len(v.Grid) >= 2 {
+			pts := make([]Point, 0, 2*len(v.Grid))
+			for i, gv := range v.Grid {
+				pts = append(pts, Point{cx + v.Density[i]/maxD*halfW, yOf(gv)})
+			}
+			for i := len(v.Grid) - 1; i >= 0; i-- {
+				pts = append(pts, Point{cx - v.Density[i]/maxD*halfW, yOf(v.Grid[i])})
+			}
+			s.Polygon(pts, `fill="#7aa6d8" fill-opacity="0.65" stroke="#3a6698" stroke-width="1"`)
+		}
+		// Interquartile bar and median dot.
+		s.Line(cx, yOf(v.Summary.Q1), cx, yOf(v.Summary.Q3), `stroke="#1c3a5c" stroke-width="5"`)
+		s.Line(cx, yOf(v.Summary.Min), cx, yOf(v.Summary.Max), `stroke="#1c3a5c" stroke-width="1"`)
+		s.Circle(cx, yOf(v.Summary.Median), 3.4, `fill="white" stroke="#1c3a5c" stroke-width="1.4"`)
+	}
+	_, err := s.WriteTo(w)
+	return err
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case av == 0:
+		return "0"
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// ViolinASCII writes a terminal rendition of one sample: a horizontal
+// box sketch plus the numeric summary.
+//
+//	|----[====|====]------|   n=20 min=.. med=.. max=..
+func ViolinASCII(w io.Writer, label string, sample []float64) error {
+	s := analysis.Summarize(sample)
+	const width = 44
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s ", label)
+	if s.N == 0 {
+		b.WriteString("(no data)\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	span := s.Max - s.Min
+	col := func(v float64) int {
+		if span == 0 {
+			return width / 2
+		}
+		c := int((v - s.Min) / span * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c > width-1 {
+			c = width - 1
+		}
+		return c
+	}
+	row := make([]byte, width)
+	for i := range row {
+		row[i] = ' '
+	}
+	for i := col(s.Min); i <= col(s.Max); i++ {
+		row[i] = '-'
+	}
+	for i := col(s.Q1); i <= col(s.Q3); i++ {
+		row[i] = '='
+	}
+	row[col(s.Min)] = '|'
+	row[col(s.Max)] = '|'
+	row[col(s.Median)] = 'M'
+	fmt.Fprintf(&b, "[%s]  %s\n", row, s.String())
+	_, err := io.WriteString(w, b.String())
+	return err
+}

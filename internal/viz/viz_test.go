@@ -1,0 +1,278 @@
+package viz
+
+import (
+	"bytes"
+	"encoding/xml"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/anacin-go/anacinx/internal/analysis"
+	"github.com/anacin-go/anacinx/internal/graph"
+	"github.com/anacin-go/anacinx/internal/sim"
+	"github.com/anacin-go/anacinx/internal/trace"
+)
+
+// checkWellFormedXML decodes every token of an SVG document.
+func checkWellFormedXML(t *testing.T, doc string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	for {
+		_, err := dec.Token()
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			t.Fatalf("SVG not well-formed: %v\n%s", err, doc[:min(len(doc), 400)])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func testGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	cfg := sim.DefaultConfig(4, 1)
+	tr, _, err := sim.Run(cfg, trace.Meta{Pattern: "race"}, func(r *sim.Rank) {
+		if r.Rank() == 0 {
+			for i := 0; i < 3; i++ {
+				r.Recv(sim.AnySource, sim.AnyTag)
+			}
+		} else {
+			r.SendSize(0, 0, 1)
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.FromTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSVGBasicShapes(t *testing.T) {
+	s := NewSVG(200, 100)
+	s.Rect(1, 2, 3, 4, `fill="red"`)
+	s.Circle(5, 6, 7, `fill="blue"`)
+	s.Line(0, 0, 10, 10, `stroke="black"`)
+	s.Polygon([]Point{{0, 0}, {1, 0}, {1, 1}}, `fill="green"`)
+	s.Polyline([]Point{{0, 0}, {2, 2}}, `stroke="grey"`)
+	s.Text(4, 4, "middle", `font-size="10"`, `a <b> & "c"`)
+	s.Arrow(0, 0, 20, 0, `stroke="#123456" stroke-width="1"`)
+	doc := s.String()
+	checkWellFormedXML(t, doc)
+	for _, want := range []string{"<rect", "<circle", "<line", "<polygon", "<polyline", "<text", "&lt;b&gt;", "&quot;c&quot;", `fill="#123456"`} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if s.Width() != 200 || s.Height() != 100 {
+		t.Error("dimensions wrong")
+	}
+}
+
+func TestSVGEmptyPolygonIgnored(t *testing.T) {
+	s := NewSVG(10, 10)
+	s.Polygon(nil, `fill="x"`)
+	s.Polyline(nil, `stroke="x"`)
+	if strings.Contains(s.String(), "polygon") || strings.Contains(s.String(), "polyline") {
+		t.Error("empty polygon/polyline emitted")
+	}
+}
+
+func TestSVGZeroLengthArrow(t *testing.T) {
+	s := NewSVG(10, 10)
+	s.Arrow(5, 5, 5, 5, `stroke="black"`)
+	checkWellFormedXML(t, s.String())
+}
+
+func TestEventGraphSVG(t *testing.T) {
+	g := testGraph(t)
+	var buf bytes.Buffer
+	if err := EventGraphSVG(&buf, g, "message race"); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	checkWellFormedXML(t, doc)
+	// One circle per node plus 4 legend dots.
+	if got := strings.Count(doc, "<circle"); got != g.NumNodes()+4 {
+		t.Errorf("%d circles for %d nodes", got, g.NumNodes())
+	}
+	for _, want := range []string{"message race", "rank 0", "rank 3", colorSend, colorRecv, colorStartEnd, colorCollective} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestEventGraphTimeSVG(t *testing.T) {
+	g := testGraph(t)
+	var buf bytes.Buffer
+	if err := EventGraphTimeSVG(&buf, g, "time layout"); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	checkWellFormedXML(t, doc)
+	for _, want := range []string{"time layout", "virtual time", "rank 0", "µs"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("time-layout SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(doc, "<circle"); got != g.NumNodes() {
+		t.Errorf("%d circles for %d nodes", got, g.NumNodes())
+	}
+}
+
+func TestEventGraphASCII(t *testing.T) {
+	g := testGraph(t)
+	var buf bytes.Buffer
+	if err := EventGraphASCII(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"rank  0", "rank  3", "o-R-R-R-C-o", "messages", "legend"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII output missing %q:\n%s", want, out)
+		}
+	}
+	// 3 message edges, all into rank 0.
+	if got := strings.Count(out, "-> 0#"); got != 3 {
+		t.Errorf("%d message lines, want 3:\n%s", got, out)
+	}
+}
+
+func TestViolinPlotSVG(t *testing.T) {
+	groups := []ViolinGroup{
+		{Label: "32 procs", Violin: analysis.NewViolin([]float64{1, 2, 2.5, 3, 3.2, 4}, 64)},
+		{Label: "16 procs", Violin: analysis.NewViolin([]float64{0.5, 1, 1.2, 1.4}, 64)},
+	}
+	var buf bytes.Buffer
+	if err := ViolinPlotSVG(&buf, groups, "Fig 5", "kernel distance"); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	checkWellFormedXML(t, doc)
+	for _, want := range []string{"Fig 5", "32 procs", "16 procs", "kernel distance", "<polygon"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("violin SVG missing %q", want)
+		}
+	}
+}
+
+func TestViolinPlotSVGEmptyGroup(t *testing.T) {
+	groups := []ViolinGroup{{Label: "empty", Violin: analysis.NewViolin(nil, 64)}}
+	var buf bytes.Buffer
+	if err := ViolinPlotSVG(&buf, groups, "t", "y"); err != nil {
+		t.Fatal(err)
+	}
+	checkWellFormedXML(t, buf.String())
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty group not marked")
+	}
+}
+
+func TestViolinPlotSVGNoGroups(t *testing.T) {
+	if err := ViolinPlotSVG(io.Discard, nil, "t", "y"); err == nil {
+		t.Error("no groups accepted")
+	}
+}
+
+func TestViolinASCII(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ViolinASCII(&buf, "nd=50%", []float64{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"nd=50%", "M", "=", "n=5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII violin missing %q: %s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := ViolinASCII(&buf, "empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty sample not marked")
+	}
+	buf.Reset()
+	if err := ViolinASCII(&buf, "const", []float64{2, 2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "M") {
+		t.Error("constant sample missing median marker")
+	}
+}
+
+func rankedFixture() []analysis.CallstackFrequency {
+	return []analysis.CallstackFrequency{
+		{Callstack: "patterns.(*AMG2013).gatherWork;patterns.(*AMG2013).exchangeAll;main.main", Count: 40, Frequency: 1},
+		{Callstack: "patterns.(*MessageRace).drainRaces;main.main", Count: 10, Frequency: 0.25},
+	}
+}
+
+func TestBarChartSVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := BarChartSVG(&buf, rankedFixture(), "Fig 8"); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	checkWellFormedXML(t, doc)
+	for _, want := range []string{"Fig 8", "gatherWork", "drainRaces", "1.00", "0.25"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("bar chart missing %q", want)
+		}
+	}
+	if err := BarChartSVG(io.Discard, nil, "t"); err == nil {
+		t.Error("empty ranking accepted")
+	}
+}
+
+func TestBarChartASCII(t *testing.T) {
+	var buf bytes.Buffer
+	if err := BarChartASCII(&buf, rankedFixture()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "########") || !strings.Contains(out, "gatherWork") {
+		t.Errorf("ASCII bars wrong:\n%s", out)
+	}
+	buf.Reset()
+	if err := BarChartASCII(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no callstacks") {
+		t.Error("empty ranking not marked")
+	}
+}
+
+func TestCompactCallstack(t *testing.T) {
+	if got := CompactCallstack("a;b;c;d", 2); got != "a;b;…" {
+		t.Errorf("CompactCallstack = %q", got)
+	}
+	if got := CompactCallstack("a;b", 2); got != "a;b" {
+		t.Errorf("short path mangled: %q", got)
+	}
+	if got := CompactCallstack("a", 3); got != "a" {
+		t.Errorf("single frame mangled: %q", got)
+	}
+}
+
+func BenchmarkEventGraphSVG(b *testing.B) {
+	g := testGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := EventGraphSVG(io.Discard, g, "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package vtime
+
+import "math"
+
+// splitmix64 advances the state and returns the next 64-bit output.
+// SplitMix64 (Steele, Lea, Flood 2014) is used only to expand seeds into
+// well-mixed initial PCG state; it is a poor generator on its own but an
+// excellent seed scrambler.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// RNG is a deterministic PCG-XSH-RR 64/32 generator. The zero value is
+// not usable; construct with NewRNG or derive with Split.
+//
+// The algorithm is frozen in this package so that simulation traces are
+// reproducible regardless of Go release or platform.
+type RNG struct {
+	state uint64
+	inc   uint64 // stream selector; always odd
+}
+
+// NewRNG returns a generator for the given seed. Equal seeds yield equal
+// streams; nearby seeds yield statistically independent streams.
+func NewRNG(seed int64) *RNG {
+	sm := uint64(seed)
+	r := &RNG{}
+	r.state = splitmix64(&sm)
+	r.inc = splitmix64(&sm) | 1
+	// Advance once so state and inc are decorrelated from the seed.
+	r.Uint32()
+	return r
+}
+
+// Split derives an independent substream keyed by id. Substreams with
+// distinct ids never share a sequence, which lets each rank and each
+// network link own a private generator derived from the master seed.
+func (r *RNG) Split(id uint64) *RNG {
+	sm := r.state ^ (id+1)*0x9e3779b97f4a7c15
+	s := &RNG{}
+	s.state = splitmix64(&sm)
+	s.inc = splitmix64(&sm) | 1
+	s.Uint32()
+	return s
+}
+
+// Uint32 returns the next 32 uniformly distributed bits.
+func (r *RNG) Uint32() uint32 {
+	old := r.state
+	r.state = old*6364136223846793005 + r.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return (xorshifted >> rot) | (xorshifted << ((-rot) & 31))
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	return uint64(r.Uint32())<<32 | uint64(r.Uint32())
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// Rejection sampling removes modulo bias.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("vtime: Intn called with n <= 0")
+	}
+	bound := uint64(n)
+	threshold := -bound % bound // 2^64 mod bound
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// Int63 returns a uniform non-negative int64.
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// ExpFloat64 returns an exponentially distributed value with mean 1,
+// via inverse-CDF sampling (deterministic, no ziggurat tables).
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// NormFloat64 returns a standard normal value via the Box-Muller
+// transform (the Marsaglia polar method would consume a data-dependent
+// number of variates, which makes substream accounting harder to reason
+// about; Box-Muller consumes exactly two).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u1 := r.Float64()
+		if u1 == 0 {
+			continue
+		}
+		u2 := r.Float64()
+		return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	}
+}
+
+// Perm returns a uniform random permutation of [0, n) (Fisher-Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using the provided swap function.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// ExpDuration returns an exponentially distributed duration with the
+// given mean, truncated at 64x the mean to keep event queues bounded.
+func (r *RNG) ExpDuration(mean Duration) Duration {
+	if mean <= 0 {
+		return 0
+	}
+	x := r.ExpFloat64()
+	if x > 64 {
+		x = 64
+	}
+	return Duration(x * float64(mean))
+}

@@ -1,0 +1,83 @@
+// Package vtime provides the virtual-time base and deterministic random
+// number generation used by the simulated MPI runtime.
+//
+// All simulation timestamps are integer nanoseconds (Time). Integer time
+// keeps event ordering exact and platform-independent: there is no
+// floating-point drift, so a run is bit-reproducible for a given seed.
+//
+// The random number generator is a SplitMix64-seeded PCG-XSH-RR stream.
+// It is deliberately not math/rand: the simulator needs (1) a documented,
+// frozen algorithm so traces stay reproducible across Go releases, and
+// (2) cheap independent substreams (one per rank, one per network link)
+// derived from a master seed.
+package vtime
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulated execution. Virtual time has no relation to wall-clock time.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring time.Duration's constants.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Forever is a time later than any reachable simulation time. It is used
+// as the "no pending event" sentinel by schedulers.
+const Forever Time = math.MaxInt64
+
+// Add returns the time d after t, saturating at Forever on overflow.
+func (t Time) Add(d Duration) Time {
+	s := t + Time(d)
+	if d >= 0 && s < t {
+		return Forever
+	}
+	return s
+}
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// String formats the time with an adaptive unit, e.g. "12.5µs".
+func (t Time) String() string { return Duration(t).String() }
+
+// Nanoseconds returns the duration as an integer nanosecond count.
+func (d Duration) Nanoseconds() int64 { return int64(d) }
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// String formats the duration with an adaptive unit.
+func (d Duration) String() string {
+	neg := ""
+	if d < 0 {
+		neg = "-"
+		d = -d
+	}
+	switch {
+	case d < Microsecond:
+		return fmt.Sprintf("%s%dns", neg, int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%s%.3gµs", neg, float64(d)/float64(Microsecond))
+	case d < Second:
+		return fmt.Sprintf("%s%.3gms", neg, float64(d)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%s%.3gs", neg, float64(d)/float64(Second))
+	}
+}

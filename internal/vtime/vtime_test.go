@@ -1,0 +1,355 @@
+package vtime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeAdd(t *testing.T) {
+	if got := Time(100).Add(50); got != 150 {
+		t.Errorf("Time(100).Add(50) = %v, want 150", got)
+	}
+	if got := Time(100).Add(-30); got != 70 {
+		t.Errorf("Time(100).Add(-30) = %v, want 70", got)
+	}
+}
+
+func TestTimeAddSaturates(t *testing.T) {
+	got := Time(math.MaxInt64 - 5).Add(100)
+	if got != Forever {
+		t.Errorf("overflowing Add = %v, want Forever", got)
+	}
+	if Forever.Add(1) != Forever {
+		t.Errorf("Forever.Add(1) must stay Forever")
+	}
+}
+
+func TestTimeSub(t *testing.T) {
+	if d := Time(500).Sub(200); d != 300 {
+		t.Errorf("Sub = %v, want 300", d)
+	}
+	if d := Time(200).Sub(500); d != -300 {
+		t.Errorf("Sub = %v, want -300", d)
+	}
+}
+
+func TestTimeBeforeAfter(t *testing.T) {
+	if !Time(1).Before(2) || Time(2).Before(1) || Time(1).Before(1) {
+		t.Error("Before is wrong")
+	}
+	if !Time(2).After(1) || Time(1).After(2) || Time(1).After(1) {
+		t.Error("After is wrong")
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{-500, "-500ns"},
+		{2 * Microsecond, "2µs"},
+		{3 * Millisecond, "3ms"},
+		{4 * Second, "4s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := (1500 * Millisecond).String(); got != "1.5s" {
+		t.Errorf("Duration String = %q", got)
+	}
+	if got := Time(2500).String(); got != "2.5µs" {
+		t.Errorf("Time String = %q", got)
+	}
+}
+
+func TestNanosecondsAndInt63(t *testing.T) {
+	if (3 * Microsecond).Nanoseconds() != 3000 {
+		t.Error("Nanoseconds wrong")
+	}
+	r := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if v := r.Int63(); v < 0 {
+			t.Fatalf("Int63 negative: %d", v)
+		}
+	}
+}
+
+func TestDurationSeconds(t *testing.T) {
+	if s := (1500 * Millisecond).Seconds(); s != 1.5 {
+		t.Errorf("Seconds = %v, want 1.5", s)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("same seed diverged at step %d: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 identical outputs", same)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	master := NewRNG(7)
+	s1 := master.Split(1)
+	s2 := master.Split(2)
+	s1again := master.Split(1)
+	// Same id yields the same substream.
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() != s1again.Uint64() {
+			t.Fatal("Split(1) not reproducible")
+		}
+	}
+	// Distinct ids do not track each other.
+	s1 = master.Split(1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() == s2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("substreams 1 and 2 matched %d/100 outputs", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) hit only %d distinct values in 10000 draws", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(9)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	mean := sum / n
+	if math.Abs(mean-1.0) > 0.02 {
+		t.Errorf("ExpFloat64 mean = %v, want ~1", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(13)
+	sum, sumsq := 0.0, 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("NormFloat64 mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("NormFloat64 variance = %v, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(17)
+	for trial := 0; trial < 50; trial++ {
+		p := r.Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				t.Fatalf("Perm produced invalid permutation %v", p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := NewRNG(19)
+	s := []int{1, 2, 3, 4, 5, 6}
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	got := 0
+	for _, v := range s {
+		got += v
+	}
+	if got != sum {
+		t.Errorf("Shuffle changed the multiset: %v", s)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := NewRNG(23)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := NewRNG(29)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) rate = %v", rate)
+	}
+}
+
+func TestExpDuration(t *testing.T) {
+	r := NewRNG(31)
+	if d := r.ExpDuration(0); d != 0 {
+		t.Errorf("ExpDuration(0) = %v, want 0", d)
+	}
+	if d := r.ExpDuration(-5); d != 0 {
+		t.Errorf("ExpDuration(-5) = %v, want 0", d)
+	}
+	sum := Duration(0)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		d := r.ExpDuration(1000)
+		if d < 0 {
+			t.Fatalf("negative duration %v", d)
+		}
+		sum += d
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-1000) > 30 {
+		t.Errorf("ExpDuration(1000) mean = %v", mean)
+	}
+}
+
+// Property: Intn never escapes its bound, for arbitrary seeds and bounds.
+func TestQuickIntnBounded(t *testing.T) {
+	f := func(seed int64, bound uint8) bool {
+		n := int(bound)%100 + 1
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: identical seeds always produce identical prefixes.
+func TestQuickSeedReproducible(t *testing.T) {
+	f := func(seed int64) bool {
+		a, b := NewRNG(seed), NewRNG(seed)
+		for i := 0; i < 20; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Time.Add then Sub round-trips when no saturation occurs.
+func TestQuickTimeAddSub(t *testing.T) {
+	f := func(base int32, delta int32) bool {
+		tm := Time(base)
+		d := Duration(delta)
+		return tm.Add(d).Sub(tm) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkRNGExpDuration(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.ExpDuration(1000)
+	}
+}
