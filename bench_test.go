@@ -9,10 +9,13 @@
 package anacinx_test
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	anacinx "github.com/anacin-go/anacinx"
+	"github.com/anacin-go/anacinx/internal/campaign"
 	"github.com/anacin-go/anacinx/internal/experiments"
 )
 
@@ -189,6 +192,45 @@ func BenchmarkAblationDeterministicControl(b *testing.B) {
 		if s := anacinx.Summarize(rs.Distances(anacinx.WL(2))); s.Max != 0 {
 			b.Fatalf("deterministic control measured distance %v", s.Max)
 		}
+	}
+}
+
+// BenchmarkCampaignWorkers runs one multi-cell campaign grid per
+// iteration at increasing cell-level worker counts. On a machine with
+// >= 4 cores the parallel runner completes the grid at least ~2x faster
+// than workers=1 (cells are embarrassingly parallel; each cell also
+// fans its runs out over its share of the cores) while producing
+// byte-identical output — the determinism tests in internal/campaign
+// gate that equivalence.
+func BenchmarkCampaignWorkers(b *testing.B) {
+	grid := campaign.Grid{
+		Patterns:   []string{"message_race", "unstructured_mesh"},
+		Procs:      []int{8, 16},
+		NDPercents: []float64{0, 100},
+		Runs:       10,
+		BaseSeed:   1,
+	}
+	counts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	if counts[2] <= 2 {
+		counts = counts[:2]
+	}
+	for _, workers := range counts {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			r := &campaign.Runner{Workers: workers}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := r.Run(context.Background(), grid)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if failed := res.Failed(); len(failed) > 0 {
+					b.Fatalf("%d cells failed: %v", len(failed), failed[0].Err)
+				}
+			}
+			cells := float64(grid.Cells())
+			b.ReportMetric(cells*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+		})
 	}
 }
 

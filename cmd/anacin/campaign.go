@@ -1,30 +1,55 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/anacin-go/anacinx/internal/campaign"
 	"github.com/anacin-go/anacinx/internal/core"
 )
 
 // cmdCampaign runs a grid of experiments (patterns × procs × iters ×
-// nodes × nd) and writes the per-cell kernel-distance statistics as a
-// markdown table and, optionally, CSV.
+// nodes × nd) on a worker pool and writes the per-cell kernel-distance
+// statistics as a markdown table and, optionally, CSV.
 func cmdCampaign(args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprint(fs.Output(), `usage: anacin campaign [flags]
+
+Runs the cross product patterns × procs × iters × nodes × nd, reducing
+each cell to its pairwise kernel-distance summary. Cells execute
+concurrently on -workers workers; each cell's runs use the remaining
+share of the machine, so total parallelism stays near GOMAXPROCS.
+Output ordering is deterministic (cells are sorted), so the same grid
+and seed produce byte-identical CSV at any worker count.
+
+Press Ctrl-C (or exceed -timeout) to cancel: in-flight simulations
+abort, no partial CSV is written, and the command reports how many
+cells had completed. Progress is reported per completed cell on stderr
+(suppress with -quiet).
+
+flags:
+`)
+		fs.PrintDefaults()
+	}
 	patternsFlag := fs.String("patterns", "message_race,amg2013,unstructured_mesh", "comma-separated pattern names")
 	procsFlag := fs.String("procs", "16", "comma-separated process counts")
 	itersFlag := fs.String("iters", "1", "comma-separated iteration counts")
 	nodesFlag := fs.String("nodes", "1", "comma-separated node counts")
 	ndFlag := fs.String("nd", "0,50,100", "comma-separated ND percentages")
-	runs := fs.Int("runs", 10, "runs per cell")
-	seed := fs.Int64("seed", 1, "base seed")
+	runs := fs.Int("runs", campaign.DefaultRuns, "runs per cell (must be >= 1)")
+	seed := fs.Int64("seed", campaign.DefaultBaseSeed, "base seed (0 is a valid seed, not a default request)")
 	kernSpec := fs.String("kernel", "wl2", "graph kernel: "+core.KernelSpecs())
 	csvPath := fs.String("csv", "", "also write the cells as CSV to this path")
+	workers := fs.Int("workers", 0, "concurrent cells (0 = one per core, capped at the cell count)")
+	timeout := fs.Duration("timeout", 0, "cancel the campaign after this wall-clock duration (0 = none)")
+	quiet := fs.Bool("quiet", false, "suppress per-cell progress on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -75,22 +100,46 @@ func cmdCampaign(args []string) error {
 	if g.NDPercents, err = floats(*ndFlag); err != nil {
 		return err
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	runner := &campaign.Runner{Workers: *workers}
+	if !*quiet {
+		runner.Progress = func(p campaign.Progress) {
+			status := fmt.Sprintf("median %.4g", p.Cell.Summary.Median)
+			if p.Cell.Err != nil {
+				status = "ERROR: " + p.Cell.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "campaign: cell %d/%d %s procs=%d nd=%g done in %s (%s) runs %d/%d eta %s\n",
+				p.DoneCells, p.TotalCells, p.Cell.Pattern, p.Cell.Procs, p.Cell.NDPercent,
+				p.CellWall.Round(time.Millisecond), status,
+				p.DoneRuns, p.TotalRuns, p.ETA.Round(time.Second))
+		}
+	}
 	fmt.Fprintf(os.Stderr, "campaign: %d cells x %d runs\n", g.Cells(), *runs)
-	res, err := campaign.Run(g)
+	res, err := runner.Run(ctx, g)
 	if err != nil {
 		return err
 	}
 	if err := res.WriteMarkdown(os.Stdout); err != nil {
 		return err
 	}
-	if failed := res.Failed(); len(failed) > 0 {
-		fmt.Printf("\n%d cell(s) failed; first: %v\n", len(failed), failed[0].Err)
-	}
 	if *csvPath != "" {
 		if err := writeFile(*csvPath, func(w *os.File) error { return res.WriteCSV(w) }); err != nil {
 			return err
 		}
 		fmt.Println("wrote", *csvPath)
+	}
+	// Failed cells still render (their error column says why), but the
+	// command must exit non-zero so scripts and CI notice.
+	if failed := res.Failed(); len(failed) > 0 {
+		return fmt.Errorf("%d cell(s) failed; first: %v", len(failed), failed[0].Err)
 	}
 	return nil
 }

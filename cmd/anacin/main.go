@@ -71,7 +71,8 @@ commands:
   diff        compare two saved traces (distance + first divergence)
   critpath    show the critical path of one execution
   expose      find the smallest ND%% that makes the workload diverge
-  campaign    run a grid of experiments; emit markdown/CSV statistics
+  campaign    run a grid of experiments on a worker pool (cancellable
+              with Ctrl-C / -timeout); emit markdown/CSV statistics
 
 run 'anacin <command> -h' for flags.
 `)

@@ -294,6 +294,38 @@ func TestCmdCampaign(t *testing.T) {
 	if err := cmdCampaign([]string{"-kernel", "bogus"}); err == nil {
 		t.Error("bad kernel accepted")
 	}
+	if err := cmdCampaign([]string{"-runs", "0"}); err == nil {
+		t.Error("zero runs accepted")
+	}
+}
+
+func TestCmdCampaignParallelMatchesSequential(t *testing.T) {
+	// The CLI's worker knob must not change the emitted CSV.
+	run := func(workers string) string {
+		csvPath := filepath.Join(t.TempDir(), "grid.csv")
+		captureStdout(t, func() error {
+			return cmdCampaign([]string{"-patterns", "message_race", "-procs", "4,6",
+				"-nd", "0,100", "-runs", "3", "-workers", workers, "-quiet", "-csv", csvPath})
+		})
+		data, err := os.ReadFile(csvPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	if seq, par := run("1"), run("4"); seq != par {
+		t.Errorf("-workers changed the CSV:\n%s\nvs\n%s", seq, par)
+	}
+}
+
+func TestCmdCampaignTimeout(t *testing.T) {
+	// An expired timeout must cancel the campaign and surface a
+	// cancellation error instead of a result.
+	err := cmdCampaign([]string{"-patterns", "unstructured_mesh", "-procs", "16",
+		"-nd", "100", "-runs", "20", "-iters", "4", "-timeout", "1ns", "-quiet"})
+	if err == nil || !strings.Contains(err.Error(), "cancelled") {
+		t.Errorf("err = %v, want cancellation", err)
+	}
 }
 
 func TestCmdFiguresUnknown(t *testing.T) {

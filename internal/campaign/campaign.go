@@ -10,20 +10,23 @@
 package campaign
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
-	"sort"
 	"strconv"
 	"strings"
 
 	"github.com/anacin-go/anacinx/internal/analysis"
-	"github.com/anacin-go/anacinx/internal/core"
 	"github.com/anacin-go/anacinx/internal/kernel"
 )
 
-// Grid declares the cross product to run. Empty dimension slices
-// default to a single paper-flavoured value.
+// Grid declares the cross product to run. Empty dimension slices and a
+// nil kernel default to a single paper-flavoured value (emptiness is
+// unambiguously "unset"); the scalar knobs Runs and BaseSeed are taken
+// literally — a zero Runs is a validation error rather than a silent
+// 10, and seed 0 runs with seed 0. Start from DefaultGrid for the
+// paper's configuration.
 type Grid struct {
 	// Patterns lists pattern registry names (default: the paper's
 	// three mini-applications).
@@ -36,9 +39,10 @@ type Grid struct {
 	Nodes []int
 	// NDPercents lists injection levels (default: 0, 50, 100).
 	NDPercents []float64
-	// Runs per cell (default: 10).
+	// Runs per cell; must be >= 1 (DefaultGrid uses DefaultRuns).
 	Runs int
 	// BaseSeed seeds every cell identically (runs use BaseSeed+i).
+	// Every value, including 0, is honored as given.
 	BaseSeed int64
 	// Kernel is the graph kernel (nil = WL depth 2).
 	Kernel kernel.Kernel
@@ -47,33 +51,60 @@ type Grid struct {
 	CaptureStacks bool
 }
 
+// DefaultRuns is the per-cell sample size of DefaultGrid.
+const DefaultRuns = 10
+
+// DefaultBaseSeed is the base seed of DefaultGrid.
+const DefaultBaseSeed = 1
+
+// DefaultGrid returns the paper-flavoured campaign: the three
+// mini-applications at 16 processes, one iteration, one node, ND levels
+// 0/50/100, DefaultRuns runs seeded from DefaultBaseSeed. Callers that
+// want other scalar knobs should modify the returned grid rather than
+// relying on zero values.
+func DefaultGrid() Grid {
+	return Grid{
+		Patterns:   []string{"message_race", "amg2013", "unstructured_mesh"},
+		Procs:      []int{16},
+		Iterations: []int{1},
+		Nodes:      []int{1},
+		NDPercents: []float64{0, 50, 100},
+		Runs:       DefaultRuns,
+		BaseSeed:   DefaultBaseSeed,
+	}
+}
+
 func (g *Grid) withDefaults() Grid {
 	q := *g
+	def := DefaultGrid()
 	if len(q.Patterns) == 0 {
-		q.Patterns = []string{"message_race", "amg2013", "unstructured_mesh"}
+		q.Patterns = def.Patterns
 	}
 	if len(q.Procs) == 0 {
-		q.Procs = []int{16}
+		q.Procs = def.Procs
 	}
 	if len(q.Iterations) == 0 {
-		q.Iterations = []int{1}
+		q.Iterations = def.Iterations
 	}
 	if len(q.Nodes) == 0 {
-		q.Nodes = []int{1}
+		q.Nodes = def.Nodes
 	}
 	if len(q.NDPercents) == 0 {
-		q.NDPercents = []float64{0, 50, 100}
-	}
-	if q.Runs == 0 {
-		q.Runs = 10
-	}
-	if q.BaseSeed == 0 {
-		q.BaseSeed = 1
+		q.NDPercents = def.NDPercents
 	}
 	if q.Kernel == nil {
 		q.Kernel = kernel.NewWL(2)
 	}
 	return q
+}
+
+// validate rejects grids whose scalar knobs are unrunnable. Dimension
+// defaults are applied by withDefaults before this is called.
+func (g *Grid) validate() error {
+	if g.Runs < 1 {
+		return fmt.Errorf("campaign: Runs = %d, need >= 1 (set Runs explicitly or start from DefaultGrid)", g.Runs)
+	}
+	return nil
 }
 
 // Cells returns how many experiments the grid will run.
@@ -109,42 +140,18 @@ type Result struct {
 	Cells      []Cell
 }
 
-// Run executes every cell of the grid sequentially (each cell already
-// parallelizes its runs across cores via core.Execute) and returns the
-// cells sorted by (pattern, procs, iterations, nodes, nd).
+// Run executes every cell of the grid with the default parallel Runner
+// and returns the cells sorted by (pattern, procs, iterations, nodes,
+// nd). See Runner for worker-pool and progress knobs and RunContext for
+// cancellation.
 func Run(g Grid) (*Result, error) {
-	q := g.withDefaults()
-	res := &Result{KernelName: q.Kernel.Name()}
-	for _, pattern := range q.Patterns {
-		for _, procs := range q.Procs {
-			for _, iters := range q.Iterations {
-				for _, nodes := range q.Nodes {
-					for _, nd := range q.NDPercents {
-						cell := Cell{
-							Pattern: pattern, Procs: procs, Iterations: iters,
-							Nodes: nodes, NDPercent: nd, Runs: q.Runs,
-						}
-						e := core.DefaultExperiment(pattern, procs, nd)
-						e.Iterations = iters
-						e.Nodes = nodes
-						e.Runs = q.Runs
-						e.BaseSeed = q.BaseSeed
-						e.CaptureStacks = q.CaptureStacks
-						rs, err := e.Execute()
-						if err != nil {
-							cell.Err = err
-						} else {
-							cell.Summary = analysis.Summarize(rs.Distances(q.Kernel))
-							cell.DistinctStructures = rs.DistinctStructures()
-						}
-						res.Cells = append(res.Cells, cell)
-					}
-				}
-			}
-		}
-	}
-	sort.Slice(res.Cells, func(i, j int) bool { return res.Cells[i].key() < res.Cells[j].key() })
-	return res, nil
+	return RunContext(context.Background(), g)
+}
+
+// RunContext is Run with cancellation: cancelling ctx aborts in-flight
+// cells and returns an error satisfying errors.Is(err, ctx.Err()).
+func RunContext(ctx context.Context, g Grid) (*Result, error) {
+	return (&Runner{}).Run(ctx, g)
 }
 
 // Failed returns the cells that errored.
@@ -158,20 +165,27 @@ func (r *Result) Failed() []Cell {
 	return out
 }
 
-// csvHeader is the column layout of WriteCSV.
+// csvHeader is the column layout of WriteCSV. The kernel column repeats
+// the campaign-level kernel name on every row so the archive is
+// self-describing (and trivially greppable) without a comment syntax
+// that encoding/csv would not round-trip.
 var csvHeader = []string{
 	"pattern", "procs", "iterations", "nodes", "nd_percent", "runs",
 	"pairs", "min", "q1", "median", "q3", "max", "mean", "stddev",
-	"distinct_structures", "error",
+	"distinct_structures", "error", "kernel",
 }
 
-// WriteCSV emits one row per cell.
+// WriteCSV emits one row per cell. Floats use the shortest
+// representation that parses back to exactly the same value
+// (strconv.FormatFloat precision -1), so ReadCSV(WriteCSV(r))
+// reproduces every summary bit-for-bit — the archiving contract a
+// reproducible campaign needs.
 func (r *Result) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(csvHeader); err != nil {
 		return err
 	}
-	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	for _, c := range r.Cells {
 		errStr := ""
 		if c.Err != nil {
@@ -186,6 +200,7 @@ func (r *Result) WriteCSV(w io.Writer) error {
 			f(c.Summary.Q3), f(c.Summary.Max), f(c.Summary.Mean), f(c.Summary.StdDev),
 			strconv.Itoa(c.DistinctStructures),
 			errStr,
+			r.KernelName,
 		}
 		if err := cw.Write(row); err != nil {
 			return err
@@ -234,6 +249,11 @@ func ReadCSV(rd io.Reader) (*Result, error) {
 		}
 		if row[15] != "" {
 			c.Err = fmt.Errorf("%s", row[15])
+		}
+		if res.KernelName == "" {
+			res.KernelName = row[16]
+		} else if row[16] != res.KernelName {
+			return nil, fmt.Errorf("campaign: row %d kernel %q conflicts with %q", i+1, row[16], res.KernelName)
 		}
 		res.Cells = append(res.Cells, c)
 	}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/anacin-go/anacinx/internal/core"
 	"github.com/anacin-go/anacinx/internal/kernel"
 )
 
@@ -20,7 +21,7 @@ func smallGrid() Grid {
 func TestGridDefaults(t *testing.T) {
 	var g Grid
 	q := g.withDefaults()
-	if len(q.Patterns) != 3 || q.Runs != 10 || q.Kernel == nil {
+	if len(q.Patterns) != 3 || q.Kernel == nil {
 		t.Errorf("defaults wrong: %+v", q)
 	}
 	if g.Cells() != 3*1*1*1*3 {
@@ -29,6 +30,57 @@ func TestGridDefaults(t *testing.T) {
 	sg := smallGrid()
 	if sg.Cells() != 2*2*1*1*2 {
 		t.Errorf("small Cells = %d", sg.Cells())
+	}
+	dg := DefaultGrid()
+	if dg.Runs != DefaultRuns || dg.BaseSeed != DefaultBaseSeed || len(dg.Patterns) != 3 {
+		t.Errorf("DefaultGrid = %+v", dg)
+	}
+}
+
+func TestRunRejectsUnsetRuns(t *testing.T) {
+	// Runs is taken literally: zero (the likely typo "forgot to set it")
+	// and negative values are validation errors, not a silent 10.
+	for _, runs := range []int{0, -3} {
+		g := smallGrid()
+		g.Runs = runs
+		if _, err := Run(g); err == nil {
+			t.Errorf("Runs = %d accepted", runs)
+		}
+	}
+}
+
+func TestBaseSeedZeroHonored(t *testing.T) {
+	// Seed 0 must run with seed 0, not be silently rewritten to 1. The
+	// cell's sample must match a directly-executed experiment with
+	// BaseSeed 0 — and differ from seed 1's, or the comparison would not
+	// detect a rewrite. (message_race at 4 procs / 3 runs separates the
+	// two seeds by distinct-structure count: 2 vs 3.)
+	g := Grid{Patterns: []string{"message_race"}, Procs: []int{4},
+		NDPercents: []float64{100}, Runs: 3, BaseSeed: 0}
+	res, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 1 || res.Cells[0].Err != nil {
+		t.Fatalf("cells: %+v", res.Cells)
+	}
+	direct := func(seed int64) int {
+		e := core.DefaultExperiment("message_race", 4, 100)
+		e.Runs = 3
+		e.BaseSeed = seed
+		e.CaptureStacks = false
+		rs, err := e.Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs.DistinctStructures()
+	}
+	seed0, seed1 := direct(0), direct(1)
+	if seed0 == seed1 {
+		t.Fatalf("test configuration cannot distinguish seeds (both give %d structures)", seed0)
+	}
+	if got := res.Cells[0].DistinctStructures; got != seed0 {
+		t.Errorf("seed-0 cell has %d distinct structures, want %d (seed-1 gives %d)", got, seed0, seed1)
 	}
 }
 
@@ -92,19 +144,34 @@ func TestCSVRoundTrip(t *testing.T) {
 	if err := res.WriteCSV(&buf); err != nil {
 		t.Fatal(err)
 	}
+	written := append([]byte(nil), buf.Bytes()...)
 	got, err := ReadCSV(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if got.KernelName != res.KernelName {
+		t.Errorf("kernel name %q lost in round trip (want %q)", got.KernelName, res.KernelName)
+	}
 	if len(got.Cells) != len(res.Cells) {
 		t.Fatalf("round trip lost cells: %d vs %d", len(got.Cells), len(res.Cells))
 	}
+	// The round trip is lossless: every configuration field and every
+	// summary float comes back bit-for-bit equal.
 	for i := range got.Cells {
 		a, b := res.Cells[i], got.Cells[i]
-		if a.Pattern != b.Pattern || a.Procs != b.Procs || a.NDPercent != b.NDPercent ||
-			a.Summary.Median != b.Summary.Median || a.DistinctStructures != b.DistinctStructures {
+		if a.Pattern != b.Pattern || a.Procs != b.Procs || a.Iterations != b.Iterations ||
+			a.Nodes != b.Nodes || a.NDPercent != b.NDPercent || a.Runs != b.Runs ||
+			a.Summary != b.Summary || a.DistinctStructures != b.DistinctStructures {
 			t.Errorf("cell %d mangled:\n%+v\n%+v", i, a, b)
 		}
+	}
+	// And re-serializing the parsed result reproduces the bytes.
+	var buf2 bytes.Buffer
+	if err := got.WriteCSV(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(written, buf2.Bytes()) {
+		t.Error("write→read→write is not byte-stable")
 	}
 }
 
@@ -119,7 +186,7 @@ func TestReadCSVRejectsGarbage(t *testing.T) {
 }
 
 func TestWriteMarkdown(t *testing.T) {
-	res, err := Run(Grid{Patterns: []string{"message_race"}, Procs: []int{4}, NDPercents: []float64{100}, Runs: 3})
+	res, err := Run(Grid{Patterns: []string{"message_race"}, Procs: []int{4}, NDPercents: []float64{100}, Runs: 3, BaseSeed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

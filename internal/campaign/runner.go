@@ -1,0 +1,214 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/anacin-go/anacinx/internal/analysis"
+	"github.com/anacin-go/anacinx/internal/core"
+)
+
+// Progress is one observation of a running campaign, delivered to
+// Runner.Progress after each cell completes. Callbacks are serialized
+// (never concurrent), so the handler may write to a terminal or mutate
+// its own state without locking.
+type Progress struct {
+	// TotalCells and DoneCells count grid cells; DoneCells includes the
+	// cell reported by this observation.
+	TotalCells, DoneCells int
+	// TotalRuns and DoneRuns count individual simulated executions
+	// (cells × runs-per-cell).
+	TotalRuns, DoneRuns int
+	// Cell is the just-completed cell, including its summary (or error).
+	Cell Cell
+	// CellWall is the wall-clock time the cell took, including its
+	// kernel-distance reduction.
+	CellWall time.Duration
+	// Elapsed is the wall-clock time since the campaign started.
+	Elapsed time.Duration
+	// ETA estimates the remaining wall-clock time from the mean
+	// completed-cell rate. It is 0 once the campaign is done.
+	ETA time.Duration
+}
+
+// Runner executes campaign grids on a worker pool. The zero value is
+// ready to use: cells run on up to GOMAXPROCS workers and each cell's
+// runs get the remaining share of the machine, so the two levels of
+// parallelism multiply out to roughly GOMAXPROCS goroutines instead of
+// cells × runs.
+//
+// Cell results depend only on the cell's configuration (the simulator
+// is deterministic in its seed), and the result slice is keyed and
+// sorted, so a Runner produces byte-identical CSV and markdown output
+// for every worker count — including Workers = 1, the sequential path.
+type Runner struct {
+	// Workers is the number of cells in flight at once.
+	// 0 = min(GOMAXPROCS, number of cells).
+	Workers int
+	// RunWorkers caps the per-cell run concurrency. 0 budgets the
+	// machine across cell workers: max(1, GOMAXPROCS / Workers).
+	RunWorkers int
+	// Progress, when non-nil, observes every completed cell.
+	Progress func(Progress)
+}
+
+// Run executes every cell of the grid and returns the cells sorted by
+// (pattern, procs, iterations, nodes, nd). Per-cell failures are
+// recorded in Cell.Err and do not stop the campaign; cancelling ctx
+// does, aborting in-flight cells and returning an error satisfying
+// errors.Is(err, ctx.Err()).
+func (r *Runner) Run(ctx context.Context, g Grid) (*Result, error) {
+	q := g.withDefaults()
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	cells := q.cellConfigs()
+	workers := r.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	runWorkers := r.RunWorkers
+	if runWorkers < 1 {
+		runWorkers = runtime.GOMAXPROCS(0) / workers
+		if runWorkers < 1 {
+			runWorkers = 1
+		}
+	}
+
+	res := &Result{KernelName: q.Kernel.Name(), Cells: make([]Cell, len(cells))}
+	start := time.Now()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex // guards the progress counters and callback
+		done     int
+		doneRuns int
+		next     = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				if ctx.Err() != nil {
+					continue
+				}
+				cellStart := time.Now()
+				res.Cells[idx] = runCell(ctx, q, cells[idx], runWorkers)
+				r.report(&mu, res.Cells[idx], time.Since(cellStart), start, len(cells), q.Runs, &done, &doneRuns)
+			}
+		}()
+	}
+dispatch:
+	for i := range cells {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: cancelled after %d/%d cells: %w", doneCount(res), len(cells), err)
+	}
+	sort.Slice(res.Cells, func(i, j int) bool { return res.Cells[i].key() < res.Cells[j].key() })
+	return res, nil
+}
+
+// report updates the shared progress counters and invokes the callback
+// under the mutex, serializing observations.
+func (r *Runner) report(mu *sync.Mutex, cell Cell, cellWall time.Duration, start time.Time, totalCells, runsPerCell int, done, doneRuns *int) {
+	mu.Lock()
+	defer mu.Unlock()
+	*done++
+	*doneRuns += runsPerCell
+	if r.Progress == nil {
+		return
+	}
+	elapsed := time.Since(start)
+	var eta time.Duration
+	if remaining := totalCells - *done; remaining > 0 && *done > 0 {
+		eta = time.Duration(int64(elapsed) / int64(*done) * int64(remaining))
+	}
+	r.Progress(Progress{
+		TotalCells: totalCells,
+		DoneCells:  *done,
+		TotalRuns:  totalCells * runsPerCell,
+		DoneRuns:   *doneRuns,
+		Cell:       cell,
+		CellWall:   cellWall,
+		Elapsed:    elapsed,
+		ETA:        eta,
+	})
+}
+
+// cellConfig is one grid point's coordinates, in grid declaration order.
+type cellConfig struct {
+	pattern    string
+	procs      int
+	iterations int
+	nodes      int
+	nd         float64
+}
+
+// cellConfigs expands the grid cross product. Order only affects
+// scheduling — results are sorted by key afterwards.
+func (g *Grid) cellConfigs() []cellConfig {
+	out := make([]cellConfig, 0, g.Cells())
+	for _, pattern := range g.Patterns {
+		for _, procs := range g.Procs {
+			for _, iters := range g.Iterations {
+				for _, nodes := range g.Nodes {
+					for _, nd := range g.NDPercents {
+						out = append(out, cellConfig{pattern, procs, iters, nodes, nd})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// runCell executes one grid cell and reduces it to its summary. A cell
+// failure is recorded, not returned: sibling cells are independent
+// measurements and the campaign reports partial grids.
+func runCell(ctx context.Context, q Grid, cc cellConfig, runWorkers int) Cell {
+	cell := Cell{
+		Pattern: cc.pattern, Procs: cc.procs, Iterations: cc.iterations,
+		Nodes: cc.nodes, NDPercent: cc.nd, Runs: q.Runs,
+	}
+	e := core.DefaultExperiment(cc.pattern, cc.procs, cc.nd)
+	e.Iterations = cc.iterations
+	e.Nodes = cc.nodes
+	e.Runs = q.Runs
+	e.BaseSeed = q.BaseSeed
+	e.CaptureStacks = q.CaptureStacks
+	e.Workers = runWorkers
+	rs, err := e.ExecuteContext(ctx)
+	if err != nil {
+		cell.Err = err
+		return cell
+	}
+	cell.Summary = analysis.Summarize(rs.Distances(q.Kernel))
+	cell.DistinctStructures = rs.DistinctStructures()
+	return cell
+}
+
+// doneCount counts cells that actually ran (zero-valued cells from a
+// cancelled campaign have no pattern).
+func doneCount(res *Result) int {
+	n := 0
+	for _, c := range res.Cells {
+		if c.Pattern != "" {
+			n++
+		}
+	}
+	return n
+}

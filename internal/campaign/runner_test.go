@@ -1,0 +1,98 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestParallelMatchesSequential is the determinism gate for the worker
+// pool: every worker count must produce byte-identical CSV and markdown
+// to the sequential (Workers = 1) path.
+func TestParallelMatchesSequential(t *testing.T) {
+	g := smallGrid()
+	render := func(workers int) (csvOut, mdOut []byte) {
+		t.Helper()
+		r := &Runner{Workers: workers}
+		res, err := r.Run(context.Background(), g)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var cb, mb bytes.Buffer
+		if err := res.WriteCSV(&cb); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WriteMarkdown(&mb); err != nil {
+			t.Fatal(err)
+		}
+		return cb.Bytes(), mb.Bytes()
+	}
+	wantCSV, wantMD := render(1)
+	for _, workers := range []int{2, 4, 8} {
+		gotCSV, gotMD := render(workers)
+		if !bytes.Equal(gotCSV, wantCSV) {
+			t.Errorf("workers=%d CSV differs from sequential:\n%s\nvs\n%s", workers, gotCSV, wantCSV)
+		}
+		if !bytes.Equal(gotMD, wantMD) {
+			t.Errorf("workers=%d markdown differs from sequential", workers)
+		}
+	}
+}
+
+func TestRunnerProgress(t *testing.T) {
+	g := smallGrid()
+	var seen []Progress
+	r := &Runner{Workers: 2, Progress: func(p Progress) { seen = append(seen, p) }}
+	res, err := r.Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(res.Cells) {
+		t.Fatalf("progress callbacks = %d, cells = %d", len(seen), len(res.Cells))
+	}
+	for i, p := range seen {
+		if p.DoneCells != i+1 || p.TotalCells != len(res.Cells) {
+			t.Errorf("observation %d: DoneCells=%d TotalCells=%d", i, p.DoneCells, p.TotalCells)
+		}
+		if p.DoneRuns != (i+1)*g.Runs || p.TotalRuns != len(res.Cells)*g.Runs {
+			t.Errorf("observation %d: DoneRuns=%d TotalRuns=%d", i, p.DoneRuns, p.TotalRuns)
+		}
+		if p.Cell.Pattern == "" || p.CellWall < 0 || p.Elapsed <= 0 || p.ETA < 0 {
+			t.Errorf("observation %d malformed: %+v", i, p)
+		}
+	}
+	last := seen[len(seen)-1]
+	if last.ETA != 0 {
+		t.Errorf("final ETA = %v, want 0", last.ETA)
+	}
+}
+
+func TestRunCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, smallGrid()); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunCancelledMidway(t *testing.T) {
+	// Cancel from the first progress callback: the campaign must stop
+	// early and surface the cancellation instead of a full result.
+	g := smallGrid()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r := &Runner{Workers: 1, Progress: func(p Progress) { cancel() }}
+	start := time.Now()
+	_, err := r.Run(ctx, g)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Not a strict timing assertion — just a sanity bound far below
+	// what running the full grid sequentially would take if
+	// cancellation were ignored.
+	if elapsed := time.Since(start); elapsed > 2*time.Minute {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+}

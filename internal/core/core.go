@@ -7,6 +7,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -49,6 +51,11 @@ type Experiment struct {
 	// CaptureStacks records callstacks on every event; required for
 	// root-source analysis, skippable for pure distance measurements.
 	CaptureStacks bool
+	// Workers caps how many runs execute concurrently (0 = GOMAXPROCS).
+	// Batch layers that already parallelize across experiments (the
+	// campaign runner) lower it so the two levels multiply out to
+	// roughly GOMAXPROCS total goroutines instead of oversubscribing.
+	Workers int
 	// Net optionally overrides the network model (zero = sim.DefaultNet).
 	Net sim.NetModel
 	// Replay optionally pins receives to a recorded schedule.
@@ -137,6 +144,21 @@ type RunSet struct {
 // execute concurrently across the machine's cores; results are indexed
 // by run number, so the output is identical regardless of scheduling.
 func (e Experiment) Execute() (*RunSet, error) {
+	return e.ExecuteContext(context.Background())
+}
+
+// executeRunHook, when non-nil, observes every run index the worker
+// pool actually starts. Tests use it to assert that a failing run
+// short-circuits the remaining dispatches.
+var executeRunHook func(runIndex int)
+
+// ExecuteContext is Execute with cancellation. Cancelling ctx aborts
+// in-flight simulations and stops dispatching new runs; the returned
+// error then satisfies errors.Is(err, ctx.Err()). A run failure
+// likewise cancels the remaining work — a 20-run sample that already
+// lost a member is going to be discarded, so finishing it is waste —
+// and the first recorded failure is returned.
+func (e Experiment) ExecuteContext(ctx context.Context) (*RunSet, error) {
 	pat, err := patterns.ByName(e.Pattern)
 	if err != nil {
 		return nil, err
@@ -157,42 +179,74 @@ func (e Experiment) Execute() (*RunSet, error) {
 		Graphs:     make([]*graph.Graph, e.Runs),
 		Stats:      make([]*sim.Stats, e.Runs),
 	}
-	workers := runtime.GOMAXPROCS(0)
+	workers := e.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > e.Runs {
 		workers = e.Runs
 	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var (
 		wg       sync.WaitGroup
 		errOnce  sync.Once
 		firstErr error
 		next     = make(chan int)
 	)
+	// fail records the first real failure and cancels the rest of the
+	// sample. Cancellation fallout from sibling runs is not a failure of
+	// this run — recording it would mask the root cause behind
+	// "run N: cancelled".
+	fail := func(i int, err error) {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return
+		}
+		errOnce.Do(func() {
+			firstErr = fmt.Errorf("core: run %d: %w", i, err)
+			cancel()
+		})
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				tr, stats, err := sim.Run(e.config(i), meta, adapted)
+				if runCtx.Err() != nil {
+					continue
+				}
+				if executeRunHook != nil {
+					executeRunHook(i)
+				}
+				tr, stats, err := sim.RunContext(runCtx, e.config(i), meta, adapted)
 				if err != nil {
-					errOnce.Do(func() { firstErr = fmt.Errorf("core: run %d: %w", i, err) })
+					fail(i, err)
 					continue
 				}
 				g, err := graph.FromTrace(tr)
 				if err != nil {
-					errOnce.Do(func() { firstErr = fmt.Errorf("core: run %d: %w", i, err) })
+					fail(i, err)
 					continue
 				}
 				rs.Traces[i], rs.Graphs[i], rs.Stats[i] = tr, g, stats
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < e.Runs; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-runCtx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: experiment cancelled: %w", err)
 	}
 	return rs, nil
 }

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"github.com/anacin-go/anacinx/internal/kernel"
@@ -80,6 +83,61 @@ func TestExecuteErrorsPropagate(t *testing.T) {
 	e.Replay = &sim.Schedule{PerRank: make([][]sim.MatchKey, 4)} // schedule too short → rank panic
 	if _, err := e.Execute(); err == nil || !strings.Contains(err.Error(), "run") {
 		t.Errorf("err = %v, want wrapped run error", err)
+	}
+}
+
+func TestExecuteShortCircuitsOnFailure(t *testing.T) {
+	// Every run of this experiment fails (the empty replay schedule
+	// panics a rank immediately). The worker pool must stop dispatching
+	// once the first failure is recorded instead of burning through the
+	// whole sample: with W workers, at most the in-flight runs plus a
+	// small dispatch margin may start, never all of them.
+	e := DefaultExperiment("message_race", 4, 100)
+	e.Runs = 64
+	e.Workers = 2
+	e.Replay = &sim.Schedule{PerRank: make([][]sim.MatchKey, 4)}
+	var started atomic.Int64
+	executeRunHook = func(int) { started.Add(1) }
+	defer func() { executeRunHook = nil }()
+	if _, err := e.Execute(); err == nil {
+		t.Fatal("failing sample returned nil error")
+	}
+	// Generous bound: workers + a couple of dispatches that may race the
+	// cancellation. Without short-circuiting this is always 64.
+	if n := started.Load(); n > 8 {
+		t.Errorf("%d of %d runs started after first failure (want early stop)", n, e.Runs)
+	}
+}
+
+func TestExecuteContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := DefaultExperiment("message_race", 4, 100)
+	e.Runs = 8
+	if _, err := e.ExecuteContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestExecuteWorkersCapRespected(t *testing.T) {
+	// Workers = 1 must serialize runs and still produce the identical
+	// indexed output (determinism is scheduling-independent).
+	e := DefaultExperiment("unstructured_mesh", 8, 100)
+	e.Runs = 4
+	serial := e
+	serial.Workers = 1
+	a, err := e.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := serial.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Traces {
+		if a.Traces[i].Hash() != b.Traces[i].Hash() {
+			t.Fatalf("run %d differs between worker counts", i)
+		}
 	}
 }
 

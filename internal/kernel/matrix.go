@@ -2,6 +2,9 @@ package kernel
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"github.com/anacin-go/anacinx/internal/graph"
 )
@@ -16,24 +19,84 @@ type Matrix struct {
 	K [][]float64
 }
 
-// NewMatrix computes the Gram matrix of the given graphs under k.
+// NewMatrix computes the Gram matrix of the given graphs under k. The
+// n embeddings and the n(n+1)/2 dot products are independent, so both
+// stages fan out across the machine's cores; every value is written to
+// a fixed index, so the matrix is identical to the sequential result.
 func NewMatrix(k Kernel, graphs []*graph.Graph) *Matrix {
-	feats := make([]Features, len(graphs))
-	for i, g := range graphs {
-		feats[i] = k.Features(g)
+	return newMatrix(k, graphs, runtime.GOMAXPROCS(0))
+}
+
+// newMatrix is NewMatrix with an explicit worker count (tests sweep it
+// to pin down scheduling-independence).
+func newMatrix(k Kernel, graphs []*graph.Graph, workers int) *Matrix {
+	n := len(graphs)
+	if workers > n {
+		workers = n
 	}
-	m := &Matrix{KernelName: k.Name(), K: make([][]float64, len(graphs))}
+	m := &Matrix{KernelName: k.Name(), K: make([][]float64, n)}
 	for i := range m.K {
-		m.K[i] = make([]float64, len(graphs))
+		m.K[i] = make([]float64, n)
 	}
-	for i := range feats {
+	feats := make([]Features, n)
+	if workers < 2 {
+		for i, g := range graphs {
+			feats[i] = k.Features(g)
+		}
+		fillRows(feats, m.K, 0, n)
+		return m
+	}
+
+	// Stage 1: embed each graph. Indices are claimed with an atomic
+	// cursor so a slow embedding does not stall its neighbours.
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				feats[i] = k.Features(graphs[i])
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Stage 2: the upper-triangle dot products, one row at a time. Rows
+	// shrink linearly (row i has n-i products), so work-stealing rows
+	// off a shared cursor balances better than pre-chunking.
+	cursor.Store(0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fillRows(feats, m.K, i, i+1)
+			}
+		}()
+	}
+	wg.Wait()
+	return m
+}
+
+// fillRows computes rows [lo, hi) of the upper triangle (and mirrors
+// them) from the embedded features.
+func fillRows(feats []Features, K [][]float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		for j := i; j < len(feats); j++ {
 			v := feats[i].Dot(feats[j])
-			m.K[i][j] = v
-			m.K[j][i] = v
+			K[i][j] = v
+			K[j][i] = v
 		}
 	}
-	return m
 }
 
 // Len returns the number of graphs the matrix covers.

@@ -117,12 +117,18 @@ func (r *Rank) yield() {
 // other ready rank precedes it under pickReady's (clock, id) order.
 func (r *Rank) wouldRunNext() bool {
 	s := r.sim
-	if s.abortFlag || s.panicErr != nil || s.budgetErr != nil {
+	if s.abortFlag || s.panicErr != nil || s.budgetErr != nil || s.cancelErr != nil {
 		return false
 	}
 	s.steps++
 	if s.steps > s.cfg.MaxEvents {
 		s.budgetErr = errStepBudget(s.cfg.MaxEvents)
+		return false
+	}
+	// A compute-bound rank can live on this fast path for long stretches
+	// without touching the scheduler loop, so the cancellation poll must
+	// happen here too or cancellation latency would be unbounded.
+	if s.steps&cancelCheckMask == 0 && s.cancelled() {
 		return false
 	}
 	if len(s.events) > 0 && s.events[0].arrival <= r.clock {

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"runtime/debug"
 
@@ -171,6 +172,33 @@ type simulation struct {
 	abortFlag   bool
 	panicErr    *PanicError
 	budgetErr   error
+	// ctx cancels the run; cancellable caches whether ctx can ever be
+	// done so the hot scheduling paths skip the check entirely for
+	// background runs. cancelErr latches the first observed cancellation.
+	ctx         context.Context
+	cancellable bool
+	cancelErr   error
+}
+
+// cancelCheckMask throttles context polling: the scheduler and the
+// fast-path yield consult ctx.Err() once every cancelCheckMask+1 steps,
+// keeping the per-step cost of cancellation support to a counter test.
+const cancelCheckMask = 0x3FF
+
+// cancelled reports (and latches) whether the run's context is done.
+// Called only every cancelCheckMask+1 steps.
+func (s *simulation) cancelled() bool {
+	if s.cancelErr != nil {
+		return true
+	}
+	if !s.cancellable {
+		return false
+	}
+	if err := s.ctx.Err(); err != nil {
+		s.cancelErr = fmt.Errorf("sim: run cancelled: %w", err)
+		return true
+	}
+	return false
 }
 
 func newSim(cfg Config, meta trace.Meta) *simulation {
@@ -250,6 +278,9 @@ func (s *simulation) loop() error {
 		}
 		if s.budgetErr != nil {
 			return s.budgetErr
+		}
+		if s.cancelErr != nil || (s.steps&cancelCheckMask == 0 && s.cancelled()) {
+			return s.cancelErr
 		}
 		s.steps++
 		if s.steps > s.cfg.MaxEvents {

@@ -23,6 +23,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -219,6 +220,15 @@ type Stats struct {
 // MsgSize) are caller-provided; Run fills the fields it owns (Procs,
 // Nodes, NDPercent, Seed).
 func Run(cfg Config, meta trace.Meta, program Program) (*trace.Trace, *Stats, error) {
+	return RunContext(context.Background(), cfg, meta, program)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the
+// simulation aborts at the next scheduler step (or fast-path yield),
+// unwinds every rank goroutine, and returns an error satisfying
+// errors.Is(err, ctx.Err()). A cancelled run yields no trace — partial
+// traces would not be reproducible artifacts.
+func RunContext(ctx context.Context, cfg Config, meta trace.Meta, program Program) (*trace.Trace, *Stats, error) {
 	if program == nil {
 		return nil, nil, fmt.Errorf("sim: nil program")
 	}
@@ -230,6 +240,8 @@ func Run(cfg Config, meta trace.Meta, program Program) (*trace.Trace, *Stats, er
 	meta.NDPercent = cfg.NDPercent
 	meta.Seed = cfg.Seed
 	s := newSim(cfg, meta)
+	s.ctx = ctx
+	s.cancellable = ctx.Done() != nil
 	return s.run(program)
 }
 
