@@ -74,6 +74,31 @@ func BenchmarkFig7NDSweep(b *testing.B) { benchFigure(b, "fig7") }
 // in high-ND regions of the Fig. 7 workload.
 func BenchmarkFig8Callstacks(b *testing.B) { benchFigure(b, "fig8") }
 
+// BenchmarkWLKernelDistances isolates the measurement hot path at the
+// paper's scale: embed a 20-run, 32-process unstructured-mesh sample
+// with WL depth 2 and compute the pairwise distance sample. The
+// simulation happens once outside the timer — this times only
+// embedding plus Gram build. `anacin bench` records the same layers in
+// BENCH.json (see docs/benchmarking.md); the interned-refinement
+// allocation benchmarks live in internal/kernel.
+func BenchmarkWLKernelDistances(b *testing.B) {
+	exp := anacinx.NewExperiment("unstructured_mesh", 32, 100)
+	exp.CaptureStacks = false
+	rs, err := exp.Execute()
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := anacinx.WL(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dists := rs.Distances(k)
+		if len(dists) == 0 {
+			b.Fatal("empty distance sample")
+		}
+	}
+}
+
 // --- Ablation benchmarks (DESIGN.md "Ablations / extensions") ---
 
 // BenchmarkAblationKernelDepth sweeps the WL refinement depth on the

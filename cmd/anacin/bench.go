@@ -1,0 +1,97 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"time"
+
+	"github.com/anacin-go/anacinx/internal/perf"
+)
+
+// cmdBench runs the named perf scenarios and writes a schema-versioned
+// BENCH.json; with -compare it also diffs against a baseline report
+// and fails (non-zero exit) on any median regression beyond the
+// threshold. CI runs both modes: every push refreshes the artifact,
+// every PR is gated against the main-branch baseline. See
+// docs/benchmarking.md.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	out := fs.String("o", "BENCH.json", "output path for the benchmark report")
+	scenarios := fs.String("scenarios", "all", `scenario set: "all", "quick", or comma-separated names`)
+	reps := fs.Int("reps", 10, "timed repetitions per scenario")
+	warmup := fs.Int("warmup", 2, "untimed warmup repetitions per scenario")
+	compare := fs.String("compare", "", "baseline BENCH.json to diff against (enables the regression gate)")
+	threshold := fs.Float64("threshold", 0.25, "allowed relative median slowdown vs the baseline (0.25 = 25%)")
+	list := fs.Bool("list", false, "list scenario names and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, sc := range perf.AllScenarios() {
+			fmt.Printf("  %-24s %s\n", sc.Name, sc.Description)
+		}
+		return nil
+	}
+	selected, err := perf.Select(*scenarios)
+	if err != nil {
+		return err
+	}
+	opts := perf.Options{
+		Reps:   *reps,
+		Warmup: *warmup,
+		Commit: vcsRevision(),
+		Date:   time.Now().UTC().Format(time.RFC3339),
+		Logf: func(format string, a ...any) {
+			fmt.Printf(format+"\n", a...)
+		},
+	}
+	fmt.Printf("running %d scenario(s), %d reps (+%d warmup) each\n", len(selected), opts.Reps, opts.Warmup)
+	report, err := perf.Run(selected, opts)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteFile(*out); err != nil {
+		return err
+	}
+	fmt.Println("wrote", *out)
+	if *compare == "" {
+		return nil
+	}
+	baseline, err := perf.Load(*compare)
+	if err != nil {
+		return err
+	}
+	deltas, err := perf.Compare(baseline, report, *threshold)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("comparison against %s (gate: +%.0f%% median):\n", *compare, *threshold*100)
+	if err := perf.WriteDeltas(os.Stdout, deltas); err != nil {
+		return err
+	}
+	if regressed := perf.Regressions(deltas); len(regressed) > 0 {
+		return fmt.Errorf("%d scenario(s) regressed beyond %.0f%%", len(regressed), *threshold*100)
+	}
+	fmt.Println("no regressions")
+	return nil
+}
+
+// vcsRevision extracts the (short) VCS revision baked into the binary,
+// empty when built outside a checkout or from a test binary.
+func vcsRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			if len(s.Value) > 12 {
+				return s.Value[:12]
+			}
+			return s.Value
+		}
+	}
+	return ""
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/anacin-go/anacinx/internal/perf"
+)
+
+func TestCmdBenchList(t *testing.T) {
+	out := captureStdout(t, func() error { return cmdBench([]string{"-list"}) })
+	for _, want := range []string{"wl-features/h2/r32", "gram/w1", "gram/w8", "figure/fig2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bench -list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCmdBenchWritesReportAndGates runs the quick scenario set, checks
+// the written BENCH.json is loadable and complete, then exercises the
+// regression gate in both directions: identical baseline → pass,
+// injected 2x slowdown (baseline medians halved) → non-zero exit.
+func TestCmdBenchWritesReportAndGates(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "BENCH.json")
+	out := captureStdout(t, func() error {
+		return cmdBench([]string{"-scenarios", "quick", "-reps", "3", "-warmup", "1", "-o", benchPath})
+	})
+	if !strings.Contains(out, "wrote "+benchPath) {
+		t.Errorf("bench output does not mention the report:\n%s", out)
+	}
+	report, err := perf.Load(benchPath)
+	if err != nil {
+		t.Fatalf("written BENCH.json is invalid: %v", err)
+	}
+	if len(report.Scenarios) != 4 {
+		t.Fatalf("quick report has %d scenarios, want 4", len(report.Scenarios))
+	}
+	for _, res := range report.Scenarios {
+		if res.MedianNs <= 0 {
+			t.Errorf("%s: non-positive median %d", res.Name, res.MedianNs)
+		}
+	}
+
+	// Self-comparison: a report can never regress against itself.
+	selfPath := filepath.Join(dir, "self.json")
+	if err := report.WriteFile(selfPath); err != nil {
+		t.Fatal(err)
+	}
+	out = captureStdout(t, func() error {
+		return cmdBench([]string{"-scenarios", "quick", "-reps", "2", "-warmup", "0",
+			"-o", filepath.Join(dir, "again.json"), "-compare", selfPath, "-threshold", "100"})
+	})
+	if !strings.Contains(out, "no regressions") {
+		t.Errorf("self-comparison regressed:\n%s", out)
+	}
+
+	// Injected 2x slowdown: halving the baseline medians makes the
+	// current run look twice as slow; the 25% gate must trip.
+	slow := *report
+	slow.Scenarios = append([]perf.Result(nil), report.Scenarios...)
+	for i := range slow.Scenarios {
+		slow.Scenarios[i].MedianNs /= 2
+		if slow.Scenarios[i].MedianNs == 0 {
+			slow.Scenarios[i].MedianNs = 1
+		}
+	}
+	slowPath := filepath.Join(dir, "baseline-fast.json")
+	if err := slow.WriteFile(slowPath); err != nil {
+		t.Fatal(err)
+	}
+	err = cmdBench([]string{"-scenarios", "quick", "-reps", "2", "-warmup", "0",
+		"-o", filepath.Join(dir, "gated.json"), "-compare", slowPath})
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("injected 2x slowdown did not trip the gate: err=%v", err)
+	}
+}
+
+func TestCmdBenchRejectsUnknownScenario(t *testing.T) {
+	if err := cmdBench([]string{"-scenarios", "no-such"}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}

@@ -37,6 +37,7 @@ var commands = map[string]func(args []string) error{
 	"critpath":  cmdCritpath,
 	"expose":    cmdExpose,
 	"campaign":  cmdCampaign,
+	"bench":     cmdBench,
 }
 
 func main() {
@@ -73,6 +74,8 @@ commands:
   expose      find the smallest ND%% that makes the workload diverge
   campaign    run a grid of experiments on a worker pool (cancellable
               with Ctrl-C / -timeout); emit markdown/CSV statistics
+  bench       run named perf scenarios → BENCH.json; with -compare,
+              gate on median regressions vs a baseline report
 
 run 'anacin <command> -h' for flags.
 `)

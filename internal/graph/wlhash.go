@@ -1,10 +1,28 @@
 package graph
 
 import (
-	"hash/fnv"
-	"sort"
+	"slices"
 	"strconv"
 )
+
+// fnv-1a constants, applied byte-wise to little-endian 8-byte words —
+// the same digest hash/fnv computes, inlined so refinement does not
+// allocate a digest object per node.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvWord folds one 64-bit word into an FNV-1a state, byte-identical
+// to writing the word's little-endian bytes into a hash/fnv digest.
+func fnvWord(h, w uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= w & 0xff
+		h *= fnvPrime64
+		w >>= 8
+	}
+	return h
+}
 
 // WLHash returns a Weisfeiler-Lehman canonical digest of the graph at
 // refinement depth h: the multiset of node labels after h rounds of
@@ -25,70 +43,56 @@ func (g *Graph) WLHash(h int) uint64 {
 	var scratch []uint64
 	for depth := 0; depth < h; depth++ {
 		for i := 0; i < n; i++ {
-			acc := fnv.New64a()
-			writeU64(acc, labels[i])
+			acc := fnvWord(fnvOffset64, labels[i])
 			scratch = scratch[:0]
 			for _, ei := range g.In[i] {
 				scratch = append(scratch, mix(uint64(g.Edges[ei].Kind)+1, labels[g.Edges[ei].From]))
 			}
 			sortU64(scratch)
 			for _, v := range scratch {
-				writeU64(acc, v)
+				acc = fnvWord(acc, v)
 			}
-			writeU64(acc, 0x517cc1b727220a95) // in/out separator
+			acc = fnvWord(acc, 0x517cc1b727220a95) // in/out separator
 			scratch = scratch[:0]
 			for _, ei := range g.Out[i] {
 				scratch = append(scratch, mix(uint64(g.Edges[ei].Kind)+1, labels[g.Edges[ei].To]))
 			}
 			sortU64(scratch)
 			for _, v := range scratch {
-				writeU64(acc, v)
+				acc = fnvWord(acc, v)
 			}
-			next[i] = acc.Sum64()
+			next[i] = acc
 		}
 		labels, next = next, labels
 	}
 	// Order-independent combine: sort the final labels and hash the
 	// sequence (plus the node count, so the empty graph is distinct).
 	sortU64(labels)
-	acc := fnv.New64a()
-	writeU64(acc, uint64(n))
+	acc := fnvWord(fnvOffset64, uint64(n))
 	for _, v := range labels {
-		writeU64(acc, v)
+		acc = fnvWord(acc, v)
 	}
-	return acc.Sum64()
+	return acc
 }
 
 // WLEquivalent reports whether two graphs are indistinguishable by
 // depth-h WL refinement — a necessary condition for isomorphism.
 func WLEquivalent(a, b *Graph, h int) bool { return a.WLHash(h) == b.WLHash(h) }
 
-type u64Writer interface{ Write(p []byte) (int, error) }
-
-func writeU64(w u64Writer, v uint64) {
-	var buf [8]byte
-	for i := 0; i < 8; i++ {
-		buf[i] = byte(v >> (8 * i))
-	}
-	w.Write(buf[:]) //nolint:errcheck // fnv cannot fail
-}
-
 func fnvString(s string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(s)) //nolint:errcheck
-	return h.Sum64()
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
 }
 
 func mix(a, b uint64) uint64 {
-	h := fnv.New64a()
-	writeU64(h, a)
-	writeU64(h, b)
-	return h.Sum64()
+	return fnvWord(fnvWord(fnvOffset64, a), b)
 }
 
-func sortU64(s []uint64) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-}
+func sortU64(s []uint64) { slices.Sort(s) }
 
 // String of a NodeID for error messages.
 func (id NodeID) String() string { return strconv.Itoa(int(id)) }

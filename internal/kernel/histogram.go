@@ -17,7 +17,7 @@ func (VertexHistogram) Name() string { return "vertex-hist" }
 func (VertexHistogram) Features(g *graph.Graph) Features {
 	feats := make(Features, 8)
 	for i := range g.Nodes {
-		feats[hashString(g.Nodes[i].Label)]++
+		feats[labelInterner.Hash(g.Nodes[i].Label)]++
 	}
 	return feats
 }
@@ -36,9 +36,9 @@ func (EdgeHistogram) Features(g *graph.Graph) Features {
 	feats := make(Features, 16)
 	for i := range g.Edges {
 		e := &g.Edges[i]
-		h := hashWord(fnvOffset, hashString(g.Nodes[e.From].Label))
+		h := hashWord(fnvOffset, labelInterner.Hash(g.Nodes[e.From].Label))
 		h = hashWord(h, uint64(e.Kind)+1)
-		h = hashWord(h, hashString(g.Nodes[e.To].Label))
+		h = hashWord(h, labelInterner.Hash(g.Nodes[e.To].Label))
 		feats[h]++
 	}
 	return feats

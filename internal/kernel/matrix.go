@@ -27,6 +27,17 @@ func NewMatrix(k Kernel, graphs []*graph.Graph) *Matrix {
 	return newMatrix(k, graphs, runtime.GOMAXPROCS(0))
 }
 
+// NewMatrixWorkers is NewMatrix with an explicit worker count. Tests
+// sweep it to pin down scheduling-independence, and the perf harness
+// uses it to chart Gram-matrix scaling at fixed parallelism
+// (`anacin bench`'s gram/* scenarios).
+func NewMatrixWorkers(k Kernel, graphs []*graph.Graph, workers int) *Matrix {
+	if workers < 1 {
+		workers = 1
+	}
+	return newMatrix(k, graphs, workers)
+}
+
 // newMatrix is NewMatrix with an explicit worker count (tests sweep it
 // to pin down scheduling-independence).
 func newMatrix(k Kernel, graphs []*graph.Graph, workers int) *Matrix {

@@ -2,7 +2,6 @@ package kernel
 
 import (
 	"fmt"
-	"sort"
 
 	"github.com/anacin-go/anacinx/internal/graph"
 )
@@ -21,12 +20,26 @@ import (
 // in-neighbor and out-neighbor multisets separately when Directed is
 // true (the default for NewWL). Edge kinds (program vs message) are
 // folded into the neighbor contribution as well.
+//
+// Refinement is allocation-light: label strings are interned once per
+// process (see Interner), the label arrays and neighbor-multiset
+// buffer come from a pool, and multisets are sorted without the
+// sort.Slice closure that used to dominate the profile. The feature
+// values are byte-identical to the original string-hashing
+// implementation — wl_golden_test.go pins that equivalence against a
+// kept copy of the old code.
 type WL struct {
 	// H is the refinement depth. H=0 degenerates to the vertex
 	// histogram kernel. ANACIN-X uses H=2.
 	H int
 	// Directed selects direction-aware refinement.
 	Directed bool
+	// Seed, when non-zero, passes the initial label hashes through a
+	// seeded SplitMix64 mixer, inducing an independent feature
+	// universe per seed. Measurements that agree across seeds cannot
+	// be artifacts of a particular hash-collision pattern. Seed 0 is
+	// the canonical universe (plain FNV-1a labels).
+	Seed uint64
 }
 
 // NewWL returns the repository-default Weisfeiler-Lehman kernel at
@@ -44,6 +57,9 @@ func (w WL) Name() string {
 	if !w.Directed {
 		dir = "u"
 	}
+	if w.Seed != 0 {
+		return fmt.Sprintf("wlst-h%d%s-s%x", w.H, dir, w.Seed)
+	}
 	return fmt.Sprintf("wlst-h%d%s", w.H, dir)
 }
 
@@ -51,69 +67,85 @@ func (w WL) Name() string {
 // refinement hash (arbitrary odd constant).
 const inOutSeparator = 0x9ae16a3b2f90404f
 
-// Features implements Kernel.
+// Features implements Kernel. It panics on a negative depth: NewWL
+// already rejects one, but a WL{H: -1} literal used to slip through and
+// silently behave like H=0, which misreports what was measured.
 func (w WL) Features(g *graph.Graph) Features {
+	if w.H < 0 {
+		panic(fmt.Sprintf("kernel: WL.Features called with negative depth H=%d (construct with NewWL, or set H >= 0)", w.H))
+	}
 	n := g.NumNodes()
 	feats := make(Features, n/2+8)
 	if n == 0 {
 		return feats
 	}
 
-	labels := make([]uint64, n)
+	sc := wlScratchPool.Get().(*wlScratch)
+	labels := grow(sc.labels, n)
+	next := grow(sc.next, n)
+	neigh := sc.neigh[:0]
+
 	for i := range g.Nodes {
-		labels[i] = hashString(g.Nodes[i].Label)
+		labels[i] = labelInterner.Hash(g.Nodes[i].Label)
 	}
-	add := func(depth int, label uint64) {
-		// Mix the depth in so equal hashes at different depths count as
-		// distinct features.
-		feats[hashWord(hashWord(fnvOffset, uint64(depth)), label)]++
+	if w.Seed != 0 {
+		for i := range labels {
+			labels[i] = splitmix64(labels[i] ^ w.Seed)
+		}
 	}
+	// Mix the depth in so equal hashes at different depths count as
+	// distinct features. The depth prefix is constant per round, so it
+	// is folded once instead of once per node.
+	depthPrefix := hashWord(fnvOffset, 0)
 	for i := range labels {
-		add(0, labels[i])
+		feats[hashWord(depthPrefix, labels[i])]++
 	}
 
-	next := make([]uint64, n)
-	var scratch []uint64
-	// contribution hashes one neighbor's (edge kind, current label).
-	contribution := func(edgeKind graph.EdgeKind, label uint64) uint64 {
-		return hashWord(uint64(edgeKind)+1, label)
-	}
 	for depth := 1; depth <= w.H; depth++ {
+		depthPrefix = hashWord(fnvOffset, uint64(depth))
 		for i := 0; i < n; i++ {
 			h := hashWord(fnvOffset, labels[i])
 			if w.Directed {
-				scratch = scratch[:0]
+				neigh = neigh[:0]
 				for _, ei := range g.In[i] {
-					scratch = append(scratch, contribution(g.Edges[ei].Kind, labels[g.Edges[ei].From]))
+					neigh = append(neigh, contribution(g.Edges[ei].Kind, labels[g.Edges[ei].From]))
 				}
-				h = foldSorted(h, scratch)
+				h = foldSorted(h, neigh)
 				h = hashWord(h, inOutSeparator)
-				scratch = scratch[:0]
+				neigh = neigh[:0]
 				for _, ei := range g.Out[i] {
-					scratch = append(scratch, contribution(g.Edges[ei].Kind, labels[g.Edges[ei].To]))
+					neigh = append(neigh, contribution(g.Edges[ei].Kind, labels[g.Edges[ei].To]))
 				}
-				h = foldSorted(h, scratch)
+				h = foldSorted(h, neigh)
 			} else {
-				scratch = scratch[:0]
+				neigh = neigh[:0]
 				for _, ei := range g.In[i] {
-					scratch = append(scratch, contribution(g.Edges[ei].Kind, labels[g.Edges[ei].From]))
+					neigh = append(neigh, contribution(g.Edges[ei].Kind, labels[g.Edges[ei].From]))
 				}
 				for _, ei := range g.Out[i] {
-					scratch = append(scratch, contribution(g.Edges[ei].Kind, labels[g.Edges[ei].To]))
+					neigh = append(neigh, contribution(g.Edges[ei].Kind, labels[g.Edges[ei].To]))
 				}
-				h = foldSorted(h, scratch)
+				h = foldSorted(h, neigh)
 			}
 			next[i] = h
-			add(depth, h)
+			feats[hashWord(depthPrefix, h)]++
 		}
 		labels, next = next, labels
 	}
+
+	sc.labels, sc.next, sc.neigh = labels, next, neigh
+	wlScratchPool.Put(sc)
 	return feats
+}
+
+// contribution hashes one neighbor's (edge kind, current label).
+func contribution(edgeKind graph.EdgeKind, label uint64) uint64 {
+	return hashWord(uint64(edgeKind)+1, label)
 }
 
 // foldSorted sorts the multiset in place and folds it into h.
 func foldSorted(h uint64, s []uint64) uint64 {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	sortU64(s)
 	for _, v := range s {
 		h = hashWord(h, v)
 	}

@@ -1,0 +1,105 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Delta is the comparison of one scenario across two reports.
+type Delta struct {
+	Name       string
+	BaselineNs int64
+	CurrentNs  int64
+	// Ratio is CurrentNs/BaselineNs (0 when it cannot be computed).
+	Ratio float64
+	// Regressed marks a gate failure: the current median exceeds the
+	// baseline by strictly more than the threshold, or the scenario
+	// vanished from the current report (a disappearing scenario must
+	// not be able to dodge the gate).
+	Regressed bool
+	// Note explains non-numeric outcomes: "missing in current report",
+	// "no baseline (new scenario)", "zero baseline median".
+	Note string
+}
+
+// Compare diffs current against baseline scenario by scenario.
+// threshold is the allowed relative increase of the median, e.g. 0.25
+// allows up to (and including) a 25% slowdown. Scenarios only present
+// in current are reported but never regress — adding a scenario must
+// not fail the gate; scenarios only present in baseline do regress.
+// A zero baseline median cannot anchor a ratio and never regresses.
+func Compare(baseline, current *Report, threshold float64) ([]Delta, error) {
+	if threshold < 0 {
+		return nil, fmt.Errorf("perf: negative regression threshold %v", threshold)
+	}
+	if baseline.Schema != Schema || current.Schema != Schema {
+		return nil, fmt.Errorf("perf: schema mismatch: baseline %q, current %q, want %q",
+			baseline.Schema, current.Schema, Schema)
+	}
+	cur := make(map[string]Result, len(current.Scenarios))
+	for _, r := range current.Scenarios {
+		cur[r.Name] = r
+	}
+	deltas := make([]Delta, 0, len(baseline.Scenarios)+len(current.Scenarios))
+	seen := make(map[string]bool, len(baseline.Scenarios))
+	for _, base := range baseline.Scenarios {
+		seen[base.Name] = true
+		d := Delta{Name: base.Name, BaselineNs: base.MedianNs}
+		now, ok := cur[base.Name]
+		switch {
+		case !ok:
+			d.Regressed = true
+			d.Note = "missing in current report"
+		case base.MedianNs == 0:
+			d.CurrentNs = now.MedianNs
+			d.Note = "zero baseline median"
+		default:
+			d.CurrentNs = now.MedianNs
+			d.Ratio = float64(now.MedianNs) / float64(base.MedianNs)
+			d.Regressed = d.Ratio > 1+threshold
+		}
+		deltas = append(deltas, d)
+	}
+	for _, now := range current.Scenarios {
+		if !seen[now.Name] {
+			deltas = append(deltas, Delta{
+				Name: now.Name, CurrentNs: now.MedianNs, Note: "no baseline (new scenario)",
+			})
+		}
+	}
+	return deltas, nil
+}
+
+// Regressions filters the deltas that fail the gate.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// WriteDeltas renders a human-readable comparison table.
+func WriteDeltas(w io.Writer, deltas []Delta) error {
+	for _, d := range deltas {
+		status := "ok"
+		if d.Regressed {
+			status = "REGRESSED"
+		}
+		line := fmt.Sprintf("%-24s %12s -> %12s", d.Name,
+			time.Duration(d.BaselineNs), time.Duration(d.CurrentNs))
+		if d.Ratio != 0 {
+			line += fmt.Sprintf("  %+6.1f%%", (d.Ratio-1)*100)
+		}
+		if d.Note != "" {
+			line += "  (" + d.Note + ")"
+		}
+		if _, err := fmt.Fprintf(w, "%s  [%s]\n", line, status); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+// Package perf is the repository's reproducible performance harness:
+// it runs named benchmark scenarios with warmup and repetition,
+// summarizes each with robust statistics (median/p95/min wall-clock,
+// allocations), and serializes the result as a schema-versioned
+// BENCH.json that both humans and CI can diff across commits.
+//
+// The design follows the methodology of Hunold & Carpen-Amarie ("MPI
+// Benchmarking Revisited", see PAPERS.md): performance claims are only
+// meaningful when the measurement procedure — warmup policy, sample
+// size, summary statistic — is fixed and recorded alongside the
+// numbers. A BENCH.json therefore embeds the environment (commit, go
+// version, GOMAXPROCS) and the procedure (reps, warmup) next to every
+// scenario's statistics, and Compare refuses to diff reports whose
+// schemas disagree.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Schema identifies the BENCH.json layout. Bump on any
+// breaking change to Report or Result; Compare and Load reject
+// mismatches instead of silently misreading old baselines.
+const Schema = "anacinx-bench/v1"
+
+// Report is one harness invocation: environment, procedure, and one
+// Result per scenario. Field order is part of the schema — Marshal
+// output is byte-stable for a given Report value, which CI relies on
+// when archiving baselines.
+type Report struct {
+	Schema     string   `json:"schema"`
+	Commit     string   `json:"commit,omitempty"`
+	Date       string   `json:"date,omitempty"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Reps       int      `json:"reps"`
+	Warmup     int      `json:"warmup"`
+	Scenarios  []Result `json:"scenarios"`
+}
+
+// Result summarizes one scenario's sample of Reps timed operations.
+type Result struct {
+	Name string `json:"name"`
+	// MedianNs is the summary statistic the regression gate compares:
+	// robust to the occasional GC pause or scheduler hiccup that
+	// poisons a mean.
+	MedianNs int64 `json:"median_ns"`
+	// P95Ns captures the tail; MinNs approximates the noise floor.
+	P95Ns  int64 `json:"p95_ns"`
+	MinNs  int64 `json:"min_ns"`
+	MeanNs int64 `json:"mean_ns"`
+	// AllocsPerOp and BytesPerOp are heap-allocation averages over the
+	// timed reps (warmup excluded).
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+// Scenario is a named, self-contained benchmark: Setup builds the
+// workload (untimed) and returns the operation to measure.
+type Scenario struct {
+	Name        string
+	Description string
+	Setup       func() (func() error, error)
+}
+
+// Options configure a harness run.
+type Options struct {
+	// Reps is the number of timed repetitions per scenario (>=1;
+	// default 10). Statistics are computed over exactly these reps.
+	Reps int
+	// Warmup is the number of untimed repetitions executed first
+	// (default 2) — they populate caches, the label interner, and the
+	// scratch pools, so the timed reps measure steady state.
+	Warmup int
+	// Commit and Date stamp the report (both optional).
+	Commit string
+	Date   string
+	// Logf, when non-nil, receives one progress line per scenario.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Reps < 1 {
+		out.Reps = 10
+	}
+	if out.Warmup < 0 {
+		out.Warmup = 2
+	}
+	return out
+}
+
+// Run executes every scenario and assembles the Report.
+func Run(scenarios []Scenario, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	rep := &Report{
+		Schema:     Schema,
+		Commit:     opts.Commit,
+		Date:       opts.Date,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Reps:       opts.Reps,
+		Warmup:     opts.Warmup,
+		Scenarios:  make([]Result, 0, len(scenarios)),
+	}
+	for _, sc := range scenarios {
+		res, err := runScenario(sc, opts)
+		if err != nil {
+			return nil, fmt.Errorf("perf: scenario %s: %w", sc.Name, err)
+		}
+		rep.Scenarios = append(rep.Scenarios, res)
+		if opts.Logf != nil {
+			opts.Logf("%-24s median %s  p95 %s  min %s  %d allocs/op",
+				sc.Name, time.Duration(res.MedianNs), time.Duration(res.P95Ns),
+				time.Duration(res.MinNs), res.AllocsPerOp)
+		}
+	}
+	return rep, nil
+}
+
+func runScenario(sc Scenario, opts Options) (Result, error) {
+	op, err := sc.Setup()
+	if err != nil {
+		return Result{}, fmt.Errorf("setup: %w", err)
+	}
+	for i := 0; i < opts.Warmup; i++ {
+		if err := op(); err != nil {
+			return Result{}, fmt.Errorf("warmup rep %d: %w", i, err)
+		}
+	}
+	durs := make([]int64, opts.Reps)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := range durs {
+		start := time.Now()
+		if err := op(); err != nil {
+			return Result{}, fmt.Errorf("rep %d: %w", i, err)
+		}
+		durs[i] = time.Since(start).Nanoseconds()
+	}
+	runtime.ReadMemStats(&after)
+	reps := int64(opts.Reps)
+	res := Result{
+		Name:        sc.Name,
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / reps,
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / reps,
+	}
+	var sum int64
+	for _, d := range durs {
+		sum += d
+	}
+	res.MeanNs = sum / reps
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	res.MinNs = durs[0]
+	res.MedianNs = median(durs)
+	res.P95Ns = percentile(durs, 0.95)
+	return res, nil
+}
+
+// median of a sorted sample: middle element, or the mean of the two
+// middle elements for even sizes.
+func median(sorted []int64) int64 {
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// percentile applies the nearest-rank method to a sorted sample.
+func percentile(sorted []int64, p float64) int64 {
+	n := len(sorted)
+	rank := int(p*float64(n)+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= n {
+		rank = n - 1
+	}
+	return sorted[rank]
+}
+
+// Marshal renders the report as indented JSON with a trailing newline.
+// Output bytes are a pure function of the Report value.
+func (r *Report) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile writes the report to path (the conventional name is
+// BENCH.json).
+func (r *Report) WriteFile(path string) error {
+	b, err := r.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Load reads a report and validates its schema.
+func Load(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("perf: %s has schema %q, this binary speaks %q", path, r.Schema, Schema)
+	}
+	return &r, nil
+}

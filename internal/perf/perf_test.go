@@ -1,0 +1,247 @@
+package perf
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// goldenReport is a fully-populated report used by the serialization
+// tests.
+func goldenReport() *Report {
+	return &Report{
+		Schema:     Schema,
+		Commit:     "abc1234",
+		Date:       "2026-08-06T12:00:00Z",
+		GoVersion:  "go1.22.0",
+		GOOS:       "linux",
+		GOARCH:     "amd64",
+		GOMAXPROCS: 8,
+		Reps:       10,
+		Warmup:     2,
+		Scenarios: []Result{
+			{Name: "wl-features/h2/r32", MedianNs: 120000, P95Ns: 150000, MinNs: 110000, MeanNs: 125000, AllocsPerOp: 4, BytesPerOp: 9560},
+			{Name: "gram/w4", MedianNs: 900000, P95Ns: 1100000, MinNs: 850000, MeanNs: 930000, AllocsPerOp: 200, BytesPerOp: 420000},
+		},
+	}
+}
+
+// TestReportRoundTrip pins the BENCH.json golden property: marshal →
+// write → load → re-marshal is byte-stable and loses nothing.
+func TestReportRoundTrip(t *testing.T) {
+	r := goldenReport()
+	first, err := r.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(first, []byte("\n")) {
+		t.Error("marshal output lacks trailing newline")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded, r) {
+		t.Fatal("loaded report differs from written report")
+	}
+	second, err := loaded.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("re-marshal is not byte-stable:\n%s\nvs\n%s", first, second)
+	}
+}
+
+func TestLoadRejectsWrongSchema(t *testing.T) {
+	r := goldenReport()
+	r.Schema = "anacinx-bench/v0"
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("Load accepted wrong schema (err=%v)", err)
+	}
+}
+
+// reportWith builds a minimal report with one median per scenario name.
+func reportWith(medians map[string]int64) *Report {
+	r := &Report{Schema: Schema}
+	// Deterministic order is irrelevant to Compare; insert as given.
+	for name, m := range medians {
+		r.Scenarios = append(r.Scenarios, Result{Name: name, MedianNs: m})
+	}
+	return r
+}
+
+func deltaByName(t *testing.T, deltas []Delta, name string) Delta {
+	t.Helper()
+	for _, d := range deltas {
+		if d.Name == name {
+			return d
+		}
+	}
+	t.Fatalf("no delta for %q", name)
+	return Delta{}
+}
+
+func TestCompareEdgeCases(t *testing.T) {
+	baseline := &Report{Schema: Schema, Scenarios: []Result{
+		{Name: "at-threshold", MedianNs: 100},
+		{Name: "just-over", MedianNs: 100},
+		{Name: "improved", MedianNs: 100},
+		{Name: "vanished", MedianNs: 100},
+		{Name: "zero-base", MedianNs: 0},
+	}}
+	current := &Report{Schema: Schema, Scenarios: []Result{
+		{Name: "at-threshold", MedianNs: 125}, // exactly +25%: passes
+		{Name: "just-over", MedianNs: 126},    // +26%: fails
+		{Name: "improved", MedianNs: 40},
+		{Name: "zero-base", MedianNs: 999},
+		{Name: "brand-new", MedianNs: 50},
+	}}
+	deltas, err := Compare(baseline, current, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := deltaByName(t, deltas, "at-threshold"); d.Regressed {
+		t.Error("exactly-at-threshold regression must pass the gate")
+	}
+	if d := deltaByName(t, deltas, "just-over"); !d.Regressed {
+		t.Error("+26% at 25% threshold must fail the gate")
+	}
+	if d := deltaByName(t, deltas, "improved"); d.Regressed || d.Ratio != 0.4 {
+		t.Errorf("improvement misreported: %+v", d)
+	}
+	if d := deltaByName(t, deltas, "vanished"); !d.Regressed || d.Note == "" {
+		t.Errorf("scenario missing from current must regress: %+v", d)
+	}
+	if d := deltaByName(t, deltas, "zero-base"); d.Regressed || d.Note == "" {
+		t.Errorf("zero baseline must be noted, never regressed: %+v", d)
+	}
+	if d := deltaByName(t, deltas, "brand-new"); d.Regressed || d.Note == "" {
+		t.Errorf("new scenario must be noted, never regressed: %+v", d)
+	}
+	if got := Regressions(deltas); len(got) != 2 {
+		t.Errorf("Regressions returned %d deltas, want 2", len(got))
+	}
+	var buf bytes.Buffer
+	if err := WriteDeltas(&buf, deltas); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "REGRESSED") {
+		t.Error("delta table does not flag regressions")
+	}
+
+	if _, err := Compare(baseline, current, -1); err == nil {
+		t.Error("negative threshold accepted")
+	}
+	if _, err := Compare(&Report{Schema: "bogus"}, current, 0.25); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+}
+
+// TestRunHarness smoke-tests the measurement loop on synthetic
+// scenarios: statistics must be ordered, warmup must not be counted,
+// and setup/op failures must surface with scenario context.
+func TestRunHarness(t *testing.T) {
+	calls := 0
+	rep, err := Run([]Scenario{{
+		Name: "counting",
+		Setup: func() (func() error, error) {
+			return func() error { calls++; return nil }, nil
+		},
+	}}, Options{Reps: 5, Warmup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 7 {
+		t.Errorf("op ran %d times, want 5 timed + 2 warmup", calls)
+	}
+	if rep.Schema != Schema || rep.Reps != 5 || rep.Warmup != 2 || rep.GOMAXPROCS < 1 {
+		t.Errorf("report metadata wrong: %+v", rep)
+	}
+	res := rep.Scenarios[0]
+	if res.MinNs > res.MedianNs || res.MedianNs > res.P95Ns {
+		t.Errorf("statistics out of order: min %d median %d p95 %d", res.MinNs, res.MedianNs, res.P95Ns)
+	}
+
+	boom := errors.New("boom")
+	if _, err := Run([]Scenario{{Name: "bad-setup", Setup: func() (func() error, error) { return nil, boom }}}, Options{Reps: 1}); !errors.Is(err, boom) {
+		t.Errorf("setup error not propagated: %v", err)
+	}
+	if _, err := Run([]Scenario{{Name: "bad-op", Setup: func() (func() error, error) {
+		return func() error { return boom }, nil
+	}}}, Options{Reps: 1}); !errors.Is(err, boom) || !strings.Contains(err.Error(), "bad-op") {
+		t.Errorf("op error lacks scenario context: %v", err)
+	}
+}
+
+func TestStatisticsHelpers(t *testing.T) {
+	if m := median([]int64{1, 2, 3}); m != 2 {
+		t.Errorf("odd median = %d", m)
+	}
+	if m := median([]int64{1, 2, 3, 10}); m != 2 {
+		t.Errorf("even median = %d, want 2", m)
+	}
+	if p := percentile([]int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.95); p != 10 {
+		t.Errorf("p95 of 1..10 = %d, want 10", p)
+	}
+	if p := percentile([]int64{7}, 0.95); p != 7 {
+		t.Errorf("p95 of singleton = %d", p)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select("all")
+	if err != nil || len(all) != len(AllScenarios()) {
+		t.Fatalf("Select(all): %d scenarios, err %v", len(all), err)
+	}
+	quick, err := Select("quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quick) == 0 || len(quick) >= len(all) {
+		t.Errorf("quick set has %d scenarios, want a strict non-empty subset of %d", len(quick), len(all))
+	}
+	named, err := Select("gram/w4, wl-features/h2/r32")
+	if err != nil || len(named) != 2 || named[0].Name != "gram/w4" {
+		t.Fatalf("explicit selection failed: %v, %v", named, err)
+	}
+	if _, err := Select("no-such-scenario"); err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+		t.Errorf("unknown scenario accepted: %v", err)
+	}
+	if _, err := Select("gram/w4,gram/w4"); err == nil {
+		t.Error("duplicate scenario accepted")
+	}
+}
+
+// TestScenarioSetupsRun executes one timed rep of the quick set —
+// end-to-end coverage that scenario wiring (simulator, kernel,
+// figures) actually works.
+func TestScenarioSetupsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario execution in -short mode")
+	}
+	quick, err := Select("quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(quick, Options{Reps: 1, Warmup: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range rep.Scenarios {
+		if res.MinNs <= 0 {
+			t.Errorf("%s: non-positive timing %d", res.Name, res.MinNs)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package perf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/anacin-go/anacinx/internal/core"
+	"github.com/anacin-go/anacinx/internal/experiments"
+	"github.com/anacin-go/anacinx/internal/graph"
+	"github.com/anacin-go/anacinx/internal/kernel"
+)
+
+// The scenario set covers the three layers of the hot path behind the
+// paper's figures:
+//
+//   - wl-features/h2/r32: one WL depth-2 embedding of a 32-rank
+//     unstructured-mesh event graph — the innermost kernel, and the
+//     workload the acceptance Go benchmark
+//     (BenchmarkWLFeaturesH2Rank32) times.
+//   - gram/w{1,2,4,8}: the full Gram matrix over a 12-run sample of
+//     16-rank graphs at fixed worker counts — embedding plus dot
+//     products, charting parallel scaling.
+//   - figure/fig2: one paper figure end to end (simulate, trace,
+//     graph, embed, check) — what a user-visible unit of work costs.
+
+// sampleGraphs simulates a run sample and returns its event graphs
+// (setup-time work, excluded from scenario timing).
+func sampleGraphs(pattern string, procs, runs int) ([]*graph.Graph, error) {
+	e := core.DefaultExperiment(pattern, procs, 100)
+	e.Runs = runs
+	e.CaptureStacks = false
+	rs, err := e.Execute()
+	if err != nil {
+		return nil, err
+	}
+	return rs.Graphs, nil
+}
+
+// wlFeaturesScenario times a single WL embedding.
+func wlFeaturesScenario(name string, h, procs int) Scenario {
+	return Scenario{
+		Name:        name,
+		Description: fmt.Sprintf("WL depth-%d embedding of one %d-rank unstructured-mesh graph", h, procs),
+		Setup: func() (func() error, error) {
+			gs, err := sampleGraphs("unstructured_mesh", procs, 1)
+			if err != nil {
+				return nil, err
+			}
+			w := kernel.NewWL(h)
+			return func() error {
+				if len(w.Features(gs[0])) == 0 {
+					return fmt.Errorf("empty embedding")
+				}
+				return nil
+			}, nil
+		},
+	}
+}
+
+// gramScenario times the Gram-matrix build at a fixed worker count.
+func gramScenario(workers int) Scenario {
+	return Scenario{
+		Name:        fmt.Sprintf("gram/w%d", workers),
+		Description: fmt.Sprintf("WL-2 Gram matrix over 12 16-rank graphs, %d workers", workers),
+		Setup: func() (func() error, error) {
+			gs, err := sampleGraphs("unstructured_mesh", 16, 12)
+			if err != nil {
+				return nil, err
+			}
+			w := kernel.NewWL(2)
+			return func() error {
+				m := kernel.NewMatrixWorkers(w, gs, workers)
+				if m.Len() != len(gs) {
+					return fmt.Errorf("matrix has %d rows, want %d", m.Len(), len(gs))
+				}
+				return nil
+			}, nil
+		},
+	}
+}
+
+// figureScenario times one paper-figure runner end to end (quick
+// workload, no artifact files).
+func figureScenario(id string) Scenario {
+	return Scenario{
+		Name:        "figure/" + id,
+		Description: fmt.Sprintf("paper figure %s end to end (simulate, embed, check)", id),
+		Setup: func() (func() error, error) {
+			runner, ok := experiments.All()[id]
+			if !ok {
+				return nil, fmt.Errorf("unknown figure %q", id)
+			}
+			return func() error {
+				res, err := runner(experiments.Options{Quick: true})
+				if err != nil {
+					return err
+				}
+				for _, c := range res.Checks {
+					if !c.OK {
+						return fmt.Errorf("shape check %s failed: %s", c.Name, c.Detail)
+					}
+				}
+				return nil
+			}, nil
+		},
+	}
+}
+
+// AllScenarios returns the full scenario set in its canonical order.
+func AllScenarios() []Scenario {
+	return []Scenario{
+		wlFeaturesScenario("wl-features/h2/r32", 2, 32),
+		gramScenario(1),
+		gramScenario(2),
+		gramScenario(4),
+		gramScenario(8),
+		figureScenario("fig2"),
+	}
+}
+
+// quickNames is the reduced set CI runs on every push: the innermost
+// kernel, serial and mid-parallel Gram builds, and one end-to-end
+// figure.
+var quickNames = []string{"wl-features/h2/r32", "gram/w1", "gram/w4", "figure/fig2"}
+
+// ScenarioNames lists the full set's names in canonical order.
+func ScenarioNames() []string {
+	all := AllScenarios()
+	names := make([]string, len(all))
+	for i, sc := range all {
+		names[i] = sc.Name
+	}
+	return names
+}
+
+// Select resolves a -scenarios spec: "all", "quick", or a
+// comma-separated list of names (order preserved, duplicates
+// rejected).
+func Select(spec string) ([]Scenario, error) {
+	switch spec {
+	case "", "all":
+		return AllScenarios(), nil
+	case "quick":
+		return Select(strings.Join(quickNames, ","))
+	}
+	byName := make(map[string]Scenario)
+	for _, sc := range AllScenarios() {
+		byName[sc.Name] = sc
+	}
+	var out []Scenario
+	taken := make(map[string]bool)
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		sc, ok := byName[name]
+		if !ok {
+			known := ScenarioNames()
+			sort.Strings(known)
+			return nil, fmt.Errorf("perf: unknown scenario %q (known: %s)", name, strings.Join(known, ", "))
+		}
+		if taken[name] {
+			return nil, fmt.Errorf("perf: scenario %q listed twice", name)
+		}
+		taken[name] = true
+		out = append(out, sc)
+	}
+	return out, nil
+}
