@@ -12,8 +12,9 @@ import (
 
 // cmdBench runs the named perf scenarios and writes a schema-versioned
 // BENCH.json; with -compare it also diffs against a baseline report
-// and fails (non-zero exit) on any median regression beyond the
-// threshold. CI runs both modes: every push refreshes the artifact,
+// and fails (non-zero exit) on any regression of the gated statistic
+// (-stat, default median) beyond the threshold. CI runs both modes:
+// every push refreshes the artifact,
 // every PR is gated against the main-branch baseline. See
 // docs/benchmarking.md.
 func cmdBench(args []string) error {
@@ -23,7 +24,8 @@ func cmdBench(args []string) error {
 	reps := fs.Int("reps", 10, "timed repetitions per scenario")
 	warmup := fs.Int("warmup", 2, "untimed warmup repetitions per scenario")
 	compare := fs.String("compare", "", "baseline BENCH.json to diff against (enables the regression gate)")
-	threshold := fs.Float64("threshold", 0.25, "allowed relative median slowdown vs the baseline (0.25 = 25%)")
+	threshold := fs.Float64("threshold", 0.25, "allowed relative slowdown of the gated statistic vs the baseline (0.25 = 25%)")
+	statName := fs.String("stat", "median", `statistic the regression gate compares: "median" or "min" (min is robust to load spikes on shared CI runners)`)
 	list := fs.Bool("list", false, "list scenario names and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -35,6 +37,10 @@ func cmdBench(args []string) error {
 		return nil
 	}
 	selected, err := perf.Select(*scenarios)
+	if err != nil {
+		return err
+	}
+	stat, err := perf.ParseStat(*statName)
 	if err != nil {
 		return err
 	}
@@ -63,11 +69,11 @@ func cmdBench(args []string) error {
 	if err != nil {
 		return err
 	}
-	deltas, err := perf.Compare(baseline, report, *threshold)
+	deltas, err := perf.CompareBy(baseline, report, *threshold, stat)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("comparison against %s (gate: +%.0f%% median):\n", *compare, *threshold*100)
+	fmt.Printf("comparison against %s (gate: +%.0f%% %s):\n", *compare, *threshold*100, stat)
 	if err := perf.WriteDeltas(os.Stdout, deltas); err != nil {
 		return err
 	}

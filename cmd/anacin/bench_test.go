@@ -75,6 +75,33 @@ func TestCmdBenchWritesReportAndGates(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "regressed") {
 		t.Fatalf("injected 2x slowdown did not trip the gate: err=%v", err)
 	}
+
+	// Same injection on the min statistic, gated via -stat min (the CI
+	// configuration).
+	slowMin := *report
+	slowMin.Scenarios = append([]perf.Result(nil), report.Scenarios...)
+	for i := range slowMin.Scenarios {
+		slowMin.Scenarios[i].MinNs /= 2
+		if slowMin.Scenarios[i].MinNs == 0 {
+			slowMin.Scenarios[i].MinNs = 1
+		}
+	}
+	slowMinPath := filepath.Join(dir, "baseline-fast-min.json")
+	if err := slowMin.WriteFile(slowMinPath); err != nil {
+		t.Fatal(err)
+	}
+	err = cmdBench([]string{"-scenarios", "quick", "-reps", "2", "-warmup", "0",
+		"-o", filepath.Join(dir, "gated-min.json"), "-compare", slowMinPath, "-stat", "min"})
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("injected 2x min slowdown did not trip the -stat min gate: err=%v", err)
+	}
+}
+
+func TestCmdBenchRejectsUnknownStat(t *testing.T) {
+	if err := cmdBench([]string{"-scenarios", "quick", "-stat", "p99"}); err == nil ||
+		!strings.Contains(err.Error(), "statistic") {
+		t.Errorf("unknown -stat accepted: %v", err)
+	}
 }
 
 func TestCmdBenchRejectsUnknownScenario(t *testing.T) {

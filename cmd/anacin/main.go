@@ -75,7 +75,7 @@ commands:
   campaign    run a grid of experiments on a worker pool (cancellable
               with Ctrl-C / -timeout); emit markdown/CSV statistics
   bench       run named perf scenarios → BENCH.json; with -compare,
-              gate on median regressions vs a baseline report
+              gate on regressions of -stat (median/min) vs a baseline
 
 run 'anacin <command> -h' for flags.
 `)

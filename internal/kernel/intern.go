@@ -73,7 +73,7 @@ func (in *Interner) Hash(s string) uint64 {
 		return h
 	}
 	in.mu.RUnlock()
-	return in.hashes[in.Intern(s)]
+	return in.HashOf(in.Intern(s))
 }
 
 // LabelOf returns the label string with dense id id (the inverse of

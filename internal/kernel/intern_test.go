@@ -64,6 +64,34 @@ func TestInternerConcurrent(t *testing.T) {
 	}
 }
 
+// TestInternerHashMissConcurrent drives the Hash miss path specifically:
+// every lookup is a first sight, so concurrent appends keep reallocating
+// the hashes slice while other goroutines read it. Under -race this pins
+// that the miss path re-reads the slice under the lock rather than
+// touching a stale header.
+func TestInternerHashMissConcurrent(t *testing.T) {
+	in := NewInterner()
+	const workers, perWorker = 16, 256
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s := fmt.Sprintf("fresh-%d-%d", w, i)
+				if in.Hash(s) != hashString(s) {
+					t.Errorf("Hash(%q) mismatch on miss path", s)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if in.Len() != workers*perWorker {
+		t.Errorf("Len = %d, want %d", in.Len(), workers*perWorker)
+	}
+}
+
 func TestSplitmix64(t *testing.T) {
 	// Reference values from the canonical SplitMix64 (Vigna), state
 	// seeded with 0 and 1234567: successive outputs of the generator.

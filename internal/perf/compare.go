@@ -6,32 +6,71 @@ import (
 	"time"
 )
 
+// Stat selects which per-scenario statistic the regression gate
+// compares. Median is the human-facing default; Min approximates the
+// noise floor and is far more stable on loaded, shared machines (noise
+// only ever adds time, so the minimum converges from above), which is
+// why CI gates on it — see docs/benchmarking.md.
+type Stat string
+
+const (
+	StatMedian Stat = "median"
+	StatMin    Stat = "min"
+)
+
+// ParseStat validates a user-supplied statistic name.
+func ParseStat(s string) (Stat, error) {
+	switch Stat(s) {
+	case StatMedian, StatMin:
+		return Stat(s), nil
+	}
+	return "", fmt.Errorf("perf: unknown gate statistic %q (want %q or %q)", s, StatMedian, StatMin)
+}
+
+func (s Stat) of(r Result) int64 {
+	if s == StatMin {
+		return r.MinNs
+	}
+	return r.MedianNs
+}
+
 // Delta is the comparison of one scenario across two reports.
 type Delta struct {
-	Name       string
+	Name string
+	// BaselineNs and CurrentNs hold the gated statistic (median or min,
+	// per the Stat passed to CompareBy).
 	BaselineNs int64
 	CurrentNs  int64
 	// Ratio is CurrentNs/BaselineNs (0 when it cannot be computed).
 	Ratio float64
-	// Regressed marks a gate failure: the current median exceeds the
-	// baseline by strictly more than the threshold, or the scenario
-	// vanished from the current report (a disappearing scenario must
-	// not be able to dodge the gate).
+	// Regressed marks a gate failure: the current value of the gated
+	// statistic exceeds the baseline by strictly more than the
+	// threshold, or the scenario vanished from the current report (a
+	// disappearing scenario must not be able to dodge the gate).
 	Regressed bool
 	// Note explains non-numeric outcomes: "missing in current report",
 	// "no baseline (new scenario)", "zero baseline median".
 	Note string
 }
 
-// Compare diffs current against baseline scenario by scenario.
-// threshold is the allowed relative increase of the median, e.g. 0.25
-// allows up to (and including) a 25% slowdown. Scenarios only present
-// in current are reported but never regress — adding a scenario must
-// not fail the gate; scenarios only present in baseline do regress.
-// A zero baseline median cannot anchor a ratio and never regresses.
+// Compare diffs current against baseline scenario by scenario on the
+// median statistic; see CompareBy.
 func Compare(baseline, current *Report, threshold float64) ([]Delta, error) {
+	return CompareBy(baseline, current, threshold, StatMedian)
+}
+
+// CompareBy diffs current against baseline scenario by scenario.
+// threshold is the allowed relative increase of the gated statistic,
+// e.g. 0.25 allows up to (and including) a 25% slowdown. Scenarios only
+// present in current are reported but never regress — adding a scenario
+// must not fail the gate; scenarios only present in baseline do regress.
+// A zero baseline value cannot anchor a ratio and never regresses.
+func CompareBy(baseline, current *Report, threshold float64, stat Stat) ([]Delta, error) {
 	if threshold < 0 {
 		return nil, fmt.Errorf("perf: negative regression threshold %v", threshold)
+	}
+	if _, err := ParseStat(string(stat)); err != nil {
+		return nil, err
 	}
 	if baseline.Schema != Schema || current.Schema != Schema {
 		return nil, fmt.Errorf("perf: schema mismatch: baseline %q, current %q, want %q",
@@ -45,18 +84,18 @@ func Compare(baseline, current *Report, threshold float64) ([]Delta, error) {
 	seen := make(map[string]bool, len(baseline.Scenarios))
 	for _, base := range baseline.Scenarios {
 		seen[base.Name] = true
-		d := Delta{Name: base.Name, BaselineNs: base.MedianNs}
+		d := Delta{Name: base.Name, BaselineNs: stat.of(base)}
 		now, ok := cur[base.Name]
 		switch {
 		case !ok:
 			d.Regressed = true
 			d.Note = "missing in current report"
-		case base.MedianNs == 0:
-			d.CurrentNs = now.MedianNs
-			d.Note = "zero baseline median"
+		case d.BaselineNs == 0:
+			d.CurrentNs = stat.of(now)
+			d.Note = "zero baseline " + string(stat)
 		default:
-			d.CurrentNs = now.MedianNs
-			d.Ratio = float64(now.MedianNs) / float64(base.MedianNs)
+			d.CurrentNs = stat.of(now)
+			d.Ratio = float64(d.CurrentNs) / float64(d.BaselineNs)
 			d.Regressed = d.Ratio > 1+threshold
 		}
 		deltas = append(deltas, d)
@@ -64,7 +103,7 @@ func Compare(baseline, current *Report, threshold float64) ([]Delta, error) {
 	for _, now := range current.Scenarios {
 		if !seen[now.Name] {
 			deltas = append(deltas, Delta{
-				Name: now.Name, CurrentNs: now.MedianNs, Note: "no baseline (new scenario)",
+				Name: now.Name, CurrentNs: stat.of(now), Note: "no baseline (new scenario)",
 			})
 		}
 	}

@@ -56,8 +56,13 @@ type Result struct {
 	P95Ns  int64 `json:"p95_ns"`
 	MinNs  int64 `json:"min_ns"`
 	MeanNs int64 `json:"mean_ns"`
-	// AllocsPerOp and BytesPerOp are heap-allocation averages over the
-	// timed reps (warmup excluded).
+	// AllocsPerOp and BytesPerOp come from one dedicated untimed rep
+	// after the timed loop, with a runtime.GC() settling the heap first.
+	// The counters are process-wide MemStats deltas, so allocations by
+	// goroutines the op itself spawns (e.g. Gram-matrix workers) are
+	// correctly included, but any unrelated background activity during
+	// that rep still leaks in — treat the figures as close estimates,
+	// not exact per-op accounting.
 	AllocsPerOp int64 `json:"allocs_per_op"`
 	BytesPerOp  int64 `json:"bytes_per_op"`
 }
@@ -138,8 +143,6 @@ func runScenario(sc Scenario, opts Options) (Result, error) {
 		}
 	}
 	durs := make([]int64, opts.Reps)
-	var before, after runtime.MemStats
-	runtime.ReadMemStats(&before)
 	for i := range durs {
 		start := time.Now()
 		if err := op(); err != nil {
@@ -147,12 +150,22 @@ func runScenario(sc Scenario, opts Options) (Result, error) {
 		}
 		durs[i] = time.Since(start).Nanoseconds()
 	}
+	// Allocations are measured in a dedicated untimed rep so the timed
+	// loop stays free of ReadMemStats stop-the-world pauses, and a GC
+	// first settles pending sweeps and background-goroutine churn that
+	// would otherwise be attributed to the scenario.
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if err := op(); err != nil {
+		return Result{}, fmt.Errorf("alloc rep: %w", err)
+	}
 	runtime.ReadMemStats(&after)
 	reps := int64(opts.Reps)
 	res := Result{
 		Name:        sc.Name,
-		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / reps,
-		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / reps,
+		AllocsPerOp: int64(after.Mallocs - before.Mallocs),
+		BytesPerOp:  int64(after.TotalAlloc - before.TotalAlloc),
 	}
 	var sum int64
 	for _, d := range durs {

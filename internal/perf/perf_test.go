@@ -149,6 +149,46 @@ func TestCompareEdgeCases(t *testing.T) {
 	}
 }
 
+// TestCompareByMinStat pins the CI gate configuration: the min
+// statistic is the one compared, independent of the medians.
+func TestCompareByMinStat(t *testing.T) {
+	baseline := &Report{Schema: Schema, Scenarios: []Result{
+		{Name: "s", MedianNs: 100, MinNs: 80},
+	}}
+	current := &Report{Schema: Schema, Scenarios: []Result{
+		{Name: "s", MedianNs: 300, MinNs: 90}, // median tripled, min +12.5%
+	}}
+	deltas, err := CompareBy(baseline, current, 0.25, StatMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := deltaByName(t, deltas, "s")
+	if d.Regressed || d.BaselineNs != 80 || d.CurrentNs != 90 {
+		t.Errorf("min-stat gate misread the reports: %+v", d)
+	}
+	deltas, err = CompareBy(baseline, current, 0.10, StatMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := deltaByName(t, deltas, "s"); !d.Regressed {
+		t.Errorf("min +12.5%% at 10%% threshold must regress: %+v", d)
+	}
+	if _, err := CompareBy(baseline, current, 0.25, Stat("p95")); err == nil {
+		t.Error("unknown stat accepted")
+	}
+}
+
+func TestParseStat(t *testing.T) {
+	for _, ok := range []string{"median", "min"} {
+		if s, err := ParseStat(ok); err != nil || string(s) != ok {
+			t.Errorf("ParseStat(%q) = %q, %v", ok, s, err)
+		}
+	}
+	if _, err := ParseStat("mean"); err == nil {
+		t.Error("ParseStat accepted unsupported statistic")
+	}
+}
+
 // TestRunHarness smoke-tests the measurement loop on synthetic
 // scenarios: statistics must be ordered, warmup must not be counted,
 // and setup/op failures must surface with scenario context.
@@ -163,8 +203,8 @@ func TestRunHarness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if calls != 7 {
-		t.Errorf("op ran %d times, want 5 timed + 2 warmup", calls)
+	if calls != 8 {
+		t.Errorf("op ran %d times, want 5 timed + 2 warmup + 1 alloc", calls)
 	}
 	if rep.Schema != Schema || rep.Reps != 5 || rep.Warmup != 2 || rep.GOMAXPROCS < 1 {
 		t.Errorf("report metadata wrong: %+v", rep)
