@@ -26,6 +26,7 @@ func cmdBench(args []string) error {
 	compare := fs.String("compare", "", "baseline BENCH.json to diff against (enables the regression gate)")
 	threshold := fs.Float64("threshold", 0.25, "allowed relative slowdown of the gated statistic vs the baseline (0.25 = 25%)")
 	statName := fs.String("stat", "median", `statistic the regression gate compares: "median" or "min" (min is robust to load spikes on shared CI runners)`)
+	summary := fs.String("summary", "", "append a markdown results table (and, with -compare, a before/after delta table) to this file — CI passes $GITHUB_STEP_SUMMARY")
 	list := fs.Bool("list", false, "list scenario names and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +64,11 @@ func cmdBench(args []string) error {
 	}
 	fmt.Println("wrote", *out)
 	if *compare == "" {
+		if *summary != "" {
+			return appendSummary(*summary, func(w *os.File) error {
+				return perf.WriteMarkdownReport(w, report)
+			})
+		}
 		return nil
 	}
 	baseline, err := perf.Load(*compare)
@@ -77,11 +83,33 @@ func cmdBench(args []string) error {
 	if err := perf.WriteDeltas(os.Stdout, deltas); err != nil {
 		return err
 	}
+	if *summary != "" {
+		if err := appendSummary(*summary, func(w *os.File) error {
+			return perf.WriteMarkdownDeltas(w, deltas, stat, *threshold)
+		}); err != nil {
+			return err
+		}
+	}
 	if regressed := perf.Regressions(deltas); len(regressed) > 0 {
 		return fmt.Errorf("%d scenario(s) regressed beyond %.0f%%", len(regressed), *threshold*100)
 	}
 	fmt.Println("no regressions")
 	return nil
+}
+
+// appendSummary opens path in append mode (the $GITHUB_STEP_SUMMARY
+// contract: steps add to the file, never truncate it) and writes one
+// markdown block.
+func appendSummary(path string, write func(*os.File) error) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if werr := write(f); werr != nil {
+		f.Close()
+		return werr
+	}
+	return f.Close()
 }
 
 // vcsRevision extracts the (short) VCS revision baked into the binary,

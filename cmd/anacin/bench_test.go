@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -10,7 +11,8 @@ import (
 
 func TestCmdBenchList(t *testing.T) {
 	out := captureStdout(t, func() error { return cmdBench([]string{"-list"}) })
-	for _, want := range []string{"wl-features/h2/r32", "gram/w1", "gram/w8", "figure/fig2"} {
+	for _, want := range []string{"wl-features/h2/r32", "dot/wl-h2", "gram/w1", "gram/w8",
+		"slice-profile/32rank", "figure/fig2"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("bench -list output missing %q:\n%s", want, out)
 		}
@@ -34,8 +36,8 @@ func TestCmdBenchWritesReportAndGates(t *testing.T) {
 	if err != nil {
 		t.Fatalf("written BENCH.json is invalid: %v", err)
 	}
-	if len(report.Scenarios) != 4 {
-		t.Fatalf("quick report has %d scenarios, want 4", len(report.Scenarios))
+	if len(report.Scenarios) != 5 {
+		t.Fatalf("quick report has %d scenarios, want 5", len(report.Scenarios))
 	}
 	for _, res := range report.Scenarios {
 		if res.MedianNs <= 0 {
@@ -94,6 +96,45 @@ func TestCmdBenchWritesReportAndGates(t *testing.T) {
 		"-o", filepath.Join(dir, "gated-min.json"), "-compare", slowMinPath, "-stat", "min"})
 	if err == nil || !strings.Contains(err.Error(), "regressed") {
 		t.Fatalf("injected 2x min slowdown did not trip the -stat min gate: err=%v", err)
+	}
+}
+
+// TestCmdBenchSummary exercises the -summary flag both ways: a plain
+// run appends a results table, a -compare run appends a delta table,
+// and the file accumulates (append semantics, like
+// $GITHUB_STEP_SUMMARY).
+func TestCmdBenchSummary(t *testing.T) {
+	dir := t.TempDir()
+	summaryPath := filepath.Join(dir, "summary.md")
+	benchPath := filepath.Join(dir, "BENCH.json")
+	captureStdout(t, func() error {
+		return cmdBench([]string{"-scenarios", "dot/wl-h2", "-reps", "2", "-warmup", "0",
+			"-o", benchPath, "-summary", summaryPath})
+	})
+	first, err := os.ReadFile(summaryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(first), "### Benchmark results") ||
+		!strings.Contains(string(first), "dot/wl-h2") {
+		t.Fatalf("summary missing results table:\n%s", first)
+	}
+
+	captureStdout(t, func() error {
+		return cmdBench([]string{"-scenarios", "dot/wl-h2", "-reps", "2", "-warmup", "0",
+			"-o", filepath.Join(dir, "again.json"), "-compare", benchPath,
+			"-threshold", "100", "-summary", summaryPath})
+	})
+	both, err := os.ReadFile(summaryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(both) <= len(first) {
+		t.Fatal("-summary truncated the file instead of appending")
+	}
+	if !strings.Contains(string(both), "### Benchmark comparison") ||
+		!strings.Contains(string(both), "| Scenario | Baseline | Current |") {
+		t.Fatalf("summary missing delta table:\n%s", both)
 	}
 }
 

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"math"
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
@@ -234,6 +235,42 @@ func TestSliceProfilePositiveAtFullND(t *testing.T) {
 		if s < 0 || s >= 6 {
 			t.Errorf("high slice %d out of range", s)
 		}
+	}
+}
+
+// TestSliceProfileCachedMatchesUncached pins the cached (and
+// parallelized) slice profile float-for-float to the uncached path,
+// and checks the cache actually carries the slice embeddings across
+// repeated profiles: a second profile of the same runs recomputes
+// nothing.
+func TestSliceProfileCachedMatchesUncached(t *testing.T) {
+	graphs := runGraphs(t, "amg2013", 8, 3, 5, 100)
+	k := kernel.NewWL(2)
+	want, err := NewSliceProfile(k, graphs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := kernel.NewCache()
+	got, err := NewSliceProfileCached(k, graphs, 6, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cached profile diverges:\n got %+v\nwant %+v", got, want)
+	}
+	if c.Len() == 0 {
+		t.Fatal("profile populated no cache entries")
+	}
+	misses := c.Misses()
+	again, err := NewSliceProfileCached(k, graphs, 6, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, want) {
+		t.Fatal("warm cached profile diverges")
+	}
+	if c.Misses() != misses {
+		t.Fatalf("warm profile recomputed embeddings: misses %d -> %d", misses, c.Misses())
 	}
 }
 

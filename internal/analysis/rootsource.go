@@ -2,7 +2,10 @@ package analysis
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/anacin-go/anacinx/internal/graph"
 	"github.com/anacin-go/anacinx/internal/kernel"
@@ -30,6 +33,21 @@ type SliceProfile struct {
 // under k, using `slices` logical-time windows. At least two graphs and
 // one slice are required.
 func NewSliceProfile(k kernel.Kernel, graphs []*graph.Graph, slices int) (*SliceProfile, error) {
+	return NewSliceProfileCached(k, graphs, slices, nil)
+}
+
+// NewSliceProfileCached is NewSliceProfile with an optional embedding
+// cache (nil computes every embedding). A pipeline that has already
+// embedded the whole graphs — e.g. for the violin distance sample —
+// shares its cache here so the slices=1 coarsening fallback (which
+// reconstructs the full graphs) reuses them, and repeated profiles of
+// one run set pay for each slice embedding once.
+//
+// Slice columns are independent, so the per-slice Gram builds fan out
+// across the machine's cores with the same work-stealing cursor shape
+// as the parallel matrix build; each value lands at a fixed slice
+// index, so the profile is identical to the sequential result.
+func NewSliceProfileCached(k kernel.Kernel, graphs []*graph.Graph, slices int, cache *kernel.Cache) (*SliceProfile, error) {
 	if len(graphs) < 2 {
 		return nil, fmt.Errorf("analysis: slice profile needs >= 2 runs, got %d", len(graphs))
 	}
@@ -51,12 +69,15 @@ func NewSliceProfile(k kernel.Kernel, graphs []*graph.Graph, slices int) (*Slice
 		MeanDistance: make([]float64, slices),
 		MaxDistance:  make([]float64, slices),
 	}
-	for s := 0; s < slices; s++ {
+	profileSlice := func(s int) {
 		col := make([]*graph.Graph, len(graphs))
 		for i := range graphs {
 			col[i] = sliced[i][s]
 		}
-		dists := kernel.PairwiseDistances(k, col)
+		// One worker per slice column already saturates the cores, so
+		// each Gram build runs single-threaded (nested parallelism
+		// would only add scheduling overhead on these small graphs).
+		dists := cache.NewMatrixWorkers(k, col, 1).PairwiseDistances()
 		sum, max := 0.0, 0.0
 		for _, d := range dists {
 			sum += d
@@ -67,6 +88,32 @@ func NewSliceProfile(k kernel.Kernel, graphs []*graph.Graph, slices int) (*Slice
 		p.MeanDistance[s] = sum / float64(len(dists))
 		p.MaxDistance[s] = max
 	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > slices {
+		workers = slices
+	}
+	if workers < 2 {
+		for s := 0; s < slices; s++ {
+			profileSlice(s)
+		}
+		return p, nil
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(cursor.Add(1)) - 1
+				if s >= slices {
+					return
+				}
+				profileSlice(s)
+			}
+		}()
+	}
+	wg.Wait()
 	return p, nil
 }
 
@@ -166,8 +213,16 @@ func RankCallstacks(graphs []*graph.Graph, slices int, highSlices []int) ([]Call
 // registers the divergence; at slices=1 the "slice" is the whole graph
 // and the ranking degrades gracefully to "all wildcard receives".
 func IdentifyRootSources(k kernel.Kernel, graphs []*graph.Graph, slices int) (*SliceProfile, []CallstackFrequency, error) {
+	return IdentifyRootSourcesCached(k, graphs, slices, nil)
+}
+
+// IdentifyRootSourcesCached is IdentifyRootSources with an optional
+// embedding cache shared with the rest of the pipeline (see
+// NewSliceProfileCached); core.RunSet.RootSources threads the run
+// set's cache through here.
+func IdentifyRootSourcesCached(k kernel.Kernel, graphs []*graph.Graph, slices int, cache *kernel.Cache) (*SliceProfile, []CallstackFrequency, error) {
 	for {
-		profile, err := NewSliceProfile(k, graphs, slices)
+		profile, err := NewSliceProfileCached(k, graphs, slices, cache)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -8,7 +8,6 @@ import (
 	"sync"
 	"time"
 
-	"github.com/anacin-go/anacinx/internal/analysis"
 	"github.com/anacin-go/anacinx/internal/core"
 )
 
@@ -196,7 +195,9 @@ func runCell(ctx context.Context, q Grid, cc cellConfig, runWorkers int) Cell {
 		cell.Err = err
 		return cell
 	}
-	cell.Summary = analysis.Summarize(rs.Distances(q.Kernel))
+	// DistanceSummary routes through the run set's embedding cache, so
+	// a future per-cell root-source pass would reuse these embeddings.
+	cell.Summary = rs.DistanceSummary(q.Kernel)
 	cell.DistinctStructures = rs.DistinctStructures()
 	return cell
 }

@@ -138,6 +138,25 @@ type RunSet struct {
 	Graphs []*graph.Graph
 	// Stats[i] summarizes run i's simulation.
 	Stats []*sim.Stats
+
+	// cache memoizes kernel embeddings across the run set's
+	// reductions; see Cache.
+	cacheMu sync.Mutex
+	cache   *kernel.Cache
+}
+
+// Cache returns the run set's shared embedding cache, creating it on
+// first use. Distances, DistanceSummary, and RootSources all embed the
+// same graphs; routing them through one content-addressed cache means
+// an experiment that draws the violin sample, the slice profile, and
+// the root-source ranking embeds each run exactly once per kernel.
+func (rs *RunSet) Cache() *kernel.Cache {
+	rs.cacheMu.Lock()
+	defer rs.cacheMu.Unlock()
+	if rs.cache == nil {
+		rs.cache = kernel.NewCache()
+	}
+	return rs.cache
 }
 
 // Execute runs the experiment's sample. Runs are independent, so they
@@ -254,7 +273,7 @@ dispatch:
 // Distances returns the pairwise kernel-distance sample of the run
 // set's event graphs — the data behind one violin of Figs. 5–7.
 func (rs *RunSet) Distances(k kernel.Kernel) []float64 {
-	return kernel.PairwiseDistances(k, rs.Graphs)
+	return rs.Cache().PairwiseDistances(k, rs.Graphs)
 }
 
 // DistanceSummary summarizes the pairwise distances.
@@ -265,7 +284,7 @@ func (rs *RunSet) DistanceSummary(k kernel.Kernel) analysis.Summary {
 // RootSources runs the Fig. 8 analysis on the sample: the slice profile
 // and ranked receive callstacks of high-non-determinism regions.
 func (rs *RunSet) RootSources(k kernel.Kernel, slices int) (*analysis.SliceProfile, []analysis.CallstackFrequency, error) {
-	return analysis.IdentifyRootSources(k, rs.Graphs, slices)
+	return analysis.IdentifyRootSourcesCached(k, rs.Graphs, slices, rs.Cache())
 }
 
 // DistinctStructures reports how many distinct communication structures

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -177,6 +178,45 @@ func TestZeroNDGivesZeroDistances(t *testing.T) {
 	}
 	if rs.DistinctStructures() != 1 {
 		t.Errorf("DistinctStructures = %d, want 1", rs.DistinctStructures())
+	}
+}
+
+// TestRunSetCacheShared pins the run set's embedding cache contract:
+// one lazily-created cache instance is shared by every analysis entry
+// point, so Distances embeds each run's graph once and DistanceSummary
+// (and a repeated Distances) reuse those embeddings instead of
+// recomputing them.
+func TestRunSetCacheShared(t *testing.T) {
+	e := DefaultExperiment("unstructured_mesh", 8, 100)
+	e.Iterations = 2
+	e.Runs = 5
+	rs, err := e.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rs.Cache()
+	if c == nil || rs.Cache() != c {
+		t.Fatal("Cache() is not a stable singleton")
+	}
+	k := kernel.NewWL(2)
+	first := rs.Distances(k)
+	if c.Len() != e.Runs || c.Misses() != uint64(e.Runs) {
+		t.Fatalf("after Distances: len=%d misses=%d, want %d each", c.Len(), c.Misses(), e.Runs)
+	}
+	misses := c.Misses()
+	second := rs.Distances(k)
+	s := rs.DistanceSummary(k)
+	if c.Misses() != misses {
+		t.Fatalf("repeat analyses recomputed embeddings: misses %d -> %d", misses, c.Misses())
+	}
+	if c.Hits() == 0 {
+		t.Fatal("repeat analyses recorded no cache hits")
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("cached Distances diverge from first call")
+	}
+	if s.N != len(first) {
+		t.Fatalf("summary over %d distances, want %d", s.N, len(first))
 	}
 }
 

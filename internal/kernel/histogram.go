@@ -14,12 +14,12 @@ type VertexHistogram struct{}
 func (VertexHistogram) Name() string { return "vertex-hist" }
 
 // Features implements Kernel.
-func (VertexHistogram) Features(g *graph.Graph) Features {
-	feats := make(Features, 8)
+func (VertexHistogram) Features(g *graph.Graph) FeatureVector {
+	b := newVecBuilder(len(g.Nodes))
 	for i := range g.Nodes {
-		feats[labelInterner.Hash(g.Nodes[i].Label)]++
+		b.add(labelInterner.Hash(g.Nodes[i].Label))
 	}
-	return feats
+	return b.finish()
 }
 
 // EdgeHistogram embeds a graph as the histogram of
@@ -32,14 +32,14 @@ type EdgeHistogram struct{}
 func (EdgeHistogram) Name() string { return "edge-hist" }
 
 // Features implements Kernel.
-func (EdgeHistogram) Features(g *graph.Graph) Features {
-	feats := make(Features, 16)
+func (EdgeHistogram) Features(g *graph.Graph) FeatureVector {
+	b := newVecBuilder(len(g.Edges))
 	for i := range g.Edges {
 		e := &g.Edges[i]
 		h := hashWord(fnvOffset, labelInterner.Hash(g.Nodes[e.From].Label))
 		h = hashWord(h, uint64(e.Kind)+1)
 		h = hashWord(h, labelInterner.Hash(g.Nodes[e.To].Label))
-		feats[h]++
+		b.add(h)
 	}
-	return feats
+	return b.finish()
 }

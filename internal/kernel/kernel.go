@@ -19,6 +19,26 @@
 // 2, the configuration the ANACIN-X papers use; vertex- and
 // edge-histogram kernels are provided as cheap baselines and for
 // ablation.
+//
+// # Feature representation
+//
+// Embeddings are FeatureVector values: parallel keys/vals slices sorted
+// by feature key (a CSR-style sorted sparse vector), built by sorting
+// and run-length encoding a pooled buffer of feature occurrences. Dot
+// is a two-pointer merge join over the sorted keys — no hashing, no
+// random memory access, and a float summation order that is a pure
+// function of the data. The map-backed Features type it replaced
+// summed in Go's randomized map iteration order, so the innermost
+// arithmetic of a non-determinism *measurement* tool was itself
+// non-deterministic; the sorted layout makes every dot product (and
+// therefore every kernel distance) bit-identical across runs,
+// processes, and construction orders. Features remains as a
+// conversion/compat type — see FromMap and FeatureVector.ToMap.
+//
+// A content-addressed embedding Cache (keyed by kernel name and a
+// structural graph fingerprint) lets a pipeline that feeds the same
+// run set into the violin sample, the slice profile, and the
+// root-source ranking embed each graph exactly once — see Cache.
 package kernel
 
 import (
@@ -27,12 +47,19 @@ import (
 	"github.com/anacin-go/anacinx/internal/graph"
 )
 
-// Features is a sparse feature histogram: hashed structural feature →
-// multiplicity. Feature identity is stable across processes and
-// platforms (FNV-based hashing of label content only).
+// Features is the map-backed compat representation of a sparse feature
+// histogram: hashed structural feature → multiplicity. Feature identity
+// is stable across processes and platforms (FNV-based hashing of label
+// content only). Kernels no longer produce it — they build sorted
+// FeatureVector values directly — but it remains the convenient form
+// for tests and tools that assemble or inspect histograms by key;
+// convert with FromMap / FeatureVector.ToMap.
 type Features map[uint64]float64
 
-// Dot returns the inner product of two feature histograms.
+// Dot returns the inner product of two feature histograms. Note the
+// summation follows map iteration order, which Go randomizes — kept
+// only as the differential-testing oracle for FeatureVector.Dot (the
+// fuzz test pins the two implementations against each other).
 func (f Features) Dot(g Features) float64 {
 	// Iterate the smaller map.
 	if len(g) < len(f) {
@@ -50,12 +77,12 @@ func (f Features) Dot(g Features) float64 {
 // L2 returns the Euclidean norm of the histogram.
 func (f Features) L2() float64 { return math.Sqrt(f.Dot(f)) }
 
-// Kernel embeds event graphs as feature histograms.
+// Kernel embeds event graphs as sorted sparse feature vectors.
 type Kernel interface {
 	// Name identifies the kernel in reports, e.g. "wlst-h2".
 	Name() string
 	// Features computes the graph's embedding.
-	Features(g *graph.Graph) Features
+	Features(g *graph.Graph) FeatureVector
 }
 
 // Value computes k(g1, g2) directly.

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -296,12 +297,12 @@ func TestFeaturesDeterministic(t *testing.T) {
 	g := meshGraph(t, 6, 3, 100, 11)
 	for _, k := range allKernels {
 		f1, f2 := k.Features(g), k.Features(g)
-		if len(f1) != len(f2) {
-			t.Fatalf("%s: nondeterministic feature count", k.Name())
+		if !reflect.DeepEqual(f1, f2) {
+			t.Fatalf("%s: nondeterministic features", k.Name())
 		}
-		for key, v := range f1 {
-			if f2[key] != v {
-				t.Fatalf("%s: feature %d differs", k.Name(), key)
+		for i := 1; i < len(f1.Keys); i++ {
+			if f1.Keys[i-1] >= f1.Keys[i] {
+				t.Fatalf("%s: keys not strictly ascending at %d", k.Name(), i)
 			}
 		}
 	}

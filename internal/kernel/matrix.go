@@ -24,7 +24,7 @@ type Matrix struct {
 // stages fan out across the machine's cores; every value is written to
 // a fixed index, so the matrix is identical to the sequential result.
 func NewMatrix(k Kernel, graphs []*graph.Graph) *Matrix {
-	return newMatrix(k, graphs, runtime.GOMAXPROCS(0))
+	return newMatrix(k, graphs, defaultWorkers(), nil)
 }
 
 // NewMatrixWorkers is NewMatrix with an explicit worker count. Tests
@@ -35,13 +35,28 @@ func NewMatrixWorkers(k Kernel, graphs []*graph.Graph, workers int) *Matrix {
 	if workers < 1 {
 		workers = 1
 	}
-	return newMatrix(k, graphs, workers)
+	return newMatrix(k, graphs, workers, nil)
 }
 
-// newMatrix is NewMatrix with an explicit worker count (tests sweep it
-// to pin down scheduling-independence).
-func newMatrix(k Kernel, graphs []*graph.Graph, workers int) *Matrix {
+// defaultWorkers is the worker count the parallel stages use when the
+// caller does not pin one.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// newMatrix is the shared implementation: explicit worker count,
+// optional embedding cache (nil computes every embedding).
+func newMatrix(k Kernel, graphs []*graph.Graph, workers int, cache *Cache) *Matrix {
 	n := len(graphs)
+	// Degenerate sizes, handled explicitly rather than by trusting the
+	// worker pool's edge behavior: no graphs means a 0x0 matrix (still
+	// carrying the kernel name), and one graph means a single
+	// self-similarity value with no pairwise stage at all.
+	switch n {
+	case 0:
+		return &Matrix{KernelName: k.Name(), K: [][]float64{}}
+	case 1:
+		f := cache.Features(k, graphs[0])
+		return &Matrix{KernelName: k.Name(), K: [][]float64{{f.Dot(f)}}}
+	}
 	if workers > n {
 		workers = n
 	}
@@ -49,10 +64,10 @@ func newMatrix(k Kernel, graphs []*graph.Graph, workers int) *Matrix {
 	for i := range m.K {
 		m.K[i] = make([]float64, n)
 	}
-	feats := make([]Features, n)
+	feats := make([]FeatureVector, n)
 	if workers < 2 {
 		for i, g := range graphs {
-			feats[i] = k.Features(g)
+			feats[i] = cache.Features(k, g)
 		}
 		fillRows(feats, m.K, 0, n)
 		return m
@@ -71,7 +86,7 @@ func newMatrix(k Kernel, graphs []*graph.Graph, workers int) *Matrix {
 				if i >= n {
 					return
 				}
-				feats[i] = k.Features(graphs[i])
+				feats[i] = cache.Features(k, graphs[i])
 			}
 		}()
 	}
@@ -100,7 +115,7 @@ func newMatrix(k Kernel, graphs []*graph.Graph, workers int) *Matrix {
 
 // fillRows computes rows [lo, hi) of the upper triangle (and mirrors
 // them) from the embedded features.
-func fillRows(feats []Features, K [][]float64, lo, hi int) {
+func fillRows(feats []FeatureVector, K [][]float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		for j := i; j < len(feats); j++ {
 			v := feats[i].Dot(feats[j])

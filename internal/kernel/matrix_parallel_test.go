@@ -16,9 +16,9 @@ func TestNewMatrixWorkerCountInvariant(t *testing.T) {
 		graphs[i] = meshGraph(t, 6, 3, 100, int64(i+1))
 	}
 	for _, k := range allKernels {
-		want := newMatrix(k, graphs, 1)
+		want := newMatrix(k, graphs, 1, nil)
 		for _, workers := range []int{2, 3, 8, 64} {
-			got := newMatrix(k, graphs, workers)
+			got := newMatrix(k, graphs, workers, nil)
 			if got.KernelName != want.KernelName || got.Len() != want.Len() {
 				t.Fatalf("%s workers=%d: shape mismatch", k.Name(), workers)
 			}

@@ -31,12 +31,12 @@ func (k ShortestPath) maxDepth() int {
 }
 
 // Features implements Kernel.
-func (k ShortestPath) Features(g *graph.Graph) Features {
+func (k ShortestPath) Features(g *graph.Graph) FeatureVector {
 	n := g.NumNodes()
-	feats := make(Features, 32)
 	if n == 0 {
-		return feats
+		return FeatureVector{}
 	}
+	b := newVecBuilder(4 * n)
 	maxDepth := k.maxDepth()
 	labels := make([]uint64, n)
 	for i := range g.Nodes {
@@ -72,8 +72,8 @@ func (k ShortestPath) Features(g *graph.Graph) Features {
 			h := hashWord(fnvOffset, labels[src])
 			h = hashWord(h, uint64(dist[v]))
 			h = hashWord(h, labels[v])
-			feats[h]++
+			b.add(h)
 		}
 	}
-	return feats
+	return b.finish()
 }

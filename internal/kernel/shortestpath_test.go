@@ -37,8 +37,8 @@ func TestShortestPathSeparatesRuns(t *testing.T) {
 func TestShortestPathEmptyGraph(t *testing.T) {
 	empty := &graph.Graph{}
 	empty.Seal()
-	if f := (ShortestPath{}).Features(empty); len(f) != 0 {
-		t.Errorf("empty graph produced %d features", len(f))
+	if f := (ShortestPath{}).Features(empty); f.Len() != 0 {
+		t.Errorf("empty graph produced %d features", f.Len())
 	}
 }
 
@@ -55,11 +55,11 @@ func TestShortestPathKnownChain(t *testing.T) {
 	}
 	g.Seal()
 	f := ShortestPath{}.Features(g)
-	if len(f) != 3 {
-		t.Fatalf("chain features = %d, want 3", len(f))
+	if f.Len() != 3 {
+		t.Fatalf("chain features = %d, want 3", f.Len())
 	}
 	total := 0.0
-	for _, v := range f {
+	for _, v := range f.Vals {
 		total += v
 	}
 	if total != 3 {
@@ -80,9 +80,9 @@ func TestShortestPathDepthCap(t *testing.T) {
 	g.Seal()
 	shallow := ShortestPath{MaxDepth: 2}.Features(g)
 	deep := ShortestPath{MaxDepth: 9}.Features(g)
-	countOf := func(f Features) float64 {
+	countOf := func(f FeatureVector) float64 {
 		total := 0.0
-		for _, v := range f {
+		for _, v := range f.Vals {
 			total += v
 		}
 		return total

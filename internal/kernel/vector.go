@@ -1,0 +1,139 @@
+package kernel
+
+import (
+	"math"
+	"sync"
+)
+
+// FeatureVector is the package's canonical sparse embedding: a feature
+// histogram stored as parallel slices sorted by feature key (CSR-style,
+// one "row"). Keys holds the hashed structural features in strictly
+// ascending order; Vals[i] is the multiplicity of Keys[i].
+//
+// Compared to the map-backed Features it replaces on the hot path, the
+// sorted layout makes Dot a branch-predictable two-pointer merge join
+// (no hashing, no random memory access) and — more importantly for this
+// repository — makes the float summation order a pure function of the
+// data. Map iteration order is randomized per process in Go, so the
+// map Dot summed products in a different order on every call; with
+// integer multiplicities the sums happen to be exact, but any future
+// weighted variant would have disagreed in the last ulp between two
+// identical runs. The merge join always sums in ascending key order.
+//
+// The zero value is the empty embedding. A FeatureVector returned by a
+// Kernel or a Cache may share its backing arrays with other callers —
+// treat it as immutable.
+type FeatureVector struct {
+	Keys []uint64
+	Vals []float64
+}
+
+// Len returns the number of distinct features.
+func (f FeatureVector) Len() int { return len(f.Keys) }
+
+// Dot returns the inner product of two sorted sparse vectors via a
+// two-pointer merge join. Products are accumulated in ascending key
+// order, so the result is bit-identical across calls, processes, and
+// construction orders of the operands.
+func (f FeatureVector) Dot(g FeatureVector) float64 {
+	fk, gk := f.Keys, g.Keys
+	i, j := 0, 0
+	sum := 0.0
+	for i < len(fk) && j < len(gk) {
+		a, b := fk[i], gk[j]
+		switch {
+		case a == b:
+			sum += f.Vals[i] * g.Vals[j]
+			i++
+			j++
+		case a < b:
+			i++
+		default:
+			j++
+		}
+	}
+	return sum
+}
+
+// L2 returns the Euclidean norm of the vector.
+func (f FeatureVector) L2() float64 { return math.Sqrt(f.Dot(f)) }
+
+// ToMap converts the vector to the map-backed compat representation.
+func (f FeatureVector) ToMap() Features {
+	m := make(Features, len(f.Keys))
+	for i, k := range f.Keys {
+		m[k] = f.Vals[i]
+	}
+	return m
+}
+
+// FromMap converts a map-backed histogram to the sorted representation.
+func FromMap(m Features) FeatureVector {
+	fv := FeatureVector{
+		Keys: make([]uint64, 0, len(m)),
+		Vals: make([]float64, len(m)),
+	}
+	for k := range m {
+		fv.Keys = append(fv.Keys, k)
+	}
+	sortU64(fv.Keys)
+	for i, k := range fv.Keys {
+		fv.Vals[i] = m[k]
+	}
+	return fv
+}
+
+// vecBuilder accumulates feature occurrences (one entry per observed
+// feature instance) and converts them to a FeatureVector by sorting and
+// run-length encoding. The occurrence buffer is pooled, so a kernel
+// embedding allocates only the two exact-size result slices.
+type vecBuilder struct {
+	occ []uint64
+}
+
+var vecBuilderPool = sync.Pool{New: func() any { return new(vecBuilder) }}
+
+// newVecBuilder fetches a pooled builder with room for sizeHint
+// occurrences.
+func newVecBuilder(sizeHint int) *vecBuilder {
+	b := vecBuilderPool.Get().(*vecBuilder)
+	if cap(b.occ) < sizeHint {
+		b.occ = make([]uint64, 0, sizeHint)
+	}
+	return b
+}
+
+// add records one occurrence of feature h.
+func (b *vecBuilder) add(h uint64) { b.occ = append(b.occ, h) }
+
+// finish sorts the occurrences, run-length encodes them into a fresh
+// FeatureVector, and returns the builder to the pool. The result is
+// independent of the order occurrences were added in — sorting
+// canonicalizes it — which is what makes every embedding, and every
+// dot product over embeddings, deterministic.
+func (b *vecBuilder) finish() FeatureVector {
+	occ := b.occ
+	sortU64(occ)
+	distinct := 0
+	for i := range occ {
+		if i == 0 || occ[i] != occ[i-1] {
+			distinct++
+		}
+	}
+	fv := FeatureVector{
+		Keys: make([]uint64, 0, distinct),
+		Vals: make([]float64, 0, distinct),
+	}
+	for i := 0; i < len(occ); {
+		j := i + 1
+		for j < len(occ) && occ[j] == occ[i] {
+			j++
+		}
+		fv.Keys = append(fv.Keys, occ[i])
+		fv.Vals = append(fv.Vals, float64(j-i))
+		i = j
+	}
+	b.occ = occ[:0]
+	vecBuilderPool.Put(b)
+	return fv
+}

@@ -1,0 +1,146 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// buildShuffled constructs a FeatureVector from the given occurrence
+// stream added in a permuted order.
+func buildShuffled(occ []uint64, rng *rand.Rand) FeatureVector {
+	perm := rng.Perm(len(occ))
+	b := newVecBuilder(len(occ))
+	for _, i := range perm {
+		b.add(occ[i])
+	}
+	return b.finish()
+}
+
+// TestDotBitIdenticalAcrossRebuilds is the regression test for the
+// latent non-determinism of the map-based Features.Dot: map iteration
+// order made the float summation order vary run to run. The sorted
+// representation must produce bit-identical vectors — and bit-identical
+// Dot results — across 100 shuffled rebuilds of the same histogram.
+func TestDotBitIdenticalAcrossRebuilds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// An occurrence stream with repeats (multiplicities > 1) and wide
+	// key spread.
+	var occ []uint64
+	for i := 0; i < 400; i++ {
+		occ = append(occ, splitmix64(uint64(rng.Intn(120))))
+	}
+	var occ2 []uint64
+	for i := 0; i < 300; i++ {
+		occ2 = append(occ2, splitmix64(uint64(40+rng.Intn(120))))
+	}
+	ref := buildShuffled(occ, rng)
+	ref2 := buildShuffled(occ2, rng)
+	wantSelf := math.Float64bits(ref.Dot(ref))
+	wantCross := math.Float64bits(ref.Dot(ref2))
+	for i := 0; i < 100; i++ {
+		a := buildShuffled(occ, rng)
+		b := buildShuffled(occ2, rng)
+		if !reflect.DeepEqual(a, ref) || !reflect.DeepEqual(b, ref2) {
+			t.Fatalf("rebuild %d: shuffled construction changed the vector", i)
+		}
+		if got := math.Float64bits(a.Dot(a)); got != wantSelf {
+			t.Fatalf("rebuild %d: self dot bits %x, want %x", i, got, wantSelf)
+		}
+		if got := math.Float64bits(a.Dot(b)); got != wantCross {
+			t.Fatalf("rebuild %d: cross dot bits %x, want %x", i, got, wantCross)
+		}
+		if a.Dot(b) != b.Dot(a) {
+			t.Fatalf("rebuild %d: merge-join dot is not symmetric", i)
+		}
+	}
+}
+
+func TestFromMapToMapRoundTrip(t *testing.T) {
+	m := Features{7: 2, 1: 5, 99: 1, 3: 0.5}
+	fv := FromMap(m)
+	for i := 1; i < len(fv.Keys); i++ {
+		if fv.Keys[i-1] >= fv.Keys[i] {
+			t.Fatalf("FromMap keys not strictly ascending: %v", fv.Keys)
+		}
+	}
+	if !reflect.DeepEqual(fv.ToMap(), m) {
+		t.Fatalf("round trip lost data: %v -> %v", m, fv.ToMap())
+	}
+	if fv.Len() != len(m) {
+		t.Fatalf("Len = %d, want %d", fv.Len(), len(m))
+	}
+	if got, want := fv.Dot(fv), m.Dot(m); got != want {
+		t.Fatalf("Dot = %v, want %v", got, want)
+	}
+}
+
+func TestFeatureVectorDotBasics(t *testing.T) {
+	a := FromMap(Features{1: 2, 5: 3, 9: 1})
+	b := FromMap(Features{5: 4, 9: 2, 12: 7})
+	if got := a.Dot(b); got != 3*4+1*2 {
+		t.Fatalf("Dot = %v, want 14", got)
+	}
+	empty := FeatureVector{}
+	if got := a.Dot(empty); got != 0 {
+		t.Fatalf("dot with empty = %v", got)
+	}
+	if got := empty.Dot(empty); got != 0 {
+		t.Fatalf("empty self dot = %v", got)
+	}
+	disjoint := FromMap(Features{2: 1, 6: 1})
+	if got := a.Dot(disjoint); got != 0 {
+		t.Fatalf("disjoint dot = %v", got)
+	}
+	if got, want := a.L2(), math.Sqrt(4+9+1); got != want {
+		t.Fatalf("L2 = %v, want %v", got, want)
+	}
+}
+
+// refDotSorted is the order-pinned oracle: products accumulated in
+// ascending key order, exactly the order the merge join uses.
+func refDotSorted(a, b Features) float64 {
+	av := FromMap(a)
+	sum := 0.0
+	for i, k := range av.Keys {
+		if w, ok := b[k]; ok {
+			sum += av.Vals[i] * w
+		}
+	}
+	return sum
+}
+
+// FuzzDotEquivalence differentially pins the merge-join Dot against
+// the map implementation on random sparse inputs. Values are small
+// integers (as in real histograms), so every partial sum is exact and
+// the map's randomized summation order cannot change the result —
+// making exact equality the right oracle for both comparisons.
+func FuzzDotEquivalence(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{3, 4, 9, 9})
+	f.Add([]byte{}, []byte{0, 0, 0})
+	f.Add([]byte{255, 254, 253}, []byte{255, 1})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		parse := func(raw []byte) Features {
+			m := make(Features, len(raw)/2)
+			for i := 0; i+1 < len(raw); i += 2 {
+				// Mix the key byte so keys spread over the u64 space;
+				// value in 1..8 keeps multiplicities realistic.
+				m[splitmix64(uint64(raw[i]))] += float64(raw[i+1]%8 + 1)
+			}
+			return m
+		}
+		ma, mb := parse(rawA), parse(rawB)
+		va, vb := FromMap(ma), FromMap(mb)
+		got := va.Dot(vb)
+		if want := ma.Dot(mb); got != want {
+			t.Fatalf("merge-join Dot = %v, map Dot = %v", got, want)
+		}
+		if want := refDotSorted(ma, mb); got != want {
+			t.Fatalf("merge-join Dot = %v, sorted reference = %v", got, want)
+		}
+		if back := vb.Dot(va); back != got {
+			t.Fatalf("asymmetric: %v vs %v", got, back)
+		}
+	})
+}

@@ -70,20 +70,20 @@ const inOutSeparator = 0x9ae16a3b2f90404f
 // Features implements Kernel. It panics on a negative depth: NewWL
 // already rejects one, but a WL{H: -1} literal used to slip through and
 // silently behave like H=0, which misreports what was measured.
-func (w WL) Features(g *graph.Graph) Features {
+func (w WL) Features(g *graph.Graph) FeatureVector {
 	if w.H < 0 {
 		panic(fmt.Sprintf("kernel: WL.Features called with negative depth H=%d (construct with NewWL, or set H >= 0)", w.H))
 	}
 	n := g.NumNodes()
-	feats := make(Features, n/2+8)
 	if n == 0 {
-		return feats
+		return FeatureVector{}
 	}
 
 	sc := wlScratchPool.Get().(*wlScratch)
 	labels := grow(sc.labels, n)
 	next := grow(sc.next, n)
 	neigh := sc.neigh[:0]
+	b := newVecBuilder(n * (w.H + 1))
 
 	for i := range g.Nodes {
 		labels[i] = labelInterner.Hash(g.Nodes[i].Label)
@@ -98,7 +98,7 @@ func (w WL) Features(g *graph.Graph) Features {
 	// is folded once instead of once per node.
 	depthPrefix := hashWord(fnvOffset, 0)
 	for i := range labels {
-		feats[hashWord(depthPrefix, labels[i])]++
+		b.add(hashWord(depthPrefix, labels[i]))
 	}
 
 	for depth := 1; depth <= w.H; depth++ {
@@ -128,14 +128,14 @@ func (w WL) Features(g *graph.Graph) Features {
 				h = foldSorted(h, neigh)
 			}
 			next[i] = h
-			feats[hashWord(depthPrefix, h)]++
+			b.add(hashWord(depthPrefix, h))
 		}
 		labels, next = next, labels
 	}
 
 	sc.labels, sc.next, sc.neigh = labels, next, neigh
 	wlScratchPool.Put(sc)
-	return feats
+	return b.finish()
 }
 
 // contribution hashes one neighbor's (edge kind, current label).

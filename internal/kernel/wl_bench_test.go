@@ -21,7 +21,7 @@ func BenchmarkWLFeaturesH2Rank32(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f := w.Features(g)
-		if len(f) == 0 {
+		if f.Len() == 0 {
 			b.Fatal("empty features")
 		}
 	}

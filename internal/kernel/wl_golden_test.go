@@ -104,9 +104,12 @@ func TestWLGoldenFeatures(t *testing.T) {
 				w := WL{H: h, Directed: directed}
 				got := w.Features(g)
 				want := referenceWLFeatures(w, g)
-				if !reflect.DeepEqual(got, want) {
-					t.Fatalf("%s on %d-node graph: interned features diverge from reference (%d vs %d entries)",
-						w.Name(), g.NumNodes(), len(got), len(want))
+				if !reflect.DeepEqual(got.ToMap(), want) {
+					t.Fatalf("%s on %d-node graph: sorted-vector features diverge from reference (%d vs %d entries)",
+						w.Name(), g.NumNodes(), got.Len(), len(want))
+				}
+				if !reflect.DeepEqual(got, FromMap(want)) {
+					t.Fatalf("%s on %d-node graph: vector layout diverges from FromMap(reference)", w.Name(), g.NumNodes())
 				}
 			}
 		}
@@ -189,8 +192,8 @@ func TestWLSeeded(t *testing.T) {
 	}
 	// Histogram mass is seed-invariant: mixing relabels features but
 	// preserves multiplicities.
-	mass := func(f Features) (m float64) {
-		for _, v := range f {
+	mass := func(f FeatureVector) (m float64) {
+		for _, v := range f.Vals {
 			m += v
 		}
 		return

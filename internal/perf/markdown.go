@@ -1,0 +1,71 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Markdown rendering for CI step summaries: GitHub Actions renders
+// anything appended to $GITHUB_STEP_SUMMARY as GitHub-flavored
+// markdown, so the bench job can surface per-scenario numbers — and,
+// on pull requests, the before/after delta of every scenario — on the
+// run page itself instead of burying them in the log. `anacin bench
+// -summary <path>` appends these tables (see cmd/anacin).
+
+// WriteMarkdownReport appends a markdown table of the report's
+// per-scenario statistics.
+func WriteMarkdownReport(w io.Writer, r *Report) error {
+	if _, err := fmt.Fprintf(w, "### Benchmark results (%d reps, %d warmup, GOMAXPROCS %d)\n\n",
+		r.Reps, r.Warmup, r.GOMAXPROCS); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "| Scenario | Median | P95 | Min | Allocs/op |\n|---|---:|---:|---:|---:|\n"); err != nil {
+		return err
+	}
+	for _, res := range r.Scenarios {
+		if _, err := fmt.Fprintf(w, "| %s | %s | %s | %s | %d |\n",
+			res.Name, time.Duration(res.MedianNs), time.Duration(res.P95Ns),
+			time.Duration(res.MinNs), res.AllocsPerOp); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteMarkdownDeltas appends a markdown before/after table of the
+// comparison, one row per scenario, with the relative delta of the
+// gated statistic and a pass/fail marker against the gate threshold.
+// Speedups show as negative deltas — the table makes improvements as
+// visible as regressions, where the pass/fail gate alone reports only
+// the latter.
+func WriteMarkdownDeltas(w io.Writer, deltas []Delta, stat Stat, threshold float64) error {
+	if _, err := fmt.Fprintf(w, "### Benchmark comparison (gate: +%.0f%% %s)\n\n", threshold*100, stat); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "| Scenario | Baseline | Current | Delta | Status |\n|---|---:|---:|---:|:---:|\n"); err != nil {
+		return err
+	}
+	for _, d := range deltas {
+		delta := "n/a"
+		if d.Ratio != 0 {
+			delta = fmt.Sprintf("%+.1f%%", (d.Ratio-1)*100)
+		}
+		status := "✅"
+		switch {
+		case d.Regressed:
+			status = "❌ regressed"
+		case d.Note != "":
+			status = "➖ " + d.Note
+		case d.Ratio != 0 && d.Ratio < 1:
+			status = "✅ faster"
+		}
+		if _, err := fmt.Fprintf(w, "| %s | %s | %s | %s | %s |\n",
+			d.Name, time.Duration(d.BaselineNs), time.Duration(d.CurrentNs), delta, status); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -178,6 +178,50 @@ func TestCompareByMinStat(t *testing.T) {
 	}
 }
 
+// TestMarkdownWriters pins the step-summary tables: a results table
+// row per scenario, and a delta table that labels regressions,
+// improvements, and ungated (noted) scenarios distinctly.
+func TestMarkdownWriters(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMarkdownReport(&buf, goldenReport()); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, want := range []string{
+		"### Benchmark results (10 reps, 2 warmup, GOMAXPROCS 8)",
+		"| Scenario | Median | P95 | Min | Allocs/op |",
+		"| wl-features/h2/r32 | 120µs | 150µs | 110µs | 4 |",
+		"| gram/w4 | 900µs | 1.1ms | 850µs | 200 |",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("results table missing %q:\n%s", want, got)
+		}
+	}
+
+	deltas := []Delta{
+		{Name: "worse", BaselineNs: 100, CurrentNs: 200, Ratio: 2, Regressed: true},
+		{Name: "better", BaselineNs: 200, CurrentNs: 100, Ratio: 0.5},
+		{Name: "flat", BaselineNs: 100, CurrentNs: 100, Ratio: 1},
+		{Name: "new", CurrentNs: 50, Note: "new scenario (not gated)"},
+	}
+	buf.Reset()
+	if err := WriteMarkdownDeltas(&buf, deltas, StatMin, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	got = buf.String()
+	for _, want := range []string{
+		"### Benchmark comparison (gate: +25% min)",
+		"| worse | 100ns | 200ns | +100.0% | ❌ regressed |",
+		"| better | 200ns | 100ns | -50.0% | ✅ faster |",
+		"| flat | 100ns | 100ns | +0.0% | ✅ |",
+		"| new | 0s | 50ns | n/a | ➖ new scenario (not gated) |",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("delta table missing %q:\n%s", want, got)
+		}
+	}
+}
+
 func TestParseStat(t *testing.T) {
 	for _, ok := range []string{"median", "min"} {
 		if s, err := ParseStat(ok); err != nil || string(s) != ok {
