@@ -13,7 +13,8 @@ import (
 // cmdBench runs the named perf scenarios and writes a schema-versioned
 // BENCH.json; with -compare it also diffs against a baseline report
 // and fails (non-zero exit) on any regression of the gated statistic
-// (-stat, default median) beyond the threshold. CI runs both modes:
+// (-stat, default median) — or of allocs/op — beyond the threshold.
+// CI runs both modes:
 // every push refreshes the artifact,
 // every PR is gated against the main-branch baseline. See
 // docs/benchmarking.md.
@@ -24,7 +25,7 @@ func cmdBench(args []string) error {
 	reps := fs.Int("reps", 10, "timed repetitions per scenario")
 	warmup := fs.Int("warmup", 2, "untimed warmup repetitions per scenario")
 	compare := fs.String("compare", "", "baseline BENCH.json to diff against (enables the regression gate)")
-	threshold := fs.Float64("threshold", 0.25, "allowed relative slowdown of the gated statistic vs the baseline (0.25 = 25%)")
+	threshold := fs.Float64("threshold", 0.25, "allowed relative increase of the gated statistic and of allocs/op vs the baseline (0.25 = 25%)")
 	statName := fs.String("stat", "median", `statistic the regression gate compares: "median" or "min" (min is robust to load spikes on shared CI runners)`)
 	summary := fs.String("summary", "", "append a markdown results table (and, with -compare, a before/after delta table) to this file — CI passes $GITHUB_STEP_SUMMARY")
 	list := fs.Bool("list", false, "list scenario names and exit")
@@ -79,7 +80,7 @@ func cmdBench(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("comparison against %s (gate: +%.0f%% %s):\n", *compare, *threshold*100, stat)
+	fmt.Printf("comparison against %s (gate: +%.0f%% %s, +%.0f%% allocs/op):\n", *compare, *threshold*100, stat, *threshold*100)
 	if err := perf.WriteDeltas(os.Stdout, deltas); err != nil {
 		return err
 	}

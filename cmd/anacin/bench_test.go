@@ -11,7 +11,8 @@ import (
 
 func TestCmdBenchList(t *testing.T) {
 	out := captureStdout(t, func() error { return cmdBench([]string{"-list"}) })
-	for _, want := range []string{"wl-features/h2/r32", "dot/wl-h2", "gram/w1", "gram/w8",
+	for _, want := range []string{"sim/32rank-stacks", "sim/32rank-nostacks", "trace-to-graph/32rank",
+		"wl-features/h2/r32", "dot/wl-h2", "gram/w1", "gram/w8",
 		"slice-profile/32rank", "figure/fig2"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("bench -list output missing %q:\n%s", want, out)
@@ -22,7 +23,8 @@ func TestCmdBenchList(t *testing.T) {
 // TestCmdBenchWritesReportAndGates runs the quick scenario set, checks
 // the written BENCH.json is loadable and complete, then exercises the
 // regression gate in both directions: identical baseline → pass,
-// injected 2x slowdown (baseline medians halved) → non-zero exit.
+// injected 2x slowdown (baseline medians halved) → non-zero exit —
+// plus the allocs/op gate via an alloc-only injection.
 func TestCmdBenchWritesReportAndGates(t *testing.T) {
 	dir := t.TempDir()
 	benchPath := filepath.Join(dir, "BENCH.json")
@@ -36,8 +38,8 @@ func TestCmdBenchWritesReportAndGates(t *testing.T) {
 	if err != nil {
 		t.Fatalf("written BENCH.json is invalid: %v", err)
 	}
-	if len(report.Scenarios) != 5 {
-		t.Fatalf("quick report has %d scenarios, want 5", len(report.Scenarios))
+	if len(report.Scenarios) != 8 {
+		t.Fatalf("quick report has %d scenarios, want 8", len(report.Scenarios))
 	}
 	for _, res := range report.Scenarios {
 		if res.MedianNs <= 0 {
@@ -96,6 +98,33 @@ func TestCmdBenchWritesReportAndGates(t *testing.T) {
 		"-o", filepath.Join(dir, "gated-min.json"), "-compare", slowMinPath, "-stat", "min"})
 	if err == nil || !strings.Contains(err.Error(), "regressed") {
 		t.Fatalf("injected 2x min slowdown did not trip the -stat min gate: err=%v", err)
+	}
+
+	// Alloc-only injection: a baseline with 1 alloc/op but 1000x the
+	// measured time can never trip the timed gate, so the failure below
+	// can only come from the allocs/op gate.
+	var lean perf.Report
+	lean.Schema = report.Schema
+	for _, res := range report.Scenarios {
+		if res.Name != "sim/32rank-stacks" {
+			continue
+		}
+		res.MedianNs *= 1000
+		res.MinNs *= 1000
+		res.AllocsPerOp = 1
+		lean.Scenarios = append(lean.Scenarios, res)
+	}
+	if len(lean.Scenarios) != 1 {
+		t.Fatal("quick report lacks sim/32rank-stacks")
+	}
+	leanPath := filepath.Join(dir, "baseline-lean.json")
+	if err := lean.WriteFile(leanPath); err != nil {
+		t.Fatal(err)
+	}
+	err = cmdBench([]string{"-scenarios", "sim/32rank-stacks", "-reps", "2", "-warmup", "0",
+		"-o", filepath.Join(dir, "gated-allocs.json"), "-compare", leanPath})
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("injected alloc regression did not trip the gate: err=%v", err)
 	}
 }
 

@@ -110,9 +110,32 @@ func (g *Graph) Ranks() int {
 
 // Seal populates the adjacency lists from Edges. It must be called after
 // all nodes and edges are added and before neighbor queries.
+//
+// The per-node lists are carved out of two shared backing arrays after a
+// degree-counting pass: two allocations regardless of node count,
+// instead of the append-doubling churn of growing every list
+// independently. Each list is sliced with its capacity clamped to its
+// degree, so code that appends to an adjacency list after Seal
+// reallocates instead of clobbering its neighbor.
 func (g *Graph) Seal() {
-	g.Out = make([][]int32, len(g.Nodes))
-	g.In = make([][]int32, len(g.Nodes))
+	n := len(g.Nodes)
+	g.Out = make([][]int32, n)
+	g.In = make([][]int32, n)
+	outDeg := make([]int32, n)
+	inDeg := make([]int32, n)
+	for i := range g.Edges {
+		outDeg[g.Edges[i].From]++
+		inDeg[g.Edges[i].To]++
+	}
+	outBack := make([]int32, len(g.Edges))
+	inBack := make([]int32, len(g.Edges))
+	var op, ip int32
+	for i := 0; i < n; i++ {
+		g.Out[i] = outBack[op : op : op+outDeg[i]]
+		op += outDeg[i]
+		g.In[i] = inBack[ip : ip : ip+inDeg[i]]
+		ip += inDeg[i]
+	}
 	for i := range g.Edges {
 		e := &g.Edges[i]
 		g.Out[e.From] = append(g.Out[e.From], int32(i))
@@ -192,8 +215,31 @@ func FromTrace(tr *trace.Trace) (*Graph, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, fmt.Errorf("graph: source trace invalid: %w", err)
 	}
-	g := &Graph{Meta: tr.Meta}
-	sendNode := make(map[int64]NodeID)
+	// Counting pass: exact node and edge capacities cost one cheap sweep
+	// and spare the build loops every reallocation.
+	numProg, numSends, numRecvs := 0, 0, 0
+	for _, evs := range tr.Events {
+		if len(evs) > 0 {
+			numProg += len(evs) - 1
+		}
+		for i := range evs {
+			e := &evs[i]
+			if e.MsgID == trace.NoMsg {
+				continue
+			}
+			if e.Kind.IsSend() {
+				numSends++
+			} else if e.Kind.IsReceive() {
+				numRecvs++
+			}
+		}
+	}
+	g := &Graph{
+		Meta:  tr.Meta,
+		Nodes: make([]Node, 0, tr.NumEvents()),
+		Edges: make([]Edge, 0, numProg+numRecvs),
+	}
+	sendNode := make(map[int64]NodeID, numSends)
 	for _, evs := range tr.Events {
 		for i := range evs {
 			e := &evs[i]

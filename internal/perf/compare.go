@@ -34,6 +34,16 @@ func (s Stat) of(r Result) int64 {
 	return r.MedianNs
 }
 
+// allocSlack is the absolute allocs/op increase tolerated before the
+// alloc gate can trip. Timing noise motivates a relative threshold, but
+// allocation counts are near-deterministic and tiny for the leanest
+// scenarios — a lazily-initialized sync.Pool shard or a one-off map
+// growth can add a handful of allocations and would exceed any purely
+// relative threshold on a 10-allocs/op scenario. Requiring the increase
+// to clear both the relative threshold and this absolute slack keeps the
+// gate meaningful on big counts and non-flaky on small ones.
+const allocSlack = 16
+
 // Delta is the comparison of one scenario across two reports.
 type Delta struct {
 	Name string
@@ -43,11 +53,21 @@ type Delta struct {
 	CurrentNs  int64
 	// Ratio is CurrentNs/BaselineNs (0 when it cannot be computed).
 	Ratio float64
-	// Regressed marks a gate failure: the current value of the gated
-	// statistic exceeds the baseline by strictly more than the
-	// threshold, or the scenario vanished from the current report (a
-	// disappearing scenario must not be able to dodge the gate).
+	// BaselineAllocs and CurrentAllocs hold the scenarios' allocs/op.
+	BaselineAllocs int64
+	CurrentAllocs  int64
+	// AllocRatio is CurrentAllocs/BaselineAllocs (0 when it cannot be
+	// computed).
+	AllocRatio float64
+	// Regressed marks a gate failure on the timed statistic: the current
+	// value exceeds the baseline by strictly more than the threshold, or
+	// the scenario vanished from the current report (a disappearing
+	// scenario must not be able to dodge the gate).
 	Regressed bool
+	// AllocRegressed marks a gate failure on allocs/op: the current
+	// count exceeds the baseline by more than the relative threshold AND
+	// by more than allocSlack absolute allocations.
+	AllocRegressed bool
 	// Note explains non-numeric outcomes: "missing in current report",
 	// "no baseline (new scenario)", "zero baseline median".
 	Note string
@@ -65,6 +85,12 @@ func Compare(baseline, current *Report, threshold float64) ([]Delta, error) {
 // present in current are reported but never regress — adding a scenario
 // must not fail the gate; scenarios only present in baseline do regress.
 // A zero baseline value cannot anchor a ratio and never regresses.
+//
+// The same threshold also gates allocs/op: a scenario whose allocation
+// count grows by more than the threshold and by more than allocSlack
+// absolute allocations is flagged AllocRegressed. Allocation regressions
+// are invisible to wall-clock statistics at small scale but compound
+// into GC pressure at large scale, so the gate catches them directly.
 func CompareBy(baseline, current *Report, threshold float64, stat Stat) ([]Delta, error) {
 	if threshold < 0 {
 		return nil, fmt.Errorf("perf: negative regression threshold %v", threshold)
@@ -84,7 +110,7 @@ func CompareBy(baseline, current *Report, threshold float64, stat Stat) ([]Delta
 	seen := make(map[string]bool, len(baseline.Scenarios))
 	for _, base := range baseline.Scenarios {
 		seen[base.Name] = true
-		d := Delta{Name: base.Name, BaselineNs: stat.of(base)}
+		d := Delta{Name: base.Name, BaselineNs: stat.of(base), BaselineAllocs: base.AllocsPerOp}
 		now, ok := cur[base.Name]
 		switch {
 		case !ok:
@@ -98,23 +124,34 @@ func CompareBy(baseline, current *Report, threshold float64, stat Stat) ([]Delta
 			d.Ratio = float64(d.CurrentNs) / float64(d.BaselineNs)
 			d.Regressed = d.Ratio > 1+threshold
 		}
+		if ok {
+			d.CurrentAllocs = now.AllocsPerOp
+			if d.BaselineAllocs > 0 {
+				d.AllocRatio = float64(d.CurrentAllocs) / float64(d.BaselineAllocs)
+			}
+			grown := d.CurrentAllocs - d.BaselineAllocs
+			d.AllocRegressed = grown > allocSlack &&
+				float64(d.CurrentAllocs) > float64(d.BaselineAllocs)*(1+threshold)
+		}
 		deltas = append(deltas, d)
 	}
 	for _, now := range current.Scenarios {
 		if !seen[now.Name] {
 			deltas = append(deltas, Delta{
-				Name: now.Name, CurrentNs: stat.of(now), Note: "no baseline (new scenario)",
+				Name: now.Name, CurrentNs: stat.of(now), CurrentAllocs: now.AllocsPerOp,
+				Note: "no baseline (new scenario)",
 			})
 		}
 	}
 	return deltas, nil
 }
 
-// Regressions filters the deltas that fail the gate.
+// Regressions filters the deltas that fail the gate, on either the
+// timed statistic or allocs/op.
 func Regressions(deltas []Delta) []Delta {
 	var out []Delta
 	for _, d := range deltas {
-		if d.Regressed {
+		if d.Regressed || d.AllocRegressed {
 			out = append(out, d)
 		}
 	}
@@ -125,13 +162,22 @@ func Regressions(deltas []Delta) []Delta {
 func WriteDeltas(w io.Writer, deltas []Delta) error {
 	for _, d := range deltas {
 		status := "ok"
-		if d.Regressed {
+		switch {
+		case d.Regressed && d.AllocRegressed:
+			status = "REGRESSED time+allocs"
+		case d.Regressed:
 			status = "REGRESSED"
+		case d.AllocRegressed:
+			status = "REGRESSED allocs"
 		}
 		line := fmt.Sprintf("%-24s %12s -> %12s", d.Name,
 			time.Duration(d.BaselineNs), time.Duration(d.CurrentNs))
 		if d.Ratio != 0 {
 			line += fmt.Sprintf("  %+6.1f%%", (d.Ratio-1)*100)
+		}
+		line += fmt.Sprintf("  allocs %d -> %d", d.BaselineAllocs, d.CurrentAllocs)
+		if d.AllocRatio != 0 {
+			line += fmt.Sprintf(" (%+.1f%%)", (d.AllocRatio-1)*100)
 		}
 		if d.Note != "" {
 			line += "  (" + d.Note + ")"

@@ -36,7 +36,8 @@ func WriteMarkdownReport(w io.Writer, r *Report) error {
 
 // WriteMarkdownDeltas appends a markdown before/after table of the
 // comparison, one row per scenario, with the relative delta of the
-// gated statistic and a pass/fail marker against the gate threshold.
+// gated statistic, the allocs/op movement, and a pass/fail marker
+// against the gate threshold.
 // Speedups show as negative deltas — the table makes improvements as
 // visible as regressions, where the pass/fail gate alone reports only
 // the latter.
@@ -44,7 +45,7 @@ func WriteMarkdownDeltas(w io.Writer, deltas []Delta, stat Stat, threshold float
 	if _, err := fmt.Fprintf(w, "### Benchmark comparison (gate: +%.0f%% %s)\n\n", threshold*100, stat); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "| Scenario | Baseline | Current | Delta | Status |\n|---|---:|---:|---:|:---:|\n"); err != nil {
+	if _, err := fmt.Fprintf(w, "| Scenario | Baseline | Current | Delta | Allocs/op | Status |\n|---|---:|---:|---:|---:|:---:|\n"); err != nil {
 		return err
 	}
 	for _, d := range deltas {
@@ -52,17 +53,22 @@ func WriteMarkdownDeltas(w io.Writer, deltas []Delta, stat Stat, threshold float
 		if d.Ratio != 0 {
 			delta = fmt.Sprintf("%+.1f%%", (d.Ratio-1)*100)
 		}
+		allocs := fmt.Sprintf("%d → %d", d.BaselineAllocs, d.CurrentAllocs)
 		status := "✅"
 		switch {
+		case d.Regressed && d.AllocRegressed:
+			status = "❌ regressed (time, allocs)"
 		case d.Regressed:
 			status = "❌ regressed"
+		case d.AllocRegressed:
+			status = "❌ regressed (allocs)"
 		case d.Note != "":
 			status = "➖ " + d.Note
 		case d.Ratio != 0 && d.Ratio < 1:
 			status = "✅ faster"
 		}
-		if _, err := fmt.Fprintf(w, "| %s | %s | %s | %s | %s |\n",
-			d.Name, time.Duration(d.BaselineNs), time.Duration(d.CurrentNs), delta, status); err != nil {
+		if _, err := fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %s |\n",
+			d.Name, time.Duration(d.BaselineNs), time.Duration(d.CurrentNs), delta, allocs, status); err != nil {
 			return err
 		}
 	}

@@ -178,6 +178,66 @@ func TestCompareByMinStat(t *testing.T) {
 	}
 }
 
+// TestCompareAllocGate pins the allocs/op gate: a regression must clear
+// both the relative threshold and the absolute allocSlack, so leaks on
+// big counts trip the gate while a few stray allocations on tiny counts
+// do not.
+func TestCompareAllocGate(t *testing.T) {
+	baseline := &Report{Schema: Schema, Scenarios: []Result{
+		{Name: "big-leak", MedianNs: 100, AllocsPerOp: 1000},
+		{Name: "big-at-threshold", MedianNs: 100, AllocsPerOp: 1000},
+		{Name: "small-jitter", MedianNs: 100, AllocsPerOp: 4},
+		{Name: "small-leak", MedianNs: 100, AllocsPerOp: 4},
+		{Name: "zero-alloc-grown", MedianNs: 100, AllocsPerOp: 0},
+		{Name: "improved", MedianNs: 100, AllocsPerOp: 1000},
+	}}
+	current := &Report{Schema: Schema, Scenarios: []Result{
+		{Name: "big-leak", MedianNs: 100, AllocsPerOp: 1300},         // +30%: fails
+		{Name: "big-at-threshold", MedianNs: 100, AllocsPerOp: 1250}, // exactly +25%: passes
+		{Name: "small-jitter", MedianNs: 100, AllocsPerOp: 20},       // 5x but +16 ≤ slack: passes
+		{Name: "small-leak", MedianNs: 100, AllocsPerOp: 21},         // 5.25x and +17 > slack: fails
+		{Name: "zero-alloc-grown", MedianNs: 100, AllocsPerOp: 100},  // 0 → 100: fails
+		{Name: "improved", MedianNs: 100, AllocsPerOp: 100},
+	}}
+	deltas, err := Compare(baseline, current, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]bool{
+		"big-leak":         true,
+		"big-at-threshold": false,
+		"small-jitter":     false,
+		"small-leak":       true,
+		"zero-alloc-grown": true,
+		"improved":         false,
+	} {
+		d := deltaByName(t, deltas, name)
+		if d.AllocRegressed != want {
+			t.Errorf("%s: AllocRegressed = %v, want %v (%d -> %d allocs)",
+				name, d.AllocRegressed, want, d.BaselineAllocs, d.CurrentAllocs)
+		}
+		if d.Regressed {
+			t.Errorf("%s: timed gate tripped, but only allocs moved: %+v", name, d)
+		}
+	}
+	if d := deltaByName(t, deltas, "improved"); d.AllocRatio != 0.1 {
+		t.Errorf("improved: AllocRatio = %v, want 0.1", d.AllocRatio)
+	}
+	if got := Regressions(deltas); len(got) != 3 {
+		t.Errorf("Regressions returned %d deltas, want 3 alloc regressions", len(got))
+	}
+	var buf bytes.Buffer
+	if err := WriteDeltas(&buf, deltas); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "REGRESSED allocs") {
+		t.Errorf("delta table does not flag alloc regressions:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "allocs 1000 -> 1300 (+30.0%)") {
+		t.Errorf("delta table does not show alloc movement:\n%s", buf.String())
+	}
+}
+
 // TestMarkdownWriters pins the step-summary tables: a results table
 // row per scenario, and a delta table that labels regressions,
 // improvements, and ungated (noted) scenarios distinctly.
@@ -202,6 +262,8 @@ func TestMarkdownWriters(t *testing.T) {
 		{Name: "worse", BaselineNs: 100, CurrentNs: 200, Ratio: 2, Regressed: true},
 		{Name: "better", BaselineNs: 200, CurrentNs: 100, Ratio: 0.5},
 		{Name: "flat", BaselineNs: 100, CurrentNs: 100, Ratio: 1},
+		{Name: "leaky", BaselineNs: 100, CurrentNs: 100, Ratio: 1,
+			BaselineAllocs: 10, CurrentAllocs: 500, AllocRatio: 50, AllocRegressed: true},
 		{Name: "new", CurrentNs: 50, Note: "new scenario (not gated)"},
 	}
 	buf.Reset()
@@ -211,10 +273,11 @@ func TestMarkdownWriters(t *testing.T) {
 	got = buf.String()
 	for _, want := range []string{
 		"### Benchmark comparison (gate: +25% min)",
-		"| worse | 100ns | 200ns | +100.0% | ❌ regressed |",
-		"| better | 200ns | 100ns | -50.0% | ✅ faster |",
-		"| flat | 100ns | 100ns | +0.0% | ✅ |",
-		"| new | 0s | 50ns | n/a | ➖ new scenario (not gated) |",
+		"| worse | 100ns | 200ns | +100.0% | 0 → 0 | ❌ regressed |",
+		"| better | 200ns | 100ns | -50.0% | 0 → 0 | ✅ faster |",
+		"| flat | 100ns | 100ns | +0.0% | 0 → 0 | ✅ |",
+		"| leaky | 100ns | 100ns | +0.0% | 10 → 500 | ❌ regressed (allocs) |",
+		"| new | 0s | 50ns | n/a | 0 → 0 | ➖ new scenario (not gated) |",
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("delta table missing %q:\n%s", want, got)

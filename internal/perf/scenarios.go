@@ -10,11 +10,21 @@ import (
 	"github.com/anacin-go/anacinx/internal/experiments"
 	"github.com/anacin-go/anacinx/internal/graph"
 	"github.com/anacin-go/anacinx/internal/kernel"
+	"github.com/anacin-go/anacinx/internal/patterns"
+	"github.com/anacin-go/anacinx/internal/sim"
+	"github.com/anacin-go/anacinx/internal/trace"
 )
 
-// The scenario set covers the three layers of the hot path behind the
-// paper's figures:
+// The scenario set covers every layer of the hot path behind the
+// paper's figures, front half (trace production) to back half (kernel
+// analysis):
 //
+//   - sim/32rank-{stacks,nostacks}: one full 32-rank simulation with
+//     and without callstack capture — the trace-production substrate
+//     (rank scheduling, message pooling, stack interning); the pair's
+//     difference isolates capture cost.
+//   - trace-to-graph/32rank: event-graph construction from a pre-built
+//     trace — the bridge between the halves.
 //   - wl-features/h2/r32: one WL depth-2 embedding of a 32-rank
 //     unstructured-mesh event graph — the innermost kernel, and the
 //     workload the acceptance Go benchmark
@@ -43,6 +53,98 @@ func sampleGraphs(pattern string, procs, runs int) ([]*graph.Graph, error) {
 	}
 	return rs.Graphs, nil
 }
+
+// simWorkload builds the front-half workload the sim/* and
+// trace-to-graph/* scenarios share: the 32-rank unstructured-mesh
+// pattern at a multi-node, 25%-ND configuration — the shape of one cell
+// of an ND-percentage sweep, which the paper's workflow simulates
+// hundreds of times.
+func simWorkload(procs, iterations int, captureStacks bool) (sim.Config, trace.Meta, sim.Program, error) {
+	pat, err := patterns.ByName("unstructured_mesh")
+	if err != nil {
+		return sim.Config{}, trace.Meta{}, nil, err
+	}
+	params := patterns.DefaultParams(procs)
+	params.Iterations = iterations
+	prog, err := pat.Program(params)
+	if err != nil {
+		return sim.Config{}, trace.Meta{}, nil, err
+	}
+	cfg := sim.DefaultConfig(procs, 1)
+	cfg.Nodes = 2
+	cfg.NDPercent = 25
+	cfg.CaptureStacks = captureStacks
+	meta := trace.Meta{Pattern: "unstructured_mesh", Iterations: iterations, MsgSize: params.MsgSize}
+	return cfg, meta, sim.Adapt(prog), nil
+}
+
+// simScenario times one full simulated execution — the trace-generation
+// front half of the pipeline. The stacks/nostacks pair isolates the
+// cost of callstack capture (interned PC decoding) from the scheduler
+// and matching machinery underneath it.
+func simScenario(procs, iterations int, captureStacks bool) Scenario {
+	suffix, what := "nostacks", "no callstack capture"
+	if captureStacks {
+		suffix, what = "stacks", "interned callstack capture"
+	}
+	return Scenario{
+		Name: fmt.Sprintf("sim/%drank-%s", procs, suffix),
+		Description: fmt.Sprintf("one %d-rank unstructured-mesh simulation (%d iterations, 25%% ND, %s)",
+			procs, iterations, what),
+		Setup: func() (func() error, error) {
+			cfg, meta, prog, err := simWorkload(procs, iterations, captureStacks)
+			if err != nil {
+				return nil, err
+			}
+			return func() error {
+				tr, _, err := sim.Run(cfg, meta, prog)
+				if err != nil {
+					return err
+				}
+				if tr.NumEvents() == 0 {
+					return fmt.Errorf("empty trace")
+				}
+				return nil
+			}, nil
+		},
+	}
+}
+
+// traceToGraphScenario times event-graph construction from an
+// already-recorded trace — the second stage of the front half, which
+// reuses the interned callstack keys the tracer recorded.
+func traceToGraphScenario(procs, iterations int) Scenario {
+	return Scenario{
+		Name: fmt.Sprintf("trace-to-graph/%drank", procs),
+		Description: fmt.Sprintf("event-graph build from one %d-rank unstructured-mesh trace (%d iterations, stacks on)",
+			procs, iterations),
+		Setup: func() (func() error, error) {
+			cfg, meta, prog, err := simWorkload(procs, iterations, true)
+			if err != nil {
+				return nil, err
+			}
+			tr, _, err := sim.Run(cfg, meta, prog)
+			if err != nil {
+				return nil, err
+			}
+			return func() error {
+				g, err := graph.FromTrace(tr)
+				if err != nil {
+					return err
+				}
+				if g.NumNodes() != tr.NumEvents() {
+					return fmt.Errorf("graph has %d nodes for %d events", g.NumNodes(), tr.NumEvents())
+				}
+				return nil
+			}, nil
+		},
+	}
+}
+
+// simScenarioIterations sizes the sim/* and trace-to-graph/* workloads:
+// enough iterations that one op is well above timer resolution, few
+// enough that a 20-rep CI run stays cheap.
+const simScenarioIterations = 8
 
 // wlFeaturesScenario times a single WL embedding.
 func wlFeaturesScenario(name string, h, procs int) Scenario {
@@ -186,6 +288,9 @@ func figureScenario(id string) Scenario {
 // AllScenarios returns the full scenario set in its canonical order.
 func AllScenarios() []Scenario {
 	return []Scenario{
+		simScenario(32, simScenarioIterations, true),
+		simScenario(32, simScenarioIterations, false),
+		traceToGraphScenario(32, simScenarioIterations),
 		wlFeaturesScenario("wl-features/h2/r32", 2, 32),
 		dotScenario(),
 		gramScenario(1),
@@ -200,7 +305,10 @@ func AllScenarios() []Scenario {
 // quickNames is the reduced set CI runs on every push: the innermost
 // kernel, the isolated dot-product stage, serial and mid-parallel Gram
 // builds, and one end-to-end figure.
-var quickNames = []string{"wl-features/h2/r32", "dot/wl-h2", "gram/w1", "gram/w4", "figure/fig2"}
+var quickNames = []string{
+	"sim/32rank-stacks", "sim/32rank-nostacks", "trace-to-graph/32rank",
+	"wl-features/h2/r32", "dot/wl-h2", "gram/w1", "gram/w4", "figure/fig2",
+}
 
 // ScenarioNames lists the full set's names in canonical order.
 func ScenarioNames() []string {

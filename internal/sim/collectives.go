@@ -36,7 +36,7 @@ func (r *Rank) collTag(round int) int {
 
 // finishCollective records the single trace event for a completed
 // collective and advances the instance counter.
-func (r *Rank) finishCollective(kind trace.EventKind, root, size int, stack []string) {
+func (r *Rank) finishCollective(kind trace.EventKind, root, size int, stack trace.Stack) {
 	r.collSeq++
 	r.lamport++
 	r.record(kind, root, 0, size, trace.NoMsg, 0, stack)
@@ -80,8 +80,7 @@ func (r *Rank) Bcast(root int, data []byte) []byte {
 	mask := 1
 	for mask < p {
 		if rel&mask != 0 {
-			msg := r.recvInternal(abs(rel-mask), tag)
-			data = msg.data
+			data = r.recvInternal(abs(rel-mask), tag)
 			break
 		}
 		mask <<= 1
@@ -120,8 +119,7 @@ func (r *Rank) Reduce(root int, data []byte, op ReduceOp) []byte {
 		if rel&mask == 0 {
 			childRel := rel | mask
 			if childRel < p {
-				msg := r.recvInternal(abs(childRel), tag)
-				acc = op(acc, msg.data)
+				acc = op(acc, r.recvInternal(abs(childRel), tag))
 			}
 		} else {
 			r.sendInternal(abs(rel&^mask), tag, acc)
@@ -151,8 +149,7 @@ func (r *Rank) ReduceArrival(root int, data []byte, op ReduceOp) []byte {
 	if r.id == root {
 		acc = append([]byte(nil), data...)
 		for i := 1; i < r.Size(); i++ {
-			msg := r.recvInternal(AnySource, tag)
-			acc = op(acc, msg.data)
+			acc = op(acc, r.recvInternal(AnySource, tag))
 		}
 	} else {
 		r.sendInternal(root, tag, data)
@@ -179,8 +176,7 @@ func (r *Rank) Allreduce(data []byte, op ReduceOp) []byte {
 		if r.id&mask == 0 {
 			child := r.id | mask
 			if child < p {
-				msg := r.recvInternal(child, tagReduce)
-				acc = op(acc, msg.data)
+				acc = op(acc, r.recvInternal(child, tagReduce))
 			}
 		} else {
 			r.sendInternal(r.id&^mask, tagReduce, acc)
@@ -193,8 +189,7 @@ func (r *Rank) Allreduce(data []byte, op ReduceOp) []byte {
 	mask = 1
 	for mask < p {
 		if r.id&mask != 0 {
-			msg := r.recvInternal(r.id&^mask, tagBcast)
-			acc = msg.data
+			acc = r.recvInternal(r.id&^mask, tagBcast)
 			break
 		}
 		mask <<= 1
@@ -225,8 +220,7 @@ func (r *Rank) Gather(root int, data []byte) [][]byte {
 			if src == root {
 				continue
 			}
-			msg := r.recvInternal(src, tag)
-			out[src] = msg.data
+			out[src] = r.recvInternal(src, tag)
 		}
 	} else {
 		r.sendInternal(root, tag, data)
@@ -255,8 +249,7 @@ func (r *Rank) Scatter(root int, parts [][]byte) []byte {
 			r.sendInternal(dst, tag, parts[dst])
 		}
 	} else {
-		msg := r.recvInternal(root, tag)
-		out = msg.data
+		out = r.recvInternal(root, tag)
 	}
 	r.finishCollective(trace.KindScatter, root, len(out), stack)
 	return out
@@ -276,9 +269,9 @@ func (r *Rank) Allgather(data []byte) [][]byte {
 		for step := 0; step < p-1; step++ {
 			tag := r.collTag(step)
 			r.sendInternal(next, tag, out[block])
-			msg := r.recvInternal(prev, tag)
+			recvd := r.recvInternal(prev, tag)
 			block = (block - 1 + p) % p
-			out[block] = msg.data
+			out[block] = recvd
 		}
 	}
 	r.finishCollective(trace.KindAllgather, trace.NoPeer, len(data), stack)
@@ -298,8 +291,7 @@ func (r *Rank) Scan(data []byte, op ReduceOp) []byte {
 	tag := r.collTag(0)
 	acc := append([]byte(nil), data...)
 	if r.id > 0 {
-		msg := r.recvInternal(r.id-1, tag)
-		acc = op(msg.data, acc)
+		acc = op(r.recvInternal(r.id-1, tag), acc)
 	}
 	if r.id < r.Size()-1 {
 		r.sendInternal(r.id+1, tag, acc)
@@ -330,8 +322,7 @@ func (r *Rank) Alltoall(parts [][]byte) [][]byte {
 	}
 	for off := 1; off < p; off++ {
 		src := (r.id - off + p) % p
-		msg := r.recvInternal(src, tag)
-		out[src] = msg.data
+		out[src] = r.recvInternal(src, tag)
 	}
 	r.finishCollective(trace.KindAlltoall, trace.NoPeer, bytes, stack)
 	return out

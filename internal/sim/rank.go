@@ -17,12 +17,14 @@ type Rank struct {
 	clock   vtime.Time
 	lamport int64
 	status  rankStatus
+	heapIdx int // position in the scheduler's ready heap, -1 when not queued
 	resume  chan struct{}
 	rng     *vtime.RNG
 
 	mailbox    []*message // arrived, unmatched ("unexpected") messages
 	posted     []*Request // outstanding Irecv requests, in post order
 	waiting    *waiter    // non-nil while blocked
+	scratch    waiter     // reused by every block; a rank waits on one thing at a time
 	replayNext int        // cursor into the replay schedule
 	collSeq    int        // collective instance counter
 }
@@ -49,9 +51,9 @@ type Request struct {
 	key        *MatchKey // replay pin, when replaying
 	done       bool
 	waited     bool
-	msg        *message   // matched message for Irecv requests
-	completeAt vtime.Time // completion time for rendezvous Isend requests
-	stack      []string   // callstack at the post, reused for the Wait event
+	msg        *message    // matched message for Irecv requests
+	completeAt vtime.Time  // completion time for rendezvous Isend requests
+	stack      trace.Stack // interned callstack at the post, reused for the Wait event
 }
 
 // Rank returns this rank's id in [0, Size).
@@ -101,7 +103,9 @@ func (r *Rank) yield() {
 		return
 	}
 	if r.status == statusRunning {
-		r.status = statusReady
+		// The scheduler is parked in its loop, so this goroutine owns the
+		// scheduler state: re-queue ourselves before handing control back.
+		r.sim.makeReady(r)
 	}
 	r.sim.yielded <- r.id
 	<-r.resume
@@ -134,47 +138,51 @@ func (r *Rank) wouldRunNext() bool {
 	if len(s.events) > 0 && s.events[0].arrival <= r.clock {
 		return false
 	}
-	for _, other := range s.ranks {
-		if other == r || other.status != statusReady {
-			continue
-		}
-		if other.clock < r.clock || (other.clock == r.clock && other.id < r.id) {
-			return false
-		}
+	// The running rank is not in the ready heap, so its top is the best
+	// competitor under the scheduler's (clock, id) order.
+	if top := s.ready.peek(); top != nil && rankBefore(top, r) {
+		return false
 	}
 	return true
 }
 
-// block parks the rank on w until the scheduler matches it.
-func (r *Rank) block(w *waiter) {
-	r.waiting = w
+// block parks the rank until the scheduler matches the given wait state,
+// which it installs in the rank's reusable scratch waiter (safe because a
+// rank waits on at most one thing at a time, and the previous wait's
+// results are fully consumed before the next block). It returns the
+// waiter so callers can read the fields the scheduler filled in.
+func (r *Rank) block(w waiter) *waiter {
+	r.scratch = w
+	r.waiting = &r.scratch
 	r.status = statusBlocked
 	r.yield()
+	return &r.scratch
 }
 
 // record appends a trace event for this rank at its current clock.
-func (r *Rank) record(kind trace.EventKind, peer, tag, size int, msgID int64, chanSeq int, stack []string) {
-	r.sim.tr.Append(trace.Event{
-		Rank:      r.id,
-		Kind:      kind,
-		Peer:      peer,
-		Tag:       tag,
-		Size:      size,
-		MsgID:     msgID,
-		ChanSeq:   chanSeq,
-		Time:      r.clock,
-		Lamport:   r.lamport,
-		Callstack: stack,
-	})
+func (r *Rank) record(kind trace.EventKind, peer, tag, size int, msgID int64, chanSeq int, stack trace.Stack) {
+	ev := trace.Event{
+		Rank:    r.id,
+		Kind:    kind,
+		Peer:    peer,
+		Tag:     tag,
+		Size:    size,
+		MsgID:   msgID,
+		ChanSeq: chanSeq,
+		Time:    r.clock,
+		Lamport: r.lamport,
+	}
+	ev.SetStack(stack)
+	r.sim.tr.Append(ev)
 }
 
-// capture returns the caller-of-caller's callstack when stack capture is
-// enabled.
-func (r *Rank) capture() []string {
+// capture returns the caller-of-caller's interned callstack when stack
+// capture is enabled.
+func (r *Rank) capture() trace.Stack {
 	if !r.sim.cfg.CaptureStacks {
-		return nil
+		return trace.Stack{}
 	}
-	return trace.CaptureStack(2)
+	return trace.CaptureStackInterned(2)
 }
 
 func (r *Rank) checkPeer(dst int) {
@@ -190,14 +198,15 @@ func (r *Rank) checkPeer(dst int) {
 func (r *Rank) post(dst, tag, size int, data []byte, internal bool) *message {
 	s := r.sim
 	s.msgID++
-	ck := chanKey{r.id, dst}
-	seq := s.chanSeqs[ck]
-	s.chanSeqs[ck] = seq + 1
+	ch := s.chans.at(r.id, dst)
+	seq := ch.seq
+	ch.seq = seq + 1
 	var payload []byte
 	if data != nil {
 		payload = append([]byte(nil), data...) // sender may reuse its buffer
 	}
-	msg := &message{
+	msg := s.newMessage()
+	*msg = message{
 		id:          s.msgID - 1,
 		src:         r.id,
 		dst:         dst,
@@ -244,25 +253,30 @@ func (r *Rank) checkTag(tag int, recvSide bool) {
 	panic(fmt.Sprintf("sim: rank %d used reserved negative tag %d", r.id, tag))
 }
 
-// sendCommon posts one user message. For rendezvous messages, req (when
-// non-nil, i.e. Isend) is wired to the message BEFORE any yield so a
-// consumption during the yield is never lost; a nil req (blocking Send)
-// parks the rank until consumption.
-func (r *Rank) sendCommon(dst, tag, size int, data []byte, kind trace.EventKind, stack []string, req *Request) *message {
+// sendCommon posts one user message and reports whether it used the
+// rendezvous protocol. For rendezvous messages, req (when non-nil, i.e.
+// Isend) is wired to the message BEFORE any yield so a consumption
+// during the yield is never lost; a nil req (blocking Send) parks the
+// rank until consumption. The message's identity is captured into
+// locals up front: once this rank yields (or blocks), the receiver may
+// consume the message and release its struct back to the pool.
+func (r *Rank) sendCommon(dst, tag, size int, data []byte, kind trace.EventKind, stack trace.Stack, req *Request) (rendezvous bool) {
 	r.checkPeer(dst)
 	r.checkTag(tag, false)
 	r.lamport++
 	msg := r.post(dst, tag, size, data, false)
-	if msg.rendezvous && req != nil {
+	rendezvous = msg.rendezvous
+	if rendezvous && req != nil {
 		msg.sendReq = req
 	}
+	msgID, chanSeq := msg.id, msg.chanSeq
 	r.clock = r.clock.Add(r.sim.cfg.Net.SendOverhead)
-	if msg.rendezvous && req == nil {
-		r.block(&waiter{kind: waitRendezvous, msg: msg})
+	if rendezvous && req == nil {
+		r.block(waiter{kind: waitRendezvous, msg: msg})
 	}
-	r.record(kind, dst, tag, size, msg.id, msg.chanSeq, stack)
+	r.record(kind, dst, tag, size, msgID, chanSeq, stack)
 	r.yield()
-	return msg
+	return rendezvous
 }
 
 // Isend is the non-blocking send. Under the eager protocol the request
@@ -272,8 +286,7 @@ func (r *Rank) sendCommon(dst, tag, size int, data []byte, kind trace.EventKind,
 func (r *Rank) Isend(dst, tag int, data []byte) *Request {
 	stack := r.capture()
 	req := &Request{owner: r, stack: stack}
-	msg := r.sendCommon(dst, tag, len(data), data, trace.KindIsend, stack, req)
-	if !msg.rendezvous {
+	if !r.sendCommon(dst, tag, len(data), data, trace.KindIsend, stack, req) {
 		req.done = true
 	}
 	return req
@@ -317,8 +330,10 @@ func (r *Rank) Recv(src, tag int) Message {
 	msg := r.recvCommon(src, tag, r.replayKey(), false)
 	r.lamport = maxInt64(r.lamport, msg.sendLamport) + 1
 	r.record(trace.KindRecv, msg.src, msg.tag, msg.size, msg.id, msg.chanSeq, stack)
+	m := Message{Src: msg.src, Tag: msg.tag, Size: msg.size, Data: msg.data}
+	r.sim.release(msg)
 	r.yield()
-	return Message{Src: msg.src, Tag: msg.tag, Size: msg.size, Data: msg.data}
+	return m
 }
 
 // recvCommon matches a message from the mailbox or blocks for one.
@@ -342,8 +357,7 @@ func (r *Rank) recvCommon(src, tag int, key *MatchKey, internal bool) *message {
 			return msg
 		}
 	}
-	w := &waiter{kind: waitRecv, src: src, tag: tag, key: key, internal: internal}
-	r.block(w)
+	w := r.block(waiter{kind: waitRecv, src: src, tag: tag, key: key, internal: internal})
 	return w.msg
 }
 
@@ -394,8 +408,7 @@ func (r *Rank) Wait(req *Request) Message {
 	req.waited = true
 	switch {
 	case !req.done:
-		w := &waiter{kind: waitRequest, src: req.src, tag: req.tag, req: req}
-		r.block(w)
+		r.block(waiter{kind: waitRequest, src: req.src, tag: req.tag, req: req})
 	case req.isRecv && req.msg != nil:
 		// Completed before Wait: pay the receive overhead now if the
 		// message arrived in the past, or wait until it arrives.
@@ -414,6 +427,8 @@ func (r *Rank) Wait(req *Request) Message {
 		r.lamport = maxInt64(r.lamport, msg.sendLamport) + 1
 		r.record(trace.KindWait, msg.src, msg.tag, msg.size, msg.id, msg.chanSeq, req.stack)
 		m = Message{Src: msg.src, Tag: msg.tag, Size: msg.size, Data: msg.data}
+		req.msg = nil
+		r.sim.release(msg)
 	} else {
 		r.lamport++
 		r.record(trace.KindWait, trace.NoPeer, 0, 0, trace.NoMsg, 0, req.stack)
@@ -436,9 +451,9 @@ func (r *Rank) Waitall(reqs []*Request) []Message {
 // index depends on completion order, which makes Waitany itself a root
 // source of non-determinism even when every Irecv names a concrete
 // source. Among requests already complete when Waitany is called, the
-// receive with the earliest message arrival wins (ties: lowest index),
-// mirroring the matching rule. It panics if every request was already
-// waited.
+// one with the earliest completion wins (message arrival for receives,
+// consumption time for rendezvous sends; ties: lowest index), mirroring
+// the matching rule. It panics if every request was already waited.
 func (r *Rank) Waitany(reqs []*Request) (int, Message) {
 	if len(reqs) == 0 {
 		panic("sim: Waitany with no requests")
@@ -459,7 +474,10 @@ func (r *Rank) Waitany(reqs []*Request) (int, Message) {
 		if !req.done {
 			continue
 		}
-		at := vtime.Time(0)
+		// An eager Isend completed "in the past" (completeAt zero); a
+		// consumed rendezvous Isend completed at its consumption time, so
+		// it competes with receive arrivals instead of always winning.
+		at := req.completeAt
 		if req.isRecv && req.msg != nil {
 			at = req.msg.arrival
 		}
@@ -481,8 +499,7 @@ func (r *Rank) Waitany(reqs []*Request) (int, Message) {
 			pending = append(pending, req)
 		}
 	}
-	w := &waiter{kind: waitAny, reqs: pending}
-	r.block(w)
+	w := r.block(waiter{kind: waitAny, reqs: pending})
 	for i, req := range reqs {
 		if req == w.req {
 			return i, r.Wait(req)
@@ -499,8 +516,7 @@ func (r *Rank) Probe(src, tag int) (msgSrc, msgTag, size int) {
 			return msg.src, msg.tag, msg.size
 		}
 	}
-	w := &waiter{kind: waitProbe, src: src, tag: tag}
-	r.block(w)
+	w := r.block(waiter{kind: waitProbe, src: src, tag: tag})
 	return w.msg.src, w.msg.tag, w.msg.size
 }
 
@@ -537,11 +553,15 @@ func (r *Rank) sendInternal(dst, tag int, data []byte) {
 	r.yield()
 }
 
-func (r *Rank) recvInternal(src, tag int) *message {
+// recvInternal returns only the payload: the message struct is recycled
+// before control leaves the simulator core.
+func (r *Rank) recvInternal(src, tag int) []byte {
 	msg := r.recvCommon(src, tag, nil, true)
 	r.lamport = maxInt64(r.lamport, msg.sendLamport) + 1
+	data := msg.data
+	r.sim.release(msg)
 	r.yield()
-	return msg
+	return data
 }
 
 func maxInt64(a, b int64) int64 {

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"runtime/debug"
@@ -27,25 +26,60 @@ type message struct {
 	sendReq     *Request // pending non-blocking rendezvous send, if any
 }
 
-// eventHeap orders in-flight messages by (arrival, deliverSeq).
+// eventHeap is a hand-rolled min-heap of in-flight messages ordered by
+// (arrival, deliverSeq). Hand-rolled rather than container/heap so the
+// per-message push/pop stays free of interface conversions and dynamic
+// dispatch — it sits on the hot path of every send.
 type eventHeap []*message
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].arrival != h[j].arrival {
-		return h[i].arrival < h[j].arrival
+func msgBefore(a, b *message) bool {
+	if a.arrival != b.arrival {
+		return a.arrival < b.arrival
 	}
-	return h[i].deliverSeq < h[j].deliverSeq
+	return a.deliverSeq < b.deliverSeq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*message)) }
-func (h *eventHeap) Pop() any {
+
+func (h *eventHeap) push(m *message) {
+	*h = append(*h, m)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !msgBefore((*h)[i], (*h)[parent]) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() *message {
 	old := *h
-	n := len(old)
-	m := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+	m := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	old[last] = nil
+	*h = old[:last]
+	h.down(0)
 	return m
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && msgBefore(h[right], h[left]) {
+			least = right
+		}
+		if !msgBefore(h[least], h[i]) {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
 }
 
 type rankStatus uint8
@@ -134,6 +168,126 @@ func filterMatches(src, tag int, key *MatchKey, msg *message) bool {
 
 type chanKey struct{ src, dst int }
 
+// chanState is the per-(src,dst) channel bookkeeping: the next ChanSeq
+// to assign and the last scheduled arrival (which enforces the MPI
+// non-overtaking bump in schedule).
+type chanState struct {
+	seq         int
+	lastArrival vtime.Time
+	hasArrival  bool
+}
+
+// denseChanLimit bounds the rank count for which the channel table uses
+// a dense [P*P] slice (1024 ranks ≈ 24 MiB). The dense form makes the
+// two per-message channel lookups pure indexed loads; pathological rank
+// counts fall back to the map so memory stays proportional to the
+// channels actually used.
+const denseChanLimit = 1024
+
+// chanTable tracks channel state for all P*P ordered rank pairs.
+type chanTable struct {
+	p      int
+	dense  []chanState
+	sparse map[chanKey]*chanState
+}
+
+func newChanTable(p int) chanTable {
+	if p <= denseChanLimit {
+		return chanTable{p: p, dense: make([]chanState, p*p)}
+	}
+	return chanTable{p: p, sparse: make(map[chanKey]*chanState)}
+}
+
+// at returns the mutable state of the (src,dst) channel.
+func (c *chanTable) at(src, dst int) *chanState {
+	if c.dense != nil {
+		return &c.dense[src*c.p+dst]
+	}
+	st := c.sparse[chanKey{src, dst}]
+	if st == nil {
+		st = &chanState{}
+		c.sparse[chanKey{src, dst}] = st
+	}
+	return st
+}
+
+// readyHeap is an indexed min-heap of ready ranks ordered by
+// (clock, id) — exactly pickReady's order, but O(log P) per transition
+// and O(1) per peek instead of an O(P) scan per scheduler step (and per
+// fast-path yield). Each Rank carries its heap index; a rank's clock
+// never changes while it sits in the heap (only the running rank
+// advances its own clock), so entries never need re-sifting in place.
+type readyHeap []*Rank
+
+func rankBefore(a, b *Rank) bool {
+	return a.clock < b.clock || (a.clock == b.clock && a.id < b.id)
+}
+
+func (h *readyHeap) push(r *Rank) {
+	r.heapIdx = len(*h)
+	*h = append(*h, r)
+	h.up(r.heapIdx)
+}
+
+func (h *readyHeap) pop() *Rank {
+	old := *h
+	r := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	old[0].heapIdx = 0
+	old[last] = nil
+	*h = old[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	r.heapIdx = -1
+	return r
+}
+
+// peek returns the ready rank with the smallest (clock, id), or nil.
+func (h readyHeap) peek() *Rank {
+	if len(h) == 0 {
+		return nil
+	}
+	return h[0]
+}
+
+func (h readyHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !rankBefore(h[i], h[parent]) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h readyHeap) down(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && rankBefore(h[right], h[left]) {
+			least = right
+		}
+		if !rankBefore(h[least], h[i]) {
+			return
+		}
+		h.swap(i, least)
+		i = least
+	}
+}
+
+func (h readyHeap) swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+
 // abortSentinel unwinds rank goroutines during shutdown.
 type abortSentinel struct{}
 
@@ -160,18 +314,19 @@ type simulation struct {
 	tr    *trace.Trace
 	ranks []*Rank
 
-	events      eventHeap
-	yielded     chan int // rank id that just yielded control
-	netRNG      *vtime.RNG
-	msgID       int64
-	deliverSeq  int64
-	chanSeqs    map[chanKey]int
-	lastArrival map[chanKey]vtime.Time
-	stats       Stats
-	steps       int
-	abortFlag   bool
-	panicErr    *PanicError
-	budgetErr   error
+	events     eventHeap
+	ready      readyHeap // statusReady ranks, min (clock, id) first
+	yielded    chan int  // rank id that just yielded control
+	netRNG     *vtime.RNG
+	msgID      int64
+	deliverSeq int64
+	chans      chanTable
+	freeMsgs   []*message // recycled message structs (never escape a run)
+	stats      Stats
+	steps      int
+	abortFlag  bool
+	panicErr   *PanicError
+	budgetErr  error
 	// ctx cancels the run; cancellable caches whether ctx can ever be
 	// done so the hot scheduling paths skip the check entirely for
 	// background runs. cancelErr latches the first observed cancellation.
@@ -203,26 +358,57 @@ func (s *simulation) cancelled() bool {
 
 func newSim(cfg Config, meta trace.Meta) *simulation {
 	s := &simulation{
-		cfg:         cfg,
-		tr:          trace.New(meta),
-		yielded:     make(chan int),
-		netRNG:      vtime.NewRNG(cfg.Seed).Split(0xC0FFEE),
-		chanSeqs:    make(map[chanKey]int),
-		lastArrival: make(map[chanKey]vtime.Time),
+		cfg:     cfg,
+		tr:      trace.NewWithCapacity(meta, cfg.EventsPerRankHint),
+		yielded: make(chan int),
+		netRNG:  vtime.NewRNG(cfg.Seed).Split(0xC0FFEE),
+		chans:   newChanTable(cfg.Procs),
+		ready:   make(readyHeap, 0, cfg.Procs),
 	}
 	base := vtime.NewRNG(cfg.Seed)
 	s.ranks = make([]*Rank, cfg.Procs)
 	for i := range s.ranks {
 		s.ranks[i] = &Rank{
-			sim:    s,
-			id:     i,
-			node:   cfg.NodeOf(i),
-			status: statusReady,
-			resume: make(chan struct{}),
-			rng:    base.Split(uint64(i) + 1),
+			sim:     s,
+			id:      i,
+			node:    cfg.NodeOf(i),
+			status:  statusReady,
+			heapIdx: -1,
+			resume:  make(chan struct{}),
+			rng:     base.Split(uint64(i) + 1),
 		}
+		s.ready.push(s.ranks[i])
 	}
 	return s
+}
+
+// makeReady transitions a blocked (or freshly runnable) rank into the
+// ready heap. The rank's clock must already be final: entries are never
+// re-sifted while in the heap.
+func (s *simulation) makeReady(r *Rank) {
+	r.status = statusReady
+	s.ready.push(r)
+}
+
+// newMessage takes a message struct from the free list, or allocates.
+func (s *simulation) newMessage() *message {
+	if n := len(s.freeMsgs); n > 0 {
+		m := s.freeMsgs[n-1]
+		s.freeMsgs[n-1] = nil
+		s.freeMsgs = s.freeMsgs[:n-1]
+		return m
+	}
+	return new(message)
+}
+
+// release recycles a fully consumed message struct. Only the struct is
+// pooled — the payload slice escapes to user code with the delivered
+// Message and is never reused. Zeroing the struct is what makes the
+// pool safe: a recycled message must not leak delayed/rendezvous flags
+// or a stale sendReq into the next send.
+func (s *simulation) release(m *message) {
+	*m = message{}
+	s.freeMsgs = append(s.freeMsgs, m)
 }
 
 // run launches the rank goroutines and drives the event loop to
@@ -260,11 +446,11 @@ func (s *simulation) rankMain(r *Rank, program Program) {
 		panic(abortSentinel{})
 	}
 	r.lamport++
-	r.record(trace.KindInit, trace.NoPeer, 0, 0, trace.NoMsg, 0, nil)
+	r.record(trace.KindInit, trace.NoPeer, 0, 0, trace.NoMsg, 0, trace.Stack{})
 	r.yield()
 	program(r)
 	r.lamport++
-	r.record(trace.KindFinalize, trace.NoPeer, 0, 0, trace.NoMsg, 0, nil)
+	r.record(trace.KindFinalize, trace.NoPeer, 0, 0, trace.NoMsg, 0, trace.Stack{})
 	// The deferred handler marks the rank done and yields.
 }
 
@@ -287,7 +473,7 @@ func (s *simulation) loop() error {
 			return errStepBudget(s.cfg.MaxEvents)
 		}
 
-		next := s.pickReady()
+		next := s.ready.peek()
 		var eventTime vtime.Time = vtime.Forever
 		if len(s.events) > 0 {
 			eventTime = s.events[0].arrival
@@ -300,27 +486,14 @@ func (s *simulation) loop() error {
 			}
 			return s.deadlock()
 		case next == nil || eventTime <= next.clock:
-			s.deliver(heap.Pop(&s.events).(*message))
+			s.deliver(s.events.pop())
 		default:
+			s.ready.pop()
 			next.status = statusRunning
 			next.resume <- struct{}{}
 			<-s.yielded
 		}
 	}
-}
-
-// pickReady returns the ready rank with the smallest (clock, id), or nil.
-func (s *simulation) pickReady() *Rank {
-	var best *Rank
-	for _, r := range s.ranks {
-		if r.status != statusReady {
-			continue
-		}
-		if best == nil || r.clock < best.clock {
-			best = r
-		}
-	}
-	return best
 }
 
 func (s *simulation) allDone() bool {
@@ -372,7 +545,7 @@ func (s *simulation) consumed(msg *message, at vtime.Time) {
 				snd.clock = at
 			}
 			snd.waiting = nil
-			snd.status = statusReady
+			s.makeReady(snd)
 		}
 		return
 	}
@@ -382,7 +555,7 @@ func (s *simulation) consumed(msg *message, at vtime.Time) {
 			snd.clock = at
 		}
 		snd.waiting = nil
-		snd.status = statusReady
+		s.makeReady(snd)
 	}
 }
 
@@ -418,7 +591,7 @@ func (s *simulation) deliver(msg *message) {
 				// accounting: charge the receive overhead here.
 				d.clock = msg.arrival.Add(s.cfg.Net.RecvOverhead)
 				d.waiting = nil
-				d.status = statusReady
+				s.makeReady(d)
 			case w.kind == waitAny && containsRequest(w.reqs, req):
 				// The rank resumes inside Waitany and then calls Wait,
 				// which charges the overhead itself: advance only to
@@ -428,7 +601,7 @@ func (s *simulation) deliver(msg *message) {
 					d.clock = msg.arrival
 				}
 				d.waiting = nil
-				d.status = statusReady
+				s.makeReady(d)
 			}
 		}
 		return
@@ -443,7 +616,7 @@ func (s *simulation) deliver(msg *message) {
 				w.msg = msg
 				d.clock = msg.arrival.Add(s.cfg.Net.RecvOverhead)
 				d.waiting = nil
-				d.status = statusReady
+				s.makeReady(d)
 				s.consumed(msg, d.clock)
 				return
 			}
@@ -456,7 +629,7 @@ func (s *simulation) deliver(msg *message) {
 					d.clock = msg.arrival
 				}
 				d.waiting = nil
-				d.status = statusReady
+				s.makeReady(d)
 				return
 			}
 		}
@@ -490,15 +663,16 @@ func (s *simulation) schedule(msg *message, sendClock vtime.Time) {
 	// MPI non-overtaking: arrivals on one (src,dst) channel are strictly
 	// increasing, so jitter can reorder messages from different senders
 	// but never two messages on the same channel.
-	ck := chanKey{msg.src, msg.dst}
-	if last, ok := s.lastArrival[ck]; ok && arrival <= last {
-		arrival = last.Add(1)
+	ch := s.chans.at(msg.src, msg.dst)
+	if ch.hasArrival && arrival <= ch.lastArrival {
+		arrival = ch.lastArrival.Add(1)
 	}
-	s.lastArrival[ck] = arrival
+	ch.lastArrival = arrival
+	ch.hasArrival = true
 	msg.arrival = arrival
 	s.deliverSeq++
 	msg.deliverSeq = s.deliverSeq
-	heap.Push(&s.events, msg)
+	s.events.push(msg)
 	if msg.arrival.Add(0) > s.stats.FinalTime {
 		// FinalTime is finalized from rank clocks at the end; tracking
 		// arrivals here keeps it monotone for aborted runs too.

@@ -73,7 +73,18 @@ type Config struct {
 	CaptureStacks bool
 	// MaxEvents aborts runaway programs; 0 means DefaultMaxEvents.
 	MaxEvents int
+	// EventsPerRankHint presizes each rank's event stream in the trace,
+	// avoiding append-doubling churn during recording. It is purely a
+	// capacity hint — traces grow past it freely; 0 means
+	// DefaultEventsPerRankHint.
+	EventsPerRankHint int
 }
+
+// DefaultEventsPerRankHint is the per-rank event-stream capacity used
+// when Config.EventsPerRankHint is zero. Sized for a typical benchmark
+// pattern iteration count; a wrong guess only costs one slice regrowth
+// cascade per rank.
+const DefaultEventsPerRankHint = 64
 
 // DefaultMaxEvents is the per-run event budget used when
 // Config.MaxEvents is zero.
@@ -184,6 +195,12 @@ func (c *Config) validate() error {
 	}
 	if c.MaxEvents == 0 {
 		c.MaxEvents = DefaultMaxEvents
+	}
+	if c.EventsPerRankHint == 0 {
+		c.EventsPerRankHint = DefaultEventsPerRankHint
+	}
+	if c.EventsPerRankHint < 0 {
+		return fmt.Errorf("sim: EventsPerRankHint = %d, need >= 0", c.EventsPerRankHint)
 	}
 	if c.Replay != nil {
 		if err := c.Replay.validate(c.Procs); err != nil {

@@ -507,6 +507,36 @@ func TestWaitanyPrefersEarliestArrived(t *testing.T) {
 	})
 }
 
+func TestWaitanyRendezvousIsendCompletionTime(t *testing.T) {
+	// Regression: a completed rendezvous Isend must compete in Waitany
+	// with its real consumption time, not as "completed in the distant
+	// past". Rank 0's Isend to rank 1 is consumed late (rank 1 computes
+	// before receiving) while rank 2's message into rank 0's Irecv
+	// arrives early; once both requests are complete, Waitany must pick
+	// the Irecv. The old completion rule used time 0 for every non-recv
+	// request, so the late-consumed Isend always won.
+	cfg := DefaultConfig(3, 1)
+	cfg.Net.RendezvousThreshold = 64
+	mustRun(t, cfg, func(r *Rank) {
+		switch r.Rank() {
+		case 0:
+			send := r.Isend(1, 7, make([]byte, 128)) // rendezvous: completes on consumption
+			recv := r.Irecv(2, 9)
+			r.Compute(vtime.Millisecond) // run past both completions
+			idx, m := r.Waitany([]*Request{send, recv})
+			if idx != 1 || m.Src != 2 {
+				panic(fmt.Sprintf("Waitany picked idx=%d src=%d, want the early-arrived Irecv (idx=1, src=2)", idx, m.Src))
+			}
+			r.Wait(send)
+		case 1:
+			r.Compute(500 * vtime.Microsecond) // consume the rendezvous late
+			r.Recv(0, 7)
+		case 2:
+			r.SendSize(0, 9, 1) // arrives within microseconds
+		}
+	})
+}
+
 func TestWaitanyPanics(t *testing.T) {
 	cases := []Program{
 		func(r *Rank) { r.Waitany(nil) },

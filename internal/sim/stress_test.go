@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"github.com/anacin-go/anacinx/internal/trace"
+)
+
+// TestConcurrentRunsShareInternCache runs the same simulation from 32
+// goroutines at once. Every run records callstacks, so all of them
+// hammer the process-wide callstack intern cache concurrently — under
+// -race this is the cache's data-race check. Because the runs are
+// identical, their serialized traces must be byte-identical, and the
+// interned frame slices must be shared across runs rather than
+// re-decoded per run.
+func TestConcurrentRunsShareInternCache(t *testing.T) {
+	const runs = 32
+	serialized := make([][]byte, runs)
+	traces := make([]*trace.Trace, runs)
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, _, err := Run(goldenConfig(8, 100, 41), trace.Meta{Pattern: "stress"}, goldenEagerProgram)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var buf bytes.Buffer
+			if err := tr.WriteBinary(&buf); err != nil {
+				errs[i] = err
+				return
+			}
+			traces[i] = tr
+			serialized[i] = buf.Bytes()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	for i := 1; i < runs; i++ {
+		if !bytes.Equal(serialized[i], serialized[0]) {
+			t.Fatalf("run %d produced a different trace than run 0 (%d vs %d bytes)",
+				i, len(serialized[i]), len(serialized[0]))
+		}
+	}
+
+	// Interning check: the same callsite's frame slice is the same
+	// backing array in every run's events, not an equal copy.
+	shared := 0
+	for i := 1; i < runs; i++ {
+		for rank := range traces[0].Events {
+			for j := range traces[0].Events[rank] {
+				a := traces[0].Events[rank][j].Callstack
+				b := traces[i].Events[rank][j].Callstack
+				if len(a) == 0 {
+					continue
+				}
+				if &a[0] != &b[0] {
+					t.Fatalf("run %d rank %d event %d: callstack decoded twice for one callsite", i, rank, j)
+				}
+				shared++
+			}
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no callstack-bearing events; the stress program must capture stacks")
+	}
+}

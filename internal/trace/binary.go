@@ -178,7 +178,7 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 			if stackIdx < 0 || stackIdx >= nKeys {
 				return nil, fmt.Errorf("trace: callstack index %d out of table", stackIdx)
 			}
-			t.Append(Event{
+			ev := Event{
 				Rank:      rank,
 				Kind:      EventKind(vals[0]),
 				Peer:      int(vals[1]),
@@ -189,7 +189,14 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 				Time:      vtimeFromInt(vals[6]),
 				Lamport:   vals[7],
 				Callstack: stacks[stackIdx],
-			})
+			}
+			if ev.Callstack != nil {
+				// The string table already holds the joined key; cache
+				// it so re-serialization and graph building skip the
+				// per-event join.
+				ev.ckey = keys[stackIdx]
+			}
+			t.Append(ev)
 		}
 	}
 	if err := t.Validate(); err != nil {

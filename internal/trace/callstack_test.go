@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// captureHelper gives every capture in this file a stable non-test
+// frame (testing.* frames are trimmed from recorded stacks).
+func captureHelper() Stack { return CaptureStackInterned(0) }
+
+func TestCaptureStackInternedKeyMatchesFrames(t *testing.T) {
+	st := captureHelper()
+	if len(st.Frames) == 0 {
+		t.Fatal("empty capture")
+	}
+	if want := strings.Join(st.Frames, ";"); st.Key != want {
+		t.Errorf("Key = %q, want %q", st.Key, want)
+	}
+	if st.Frames[0] != "trace.captureHelper" {
+		t.Errorf("innermost frame = %q, want trace.captureHelper", st.Frames[0])
+	}
+}
+
+func TestCaptureStackMatchesInterned(t *testing.T) {
+	plain := CaptureStack(0)
+	interned := CaptureStackInterned(0)
+	// Same callsite depth relative to the test body: both captures must
+	// agree above their own (differing) call lines, i.e. share the
+	// enclosing test frame.
+	if len(plain) == 0 || len(interned.Frames) == 0 {
+		t.Fatal("empty capture")
+	}
+	if plain[0] != interned.Frames[0] {
+		t.Errorf("CaptureStack[0] = %q, CaptureStackInterned[0] = %q", plain[0], interned.Frames[0])
+	}
+}
+
+// TestCaptureStackInternedConcurrent hammers the intern cache from many
+// goroutines capturing the same callsite. Under -race this checks the
+// cache's locking; the assertions check that every capture returns the
+// one shared interned Stack (same backing array, not an equal copy).
+func TestCaptureStackInternedConcurrent(t *testing.T) {
+	const n = 64
+	stacks := make([]Stack, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				stacks[i] = captureHelper()
+			}
+		}(i)
+	}
+	wg.Wait()
+	first := stacks[0]
+	if len(first.Frames) == 0 {
+		t.Fatal("empty capture")
+	}
+	for i := 1; i < n; i++ {
+		if stacks[i].Key != first.Key {
+			t.Fatalf("goroutine %d captured key %q, goroutine 0 %q", i, stacks[i].Key, first.Key)
+		}
+		if &stacks[i].Frames[0] != &first.Frames[0] {
+			t.Fatalf("goroutine %d got a distinct frame slice for the same callsite", i)
+		}
+	}
+}

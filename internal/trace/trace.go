@@ -13,6 +13,7 @@ package trace
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"github.com/anacin-go/anacinx/internal/vtime"
 )
@@ -134,20 +135,48 @@ type Event struct {
 	// Callstack holds the application call-path that issued the MPI call,
 	// innermost frame first, runtime and simulator frames trimmed.
 	Callstack []string `json:"callstack,omitempty"`
+
+	// ckey caches the ";"-joined CallstackKey when the callstack came
+	// through the interner (SetStack) or a binary trace's string table.
+	// It is deliberately unexported and excluded from serialization:
+	// the wire formats carry only Callstack, and CallstackKey falls
+	// back to joining it when no cached key is present (hand-built
+	// events, JSON-decoded traces).
+	ckey string
+}
+
+// SetStack attaches an interned callstack to the event: Callstack
+// aliases st.Frames (shared, must not be mutated) and CallstackKey
+// returns st.Key without re-joining the frames.
+func (e *Event) SetStack(st Stack) {
+	e.Callstack = st.Frames
+	e.ckey = st.Key
 }
 
 // CallstackKey returns the callstack as a single ";"-joined string,
 // innermost frame first, suitable for use as a map key. Events with no
-// recorded callstack return "(unknown)".
+// recorded callstack return "(unknown)". For events recorded through
+// the interner the key is precomputed and shared; otherwise it is
+// joined on demand.
 func (e *Event) CallstackKey() string {
+	if e.ckey != "" {
+		return e.ckey
+	}
 	if len(e.Callstack) == 0 {
 		return "(unknown)"
 	}
-	key := e.Callstack[0]
-	for _, f := range e.Callstack[1:] {
-		key += ";" + f
+	n := len(e.Callstack) - 1
+	for _, f := range e.Callstack {
+		n += len(f)
 	}
-	return key
+	var b strings.Builder
+	b.Grow(n)
+	b.WriteString(e.Callstack[0])
+	for _, f := range e.Callstack[1:] {
+		b.WriteByte(';')
+		b.WriteString(f)
+	}
+	return b.String()
 }
 
 // Label returns the node label used by graph kernels: the operation name.
@@ -177,7 +206,23 @@ type Trace struct {
 
 // New returns an empty trace for the given number of ranks.
 func New(meta Meta) *Trace {
-	return &Trace{Meta: meta, Events: make([][]Event, meta.Procs)}
+	return NewWithCapacity(meta, 0)
+}
+
+// NewWithCapacity returns an empty trace with every rank's event
+// stream preallocated for perRankHint events. The hint is a capacity,
+// not a limit: streams still grow past it. Callers that know the
+// approximate event count per rank (the simulator, bulk converters)
+// use it to avoid the repeated append-doubling copies of a cold
+// stream; perRankHint <= 0 behaves like New.
+func NewWithCapacity(meta Meta, perRankHint int) *Trace {
+	t := &Trace{Meta: meta, Events: make([][]Event, meta.Procs)}
+	if perRankHint > 0 {
+		for i := range t.Events {
+			t.Events[i] = make([]Event, 0, perRankHint)
+		}
+	}
+	return t
 }
 
 // Procs returns the number of ranks in the trace.
