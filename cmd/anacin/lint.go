@@ -1,0 +1,71 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/anacin-go/anacinx/internal/lint"
+)
+
+// cmdLint runs the determinism linter (docs/linting.md) over the given
+// package patterns and fails on any finding not covered by an
+// //anacin:allow directive.
+func cmdLint(args []string) error {
+	fs := flag.NewFlagSet("lint", flag.ExitOnError)
+	jsonPath := fs.String("json", "", `write the JSON findings report to this path ("-" for stdout)`)
+	checks := fs.String("checks", "", "comma-separated subset of checks (default: all)")
+	verbose := fs.Bool("v", false, "also print directive-suppressed findings")
+	list := fs.Bool("list", false, "list the available checks and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: anacin lint [flags] [packages...]   (patterns like ./... or internal/sim; default ./...)")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("  %-11s %s\n", a.Name, a.Doc)
+		}
+		return nil
+	}
+	analyzers, err := lint.ByName(*checks)
+	if err != nil {
+		return err
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		return err
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return err
+	}
+	findings := lint.Run(pkgs, analyzers)
+	if err := lint.WriteText(os.Stdout, findings, *verbose); err != nil {
+		return err
+	}
+	if *jsonPath != "" {
+		if *jsonPath == "-" {
+			err = lint.WriteJSON(os.Stdout, loader.ModulePath(), findings)
+		} else {
+			err = writeFile(*jsonPath, func(w *os.File) error {
+				return lint.WriteJSON(w, loader.ModulePath(), findings)
+			})
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if n := lint.Unsuppressed(findings); n > 0 {
+		return fmt.Errorf("%d finding(s) in %d package(s)", n, len(pkgs))
+	}
+	fmt.Printf("ok: %d package(s), %d checks, %d sanctioned exception(s)\n",
+		len(pkgs), len(analyzers), len(findings)-lint.Unsuppressed(findings))
+	return nil
+}

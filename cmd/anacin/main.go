@@ -38,6 +38,7 @@ var commands = map[string]func(args []string) error{
 	"expose":    cmdExpose,
 	"campaign":  cmdCampaign,
 	"bench":     cmdBench,
+	"lint":      cmdLint,
 }
 
 func main() {
@@ -76,6 +77,10 @@ commands:
               with Ctrl-C / -timeout); emit markdown/CSV statistics
   bench       run named perf scenarios → BENCH.json; with -compare,
               gate on regressions of -stat (median/min) vs a baseline
+  lint        statically enforce the determinism invariants (sorted map
+              iteration, no wall clock / global RNG in the virtual-time
+              world, single-owner goroutines); fails on any finding not
+              covered by an //anacin:allow directive
 
 run 'anacin <command> -h' for flags.
 `)

@@ -68,6 +68,7 @@ func (f Features) Dot(g Features) float64 {
 	sum := 0.0
 	for k, v := range f {
 		if w, ok := g[k]; ok {
+			//anacin:allow floatfold map-order summation is this oracle's point: fuzz inputs are small integers whose partial sums are exact, so order cannot change the result
 			sum += v * w
 		}
 	}

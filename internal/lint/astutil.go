@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// lastSegment returns the final path element of an import path — the
+// conventional package directory name the domain analyzers key their
+// applicability on (so testdata fixtures can opt in by directory name).
+func lastSegment(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// virtualTimePkgs names the packages that live inside the simulated
+// world: everything they compute must be a pure function of (config,
+// seed), so the wall clock is off limits (DESIGN.md "Determinism
+// invariants").
+var virtualTimePkgs = map[string]bool{
+	"sim":      true,
+	"trace":    true,
+	"graph":    true,
+	"kernel":   true,
+	"analysis": true,
+	"core":     true,
+	"patterns": true,
+}
+
+// singleOwnerPkgs names the packages whose structures follow the
+// single-owner discipline: only the DES scheduler may start goroutines.
+var singleOwnerPkgs = map[string]bool{
+	"sim":   true,
+	"trace": true,
+}
+
+// isMapType reports whether the expression's type is (or is a pointer
+// to) a map. Unresolved expressions report false: on partial type
+// information the analyzers under-report rather than guess.
+func isMapType(p *Pass, e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// declaredOutside reports whether the identifier's object is declared
+// outside the given node's span — i.e. the variable outlives the loop,
+// so writing to it leaks iteration order.
+func declaredOutside(p *Pass, id *ast.Ident, n ast.Node) bool {
+	obj := p.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < n.Pos() || obj.Pos() >= n.End()
+}
+
+// baseIdent peels selectors, indexes, stars, and parens down to the
+// leftmost identifier (b in b.buf[i].field), or nil.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// walkShallow visits the subtree rooted at n but does not descend into
+// nested function literals: their bodies belong to a different
+// enclosing-function analysis.
+func walkShallow(n ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, isLit := c.(*ast.FuncLit); isLit && c != n {
+			return false
+		}
+		return visit(c)
+	})
+}
+
+// mentionsObject reports whether the expression subtree uses the given
+// object (e.g. the range key variable inside an index expression).
+func mentionsObject(p *Pass, e ast.Expr, obj types.Object) bool {
+	if obj == nil || e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isPkgCall reports whether call invokes path.name (a package-level
+// function, resolved through the type info so import renames work).
+func isPkgCall(p *Pass, call *ast.CallExpr, path, name string) bool {
+	gotPath, gotName := p.PkgFunc(call.Fun)
+	return gotPath == path && gotName == name
+}
+
+// containsWallClockRead reports whether the expression subtree reads
+// the wall clock (time.Now anywhere inside, e.g. in a seed derivation).
+func containsWallClockRead(p *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if path, name := p.PkgFunc(sel); path == "time" && name == "Now" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment:
+//
+//	//anacin:allow <check> <reason...>
+//
+// The directive suppresses findings of <check> on the comment's own
+// line and on the first line after its comment group — so it works both
+// as a trailing comment on the offending statement and as a standalone
+// comment immediately above it (stacked directives for several checks
+// share the same target line). The reason is mandatory: a suppression
+// nobody can justify is a bug, and the linter reports reason-less or
+// unknown-check directives as findings of the pseudo-check "directive".
+const directivePrefix = "//anacin:allow"
+
+// allowSet maps line number → check name → justification.
+type allowSet map[int]map[string]string
+
+func (s allowSet) covers(line int, check string) (reason string, ok bool) {
+	reason, ok = s[line][check]
+	return reason, ok
+}
+
+func (s allowSet) add(line int, check, reason string) {
+	if s[line] == nil {
+		s[line] = make(map[string]string)
+	}
+	s[line][check] = reason
+}
+
+// collectAllows scans one file's comments for //anacin:allow directives
+// and returns the per-line suppression table. Malformed directives are
+// appended to findings.
+func collectAllows(pkg *Package, f *ast.File, findings *[]Finding) allowSet {
+	allows := make(allowSet)
+	fileName := pkg.Fset.Position(f.Pos()).Filename
+	for _, group := range f.Comments {
+		// The line a standalone directive group protects is the first
+		// line after the group; a trailing directive additionally
+		// protects its own line.
+		endLine := pkg.Fset.Position(group.End()).Line
+		for _, c := range group.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			rest := c.Text[len(directivePrefix):]
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //anacin:allowedly — not ours
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				reportDirective(pkg, findings, fileName, pos.Line, pos.Column,
+					"directive needs a check name and a reason: //anacin:allow <check> <reason>")
+				continue
+			}
+			check, reason := fields[0], strings.Join(fields[1:], " ")
+			if !isKnownCheck(check) {
+				reportDirective(pkg, findings, fileName, pos.Line, pos.Column,
+					"unknown check "+quote(check)+" in //anacin:allow (have "+strings.Join(checkNames(), ", ")+")")
+				continue
+			}
+			if reason == "" {
+				reportDirective(pkg, findings, fileName, pos.Line, pos.Column,
+					"//anacin:allow "+check+" needs a reason")
+				continue
+			}
+			allows.add(pos.Line, check, reason)
+			allows.add(endLine+1, check, reason)
+		}
+	}
+	return allows
+}
+
+func reportDirective(pkg *Package, findings *[]Finding, file string, line, col int, message string) {
+	*findings = append(*findings, Finding{
+		Check:   "directive",
+		File:    relToModule(pkg.ModuleRoot, file),
+		Line:    line,
+		Col:     col,
+		Message: message,
+	})
+}
+
+func quote(s string) string { return `"` + s + `"` }

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMalformedDirectives: reason-less, unknown-check, and bare
+// directives are surfaced as "directive" findings and suppress nothing.
+func TestMalformedDirectives(t *testing.T) {
+	pkg := loadFixture(t, "baddirectives")
+	findings := Run([]*Package{pkg}, []*Analyzer{MapRange})
+	var directive, maprange []Finding
+	for _, f := range findings {
+		if f.Suppressed {
+			t.Errorf("malformed directive suppressed a finding: %s", f)
+		}
+		switch f.Check {
+		case "directive":
+			directive = append(directive, f)
+		case "maprange":
+			maprange = append(maprange, f)
+		default:
+			t.Errorf("unexpected check %q", f.Check)
+		}
+	}
+	if len(maprange) != 3 {
+		t.Errorf("maprange findings = %d, want 3 (none suppressed)", len(maprange))
+	}
+	if len(directive) != 3 {
+		t.Fatalf("directive findings = %d, want 3:\n%v", len(directive), findings)
+	}
+	for _, want := range []string{
+		"needs a reason",
+		"unknown check \"sortedmaps\"",
+		"needs a check name and a reason",
+	} {
+		found := false
+		for _, f := range directive {
+			if strings.Contains(f.Message, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no directive finding containing %q", want)
+		}
+	}
+}
+
+// TestDirectiveScope: a directive covers its own line and the line
+// after its comment group, nothing else.
+func TestDirectiveScope(t *testing.T) {
+	s := make(allowSet)
+	s.add(10, "wallclock", "why")
+	if _, ok := s.covers(10, "wallclock"); !ok {
+		t.Error("same line not covered")
+	}
+	if _, ok := s.covers(10, "goroutine"); ok {
+		t.Error("other check covered")
+	}
+	if _, ok := s.covers(11, "wallclock"); ok {
+		t.Error("uncovered line covered")
+	}
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatFold flags floating-point accumulation inside a map range:
+// `sum += x` with a float sum is order-dependent ((a+b)+c ≠ (a+c)+b in
+// IEEE 754), and Go's randomized map order turns that into a different
+// low bit on every run — which is enough to break the bit-identical
+// WL gram matrices the kernel layer guarantees.
+//
+// Integer folds are commutative and stay silent (maprange likewise
+// leaves them alone). Per-key accumulation — sums[k] += v where k is
+// the range key — touches each slot exactly once, so it is also exempt,
+// as are accumulators declared inside the loop body (they reset every
+// iteration and never observe cross-key order).
+var FloatFold = &Analyzer{
+	Name: "floatfold",
+	Doc:  "order-dependent floating-point accumulation inside a map range",
+	Run:  runFloatFold,
+}
+
+func runFloatFold(p *Pass) {
+	for _, f := range p.Files() {
+		checkFloatFolds(p, f, nil)
+	}
+}
+
+// mapRangeCtx is one level of the enclosing-map-range stack: the range
+// statement plus the object of its key variable (nil when blank).
+type mapRangeCtx struct {
+	rs  *ast.RangeStmt
+	key types.Object
+}
+
+// checkFloatFolds walks the file tracking the stack of enclosing map
+// ranges, reporting float op-assignments attributed to the innermost
+// one.
+func checkFloatFolds(p *Pass, n ast.Node, stack []mapRangeCtx) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch v := c.(type) {
+		case *ast.RangeStmt:
+			if v != n && isMapType(p, v.X) {
+				var key types.Object
+				if id, ok := v.Key.(*ast.Ident); ok && id.Name != "_" {
+					key = p.ObjectOf(id)
+				}
+				// Recurse with the extended stack; stop this walk from
+				// descending so the subtree is visited exactly once.
+				inner := append(append([]mapRangeCtx(nil), stack...), mapRangeCtx{rs: v, key: key})
+				checkFloatFolds(p, v.Body, inner)
+				return false
+			}
+		case *ast.AssignStmt:
+			if len(stack) > 0 {
+				checkFoldAssign(p, v, stack[len(stack)-1])
+			}
+		}
+		return true
+	})
+}
+
+func checkFoldAssign(p *Pass, as *ast.AssignStmt, ctx mapRangeCtx) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	lhs := as.Lhs[0]
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		// fall through to the shared checks below
+	case token.ASSIGN:
+		// x = x + y (and -,*,/) is the spelled-out fold.
+		bin, ok := as.Rhs[0].(*ast.BinaryExpr)
+		if !ok {
+			return
+		}
+		switch bin.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+		default:
+			return
+		}
+		lid, lok := lhs.(*ast.Ident)
+		xid, xok := bin.X.(*ast.Ident)
+		if !lok || !xok || p.ObjectOf(lid) == nil || p.ObjectOf(lid) != p.ObjectOf(xid) {
+			return
+		}
+	default:
+		return
+	}
+	if !isFloat(p, lhs) {
+		return
+	}
+	// Per-key writes (indexed by the range key) hit each slot once.
+	if ix, ok := lhs.(*ast.IndexExpr); ok && mentionsObject(p, ix.Index, ctx.key) {
+		return
+	}
+	// Accumulators local to the loop body reset each iteration.
+	if id := baseIdent(lhs); id != nil && !declaredOutside(p, id, ctx.rs) {
+		return
+	}
+	p.Reportf(as.Pos(), "floating-point accumulation in map iteration order: IEEE rounding makes the result depend on visit order; iterate sorted keys")
+}
+
+func isFloat(p *Pass, e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// GlobalRand flags math/rand use that breaks run reproducibility:
+//
+//   - the package-level convenience functions (rand.Intn, rand.Shuffle,
+//     rand.Seed, ...) anywhere in the repository — they share one
+//     process-global, racily-seeded source, so two runs of the same
+//     (config, seed) can diverge;
+//   - sources seeded from the wall clock (rand.New(rand.NewSource(
+//     time.Now().UnixNano())) and variants) anywhere;
+//   - any math/rand source construction at all inside internal/sim and
+//     internal/patterns: randomness in the simulated world must flow
+//     from the experiment's config seed through internal/vtime's
+//     split-table RNG, or different worker counts replay differently.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "global or time-seeded math/rand use (use vtime.RNG from a config seed)",
+	Run:  runGlobalRand,
+}
+
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+// randSourceCtors construct new generators or sources; whether they are
+// acceptable depends on where the seed comes from and which package
+// asks.
+var randSourceCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+// randGlobalFuncs is every package-level function (v1 and v2) that
+// draws from or reseeds the shared global source.
+var randGlobalFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 spellings.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64N": true, "Uint32N": true, "Uint64N": true, "UintN": true, "Uint": true,
+}
+
+func runGlobalRand(p *Pass) {
+	inSimWorld := lastSegment(p.Path()) == "sim" || lastSegment(p.Path()) == "patterns"
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path, name := p.PkgFunc(sel)
+			if !isRandPkg(path) {
+				return true
+			}
+			switch {
+			case randGlobalFuncs[name]:
+				p.Reportf(sel.Pos(), "global rand.%s draws from the shared process-wide source: derive a vtime.RNG from the config seed instead", name)
+			case randSourceCtors[name] && inSimWorld:
+				p.Reportf(sel.Pos(), "rand.%s in package %s: simulated-world randomness must come from vtime.RNG seeded by the experiment config", name, lastSegment(p.Path()))
+			}
+			return true
+		})
+	}
+	// Time-seeded sources are wrong everywhere, even outside the
+	// simulated world: they make any result irreproducible.
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, name := p.PkgFunc(call.Fun)
+			if !isRandPkg(path) || !randSourceCtors[name] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if containsWallClockRead(p, arg) {
+					p.Reportf(call.Pos(), "time-seeded rand.%s: the seed must come from configuration so runs can be reproduced", name)
+					break
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,34 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Goroutine flags `go` statements inside internal/sim and
+// internal/trace. The tracer and simulator are lock-free because they
+// are single-owner: exactly one goroutine — the DES scheduler or the
+// one running rank — touches simulation state at a time (DESIGN.md,
+// "Tracer internals"). Any extra goroutine breaks that contract
+// silently; the two sanctioned launch sites (the scheduler starting
+// rank goroutines, and the wallclock contrast runtime) carry
+// //anacin:allow directives.
+var Goroutine = &Analyzer{
+	Name: "goroutine",
+	Doc:  "goroutine started inside the single-owner simulator/tracer packages",
+	Run:  runGoroutine,
+}
+
+func runGoroutine(p *Pass) {
+	if !singleOwnerPkgs[lastSegment(p.Path())] {
+		return
+	}
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				p.Reportf(g.Pos(), "goroutine started in single-owner package %s: only the scheduler may run rank goroutines",
+					lastSegment(p.Path()))
+			}
+			return true
+		})
+	}
+}

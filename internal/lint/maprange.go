@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// MapRange flags `for ... range m` over a map whose loop body has
+// order-dependent effects that escape the iteration: appending to an
+// outer slice, concatenating onto an outer string, writing into an
+// outer builder/buffer/writer, emitting output, or sending on a
+// channel. Go randomizes map iteration order on purpose, so any of
+// these bakes a different order into the result on every run.
+//
+// Two shapes are deliberately NOT findings:
+//
+//   - commutative folds — counters, sums over ints, max/min tracking,
+//     set membership (m[k] = true), per-key map writes. Their result is
+//     independent of visit order.
+//   - collect-then-sort — when the only escapes are appends and the
+//     same function later calls sort.* / slices.Sort* (the canonical
+//     "collect keys, sort, iterate sorted" idiom ends with exactly this
+//     shape, e.g. trace.Callstacks or patterns.sortedNames).
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "map iteration whose order-dependent effects escape without a subsequent sort",
+	Run:  runMapRange,
+}
+
+func runMapRange(p *Pass) {
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkMapRanges(p, body)
+			}
+			return true // keep descending: nested FuncLits get their own visit
+		})
+	}
+}
+
+// checkMapRanges inspects one function body (not nested literals) for
+// map ranges with escaping effects.
+func checkMapRanges(p *Pass, body *ast.BlockStmt) {
+	walkShallow(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapType(p, rs.X) {
+			return true
+		}
+		kinds := escapeKinds(p, rs)
+		if len(kinds) == 0 {
+			return true
+		}
+		if onlyAppends(kinds) && sortsAfter(p, body, rs) {
+			return true
+		}
+		p.Reportf(rs.Pos(), "map iteration order escapes via %s; iterate sorted keys or sort the result in this function",
+			strings.Join(kinds, ", "))
+		return true
+	})
+}
+
+func onlyAppends(kinds []string) bool {
+	return len(kinds) == 1 && kinds[0] == "append"
+}
+
+// escapeKinds classifies the order-dependent effects inside one map
+// range body, deduplicated and sorted. Nested function literals are
+// included: in this position they are almost always invoked
+// per-iteration (defer, errgroup, callback), and a linter prefers the
+// over-approximation.
+func escapeKinds(p *Pass, rs *ast.RangeStmt) []string {
+	set := map[string]bool{}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			classifyAssign(p, rs, v, set)
+		case *ast.CallExpr:
+			classifyCall(p, rs, v, set)
+		case *ast.SendStmt:
+			set["channel send"] = true
+		}
+		return true
+	})
+	kinds := make([]string, 0, len(set))
+	for k := range set {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+func classifyAssign(p *Pass, rs *ast.RangeStmt, as *ast.AssignStmt, set map[string]bool) {
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || !declaredOutside(p, id, rs) {
+			continue
+		}
+		switch as.Tok {
+		case token.ASSIGN, token.DEFINE:
+			if i < len(as.Rhs) && isAppendCall(p, as.Rhs[i]) {
+				set["append"] = true
+			} else if i < len(as.Rhs) && isSelfConcat(p, id, as.Rhs[i]) {
+				set["string concatenation"] = true
+			}
+		case token.ADD_ASSIGN:
+			if isString(p, id) {
+				set["string concatenation"] = true
+			}
+		}
+	}
+}
+
+func isAppendCall(p *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isSelfConcat matches `s = s + x` for an outer string s.
+func isSelfConcat(p *Pass, id *ast.Ident, rhs ast.Expr) bool {
+	bin, ok := rhs.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.ADD || !isString(p, id) {
+		return false
+	}
+	left, ok := bin.X.(*ast.Ident)
+	return ok && p.ObjectOf(left) == p.ObjectOf(id)
+}
+
+func isString(p *Pass, id *ast.Ident) bool {
+	t := p.TypeOf(id)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// writerMethods are method names whose call on an out-of-loop receiver
+// streams bytes in iteration order (strings.Builder, bytes.Buffer,
+// io.Writer, encoders, csv writers).
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Fprintf": true, "Fprintln": true, "Fprint": true,
+}
+
+// emitFuncs are package-level output calls: anything printed inside a
+// map range leaves the process in iteration order.
+var emitFuncs = map[string]map[string]bool{
+	"fmt": {"Print": true, "Printf": true, "Println": true,
+		"Fprint": true, "Fprintf": true, "Fprintln": true},
+	"log": {"Print": true, "Printf": true, "Println": true},
+}
+
+func classifyCall(p *Pass, rs *ast.RangeStmt, call *ast.CallExpr, set map[string]bool) {
+	if path, name := p.PkgFunc(call.Fun); path != "" {
+		if emitFuncs[path][name] {
+			if strings.HasPrefix(name, "Fprint") {
+				// Writer-directed: escapes only when the writer does.
+				if len(call.Args) > 0 && writerEscapes(p, rs, call.Args[0]) {
+					set["output emission"] = true
+				}
+			} else {
+				set["output emission"] = true
+			}
+		}
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !writerMethods[sel.Sel.Name] {
+		return
+	}
+	if writerEscapes(p, rs, sel.X) {
+		set["writer/builder write"] = true
+	}
+}
+
+// writerEscapes reports whether the written-to value outlives the loop
+// iteration. A builder declared inside the body resets per key and
+// never observes cross-key order; anything else (outer variable,
+// package-level writer, unresolvable shape) is conservatively escaping.
+func writerEscapes(p *Pass, rs *ast.RangeStmt, w ast.Expr) bool {
+	id := baseIdent(w)
+	if id == nil {
+		return true
+	}
+	return declaredOutside(p, id, rs)
+}
+
+// sortsAfter reports whether the enclosing function body contains a
+// sort call after the range statement — the collect-then-sort idiom.
+func sortsAfter(p *Pass, body *ast.BlockStmt, rs *ast.RangeStmt) bool {
+	found := false
+	walkShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		if isSortCall(p, call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+var sortFuncs = map[string]bool{
+	"Strings": true, "Ints": true, "Float64s": true,
+	"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+}
+
+func isSortCall(p *Pass, call *ast.CallExpr) bool {
+	path, name := p.PkgFunc(call.Fun)
+	switch path {
+	case "sort":
+		return sortFuncs[name]
+	case "slices":
+		return strings.HasPrefix(name, "Sort")
+	}
+	return false
+}

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteText prints findings one per line in the conventional
+// file:line:col form. Suppressed findings are printed only when
+// includeSuppressed is set (with the directive's reason appended).
+func WriteText(w io.Writer, findings []Finding, includeSuppressed bool) error {
+	for _, f := range findings {
+		if f.Suppressed && !includeSuppressed {
+			continue
+		}
+		if _, err := fmt.Fprintln(w, f.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonReport is the schema of the machine-readable findings artifact
+// CI uploads. Version bumps on breaking shape changes.
+type jsonReport struct {
+	Version    int       `json:"version"`
+	Module     string    `json:"module"`
+	Checks     []string  `json:"checks"`
+	Total      int       `json:"total"`
+	Suppressed int       `json:"suppressed"`
+	Active     int       `json:"active"`
+	Findings   []Finding `json:"findings"`
+}
+
+// WriteJSON writes the full findings report — suppressed sites
+// included, so the artifact doubles as an inventory of every sanctioned
+// exception in the tree.
+func WriteJSON(w io.Writer, module string, findings []Finding) error {
+	active := Unsuppressed(findings)
+	rep := jsonReport{
+		Version:    1,
+		Module:     module,
+		Checks:     checkNames(),
+		Total:      len(findings),
+		Suppressed: len(findings) - active,
+		Active:     active,
+		Findings:   findings,
+	}
+	if rep.Findings == nil {
+		rep.Findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

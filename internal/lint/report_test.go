@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleFindings() []Finding {
+	return []Finding{
+		{Check: "wallclock", File: "internal/sim/x.go", Line: 3, Col: 2, Message: "time.Now"},
+		{Check: "goroutine", File: "internal/sim/x.go", Line: 9, Col: 1, Message: "go stmt",
+			Suppressed: true, Reason: "sanctioned"},
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, sampleFindings(), false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "internal/sim/x.go:3:2: wallclock: time.Now") {
+		t.Errorf("text output:\n%s", out)
+	}
+	if strings.Contains(out, "go stmt") {
+		t.Errorf("suppressed finding printed without -v:\n%s", out)
+	}
+	buf.Reset()
+	if err := WriteText(&buf, sampleFindings(), true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(allowed: sanctioned)") {
+		t.Errorf("verbose output misses the reason:\n%s", buf.String())
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "example.com/mod", sampleFindings()); err != nil {
+		t.Fatal(err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Version != 1 || rep.Module != "example.com/mod" {
+		t.Errorf("header: %+v", rep)
+	}
+	if rep.Total != 2 || rep.Suppressed != 1 || rep.Active != 1 {
+		t.Errorf("counts: %+v", rep)
+	}
+	if len(rep.Checks) != 5 {
+		t.Errorf("checks: %v", rep.Checks)
+	}
+	if len(rep.Findings) != 2 || rep.Findings[1].Reason != "sanctioned" {
+		t.Errorf("findings: %+v", rep.Findings)
+	}
+}
+
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "m", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"findings": []`) {
+		t.Errorf("nil findings must encode as [], got:\n%s", buf.String())
+	}
+}
+
+func TestUnsuppressed(t *testing.T) {
+	if got := Unsuppressed(sampleFindings()); got != 1 {
+		t.Errorf("Unsuppressed = %d, want 1", got)
+	}
+}

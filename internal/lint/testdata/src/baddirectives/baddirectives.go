@@ -1,0 +1,29 @@
+// Package baddirectives holds malformed //anacin:allow directives; the
+// framework must surface each one as a "directive" finding (tested
+// programmatically in directive_test.go, not via want comments — the
+// text after a directive is its reason, so a trailing want comment
+// would become part of the directive itself).
+package baddirectives
+
+import "fmt"
+
+func emit(m map[string]int) {
+	//anacin:allow maprange
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+func emitUnknown(m map[string]int) {
+	//anacin:allow sortedmaps because I said so
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+func emitBare(m map[string]int) {
+	//anacin:allow
+	for k := range m {
+		fmt.Println(k)
+	}
+}

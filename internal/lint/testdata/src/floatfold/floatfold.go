@@ -1,0 +1,72 @@
+// Package floatfold is the golden fixture for the floatfold analyzer:
+// order-dependent floating-point accumulation over map iteration.
+package floatfold
+
+// A float sum over map order differs in the low bits run to run.
+func sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want "floatfold: floating-point accumulation in map iteration order"
+	}
+	return total
+}
+
+// The spelled-out fold is the same bug.
+func product(m map[string]float64) float64 {
+	p := 1.0
+	for _, v := range m {
+		p = p * v // want "floatfold: floating-point accumulation in map iteration order"
+	}
+	return p
+}
+
+// Accumulating from a nested loop still leaks the outer map's order.
+func nested(m map[string][]float64) float64 {
+	total := 0.0
+	for _, vs := range m {
+		for _, v := range vs {
+			total += v // want "floatfold: floating-point accumulation in map iteration order"
+		}
+	}
+	return total
+}
+
+// Integer folds are commutative: silent.
+func count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Per-key writes touch each slot exactly once: silent.
+func scale(m map[int]float64, by float64) map[int]float64 {
+	out := make(map[int]float64, len(m))
+	for k, v := range m {
+		out[k] += v * by
+	}
+	return out
+}
+
+// A per-iteration accumulator resets every key: silent.
+func rowSums(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, vs := range m {
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// Folding over a slice is deterministic: silent.
+func sliceSum(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

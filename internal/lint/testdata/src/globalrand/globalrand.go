@@ -1,0 +1,30 @@
+// Package globalrand is the golden fixture for the globalrand analyzer
+// outside the simulated world: global draws and time-seeded sources are
+// findings; explicitly-seeded local sources are fine here.
+package globalrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Package-level convenience functions share one global source.
+func shuffled(n int) []int {
+	return rand.Perm(n) // want "globalrand: global rand.Perm"
+}
+
+func draw() float64 {
+	return rand.Float64() // want "globalrand: global rand.Float64"
+}
+
+// Seeding a source from the wall clock makes every run unique.
+func timeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "globalrand: time-seeded rand.New"
+}
+
+// A source seeded from configuration is reproducible: silent here
+// (but see the virtual/patterns fixture — inside the simulated world
+// even this must go through vtime.RNG).
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

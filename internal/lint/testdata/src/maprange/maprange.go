@@ -1,0 +1,116 @@
+// Package maprange is the golden fixture for the maprange analyzer:
+// each "want" comment pins one expected finding, and every un-annotated
+// loop pins a shape that must stay silent.
+package maprange
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Escaping append with no sort afterwards: the classic regression.
+func keysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "maprange: map iteration order escapes via append"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Collect-then-sort — the canonical idiom — is silent.
+func keysSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// slices.Sort-style spellings count as the sort too.
+func valsSorted(m map[string]int) []int {
+	vals := make([]int, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// Commutative folds (max tracking, counting) are silent.
+func maxValue(m map[string]int) (int, int) {
+	best, n := 0, 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+		n++
+	}
+	return best, n
+}
+
+// Per-key map writes and set membership are silent.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Writing an outer builder bakes iteration order into the string; the
+// later sort cannot fix it, so both escapes are reported.
+func describe(m map[string]int) string {
+	var b strings.Builder
+	var keys []string
+	for k := range m { // want "maprange: map iteration order escapes via append, writer/builder write"
+		b.WriteString(k)
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return b.String()
+}
+
+// Printing inside the loop emits in iteration order.
+func dump(m map[string]int) {
+	for k, v := range m { // want "maprange: map iteration order escapes via output emission"
+		fmt.Println(k, v)
+	}
+}
+
+// String concatenation onto an outer variable.
+func join(m map[string]int) string {
+	s := ""
+	for k := range m { // want "maprange: map iteration order escapes via string concatenation"
+		s = s + k
+	}
+	return s
+}
+
+// Channel sends leave the loop in iteration order.
+func stream(m map[string]int, ch chan<- string) {
+	for k := range m { // want "maprange: map iteration order escapes via channel send"
+		ch <- k
+	}
+}
+
+// A builder declared inside the body resets every key: silent.
+func perKey(m map[string]int) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s=%d", k, v)
+		out[k] = b.String()
+	}
+	return out
+}
+
+// Ranging a slice is always silent, whatever the body does.
+func sliceAppend(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,11 @@
+// Package kernel is the seeded-regression fixture from the issue: a
+// wall-clock read slipped into the kernel layer must be caught.
+package kernel
+
+import "time"
+
+func fingerprintWithTimestamp(data []byte) uint64 {
+	h := uint64(len(data))
+	h ^= uint64(time.Now().UnixNano()) // want "wallclock: time.Now in virtual-time package kernel"
+	return h
+}

@@ -1,0 +1,11 @@
+// Package patterns is the golden fixture for globalrand's
+// simulated-world rule: inside sim/patterns even an explicitly-seeded
+// math/rand source is a finding — randomness must flow from the config
+// seed through vtime.RNG.
+package patterns
+
+import "math/rand"
+
+func newGen(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want "globalrand: rand.New in package patterns" "globalrand: rand.NewSource in package patterns"
+}

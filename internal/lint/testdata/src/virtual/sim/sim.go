@@ -1,0 +1,39 @@
+// Package sim is the golden fixture for the domain analyzers keyed on
+// the virtual-time package set: its directory name opts it into the
+// wallclock and goroutine checks exactly like internal/sim.
+package sim
+
+import "time"
+
+// Durations, constants, and formatting are fine; only clock reads and
+// real sleeps are findings.
+const tick = 10 * time.Millisecond
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "wallclock: time.Now in virtual-time package sim"
+}
+
+func pause() {
+	time.Sleep(tick) // want "wallclock: time.Sleep in virtual-time package sim"
+}
+
+func elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want "wallclock: time.Since in virtual-time package sim"
+}
+
+// Goroutines violate the single-owner discipline.
+func spawn(f func()) {
+	go f() // want "goroutine: goroutine started in single-owner package sim"
+}
+
+// A sanctioned site carries a directive and stays out of the
+// unsuppressed count (the harness asserts no finding surfaces here).
+func sanctionedPause() {
+	//anacin:allow wallclock fixture: the sanctioned-exception path itself
+	time.Sleep(tick)
+}
+
+func sanctionedSpawn(f func()) {
+	//anacin:allow goroutine fixture: directive suppression on a go statement
+	go f()
+}

@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// WallClock flags wall-clock reads and real sleeps inside the
+// virtual-time packages (internal/{sim,trace,graph,kernel,analysis,
+// core,patterns}). Those packages compute pure functions of
+// (config, seed): all time must come from the DES scheduler's virtual
+// clock (internal/vtime), never from the machine's. One file is
+// sanctioned by design — sim/wallclock.go implements the contrast
+// runtime whose whole point is native time — and carries an
+// //anacin:allow directive on every site.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "wall-clock access (time.Now/Sleep/...) inside a virtual-time package",
+	Run:  runWallClock,
+}
+
+// clockFuncs are the time functions that read the machine clock or
+// block on real time. Pure values (time.Duration, time.Nanosecond) and
+// formatting are fine.
+var clockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "AfterFunc": true, "Sleep": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+func runWallClock(p *Pass) {
+	if !virtualTimePkgs[lastSegment(p.Path())] {
+		return
+	}
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if path, name := p.PkgFunc(sel); path == "time" && clockFuncs[name] {
+				p.Reportf(sel.Pos(), "time.%s in virtual-time package %s: all time must come from the scheduler's virtual clock (internal/vtime)",
+					name, lastSegment(p.Path()))
+			}
+			return true
+		})
+	}
+}

@@ -42,7 +42,7 @@ func patternGraph(t testing.TB, pat Pattern, params Params, nd float64, seed int
 func TestRegistryComplete(t *testing.T) {
 	all := All()
 	if len(all) != 9 {
-		t.Fatalf("registry has %d patterns: %v", len(all), names())
+		t.Fatalf("registry has %d patterns: %v", len(all), sortedNames())
 	}
 	// The paper's three mini-applications must be present under their
 	// documented names, plus the MCB and miniAMR workloads its

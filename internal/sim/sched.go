@@ -415,6 +415,7 @@ func (s *simulation) release(m *message) {
 // completion.
 func (s *simulation) run(program Program) (*trace.Trace, *Stats, error) {
 	for _, r := range s.ranks {
+		//anacin:allow goroutine the scheduler is the sanctioned owner: it starts each rank exactly once and the yield protocol keeps one goroutine runnable at a time
 		go s.rankMain(r, program)
 	}
 	err := s.loop()

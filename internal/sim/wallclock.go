@@ -82,6 +82,7 @@ type wallSim struct {
 	failed error
 }
 
+//anacin:allow wallclock the wallclock runtime's timestamps ARE real time; that irreproducibility is the course contrast it exists to show
 func (s *wallSim) now() vtime.Time { return vtime.Time(time.Since(s.start).Nanoseconds()) }
 
 func (s *wallSim) fail(err error) {
@@ -162,6 +163,7 @@ func (r *WallRank) send(dst, tag, size int, data []byte) {
 	// inline from the (sequential) sender preserves per-channel FIFO.
 	if r.rng.Bernoulli(r.sim.cfg.NDPercent / 100) {
 		delay := time.Duration(r.rng.Intn(int(r.sim.cfg.JitterMax) + 1))
+		//anacin:allow wallclock injected congestion on this runtime is a real sleep by design (the DES models it in virtual time instead)
 		time.Sleep(delay)
 	}
 	seq := r.chanSeqs[dst]
@@ -191,7 +193,9 @@ func (r *WallRank) Recv(src, tag int) Message {
 	if src != AnySource && (src < 0 || src >= r.Size()) {
 		panic(fmt.Sprintf("sim: wallclock rank %d received from invalid src %d", r.id, src))
 	}
+	//anacin:allow wallclock the receive deadline guards against real deadlocks on real goroutines; there is no virtual clock to consult here
 	deadline := time.Now().Add(r.sim.cfg.RecvTimeout)
+	//anacin:allow wallclock same deadline, armed as a timer so sleepers are woken
 	timer := time.AfterFunc(r.sim.cfg.RecvTimeout, func() {
 		r.sim.fail(fmt.Errorf("sim: wallclock rank %d receive (src=%d, tag=%d) timed out — deadlock?", r.id, src, tag))
 	})
@@ -212,6 +216,7 @@ func (r *WallRank) Recv(src, tag int) Message {
 				return Message{Src: msg.src, Tag: msg.tag, Size: msg.size, Data: msg.data}
 			}
 		}
+		//anacin:allow wallclock deadlock-guard deadline check (see Recv above)
 		if time.Now().After(deadline) {
 			r.mu.Unlock()
 			panic(abortSentinel{})
@@ -225,6 +230,7 @@ func (r *WallRank) Compute(d vtime.Duration) {
 	if d <= 0 {
 		return
 	}
+	//anacin:allow wallclock Compute on this runtime burns real time: scaled-down sleeps keep relative compute costs while racing natively
 	time.Sleep(time.Duration(int64(d) / int64(r.sim.cfg.ComputeScale)))
 }
 
@@ -246,6 +252,7 @@ func RunWallclock(cfg WallConfig, meta trace.Meta, program func(Proc)) (*trace.T
 	meta.NDPercent = cfg.NDPercent
 	meta.Seed = cfg.Seed
 
+	//anacin:allow wallclock run epoch: every event timestamp is real elapsed time since this instant
 	s := &wallSim{cfg: cfg, start: time.Now()}
 	base := vtime.NewRNG(cfg.Seed)
 	s.ranks = make([]*WallRank, cfg.Procs)
@@ -258,6 +265,7 @@ func RunWallclock(cfg WallConfig, meta trace.Meta, program func(Proc)) (*trace.T
 	var wg sync.WaitGroup
 	for _, r := range s.ranks {
 		wg.Add(1)
+		//anacin:allow goroutine the wallclock contrast runtime races real goroutines on purpose: native scheduler non-determinism is the measured object
 		go func(r *WallRank) {
 			defer wg.Done()
 			defer func() {
