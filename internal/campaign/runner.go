@@ -132,10 +132,7 @@ func (r *Runner) report(mu *sync.Mutex, cell Cell, cellWall time.Duration, start
 		return
 	}
 	elapsed := time.Since(start)
-	var eta time.Duration
-	if remaining := totalCells - *done; remaining > 0 && *done > 0 {
-		eta = time.Duration(int64(elapsed) / int64(*done) * int64(remaining))
-	}
+	eta := etaFrom(elapsed, *done, totalCells-*done)
 	r.Progress(Progress{
 		TotalCells: totalCells,
 		DoneCells:  *done,
@@ -146,6 +143,19 @@ func (r *Runner) report(mu *sync.Mutex, cell Cell, cellWall time.Duration, start
 		Elapsed:    elapsed,
 		ETA:        eta,
 	})
+}
+
+// etaFrom extrapolates remaining wall-clock time from the mean pace of
+// the completed cells. The multiply happens before the divide: the old
+// elapsed/done*remaining form truncated the per-cell pace to whole
+// nanoseconds first, which collapsed the estimate toward zero whenever
+// many fast cells had completed (elapsed/done rounds down, and the
+// error is multiplied by remaining).
+func etaFrom(elapsed time.Duration, done, remaining int) time.Duration {
+	if done <= 0 || remaining <= 0 {
+		return 0
+	}
+	return time.Duration(int64(elapsed) * int64(remaining) / int64(done))
 }
 
 // cellConfig is one grid point's coordinates, in grid declaration order.

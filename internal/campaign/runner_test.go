@@ -69,6 +69,35 @@ func TestRunnerProgress(t *testing.T) {
 	}
 }
 
+// TestETAFromSkewedPace pins the multiply-before-divide fix: with many
+// cells done quickly, the old elapsed/done*remaining form truncated the
+// per-cell pace to whole nanoseconds before scaling it back up, so the
+// truncation error was multiplied by the remaining count.
+func TestETAFromSkewedPace(t *testing.T) {
+	cases := []struct {
+		elapsed         time.Duration
+		done, remaining int
+		want            time.Duration
+	}{
+		// 1500ns over 1000 cells = 1.5ns/cell; 500 left → 750ns. The old
+		// form computed 1500/1000 = 1ns/cell → 500ns (33% short).
+		{1500 * time.Nanosecond, 1000, 500, 750 * time.Nanosecond},
+		// Sub-nanosecond pace: old form reported exactly 0.
+		{900 * time.Nanosecond, 1000, 1000, 900 * time.Nanosecond},
+		// Even pace survives unchanged.
+		{10 * time.Second, 2, 8, 40 * time.Second},
+		// Degenerate inputs are quiet zeros, not panics.
+		{time.Second, 0, 5, 0},
+		{time.Second, 5, 0, 0},
+		{time.Second, 5, -1, 0},
+	}
+	for _, c := range cases {
+		if got := etaFrom(c.elapsed, c.done, c.remaining); got != c.want {
+			t.Errorf("etaFrom(%v, %d, %d) = %v, want %v", c.elapsed, c.done, c.remaining, got, c.want)
+		}
+	}
+}
+
 func TestRunCancelledBeforeStart(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

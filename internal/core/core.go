@@ -90,16 +90,20 @@ func (e *Experiment) params() patterns.Params {
 	}
 }
 
-// config builds the simulator configuration for run index i.
-func (e *Experiment) config(i int) sim.Config {
+// config builds the simulator configuration for run index i. The
+// pattern's per-rank event estimate sizes the trace arena, replacing
+// the flat sim.DefaultEventsPerRankHint that starves heavy workloads
+// and overallocates idle large-P ranks.
+func (e *Experiment) config(i int, pat patterns.Pattern) sim.Config {
 	return sim.Config{
-		Procs:         e.Procs,
-		Nodes:         e.Nodes,
-		NDPercent:     e.NDPercent,
-		Seed:          e.BaseSeed + int64(i),
-		Net:           e.Net,
-		Replay:        e.Replay,
-		CaptureStacks: e.CaptureStacks,
+		Procs:             e.Procs,
+		Nodes:             e.Nodes,
+		NDPercent:         e.NDPercent,
+		Seed:              e.BaseSeed + int64(i),
+		Net:               e.Net,
+		Replay:            e.Replay,
+		CaptureStacks:     e.CaptureStacks,
+		EventsPerRankHint: pat.EventsPerRankHint(e.params()),
 	}
 }
 
@@ -121,7 +125,7 @@ func (e *Experiment) Validate() error {
 	if _, err := pat.Program(p); err != nil {
 		return err
 	}
-	cfg := e.config(0)
+	cfg := e.config(0, pat)
 	probe := cfg
 	if _, _, err := sim.Run(probe, trace.Meta{}, func(r *sim.Rank) {}); err != nil {
 		return err
@@ -237,7 +241,7 @@ func (e Experiment) ExecuteContext(ctx context.Context) (*RunSet, error) {
 				if executeRunHook != nil {
 					executeRunHook(i)
 				}
-				tr, stats, err := sim.RunContext(runCtx, e.config(i), meta, adapted)
+				tr, stats, err := sim.RunContext(runCtx, e.config(i, pat), meta, adapted)
 				if err != nil {
 					fail(i, err)
 					continue

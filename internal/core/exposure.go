@@ -62,7 +62,7 @@ func (e Experiment) ExposureSearch(probes int, resolution float64) (*ExposureRes
 	adapted := sim.Adapt(program)
 
 	runOnce := func(nd float64, seed int64) (uint64, error) {
-		cfg := e.config(0)
+		cfg := e.config(0, pat)
 		cfg.NDPercent = nd
 		cfg.Seed = seed
 		cfg.CaptureStacks = false

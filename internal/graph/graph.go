@@ -11,6 +11,7 @@ package graph
 
 import (
 	"fmt"
+	"runtime"
 
 	"github.com/anacin-go/anacinx/internal/trace"
 	"github.com/anacin-go/anacinx/internal/vtime"
@@ -211,7 +212,18 @@ func (g *Graph) Validate() error {
 // FromTrace builds the event graph of a validated trace. Nodes appear in
 // rank-major, sequence order; program edges follow each rank's stream;
 // message edges join each send to the receive that matched its message.
+//
+// Large traces are built in parallel over rank partitions (see
+// FromTraceWorkers); the result is identical to the sequential build.
 func FromTrace(tr *trace.Trace) (*Graph, error) {
+	if w := runtime.GOMAXPROCS(0); w > 1 && tr.NumEvents() >= parallelMinEvents {
+		return FromTraceWorkers(tr, w)
+	}
+	return fromTraceSeq(tr)
+}
+
+// fromTraceSeq is the sequential reference build.
+func fromTraceSeq(tr *trace.Trace) (*Graph, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, fmt.Errorf("graph: source trace invalid: %w", err)
 	}

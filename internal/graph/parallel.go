@@ -1,0 +1,340 @@
+package graph
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/anacin-go/anacinx/internal/trace"
+	"github.com/anacin-go/anacinx/internal/vtime"
+)
+
+// Parallel trace→graph construction. Event graphs have a rigidly
+// regular shape — nodes are rank-major, program edges follow each
+// rank's stream, and every message edge slot is determined by the
+// receiving rank and its receive ordinal — so the entire layout can be
+// computed from per-rank counts and then filled by workers writing to
+// disjoint index ranges. The result is bit-identical to the sequential
+// build (a property the tests pin), only the wall-clock differs.
+//
+// Validation is folded into construction: each worker checks its own
+// rank's stream invariants (the per-rank half of trace.Validate), and
+// the cross-rank send/receive uniqueness checks ride on the same
+// compare-and-swap slots that resolve message edges, so no separate
+// sequential validation sweep over the events is needed.
+
+// parallelMinEvents is the event count below which FromTrace stays
+// sequential: the fork/join overhead of a worker pool only pays for
+// itself on traces that take longer to scan than to spawn workers.
+const parallelMinEvents = 1 << 14
+
+// FromTraceWorkers builds the event graph of a trace using up to
+// workers goroutines partitioned over ranks. workers <= 0 means
+// GOMAXPROCS. The resulting graph is identical to the sequential
+// FromTrace build regardless of worker count or scheduling.
+func FromTraceWorkers(tr *trace.Trace, workers int) (*Graph, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if p := tr.Procs(); workers > p {
+		workers = p
+	}
+	if workers <= 1 {
+		return fromTraceSeq(tr)
+	}
+	return fromTracePar(tr, workers)
+}
+
+// rankCounts is the stage-0 summary of one rank's stream.
+type rankCounts struct {
+	events, sends, recvs int
+	maxSendID            int64
+}
+
+// forEachRank runs fn(rank) for every rank on a pool of workers. Ranks
+// are handed out through an atomic counter (work stealing), so a heavy
+// rank — the fan-in root of a message race — does not serialize behind
+// a static partition.
+func forEachRank(workers, p int, fn func(rank int)) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				r := int(next.Add(1)) - 1
+				if r >= p {
+					return
+				}
+				fn(r)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// firstErr returns the lowest-rank error, matching the rank-major order
+// in which the sequential build would have encountered it.
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// countRank validates one rank's stream invariants (the per-rank half
+// of trace.Validate) and tallies the counts the layout pass needs.
+func countRank(rank int, evs []trace.Event) (rankCounts, error) {
+	c := rankCounts{events: len(evs), maxSendID: -1}
+	var lastTime vtime.Time
+	var lastLamport int64
+	for i := range evs {
+		e := &evs[i]
+		if !e.Kind.Valid() {
+			return c, fmt.Errorf("rank %d event %d: invalid kind %d", rank, i, e.Kind)
+		}
+		if e.Rank != rank {
+			return c, fmt.Errorf("rank %d event %d: recorded rank %d", rank, i, e.Rank)
+		}
+		if e.Seq != i {
+			return c, fmt.Errorf("rank %d event %d: seq %d not dense", rank, i, e.Seq)
+		}
+		if e.Time < lastTime {
+			return c, fmt.Errorf("rank %d event %d: time %v before predecessor %v", rank, i, e.Time, lastTime)
+		}
+		if i > 0 && e.Lamport <= lastLamport {
+			return c, fmt.Errorf("rank %d event %d: lamport %d not after predecessor %d", rank, i, e.Lamport, lastLamport)
+		}
+		lastTime, lastLamport = e.Time, e.Lamport
+		if e.MsgID != trace.NoMsg {
+			if e.Kind.IsSend() {
+				c.sends++
+				if e.MsgID > c.maxSendID {
+					c.maxSendID = e.MsgID
+				}
+				if e.MsgID < 0 {
+					return c, fmt.Errorf("rank %d event %d: negative msg id %d", rank, i, e.MsgID)
+				}
+			} else if e.Kind.IsReceive() {
+				c.recvs++
+			}
+		}
+	}
+	return c, nil
+}
+
+func fromTracePar(tr *trace.Trace, workers int) (*Graph, error) {
+	p := tr.Procs()
+
+	// Stage 0: per-rank counts and stream validation.
+	counts := make([]rankCounts, p)
+	errs := make([]error, p)
+	forEachRank(workers, p, func(r int) {
+		counts[r], errs[r] = countRank(r, tr.Events[r])
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, fmt.Errorf("graph: source trace invalid: %w", err)
+	}
+
+	// Layout: prefix sums fix every node and edge slot. Program edges
+	// occupy [0, numProg) rank-major; message edges follow, rank-major
+	// by RECEIVING rank in receive order — exactly the sequential
+	// append order.
+	nodeOff := make([]int32, p+1)
+	progOff := make([]int32, p+1)
+	msgOff := make([]int32, p+1)
+	var numSends int
+	var maxSendID int64 = -1
+	for r := 0; r < p; r++ {
+		c := &counts[r]
+		nodeOff[r+1] = nodeOff[r] + int32(c.events)
+		prog := c.events - 1
+		if prog < 0 {
+			prog = 0
+		}
+		progOff[r+1] = progOff[r] + int32(prog)
+		msgOff[r+1] = msgOff[r] + int32(c.recvs)
+		numSends += c.sends
+		if c.maxSendID > maxSendID {
+			maxSendID = c.maxSendID
+		}
+	}
+	// The message-id join table is a dense slice indexed by MsgID. The
+	// simulator issues sequential ids, so the span is proportional to
+	// the send count; a hand-built trace with scattered ids falls back
+	// to the sequential map-based build.
+	if maxSendID+1 > int64(4*numSends)+1024 {
+		return fromTraceSeq(tr)
+	}
+	numProg := int(progOff[p])
+	numRecvs := int(msgOff[p])
+
+	g := &Graph{
+		Meta:  tr.Meta,
+		Nodes: make([]Node, int(nodeOff[p])),
+		Edges: make([]Edge, numProg+numRecvs),
+	}
+	// sendSlot[id] and matchEdge[id] hold nodeID+1 of the send event
+	// and edgeIndex+1 of the consuming message edge (0 = absent). Both
+	// are claimed with CAS so concurrent duplicate sends or receives of
+	// one message are detected instead of silently racing.
+	sendSlot := make([]int32, maxSendID+1)
+	matchEdge := make([]int32, maxSendID+1)
+
+	// Stage A: nodes, program edges, and the send join table.
+	forEachRank(workers, p, func(r int) {
+		evs := tr.Events[r]
+		base := nodeOff[r]
+		pbase := progOff[r]
+		for i := range evs {
+			e := &evs[i]
+			id := base + int32(i)
+			g.Nodes[id] = Node{
+				ID:           NodeID(id),
+				Rank:         e.Rank,
+				Seq:          e.Seq,
+				Kind:         e.Kind,
+				Label:        e.Label(),
+				Lamport:      e.Lamport,
+				Time:         e.Time,
+				CallstackKey: e.CallstackKey(),
+			}
+			if i > 0 {
+				g.Edges[pbase+int32(i-1)] = Edge{From: NodeID(id - 1), To: NodeID(id), Kind: EdgeProgram}
+			}
+			if e.MsgID != trace.NoMsg && e.Kind.IsSend() {
+				// The node is written before the CAS publishes its id, so
+				// a loser reading the winner's node observes it complete.
+				if !atomic.CompareAndSwapInt32(&sendSlot[e.MsgID], 0, id+1) {
+					prev := int(atomic.LoadInt32(&sendSlot[e.MsgID]) - 1)
+					errs[r] = fmt.Errorf("graph: source trace invalid: msg %d sent twice (ranks %d and %d)",
+						e.MsgID, g.Nodes[prev].Rank, r)
+					return
+				}
+			}
+		}
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, fmt.Errorf("graph: source trace invalid: %w", err)
+	}
+
+	// Stage B: message edges, joined through the send table. Receives
+	// may precede their sender in rank-major order, which is why this
+	// stage needs stage A complete.
+	forEachRank(workers, p, func(r int) {
+		evs := tr.Events[r]
+		base := nodeOff[r]
+		slot := int32(numProg) + msgOff[r]
+		for i := range evs {
+			e := &evs[i]
+			if e.MsgID == trace.NoMsg || !e.Kind.IsReceive() {
+				continue
+			}
+			var from int32
+			if e.MsgID >= 0 && e.MsgID <= maxSendID {
+				from = sendSlot[e.MsgID]
+			}
+			if from == 0 {
+				errs[r] = fmt.Errorf("graph: recv of msg %d has no send", e.MsgID)
+				return
+			}
+			to := base + int32(i)
+			if g.Nodes[to].Lamport <= g.Nodes[from-1].Lamport {
+				errs[r] = fmt.Errorf("graph: edge %d violates causality: lamport %d→%d",
+					slot, g.Nodes[from-1].Lamport, g.Nodes[to].Lamport)
+				return
+			}
+			// The edge is written before the CAS publishes its index, so
+			// a loser reporting a duplicate observes the winner's edge.
+			g.Edges[slot] = Edge{From: NodeID(from - 1), To: NodeID(to), Kind: EdgeMessage}
+			if !atomic.CompareAndSwapInt32(&matchEdge[e.MsgID], 0, slot+1) {
+				prev := atomic.LoadInt32(&matchEdge[e.MsgID]) - 1
+				errs[r] = fmt.Errorf("graph: source trace invalid: msg %d received twice (ranks %d and %d)",
+					e.MsgID, g.Nodes[g.Edges[prev].To].Rank, r)
+				return
+			}
+			slot++
+		}
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+
+	// Stage C: adjacency, the parallel counterpart of Seal. Each rank's
+	// nodes form a contiguous ID range, so each worker carves its own
+	// backing arrays and fills them without coordination. Out lists are
+	// [program edge, message edge] in ascending edge index — the same
+	// order sequential Seal produces by scanning edges in index order.
+	g.Out = make([][]int32, len(g.Nodes))
+	g.In = make([][]int32, len(g.Nodes))
+	forEachRank(workers, p, func(r int) {
+		evs := tr.Events[r]
+		if len(evs) == 0 {
+			return
+		}
+		base := nodeOff[r]
+		pbase := progOff[r]
+		// Degree pass: program edges plus this rank's matched sends
+		// (out) and its receives (in; every receive matched, or stage B
+		// would have failed).
+		matched := 0
+		for i := range evs {
+			e := &evs[i]
+			if e.MsgID != trace.NoMsg && e.Kind.IsSend() && matchEdge[e.MsgID] != 0 {
+				matched++
+			}
+		}
+		prog := len(evs) - 1
+		outBack := make([]int32, prog+matched)
+		inBack := make([]int32, prog+int(msgOff[r+1]-msgOff[r]))
+		var op, ip int32
+		recvSlot := int32(numProg) + msgOff[r]
+		for i := range evs {
+			e := &evs[i]
+			id := base + int32(i)
+			outDeg, inDeg := int32(0), int32(0)
+			if i < len(evs)-1 {
+				outDeg++
+			}
+			if i > 0 {
+				inDeg++
+			}
+			isSend := e.MsgID != trace.NoMsg && e.Kind.IsSend()
+			isRecv := e.MsgID != trace.NoMsg && e.Kind.IsReceive()
+			var sendEdge int32
+			if isSend {
+				sendEdge = matchEdge[e.MsgID]
+				if sendEdge != 0 {
+					outDeg++
+				}
+			}
+			if isRecv {
+				inDeg++
+			}
+			out := outBack[op : op : op+outDeg]
+			op += outDeg
+			in := inBack[ip : ip : ip+inDeg]
+			ip += inDeg
+			if i < len(evs)-1 {
+				out = append(out, pbase+int32(i))
+			}
+			if isSend && sendEdge != 0 {
+				out = append(out, sendEdge-1)
+			}
+			if i > 0 {
+				in = append(in, pbase+int32(i-1))
+			}
+			if isRecv {
+				in = append(in, recvSlot)
+				recvSlot++
+			}
+			g.Out[id] = out
+			g.In[id] = in
+		}
+	})
+	return g, nil
+}

@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/anacin-go/anacinx/internal/sim"
+	"github.com/anacin-go/anacinx/internal/trace"
+)
+
+// iterRaceTrace simulates a message-race pattern and returns its trace:
+// every nonzero rank sends to rank 0, which receives with AnySource —
+// fan-in, wildcard matching, and receives that precede their senders in
+// rank-major order.
+func iterRaceTrace(t *testing.T, procs, iters int, nd float64) *trace.Trace {
+	t.Helper()
+	cfg := sim.DefaultConfig(procs, 42)
+	cfg.Nodes = 2
+	cfg.NDPercent = nd
+	tr, _, err := sim.Run(cfg, trace.Meta{Pattern: "race"}, func(r *sim.Rank) {
+		if r.Rank() == 0 {
+			for i := 0; i < iters*(r.Size()-1); i++ {
+				r.Recv(sim.AnySource, sim.AnyTag)
+			}
+			return
+		}
+		for i := 0; i < iters; i++ {
+			r.SendSize(0, i, 64)
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	return tr
+}
+
+// collectiveTrace exercises NoMsg collective events and internal
+// (untraced) plumbing, so traced MsgIDs are a sparse subset of the
+// simulator's id space.
+func collectiveTrace(t *testing.T, procs int) *trace.Trace {
+	t.Helper()
+	cfg := sim.DefaultConfig(procs, 7)
+	cfg.NDPercent = 10
+	tr, _, err := sim.Run(cfg, trace.Meta{Pattern: "coll"}, func(r *sim.Rank) {
+		for i := 0; i < 3; i++ {
+			if r.Rank() != 0 {
+				r.SendSize(0, 1, 32)
+			} else {
+				for p := 1; p < r.Size(); p++ {
+					r.Recv(sim.AnySource, 1)
+				}
+			}
+			r.Barrier()
+			r.Allreduce([]byte{byte(r.Rank())}, func(a, b []byte) []byte { return a })
+		}
+	})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	return tr
+}
+
+// assertGraphsEqual compares every exported structural field.
+func assertGraphsEqual(t *testing.T, want, got *Graph, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Nodes, got.Nodes) {
+		t.Fatalf("%s: nodes differ", label)
+	}
+	if !reflect.DeepEqual(want.Edges, got.Edges) {
+		t.Fatalf("%s: edges differ", label)
+	}
+	if !reflect.DeepEqual(want.Out, got.Out) {
+		t.Fatalf("%s: out adjacency differs", label)
+	}
+	if !reflect.DeepEqual(want.In, got.In) {
+		t.Fatalf("%s: in adjacency differs", label)
+	}
+	if want.Meta != got.Meta {
+		t.Fatalf("%s: meta differs", label)
+	}
+}
+
+func TestParallelFromTraceMatchesSequential(t *testing.T) {
+	traces := map[string]*trace.Trace{
+		"race-16rank":   iterRaceTrace(t, 16, 8, 25),
+		"race-64rank":   iterRaceTrace(t, 64, 4, 25),
+		"coll-12rank":   collectiveTrace(t, 12),
+		"empty-streams": trace.New(trace.Meta{Procs: 5}),
+	}
+	for name, tr := range traces {
+		seq, err := fromTraceSeq(tr)
+		if err != nil {
+			t.Fatalf("%s: sequential build: %v", name, err)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			par, err := FromTraceWorkers(tr, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: parallel build: %v", name, workers, err)
+			}
+			assertGraphsEqual(t, seq, par, name)
+			if err := par.Validate(); err != nil {
+				t.Fatalf("%s workers=%d: parallel graph invalid: %v", name, workers, err)
+			}
+		}
+	}
+}
+
+// The parallel path must report invalid traces, not build garbage.
+func TestParallelFromTraceRejectsInvalid(t *testing.T) {
+	mk := func(mutate func(tr *trace.Trace)) *trace.Trace {
+		tr := iterRaceTrace(t, 16, 4, 0)
+		mutate(tr)
+		return tr
+	}
+	cases := map[string]*trace.Trace{
+		"lamport-regression": mk(func(tr *trace.Trace) {
+			tr.Events[3][1].Lamport = tr.Events[3][0].Lamport
+		}),
+		"sparse-seq": mk(func(tr *trace.Trace) {
+			tr.Events[2][1].Seq = 7
+		}),
+		"recv-without-send": mk(func(tr *trace.Trace) {
+			for i := range tr.Events[0] {
+				if tr.Events[0][i].Kind == trace.KindRecv {
+					tr.Events[0][i].MsgID = 1 << 40
+					break
+				}
+			}
+		}),
+	}
+	for name, tr := range cases {
+		if _, err := FromTraceWorkers(tr, 4); err == nil {
+			t.Errorf("%s: parallel build accepted an invalid trace", name)
+		}
+	}
+}

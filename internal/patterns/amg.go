@@ -29,6 +29,13 @@ func (*AMG2013) MinProcs() int { return 2 }
 // Deterministic implements Pattern.
 func (*AMG2013) Deterministic() bool { return false }
 
+// EventsPerRankHint implements Pattern: every rank sends and receives
+// P-1 messages per round, so per-rank streams are uniform and exact.
+func (a *AMG2013) EventsPerRankHint(p Params) int {
+	p = p.withDefaults()
+	return 2 + p.Iterations*roundsPerIteration*2*(p.Procs-1)
+}
+
 // Program implements Pattern.
 func (a *AMG2013) Program(p Params) (sim.ProcProgram, error) {
 	if err := p.Validate(a.MinProcs()); err != nil {

@@ -1,0 +1,93 @@
+package patterns
+
+import (
+	"encoding/binary"
+
+	"github.com/anacin-go/anacinx/internal/sim"
+)
+
+func init() { register(&CollectiveTree{}) }
+
+// CollectiveTree iterates the collective core of a bulk-synchronous
+// solver: a binomial-tree broadcast of "coefficients" from rank 0, a
+// tree+tree allreduce of a "residual", and a dissemination (butterfly)
+// barrier. Every rank records three collective events per iteration,
+// but underneath the runtime moves O(P log P) internal tree messages —
+// which makes the pattern the large-P stress for collective plumbing:
+// the traced event streams stay tiny and uniform while the scheduler
+// carries the full message volume. All sources are concrete (tree
+// parents and butterfly partners), so the structure is deterministic
+// at any ND level.
+//
+// Collectives are DES-only, so like reduce_pipeline this pattern
+// requires the DES runtime and panics on the wallclock substrate.
+type CollectiveTree struct{}
+
+// Name implements Pattern.
+func (*CollectiveTree) Name() string { return "collective_tree" }
+
+// Description implements Pattern.
+func (*CollectiveTree) Description() string {
+	return "bcast + allreduce + barrier per iteration over binomial trees and a butterfly"
+}
+
+// MinProcs implements Pattern.
+func (*CollectiveTree) MinProcs() int { return 2 }
+
+// Deterministic implements Pattern.
+func (*CollectiveTree) Deterministic() bool { return true }
+
+// EventsPerRankHint implements Pattern: exactly three collective events
+// per rank per iteration.
+func (*CollectiveTree) EventsPerRankHint(p Params) int {
+	p = p.withDefaults()
+	return 2 + 3*p.Iterations
+}
+
+// Program implements Pattern.
+func (ct *CollectiveTree) Program(p Params) (sim.ProcProgram, error) {
+	if err := p.Validate(ct.MinProcs()); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	return func(r sim.Proc) {
+		rank, ok := r.(*sim.Rank)
+		if !ok {
+			panic("patterns: collective_tree uses collectives and requires the DES runtime")
+		}
+		for iter := 0; iter < p.Iterations; iter++ {
+			ct.solveStep(rank, p, iter)
+		}
+	}, nil
+}
+
+// solveStep is one bulk-synchronous iteration: distribute, reduce,
+// synchronize.
+func (ct *CollectiveTree) solveStep(r *sim.Rank, p Params, iter int) {
+	size := p.MsgSize
+	if size < 8 {
+		size = 8
+	}
+	coeffs := make([]byte, size)
+	binary.LittleEndian.PutUint64(coeffs, uint64(iter))
+	r.Bcast(0, coeffs)
+
+	residual := make([]byte, 8)
+	binary.LittleEndian.PutUint64(residual, uint64(r.Rank()+iter))
+	r.Allreduce(residual, maxUint64)
+	r.Barrier()
+	r.Compute(p.ComputeGrain)
+}
+
+// maxUint64 combines two little-endian uint64 payloads by maximum — an
+// associative, commutative op, so the tree reduction is reproducible.
+func maxUint64(a, b []byte) []byte {
+	x := binary.LittleEndian.Uint64(a)
+	y := binary.LittleEndian.Uint64(b)
+	if y > x {
+		x = y
+	}
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint64(out, x)
+	return out
+}

@@ -40,6 +40,13 @@ func (*RingHalo) MinProcs() int { return 3 }
 // Deterministic implements Pattern.
 func (*RingHalo) Deterministic() bool { return true }
 
+// EventsPerRankHint implements Pattern: exactly two sends and two
+// receives per rank per iteration.
+func (*RingHalo) EventsPerRankHint(p Params) int {
+	p = p.withDefaults()
+	return 2 + 4*p.Iterations
+}
+
 // Program implements Pattern.
 func (h *RingHalo) Program(p Params) (sim.ProcProgram, error) {
 	if err := p.Validate(h.MinProcs()); err != nil {
@@ -100,6 +107,15 @@ func (*Stencil2D) Grid(procs int) (rows, cols int) {
 	}
 	cols = procs / rows
 	return rows, cols
+}
+
+// EventsPerRankHint implements Pattern: an interior grid rank exchanges
+// with 4 neighbours (4 sends + 4 receives per iteration); ranks outside
+// the grid record only the bracket.
+func (s *Stencil2D) EventsPerRankHint(p Params) int {
+	p = p.withDefaults()
+	rows, cols := s.Grid(p.Procs)
+	return 2 + ceilDiv(8*p.Iterations*rows*cols, p.Procs)
 }
 
 // Program implements Pattern.
@@ -174,6 +190,14 @@ func (*ReducePipeline) Deterministic() bool { return false }
 
 // SumSink receives rank 0's final reduced value.
 type SumSink func(v float64)
+
+// EventsPerRankHint implements Pattern: the race burst averages two
+// events per rank per iteration, the reduction phase records one
+// Reduce and one Bcast event per rank.
+func (*ReducePipeline) EventsPerRankHint(p Params) int {
+	p = p.withDefaults()
+	return 2 + 4*p.Iterations
+}
 
 // Program implements Pattern. The reduced value is discarded; use
 // ProgramWithSink to observe it. Because the pattern uses collective

@@ -1,0 +1,111 @@
+package patterns
+
+import "github.com/anacin-go/anacinx/internal/sim"
+
+func init() { register(&MasterWorker{}) }
+
+// MasterWorker is a self-scheduling task farm, the classic
+// master–worker idiom of throughput-bound MPI codes: rank 0 seeds one
+// task per worker, then hands the next task to whichever worker
+// returns a result first. The master's wildcard receive makes the
+// *assignment itself* non-deterministic — arrival order decides not
+// just matching but which rank performs which unit of work — so the
+// per-worker event counts drift run to run, unlike the fixed plans of
+// mcb or unstructured_mesh. Point-to-point only, so it runs on both
+// the DES and wallclock runtimes.
+type MasterWorker struct{}
+
+// Task-farm message tags: the worker distinguishes an assignment from
+// the shutdown marker by tag on its concrete-source receive.
+const (
+	tagStop   = 0
+	tagTask   = 1
+	tagResult = 2
+)
+
+// Name implements Pattern.
+func (*MasterWorker) Name() string { return "master_worker" }
+
+// Description implements Pattern.
+func (*MasterWorker) Description() string {
+	return "self-scheduling task farm: the master assigns work in result-arrival order"
+}
+
+// MinProcs implements Pattern.
+func (*MasterWorker) MinProcs() int { return 2 }
+
+// Deterministic implements Pattern.
+func (*MasterWorker) Deterministic() bool { return false }
+
+// Tasks returns the total task count for the given parameters:
+// Iterations tasks per worker on average.
+func (*MasterWorker) Tasks(p Params) int {
+	p = p.withDefaults()
+	return p.Iterations * (p.Procs - 1)
+}
+
+// EventsPerRankHint implements Pattern: each task costs four events
+// (assignment send/recv, result send/recv) plus a stop exchange per
+// worker. The master records half of every exchange and overflows the
+// average — by design.
+func (m *MasterWorker) EventsPerRankHint(p Params) int {
+	p = p.withDefaults()
+	return 2 + ceilDiv(4*m.Tasks(p)+2*(p.Procs-1), p.Procs)
+}
+
+// Program implements Pattern.
+func (m *MasterWorker) Program(p Params) (sim.ProcProgram, error) {
+	if err := p.Validate(m.MinProcs()); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	tasks := m.Tasks(p)
+	return func(r sim.Proc) {
+		if r.Rank() == 0 {
+			m.farmTasks(r, p, tasks)
+		} else {
+			m.workLoop(r, p)
+		}
+	}, nil
+}
+
+// farmTasks is the master loop and the pattern's root source of
+// non-determinism: the wildcard receive admits whichever worker's
+// result arrives first, and that worker gets the next task.
+func (m *MasterWorker) farmTasks(r sim.Proc, p Params, tasks int) {
+	outstanding := 0
+	for w := 1; w < r.Size(); w++ {
+		if tasks > 0 {
+			r.SendSize(w, tagTask, p.MsgSize)
+			tasks--
+			outstanding++
+		} else {
+			r.SendSize(w, tagStop, 0)
+		}
+	}
+	for outstanding > 0 {
+		res := r.Recv(sim.AnySource, tagResult)
+		outstanding--
+		if tasks > 0 {
+			r.SendSize(res.Src, tagTask, p.MsgSize)
+			tasks--
+			outstanding++
+		} else {
+			r.SendSize(res.Src, tagStop, 0)
+		}
+	}
+}
+
+// workLoop receives assignments from the master (concrete source, so
+// per-channel FIFO keeps task/stop ordering), computes, and returns a
+// result until told to stop.
+func (m *MasterWorker) workLoop(r sim.Proc, p Params) {
+	for {
+		task := r.Recv(0, sim.AnyTag)
+		if task.Tag == tagStop {
+			return
+		}
+		r.Compute(p.ComputeGrain)
+		r.SendSize(0, tagResult, p.MsgSize)
+	}
+}

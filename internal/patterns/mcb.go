@@ -61,6 +61,14 @@ func (m *MonteCarlo) Plan(p Params) (dests [][]int, inbound []int) {
 	return dests, inbound
 }
 
+// EventsPerRankHint implements Pattern: batchesPerRank sends per rank
+// per iteration and, on average, as many receives (hot destinations in
+// the plan overflow the average).
+func (m *MonteCarlo) EventsPerRankHint(p Params) int {
+	p = p.withDefaults()
+	return 2 + 2*p.Iterations*batchesPerRank
+}
+
 // Program implements Pattern.
 func (m *MonteCarlo) Program(p Params) (sim.ProcProgram, error) {
 	if err := p.Validate(m.MinProcs()); err != nil {

@@ -65,6 +65,14 @@ func (m *UnstructuredMesh) Topology(p Params) (out [][]int, indeg []int) {
 	return out, indeg
 }
 
+// EventsPerRankHint implements Pattern: Degree sends per rank per
+// iteration and, on average, Degree receives (in-degrees vary with the
+// topology draw, out-degrees do not).
+func (m *UnstructuredMesh) EventsPerRankHint(p Params) int {
+	p = p.withDefaults()
+	return 2 + 2*p.Iterations*p.Degree
+}
+
 // Program implements Pattern.
 func (m *UnstructuredMesh) Program(p Params) (sim.ProcProgram, error) {
 	if err := p.Validate(m.MinProcs()); err != nil {

@@ -24,6 +24,14 @@ func (*MessageRace) MinProcs() int { return 2 }
 // Deterministic implements Pattern.
 func (*MessageRace) Deterministic() bool { return false }
 
+// EventsPerRankHint implements Pattern: 2·iters·(P-1) send/recv events
+// spread over P ranks, plus the Init/Finalize bracket. Rank 0 records
+// almost all receives and overflows the average — by design.
+func (m *MessageRace) EventsPerRankHint(p Params) int {
+	p = p.withDefaults()
+	return 2 + ceilDiv(2*p.Iterations*(p.Procs-1), p.Procs)
+}
+
 // Program implements Pattern.
 func (m *MessageRace) Program(p Params) (sim.ProcProgram, error) {
 	if err := p.Validate(m.MinProcs()); err != nil {

@@ -71,6 +71,15 @@ func (m *MiniAMR) RefinementPlan(p Params) (refined [][]bool, inbound [][]int) {
 	return refined, inbound
 }
 
+// EventsPerRankHint implements Pattern: an unrefined rank sends one
+// message per ring side, a refined one (refineFraction of ranks)
+// refinedMessages; receives mirror sends in aggregate.
+func (m *MiniAMR) EventsPerRankHint(p Params) int {
+	p = p.withDefaults()
+	avgSends := 2 * (1 + int(refineFraction*float64(refinedMessages-1)+0.5))
+	return 2 + 2*p.Iterations*avgSends
+}
+
 // Program implements Pattern.
 func (m *MiniAMR) Program(p Params) (sim.ProcProgram, error) {
 	if err := p.Validate(m.MinProcs()); err != nil {

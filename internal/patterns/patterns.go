@@ -110,7 +110,17 @@ type Pattern interface {
 	// Program builds the rank program for the given parameters.
 	// It returns an error if the parameters are invalid.
 	Program(p Params) (sim.ProcProgram, error)
+	// EventsPerRankHint estimates the average number of trace events
+	// one rank records under the given parameters (including the Init
+	// and Finalize bracket). It sizes the trace's per-rank arena
+	// carvings (sim.Config.EventsPerRankHint): a capacity hint, not a
+	// bound — streams grow past it freely, so rough is fine, and hot
+	// ranks (a fan-in root) are expected to overflow it.
+	EventsPerRankHint(p Params) int
 }
+
+// ceilDiv returns ⌈a/b⌉ for non-negative a and positive b.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
 
 // registry holds all known patterns, populated by init functions of the
 // pattern files.

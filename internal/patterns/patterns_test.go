@@ -41,13 +41,13 @@ func patternGraph(t testing.TB, pat Pattern, params Params, nd float64, seed int
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 9 {
+	if len(all) != 11 {
 		t.Fatalf("registry has %d patterns: %v", len(all), sortedNames())
 	}
 	// The paper's three mini-applications must be present under their
 	// documented names, plus the MCB and miniAMR workloads its
-	// companion papers evaluate.
-	for _, name := range []string{"message_race", "amg2013", "unstructured_mesh", "mcb", "miniamr"} {
+	// companion papers evaluate and the large-P bench patterns.
+	for _, name := range []string{"message_race", "amg2013", "unstructured_mesh", "mcb", "miniamr", "master_worker", "collective_tree"} {
 		if _, err := ByName(name); err != nil {
 			t.Errorf("ByName(%q): %v", name, err)
 		}
@@ -456,6 +456,82 @@ func TestReducePipelineResultNondeterministic(t *testing.T) {
 	}
 	if len(results) < 2 {
 		t.Error("arrival-order reduction produced identical sums across 20 seeds at 100% ND")
+	}
+}
+
+func TestMasterWorkerShape(t *testing.T) {
+	mw := &MasterWorker{}
+	params := DefaultParams(6)
+	params.Iterations = 4
+	tasks := mw.Tasks(params) // 4 per worker on average, 20 total
+	if tasks != 20 {
+		t.Fatalf("Tasks = %d, want 20", tasks)
+	}
+	tr := runPattern(t, mw, params, 0, 1)
+	counts := tr.KindCounts()
+	// Every task costs an assignment and a result message; every worker
+	// additionally gets one stop message.
+	wantMsgs := 2*tasks + (params.Procs - 1)
+	if counts[trace.KindSend] != wantMsgs || counts[trace.KindRecv] != wantMsgs {
+		t.Errorf("counts = %v, want %d sends/recvs", counts, wantMsgs)
+	}
+}
+
+func TestMasterWorkerAssignmentDiverges(t *testing.T) {
+	// The defining property of self-scheduling: at 100% ND different
+	// seeds route different task counts to the same worker.
+	mw := &MasterWorker{}
+	params := DefaultParams(8)
+	params.Iterations = 4
+	hashes := map[uint64]bool{}
+	for seed := int64(0); seed < 8; seed++ {
+		tr := runPattern(t, mw, params, 100, seed)
+		hashes[tr.OrderHash()] = true
+	}
+	if len(hashes) < 2 {
+		t.Error("master_worker: no structural divergence across 8 seeds at 100% ND")
+	}
+}
+
+func TestCollectiveTreeShape(t *testing.T) {
+	params := DefaultParams(7) // non-power-of-two exercises ragged trees
+	params.Iterations = 3
+	tr := runPattern(t, &CollectiveTree{}, params, 100, 2)
+	counts := tr.KindCounts()
+	for kind, want := range map[trace.EventKind]int{
+		trace.KindBcast:     7 * 3,
+		trace.KindAllreduce: 7 * 3,
+		trace.KindBarrier:   7 * 3,
+	} {
+		if counts[kind] != want {
+			t.Errorf("%v count = %d, want %d", kind, counts[kind], want)
+		}
+	}
+	// Collective plumbing is internal: no traced P2P at all.
+	if counts[trace.KindSend] != 0 || counts[trace.KindRecv] != 0 {
+		t.Errorf("collective_tree traced p2p events: %v", counts)
+	}
+}
+
+func TestEventsPerRankHintTracksActualAverage(t *testing.T) {
+	// The hint sizes arena carvings; it must be within a small factor of
+	// the real per-rank average — neither starved nor wildly oversized.
+	for _, pat := range All() {
+		procs := pat.MinProcs() + 7
+		params := DefaultParams(procs)
+		params.Iterations = 3
+		hint := pat.EventsPerRankHint(params)
+		tr := runPattern(t, pat, params, 50, 9)
+		avg := tr.NumEvents() / procs
+		if hint < 2 {
+			t.Errorf("%s: hint %d below the Init/Finalize bracket", pat.Name(), hint)
+		}
+		if hint < avg/2 {
+			t.Errorf("%s: hint %d starves the actual average %d", pat.Name(), hint, avg)
+		}
+		if hint > 8*avg+16 {
+			t.Errorf("%s: hint %d wildly oversizes the actual average %d", pat.Name(), hint, avg)
+		}
 	}
 }
 

@@ -49,6 +49,15 @@ func (*Sweep3D) Grid(procs int) (rows, cols int) {
 // sweepDirections are the four corner origins: (rowStep, colStep).
 var sweepDirections = [4][2]int{{1, 1}, {1, -1}, {-1, 1}, {-1, -1}}
 
+// EventsPerRankHint implements Pattern: a grid-interior rank touches
+// up to 2 receives and 2 sends per sweep, 4 sweeps per iteration;
+// ranks outside the grid record only the bracket.
+func (s *Sweep3D) EventsPerRankHint(p Params) int {
+	p = p.withDefaults()
+	rows, cols := s.Grid(p.Procs)
+	return 2 + ceilDiv(16*p.Iterations*rows*cols, p.Procs)
+}
+
 // Program implements Pattern.
 func (s *Sweep3D) Program(p Params) (sim.ProcProgram, error) {
 	if err := p.Validate(s.MinProcs()); err != nil {

@@ -258,6 +258,142 @@ func sliceProfileScenario() Scenario {
 	}
 }
 
+// largePSimIterations sizes the large-P simulations: the point is rank
+// count, not iteration depth, so two iterations keep one op in the
+// tens-of-milliseconds range even at 4096 ranks.
+const largePSimIterations = 2
+
+// largePSimScenario times one simulation of a named pattern at a rank
+// count far past the 32-rank core set — the workloads that motivated
+// per-source channel rows and arena trace storage. Stacks are captured
+// so ns/op divided by event count is comparable with sim/32rank-stacks.
+// Three pattern families stress different axes:
+//
+//   - stencil2d: wide halo exchange, every rank talks to 4 neighbours —
+//     many short channel rows.
+//   - collective_tree: tiny traced streams over O(P log P) internal
+//     tree/butterfly messages — collective plumbing.
+//   - master_worker: every worker shares channels with rank 0 — one
+//     fan-in row that escalates to map indexing while the rest stay
+//     two-entry.
+func largePSimScenario(pattern, suffix string, procs int, nd float64) Scenario {
+	return Scenario{
+		Name: fmt.Sprintf("sim/%drank-%s", procs, suffix),
+		Description: fmt.Sprintf("one %d-rank %s simulation (%d iterations, %g%% ND, stacks on)",
+			procs, pattern, largePSimIterations, nd),
+		Setup: func() (func() error, error) {
+			pat, err := patterns.ByName(pattern)
+			if err != nil {
+				return nil, err
+			}
+			params := patterns.DefaultParams(procs)
+			params.Iterations = largePSimIterations
+			prog, err := pat.Program(params)
+			if err != nil {
+				return nil, err
+			}
+			cfg := sim.DefaultConfig(procs, 1)
+			cfg.Nodes = 4
+			cfg.NDPercent = nd
+			cfg.CaptureStacks = true
+			cfg.EventsPerRankHint = pat.EventsPerRankHint(params)
+			meta := trace.Meta{Pattern: pattern, Iterations: params.Iterations, MsgSize: params.MsgSize}
+			adapted := sim.Adapt(prog)
+			return func() error {
+				tr, _, err := sim.Run(cfg, meta, adapted)
+				if err != nil {
+					return err
+				}
+				if tr.NumEvents() == 0 {
+					return fmt.Errorf("empty trace")
+				}
+				return nil
+			}, nil
+		},
+	}
+}
+
+// raceCellIterations sizes the 1024-rank message-race cell and its
+// sim-stage scenario: long enough (49,104 racing messages per run) that
+// the fixed 1024-goroutine spawn/teardown cost amortizes to noise, as
+// it does in real campaign cells; total events per run = 2·1024 +
+// 2·24·1023 = 51,152.
+const raceCellIterations = 24
+
+// raceSimScenario times exactly one run of the 1024-rank message-race
+// cell's simulation stage (stacks off, as large-P campaigns run): its
+// ns/op divided by 51,152 events is the per-event cost the scaling work
+// is accountable for, compared against sim/32rank-stacks ns/op over its
+// 1,600 events. The full cell (simulate + graph + embed, 4 runs) is
+// timed by campaign-cell/1024rank-race.
+func raceSimScenario() Scenario {
+	return Scenario{
+		Name:        "sim/1024rank-race",
+		Description: "one 1024-rank message-race simulation (24 iterations, 50% ND, stacks off) — the campaign cell's per-run sim stage",
+		Setup: func() (func() error, error) {
+			pat, err := patterns.ByName("message_race")
+			if err != nil {
+				return nil, err
+			}
+			params := patterns.DefaultParams(1024)
+			params.Iterations = raceCellIterations
+			prog, err := pat.Program(params)
+			if err != nil {
+				return nil, err
+			}
+			cfg := sim.DefaultConfig(1024, 1)
+			cfg.Nodes = 4
+			cfg.NDPercent = 50
+			cfg.CaptureStacks = false
+			cfg.EventsPerRankHint = pat.EventsPerRankHint(params)
+			meta := trace.Meta{Pattern: "message_race", Iterations: params.Iterations, MsgSize: params.MsgSize}
+			adapted := sim.Adapt(prog)
+			return func() error {
+				tr, _, err := sim.Run(cfg, meta, adapted)
+				if err != nil {
+					return err
+				}
+				if tr.NumEvents() == 0 {
+					return fmt.Errorf("empty trace")
+				}
+				return nil
+			}, nil
+		},
+	}
+}
+
+// campaignCellScenario times one full 1024-rank message-race campaign
+// cell — the acceptance workload for the large-P scaling work: a
+// 4-run sample simulated, graphed (through the parallel trace→graph
+// path; each run is far past its sequential threshold), and reduced
+// to WL-2 pairwise distances. Before per-source channel rows this
+// cell alone held 1024² channel entries per concurrent run.
+func campaignCellScenario() Scenario {
+	return Scenario{
+		Name:        "campaign-cell/1024rank-race",
+		Description: "one 1024-rank message-race campaign cell (4 runs, 24 iterations, 50% ND, graphs + WL-2 distances)",
+		Setup: func() (func() error, error) {
+			e := core.DefaultExperiment("message_race", 1024, 50)
+			e.Runs = 4
+			e.Iterations = raceCellIterations
+			e.Nodes = 4
+			e.CaptureStacks = false
+			w := kernel.NewWL(2)
+			return func() error {
+				rs, err := e.Execute()
+				if err != nil {
+					return err
+				}
+				d := rs.Distances(w)
+				if want := e.Runs * (e.Runs - 1) / 2; len(d) != want {
+					return fmt.Errorf("distance sample has %d pairs, want %d", len(d), want)
+				}
+				return nil
+			}, nil
+		},
+	}
+}
+
 // figureScenario times one paper-figure runner end to end (quick
 // workload, no artifact files).
 func figureScenario(id string) Scenario {
@@ -290,6 +426,13 @@ func AllScenarios() []Scenario {
 	return []Scenario{
 		simScenario(32, simScenarioIterations, true),
 		simScenario(32, simScenarioIterations, false),
+		// The per-event acceptance pair (sim/32rank-stacks vs
+		// sim/1024rank-race) runs back to back, before the heavy 4096-rank
+		// scenarios: a long bench run heats the machine, and comparing
+		// numbers measured at different throttle states would skew the
+		// per-event ratio either way.
+		raceSimScenario(),
+		campaignCellScenario(),
 		traceToGraphScenario(32, simScenarioIterations),
 		wlFeaturesScenario("wl-features/h2/r32", 2, 32),
 		dotScenario(),
@@ -299,15 +442,30 @@ func AllScenarios() []Scenario {
 		gramScenario(8),
 		sliceProfileScenario(),
 		figureScenario("fig2"),
+		largePSimScenario("stencil2d", "stencil", 256, 25),
+		largePSimScenario("stencil2d", "stencil", 1024, 25),
+		largePSimScenario("stencil2d", "stencil", 4096, 25),
+		largePSimScenario("collective_tree", "collectives", 256, 25),
+		largePSimScenario("collective_tree", "collectives", 1024, 25),
+		largePSimScenario("collective_tree", "collectives", 4096, 25),
+		largePSimScenario("master_worker", "masterworker", 256, 100),
+		largePSimScenario("master_worker", "masterworker", 1024, 100),
+		largePSimScenario("master_worker", "masterworker", 4096, 100),
 	}
 }
 
 // quickNames is the reduced set CI runs on every push: the innermost
 // kernel, the isolated dot-product stage, serial and mid-parallel Gram
-// builds, and one end-to-end figure.
+// builds, one end-to-end figure, and the 1024-rank tier of the large-P
+// family (the 4096-rank tier stays full-set-only for CI wall-clock).
+// Large-P scenarios participate in the same regression gate as the
+// core set: >25% min-wall-clock slowdowns (the CI statistic) and
+// allocs/op growth both fail.
 var quickNames = []string{
 	"sim/32rank-stacks", "sim/32rank-nostacks", "trace-to-graph/32rank",
 	"wl-features/h2/r32", "dot/wl-h2", "gram/w1", "gram/w4", "figure/fig2",
+	"sim/1024rank-stencil", "sim/1024rank-collectives", "sim/1024rank-masterworker",
+	"sim/1024rank-race", "campaign-cell/1024rank-race",
 }
 
 // ScenarioNames lists the full set's names in canonical order.

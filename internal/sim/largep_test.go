@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/anacin-go/anacinx/internal/trace"
+)
+
+// mixedTraffic is a program whose channel rows span both chanTable
+// regimes: rank 0 fans a message out to every other rank (a row far
+// past chanRowLinearMax at the tested sizes), nonzero ranks race
+// replies into rank 0's wildcard receives, and each rank additionally
+// exchanges with its ring neighbours (short rows).
+func mixedTraffic(iters int) Program {
+	return func(r *Rank) {
+		p := r.Size()
+		right := (r.id + 1) % p
+		left := (r.id - 1 + p) % p
+		for it := 0; it < iters; it++ {
+			if r.id == 0 {
+				for dst := 1; dst < p; dst++ {
+					r.SendSize(dst, it, 4)
+				}
+				for i := 0; i < p-1; i++ {
+					r.Recv(AnySource, it) // wildcard source, but don't eat ring tags
+				}
+			} else {
+				r.Recv(0, it)
+				r.SendSize(0, it, 4)
+			}
+			r.SendSize(right, 1000+it, 2)
+			r.SendSize(left, 2000+it, 2)
+			r.Recv(left, 1000+it)
+			r.Recv(right, 2000+it)
+		}
+	}
+}
+
+func runMixed(t *testing.T, procs int, nd float64) []byte {
+	t.Helper()
+	cfg := DefaultConfig(procs, 77)
+	cfg.Nodes = 2
+	cfg.NDPercent = nd
+	tr, _, err := Run(cfg, trace.Meta{Pattern: "mixed"}, mixedTraffic(3))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// The channel table has two lookup regimes: linear rows and map-indexed
+// rows (the former dense/sparse split, now per source row). Forcing
+// every row into each regime must not change a single trace byte —
+// lookup strategy is an implementation detail; channel state and
+// non-overtaking bumps are semantics.
+func TestChanTableRegimesProduceIdenticalTraces(t *testing.T) {
+	orig := chanRowLinearMax
+	defer func() { chanRowLinearMax = orig }()
+
+	for _, nd := range []float64{0, 50} {
+		chanRowLinearMax = orig
+		def := runMixed(t, 48, nd)
+
+		chanRowLinearMax = 0 // every row map-indexed from the first touch
+		sparse := runMixed(t, 48, nd)
+
+		chanRowLinearMax = 1 << 30 // pure linear scan, dense-equivalent
+		linear := runMixed(t, 48, nd)
+
+		if !bytes.Equal(def, sparse) {
+			t.Errorf("nd=%v: map-indexed rows changed the trace bytes", nd)
+		}
+		if !bytes.Equal(def, linear) {
+			t.Errorf("nd=%v: linear rows changed the trace bytes", nd)
+		}
+	}
+}
+
+// The row-escalation boundary itself: a row crossing chanRowLinearMax
+// mid-run keeps its accumulated per-channel state.
+func TestChanTableEscalationKeepsState(t *testing.T) {
+	orig := chanRowLinearMax
+	defer func() { chanRowLinearMax = orig }()
+	chanRowLinearMax = 4
+
+	tbl := newChanTable(64)
+	for dst := 1; dst < 64; dst++ {
+		st := tbl.at(0, dst)
+		st.seq = dst // marker written while the row may still be linear
+	}
+	for dst := 1; dst < 64; dst++ {
+		if got := tbl.at(0, dst).seq; got != dst {
+			t.Fatalf("channel (0,%d): seq %d after escalation, want %d", dst, got, dst)
+		}
+	}
+	if got := tbl.channels(); got != 63 {
+		t.Fatalf("channels = %d, want 63", got)
+	}
+}
+
+// Memory-footprint regression (the tentpole's O(P²) fix): at P = 4096
+// under nearest-neighbour traffic, resident channel state must scale
+// with channels actually touched, not with P². The dense table this
+// replaces held 4096² entries ≈ 384 MiB; the per-source rows must stay
+// within a few MiB including row headers.
+func TestChanTableFootprintNearestNeighbor4096(t *testing.T) {
+	const p = 4096
+	tbl := newChanTable(p)
+	for r := 0; r < p; r++ {
+		tbl.at(r, (r+1)%p)
+		tbl.at(r, (r-1+p)%p)
+	}
+	if got, want := tbl.channels(), 2*p; got != want {
+		t.Fatalf("channels = %d, want %d", got, want)
+	}
+	got := tbl.footprintBytes()
+	// Generous O(channels + P) budget: row headers (~80 B each) plus two
+	// entries per rank with append slack. The dense table was ~384 MiB.
+	const budget = 4 << 20
+	if got > budget {
+		t.Errorf("footprint = %d B for %d channels, exceeds O(channels) budget %d B", got, tbl.channels(), budget)
+	}
+	// And the budget really is sublinear in P²: a dense table would not fit.
+	if dense := p * p * 24; got > dense/32 {
+		t.Errorf("footprint = %d B is within 32x of a dense table (%d B)", got, dense)
+	}
+}
+
+// A 1024-rank message-race simulation must complete and stay
+// proportional to traffic, exercising every large-P path at once:
+// per-source channel rows, lazy arena carving, and fan-in growth past
+// the hint on rank 0. Also the body of the CI large-p smoke job, which
+// runs it under the race detector with a wall-clock budget.
+func TestLargeP1024MessageRace(t *testing.T) {
+	const procs = 1024
+	cfg := DefaultConfig(procs, 3)
+	cfg.Nodes = 4
+	cfg.NDPercent = 25
+	cfg.CaptureStacks = false
+	cfg.EventsPerRankHint = 6 // 2 + 2*iters*(P-1)/P for iters=2
+	tr, stats, err := Run(cfg, trace.Meta{Pattern: "message_race"}, func(r *Rank) {
+		for it := 0; it < 2; it++ {
+			if r.id == 0 {
+				for i := 0; i < r.Size()-1; i++ {
+					r.Recv(AnySource, AnyTag)
+				}
+			} else {
+				r.SendSize(0, it, 1)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	wantMsgs := 2 * (procs - 1)
+	if stats.Messages != wantMsgs {
+		t.Errorf("messages = %d, want %d", stats.Messages, wantMsgs)
+	}
+	if got, want := tr.NumEvents(), 2*procs+2*wantMsgs; got != want {
+		t.Errorf("events = %d, want %d", got, want)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+}

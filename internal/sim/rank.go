@@ -336,6 +336,28 @@ func (r *Rank) Recv(src, tag int) Message {
 	return m
 }
 
+// mailboxShiftMax bounds the suffix length up to which removeMailbox
+// compacts in place. In-place compaction keeps the slice anchored at
+// its backing array, so small mailboxes (the 32-rank steady state)
+// never lose front capacity to head advancement and never reallocate.
+const mailboxShiftMax = 32
+
+// removeMailbox deletes the message at index i, preserving arrival
+// order. Short suffixes compact in place; past mailboxShiftMax the
+// shorter side of the hole shifts instead — for a front-of-queue match,
+// the steady state of a fan-in rank draining a long mailbox, the prefix
+// shift is empty and removal is O(1) instead of memmoving the whole
+// tail, which made large-P message-race receives O(P) each.
+func (r *Rank) removeMailbox(i int) {
+	if tail := len(r.mailbox) - 1 - i; tail > mailboxShiftMax && i < tail {
+		copy(r.mailbox[1:i+1], r.mailbox[:i])
+		r.mailbox[0] = nil // release the vacated slot's pointer
+		r.mailbox = r.mailbox[1:]
+		return
+	}
+	r.mailbox = append(r.mailbox[:i], r.mailbox[i+1:]...)
+}
+
 // recvCommon matches a message from the mailbox or blocks for one.
 func (r *Rank) recvCommon(src, tag int, key *MatchKey, internal bool) *message {
 	if src != AnySource {
@@ -351,7 +373,7 @@ func (r *Rank) recvCommon(src, tag int, key *MatchKey, internal bool) *message {
 			continue
 		}
 		if filterMatches(src, tag, key, msg) {
-			r.mailbox = append(r.mailbox[:i], r.mailbox[i+1:]...)
+			r.removeMailbox(i)
 			r.clock = r.clock.Add(r.sim.cfg.Net.RecvOverhead)
 			r.sim.consumed(msg, r.clock)
 			return msg
@@ -375,7 +397,7 @@ func (r *Rank) Irecv(src, tag int) *Request {
 	// An already-arrived message can satisfy the request immediately.
 	for i, msg := range r.mailbox {
 		if matchAllowed(msg, false) && filterMatches(src, tag, req.key, msg) {
-			r.mailbox = append(r.mailbox[:i], r.mailbox[i+1:]...)
+			r.removeMailbox(i)
 			req.done = true
 			req.msg = msg
 			at := r.clock

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime/debug"
+	"unsafe"
 
 	"github.com/anacin-go/anacinx/internal/trace"
 	"github.com/anacin-go/anacinx/internal/vtime"
@@ -29,10 +30,21 @@ type message struct {
 // eventHeap is a hand-rolled min-heap of in-flight messages ordered by
 // (arrival, deliverSeq). Hand-rolled rather than container/heap so the
 // per-message push/pop stays free of interface conversions and dynamic
-// dispatch — it sits on the hot path of every send.
-type eventHeap []*message
+// dispatch — it sits on the hot path of every send. The ordering keys
+// live inline in the heap entries: a deep in-flight queue (a fan-in
+// root tens of thousands of messages behind its senders) sifts through
+// contiguous memory instead of dereferencing two *message per compare.
+type eventHeap []heapEntry
 
-func msgBefore(a, b *message) bool {
+// heapEntry is one in-flight message with its ordering keys hoisted out
+// of the message object.
+type heapEntry struct {
+	arrival    vtime.Time
+	deliverSeq int64
+	msg        *message
+}
+
+func entryBefore(a, b heapEntry) bool {
 	if a.arrival != b.arrival {
 		return a.arrival < b.arrival
 	}
@@ -40,11 +52,11 @@ func msgBefore(a, b *message) bool {
 }
 
 func (h *eventHeap) push(m *message) {
-	*h = append(*h, m)
+	*h = append(*h, heapEntry{arrival: m.arrival, deliverSeq: m.deliverSeq, msg: m})
 	i := len(*h) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !msgBefore((*h)[i], (*h)[parent]) {
+		if !entryBefore((*h)[i], (*h)[parent]) {
 			break
 		}
 		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
@@ -54,10 +66,10 @@ func (h *eventHeap) push(m *message) {
 
 func (h *eventHeap) pop() *message {
 	old := *h
-	m := old[0]
+	m := old[0].msg
 	last := len(old) - 1
 	old[0] = old[last]
-	old[last] = nil
+	old[last] = heapEntry{}
 	*h = old[:last]
 	h.down(0)
 	return m
@@ -71,10 +83,10 @@ func (h eventHeap) down(i int) {
 			return
 		}
 		least := left
-		if right := left + 1; right < n && msgBefore(h[right], h[left]) {
+		if right := left + 1; right < n && entryBefore(h[right], h[left]) {
 			least = right
 		}
-		if !msgBefore(h[least], h[i]) {
+		if !entryBefore(h[least], h[i]) {
 			return
 		}
 		h[i], h[least] = h[least], h[i]
@@ -166,8 +178,6 @@ func filterMatches(src, tag int, key *MatchKey, msg *message) bool {
 	return true
 }
 
-type chanKey struct{ src, dst int }
-
 // chanState is the per-(src,dst) channel bookkeeping: the next ChanSeq
 // to assign and the last scheduled arrival (which enforces the MPI
 // non-overtaking bump in schedule).
@@ -177,38 +187,112 @@ type chanState struct {
 	hasArrival  bool
 }
 
-// denseChanLimit bounds the rank count for which the channel table uses
-// a dense [P*P] slice (1024 ranks ≈ 24 MiB). The dense form makes the
-// two per-message channel lookups pure indexed loads; pathological rank
-// counts fall back to the map so memory stays proportional to the
-// channels actually used.
-const denseChanLimit = 1024
+// chanRowLinearMax bounds the destination count up to which a source's
+// channel row is searched linearly. Real communication patterns are
+// sparse — a stencil rank talks to a handful of neighbours — so the
+// linear form keeps the two per-message lookups inside one or two cache
+// lines with zero hashing. Rows that outgrow the bound (all-to-all
+// exchanges, fan-in roots) build a map index once and stay O(1). A var,
+// not a const, so tests can force either regime and assert the traces
+// are byte-identical.
+var chanRowLinearMax = 16
 
-// chanTable tracks channel state for all P*P ordered rank pairs.
+// chanRow is the channel state for every destination one source has
+// actually messaged, in first-touch order (a CSR-style row); index is
+// nil until the row outgrows chanRowLinearMax. Keeping dst and state in
+// one entry slice costs a single allocation per active row — parallel
+// dst/state slices doubled the 32-rank scenarios' allocs/op.
+type chanRow struct {
+	entries []chanEntry
+	index   map[int32]int32 // dst → position in entries
+}
+
+// chanEntry is one (dst, state) pair of a source's row.
+type chanEntry struct {
+	dst   int32
+	state chanState
+}
+
+// chanRowInitialCap sizes a row's first allocation: stencil and ring
+// patterns touch 2–4 destinations per source, so one small block covers
+// the common row outright.
+const chanRowInitialCap = 4
+
+// chanTable tracks per-channel state sized to the channels actually
+// touched: O(P) row headers plus O(channels used) entries, never the
+// dense P*P table (24 MiB at 1024 ranks, 384 MiB at 4096) that a
+// mostly-sparse communication pattern would leave cold.
 type chanTable struct {
-	p      int
-	dense  []chanState
-	sparse map[chanKey]*chanState
+	rows []chanRow
 }
 
 func newChanTable(p int) chanTable {
-	if p <= denseChanLimit {
-		return chanTable{p: p, dense: make([]chanState, p*p)}
-	}
-	return chanTable{p: p, sparse: make(map[chanKey]*chanState)}
+	return chanTable{rows: make([]chanRow, p)}
 }
 
-// at returns the mutable state of the (src,dst) channel.
+// at returns the mutable state of the (src,dst) channel, creating it on
+// first touch. The pointer is invalidated by the next at() call (the
+// row's backing array may grow); both call sites use it transiently.
 func (c *chanTable) at(src, dst int) *chanState {
-	if c.dense != nil {
-		return &c.dense[src*c.p+dst]
+	row := &c.rows[src]
+	d := int32(dst)
+	if row.index != nil {
+		if i, ok := row.index[d]; ok {
+			return &row.entries[i].state
+		}
+	} else {
+		for i := range row.entries {
+			if row.entries[i].dst == d {
+				return &row.entries[i].state
+			}
+		}
 	}
-	st := c.sparse[chanKey{src, dst}]
-	if st == nil {
-		st = &chanState{}
-		c.sparse[chanKey{src, dst}] = st
+	if row.entries == nil {
+		row.entries = make([]chanEntry, 0, chanRowInitialCap)
 	}
-	return st
+	row.entries = append(row.entries, chanEntry{dst: d})
+	i := int32(len(row.entries) - 1)
+	if row.index != nil {
+		row.index[d] = i
+	} else if len(row.entries) > chanRowLinearMax {
+		row.index = make(map[int32]int32, len(row.entries)*2)
+		for j := range row.entries {
+			row.index[row.entries[j].dst] = int32(j)
+		}
+	}
+	return &row.entries[i].state
+}
+
+// channels returns the number of (src,dst) channels touched so far.
+func (c *chanTable) channels() int {
+	n := 0
+	for i := range c.rows {
+		n += len(c.rows[i].entries)
+	}
+	return n
+}
+
+// footprintBytes estimates the resident size of the table: row headers
+// plus the capacity (not length) of every row's backing arrays and map.
+// It exists for the memory-regression tests, which pin the O(channels
+// used) bound.
+func (c *chanTable) footprintBytes() int {
+	const (
+		rowHeader = int(unsafe.Sizeof(chanRow{}))
+		entry     = int(unsafe.Sizeof(chanEntry{}))
+		// One map bucket holds 8 entries of (key, value, tophash) plus an
+		// overflow pointer; approximate the per-entry share generously.
+		mapEntry = 2 * (4 + 4 + 8)
+	)
+	n := len(c.rows) * rowHeader
+	for i := range c.rows {
+		row := &c.rows[i]
+		n += cap(row.entries) * entry
+		if row.index != nil {
+			n += len(row.index) * mapEntry
+		}
+	}
+	return n
 }
 
 // readyHeap is an indexed min-heap of ready ranks ordered by

@@ -209,7 +209,15 @@ func (r *WallRank) Recv(src, tag int) Message {
 		}
 		for i, msg := range r.mailbox {
 			if filterMatches(src, tag, nil, msg) {
-				r.mailbox = append(r.mailbox[:i], r.mailbox[i+1:]...)
+				// Same removal policy as Rank.removeMailbox: O(1) for the
+				// front-of-queue match that dominates fan-in drains.
+				if tail := len(r.mailbox) - 1 - i; tail > mailboxShiftMax && i < tail {
+					copy(r.mailbox[1:i+1], r.mailbox[:i])
+					r.mailbox[0] = nil
+					r.mailbox = r.mailbox[1:]
+				} else {
+					r.mailbox = append(r.mailbox[:i], r.mailbox[i+1:]...)
+				}
 				r.mu.Unlock()
 				r.lamport = maxInt64(r.lamport, msg.sendLamport) + 1
 				r.record(trace.KindRecv, msg.src, msg.tag, msg.size, msg.id, msg.chanSeq)

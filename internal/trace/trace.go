@@ -202,31 +202,63 @@ type Meta struct {
 type Trace struct {
 	Meta   Meta      `json:"meta"`
 	Events [][]Event `json:"events"` // indexed by rank, then by Seq
+
+	// arena is the unconsumed tail of the current carving chunk. When a
+	// capacity hint is set, each rank's stream is carved from shared
+	// chunks lazily on its first Append, so a large-P trace pays for the
+	// ranks that record events, not Procs × hint up front. Unexported
+	// and absent from the wire formats: a decoded trace simply appends
+	// without an arena.
+	arena       []Event
+	perRankHint int
 }
+
+// arenaChunkEvents bounds one arena chunk (~4096 events ≈ 0.5 MiB), so
+// lazily touched ranks share a handful of large allocations instead of
+// one small one each.
+const arenaChunkEvents = 4096
 
 // New returns an empty trace for the given number of ranks.
 func New(meta Meta) *Trace {
 	return NewWithCapacity(meta, 0)
 }
 
-// NewWithCapacity returns an empty trace with every rank's event
-// stream preallocated for perRankHint events. The hint is a capacity,
-// not a limit: streams still grow past it. Callers that know the
+// NewWithCapacity returns an empty trace whose rank streams are carved
+// with perRankHint capacity from shared arena chunks, each rank lazily
+// on its first Append. The hint is a capacity, not a limit: streams
+// still grow past it (a stream that outgrows its carving is copied out
+// of the arena by the ordinary append growth). Callers that know the
 // approximate event count per rank (the simulator, bulk converters)
 // use it to avoid the repeated append-doubling copies of a cold
 // stream; perRankHint <= 0 behaves like New.
 func NewWithCapacity(meta Meta, perRankHint int) *Trace {
 	t := &Trace{Meta: meta, Events: make([][]Event, meta.Procs)}
 	if perRankHint > 0 {
-		for i := range t.Events {
-			t.Events[i] = make([]Event, 0, perRankHint)
-		}
+		t.perRankHint = perRankHint
 	}
 	return t
 }
 
 // Procs returns the number of ranks in the trace.
 func (t *Trace) Procs() int { return len(t.Events) }
+
+// carve cuts a zero-length, hint-capacity stream from the arena,
+// refilling it with a fresh chunk when the tail runs short. The carved
+// slice's capacity is clamped to the carving, so appends past the hint
+// reallocate instead of bleeding into the next rank's events.
+func (t *Trace) carve() []Event {
+	hint := t.perRankHint
+	if len(t.arena) < hint {
+		n := arenaChunkEvents
+		if n < hint {
+			n = hint
+		}
+		t.arena = make([]Event, n)
+	}
+	s := t.arena[:0:hint]
+	t.arena = t.arena[hint:]
+	return s
+}
 
 // Append adds an event to its rank's stream, assigning Seq.
 // It panics if the event's rank is out of range, which would indicate a
@@ -235,8 +267,12 @@ func (t *Trace) Append(e Event) {
 	if e.Rank < 0 || e.Rank >= len(t.Events) {
 		panic(fmt.Sprintf("trace: event rank %d out of range [0,%d)", e.Rank, len(t.Events)))
 	}
-	e.Seq = len(t.Events[e.Rank])
-	t.Events[e.Rank] = append(t.Events[e.Rank], e)
+	evs := t.Events[e.Rank]
+	if evs == nil && t.perRankHint > 0 {
+		evs = t.carve()
+	}
+	e.Seq = len(evs)
+	t.Events[e.Rank] = append(evs, e)
 }
 
 // NumEvents returns the total event count across all ranks.
