@@ -4,6 +4,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strconv"
@@ -30,9 +31,11 @@ Output ordering is deterministic (cells are sorted), so the same grid
 and seed produce byte-identical CSV at any worker count.
 
 Press Ctrl-C (or exceed -timeout) to cancel: in-flight simulations
-abort, no partial CSV is written, and the command reports how many
-cells had completed. Progress is reported per completed cell on stderr
-(suppress with -quiet).
+abort, the cells that completed are rendered with a PARTIAL RESULTS
+note on stderr (including the CSV, if -csv was given), and the command
+exits non-zero so scripts cannot mistake a truncated campaign for
+success. Progress is reported per completed cell on stderr (suppress
+with -quiet).
 
 flags:
 `)
@@ -124,17 +127,39 @@ flags:
 	}
 	fmt.Fprintf(os.Stderr, "campaign: %d cells x %d runs\n", g.Cells(), *runs)
 	res, err := runner.Run(ctx, g)
-	if err != nil {
+	return emitCampaign(res, err, *csvPath, os.Stdout, os.Stderr)
+}
+
+// emitCampaign renders a campaign result (complete or partial) and
+// decides the command's exit status. A cancelled campaign still
+// carries the cells that completed: they are rendered under an
+// explicit PARTIAL RESULTS note — and the cancellation error is
+// returned regardless, so the process exits non-zero and CI scripts
+// cannot mistake a truncated campaign for success.
+func emitCampaign(res *campaign.Result, runErr error, csvPath string, stdout, stderr io.Writer) error {
+	if runErr != nil {
+		if res != nil && len(res.Cells) > 0 {
+			fmt.Fprintf(stderr, "campaign: PARTIAL RESULTS: %d cell(s) completed before cancellation\n", len(res.Cells))
+			if werr := res.WriteMarkdown(stdout); werr != nil {
+				return werr
+			}
+			if csvPath != "" {
+				if werr := writeFile(csvPath, func(w *os.File) error { return res.WriteCSV(w) }); werr != nil {
+					return werr
+				}
+				fmt.Fprintf(stderr, "campaign: wrote PARTIAL %s\n", csvPath)
+			}
+		}
+		return runErr
+	}
+	if err := res.WriteMarkdown(stdout); err != nil {
 		return err
 	}
-	if err := res.WriteMarkdown(os.Stdout); err != nil {
-		return err
-	}
-	if *csvPath != "" {
-		if err := writeFile(*csvPath, func(w *os.File) error { return res.WriteCSV(w) }); err != nil {
+	if csvPath != "" {
+		if err := writeFile(csvPath, func(w *os.File) error { return res.WriteCSV(w) }); err != nil {
 			return err
 		}
-		fmt.Println("wrote", *csvPath)
+		fmt.Fprintln(stdout, "wrote", csvPath)
 	}
 	// Failed cells still render (their error column says why), but the
 	// command must exit non-zero so scripts and CI notice.

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/anacin-go/anacinx/internal/campaign"
+)
+
+// TestCmdCampaignCancelledExitsNonZero pins the exit contract: a
+// campaign whose context is cancelled must surface an error (non-zero
+// exit), never a clean completion.
+func TestCmdCampaignCancelledExitsNonZero(t *testing.T) {
+	err := cmdCampaign([]string{
+		"-patterns", "message_race", "-procs", "4", "-runs", "2",
+		"-nd", "0,100", "-timeout", "1ns", "-quiet",
+	})
+	if err == nil {
+		t.Fatal("cancelled campaign returned nil error (would exit 0)")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded in its chain", err)
+	}
+}
+
+// TestEmitCampaignPartial drives the rendering path a mid-campaign
+// cancellation takes: the completed cells render under a PARTIAL
+// RESULTS note (markdown and CSV), and the cancellation error is
+// returned unchanged.
+func TestEmitCampaignPartial(t *testing.T) {
+	g := campaign.Grid{
+		Patterns:   []string{"message_race"},
+		Procs:      []int{4},
+		NDPercents: []float64{0, 100},
+		Runs:       2,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r := &campaign.Runner{Workers: 1, Progress: func(p campaign.Progress) { cancel() }}
+	res, runErr := r.Run(ctx, g)
+	if !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("setup: err = %v, want context.Canceled", runErr)
+	}
+	if res == nil || len(res.Cells) == 0 {
+		t.Fatal("setup: no partial cells to render")
+	}
+
+	csvPath := filepath.Join(t.TempDir(), "partial.csv")
+	var stdout, stderr bytes.Buffer
+	err := emitCampaign(res, runErr, csvPath, &stdout, &stderr)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("emitCampaign err = %v, want the cancellation error", err)
+	}
+	if !strings.Contains(stderr.String(), "PARTIAL RESULTS") {
+		t.Errorf("stderr missing partial-results note:\n%s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "message_race") {
+		t.Errorf("stdout missing partial markdown table:\n%s", stdout.String())
+	}
+	data, ferr := os.ReadFile(csvPath)
+	if ferr != nil {
+		t.Fatalf("partial CSV not written: %v", ferr)
+	}
+	back, perr := campaign.ReadCSV(bytes.NewReader(data))
+	if perr != nil {
+		t.Fatalf("partial CSV unparseable: %v", perr)
+	}
+	if len(back.Cells) != len(res.Cells) {
+		t.Errorf("partial CSV cells = %d, want %d", len(back.Cells), len(res.Cells))
+	}
+}
+
+// TestEmitCampaignComplete keeps the happy path honest: no error, no
+// partial note, CSV reported on stdout.
+func TestEmitCampaignComplete(t *testing.T) {
+	g := campaign.Grid{
+		Patterns:   []string{"message_race"},
+		Procs:      []int{4},
+		NDPercents: []float64{100},
+		Runs:       2,
+	}
+	res, err := campaign.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvPath := filepath.Join(t.TempDir(), "full.csv")
+	var stdout, stderr bytes.Buffer
+	if err := emitCampaign(res, nil, csvPath, &stdout, &stderr); err != nil {
+		t.Fatalf("emitCampaign = %v, want nil", err)
+	}
+	if strings.Contains(stderr.String(), "PARTIAL") {
+		t.Errorf("complete campaign printed a partial note:\n%s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "wrote "+csvPath) {
+		t.Errorf("stdout missing csv confirmation:\n%s", stdout.String())
+	}
+}

@@ -39,6 +39,7 @@ var commands = map[string]func(args []string) error{
 	"campaign":  cmdCampaign,
 	"bench":     cmdBench,
 	"lint":      cmdLint,
+	"serve":     cmdServe,
 }
 
 func main() {
@@ -81,6 +82,9 @@ commands:
               iteration, no wall clock / global RNG in the virtual-time
               world, single-owner goroutines); fails on any finding not
               covered by an //anacin:allow directive
+  serve       run the anacind campaign service: submit grids over HTTP,
+              stream per-cell progress via SSE, serve results from a
+              content-addressed store that dedupes overlapping grids
 
 run 'anacin <command> -h' for flags.
 `)

@@ -1,0 +1,127 @@
+package campaign
+
+import (
+	"context"
+	"sort"
+
+	"github.com/anacin-go/anacinx/internal/core"
+	"github.com/anacin-go/anacinx/internal/kernel"
+)
+
+// CellSpec is one grid point's coordinates: the dimensions a Grid
+// crosses, without the grid-level scalar knobs (Runs, BaseSeed,
+// Kernel). A (Grid, CellSpec) pair fully determines a cell's
+// measurement — see Grid.CellFingerprint.
+type CellSpec struct {
+	Pattern    string
+	Procs      int
+	Iterations int
+	Nodes      int
+	NDPercent  float64
+}
+
+// Normalized returns the grid with dimension defaults and the default
+// kernel applied, validated. Serving layers call it once at admission
+// so that every later CellSpecs/CellFingerprint/RunCell call sees the
+// same concrete configuration the Runner would execute.
+func (g Grid) Normalized() (Grid, error) {
+	q := g.withDefaults()
+	if err := q.validate(); err != nil {
+		return Grid{}, err
+	}
+	return q, nil
+}
+
+// CellSpecs expands the grid's cross product in declaration order
+// (patterns, then procs, iterations, nodes, nd). Dimension defaults
+// are applied first, so the result matches what Run would execute.
+func (g *Grid) CellSpecs() []CellSpec {
+	q := g.withDefaults()
+	out := make([]CellSpec, 0, q.Cells())
+	for _, pattern := range q.Patterns {
+		for _, procs := range q.Procs {
+			for _, iters := range q.Iterations {
+				for _, nodes := range q.Nodes {
+					for _, nd := range q.NDPercents {
+						out = append(out, CellSpec{pattern, procs, iters, nodes, nd})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// cellFingerprintVersion tags the fold schema below. Bump it whenever
+// the schema — or the semantics of any folded knob — changes, so stale
+// stores can never serve results computed under different rules.
+const cellFingerprintVersion = "anacin/cell/v1"
+
+// CellFingerprint is the content address of one cell's measurement: a
+// fingerprint of everything that determines its Summary — the cell
+// coordinates plus the grid's scalar knobs (runs, base seed, stack
+// capture, kernel configuration; kernel names encode depth,
+// directedness, and seed). Two submissions whose grids overlap on a
+// cell produce equal fingerprints for it, which is what lets a result
+// store dedupe concurrent campaigns and serve repeat queries without
+// re-simulating. The grid should be Normalized first; a nil kernel is
+// fingerprinted as the default (matching what Run would execute).
+func (g *Grid) CellFingerprint(spec CellSpec) kernel.Fingerprint {
+	k := g.Kernel
+	if k == nil {
+		k = kernel.NewWL(2)
+	}
+	fp := kernel.NewFingerprinter()
+	fp.String(cellFingerprintVersion)
+	fp.String(k.Name())
+	fp.String(spec.Pattern)
+	fp.Int(int64(spec.Procs))
+	fp.Int(int64(spec.Iterations))
+	fp.Int(int64(spec.Nodes))
+	fp.Float(spec.NDPercent)
+	fp.Int(int64(g.Runs))
+	fp.Int(g.BaseSeed)
+	fp.Bool(g.CaptureStacks)
+	return fp.Sum()
+}
+
+// RunCell executes one grid cell of g and reduces it to its summary.
+// Failures are recorded in Cell.Err, not returned: a cell is an
+// independent measurement and its caller (the Runner's pool, or a
+// serving layer's store) decides what a failure means for the whole.
+// runWorkers caps the cell's run concurrency (<=0 means one worker per
+// core); batch layers that already parallelize across cells pass their
+// per-cell budget.
+func RunCell(ctx context.Context, g Grid, spec CellSpec, runWorkers int) Cell {
+	q := g.withDefaults()
+	cell := Cell{
+		Pattern: spec.Pattern, Procs: spec.Procs, Iterations: spec.Iterations,
+		Nodes: spec.Nodes, NDPercent: spec.NDPercent, Runs: q.Runs,
+	}
+	e := core.DefaultExperiment(spec.Pattern, spec.Procs, spec.NDPercent)
+	e.Iterations = spec.Iterations
+	e.Nodes = spec.Nodes
+	e.Runs = q.Runs
+	e.BaseSeed = q.BaseSeed
+	e.CaptureStacks = q.CaptureStacks
+	e.Workers = runWorkers
+	rs, err := e.ExecuteContext(ctx)
+	if err != nil {
+		cell.Err = err
+		return cell
+	}
+	// DistanceSummary routes through the run set's embedding cache, so
+	// a future per-cell root-source pass would reuse these embeddings.
+	cell.Summary = rs.DistanceSummary(q.Kernel)
+	cell.DistinctStructures = rs.DistinctStructures()
+	return cell
+}
+
+// SortCells orders cells by their deterministic key — the order Run
+// returns and WriteCSV/WriteMarkdown expect. Layers that assemble a
+// Result from individually-executed cells (the serve store path) sort
+// with this so their output is byte-identical to a batch Run of the
+// same grid.
+func SortCells(cells []Cell) {
+	sort.Slice(cells, func(i, j int) bool { return cells[i].key() < cells[j].key() })
+}

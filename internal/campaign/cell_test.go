@@ -1,0 +1,154 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/anacin-go/anacinx/internal/kernel"
+)
+
+// TestCellLevelMatchesBatchRun is the contract the serving layer rests
+// on: running every CellSpec individually through RunCell and sorting
+// with SortCells produces byte-identical CSV to the batch Runner over
+// the same grid.
+func TestCellLevelMatchesBatchRun(t *testing.T) {
+	g := smallGrid()
+	res, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q, err := g.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := q.CellSpecs()
+	if len(specs) != len(res.Cells) {
+		t.Fatalf("CellSpecs = %d, batch cells = %d", len(specs), len(res.Cells))
+	}
+	cells := make([]Cell, len(specs))
+	for i, spec := range specs {
+		cells[i] = RunCell(context.Background(), q, spec, 0)
+	}
+	SortCells(cells)
+	manual := &Result{KernelName: q.Kernel.Name(), Cells: cells}
+
+	var want, got bytes.Buffer
+	if err := res.WriteCSV(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := manual.WriteCSV(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("cell-level CSV differs from batch run:\n%s\nvs\n%s", got.Bytes(), want.Bytes())
+	}
+}
+
+func TestNormalizedRejectsBadRuns(t *testing.T) {
+	g := smallGrid()
+	g.Runs = 0
+	if _, err := g.Normalized(); err == nil {
+		t.Error("Normalized accepted Runs = 0")
+	}
+}
+
+// TestCellFingerprint pins the dedupe key's two obligations: equal
+// (grid knobs, spec) inputs collide — including across distinct Grid
+// values that normalize identically — and every knob that changes the
+// measurement changes the fingerprint.
+func TestCellFingerprint(t *testing.T) {
+	g := smallGrid()
+	spec := CellSpec{Pattern: "message_race", Procs: 4, Iterations: 1, Nodes: 1, NDPercent: 50}
+	base := g.CellFingerprint(spec)
+
+	// Same logical cell from an independently-built grid: same key.
+	g2 := smallGrid()
+	if got := g2.CellFingerprint(spec); got != base {
+		t.Errorf("identical cells fingerprint differently: %v vs %v", got, base)
+	}
+	// A normalized grid (explicit default kernel) keys like the nil-kernel one.
+	q, err := g.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.CellFingerprint(spec); got != base {
+		t.Errorf("normalized grid fingerprints differently: %v vs %v", got, base)
+	}
+
+	seen := map[string]string{base.String(): "base"}
+	check := func(name string, g Grid, spec CellSpec) {
+		t.Helper()
+		got := g.CellFingerprint(spec).String()
+		if prev, ok := seen[got]; ok {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		seen[got] = name
+	}
+	mut := spec
+	mut.Pattern = "ring_halo"
+	check("pattern", g, mut)
+	mut = spec
+	mut.Procs = 8
+	check("procs", g, mut)
+	mut = spec
+	mut.Iterations = 2
+	check("iterations", g, mut)
+	mut = spec
+	mut.Nodes = 2
+	check("nodes", g, mut)
+	mut = spec
+	mut.NDPercent = 51
+	check("nd", g, mut)
+	gm := g
+	gm.Runs = 5
+	check("runs", gm, spec)
+	gm = g
+	gm.BaseSeed = 2
+	check("seed", gm, spec)
+	gm = g
+	gm.CaptureStacks = true
+	check("stacks", gm, spec)
+	gm = g
+	gm.Kernel = kernel.NewWL(3)
+	check("kernel", gm, spec)
+}
+
+// TestRunCancelledMidwayPartialResult pins the partial-result contract:
+// a cancelled Run returns the completed cells alongside the error.
+func TestRunCancelledMidwayPartialResult(t *testing.T) {
+	g := smallGrid()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r := &Runner{Workers: 1, Progress: func(p Progress) { cancel() }}
+	res, err := r.Run(ctx, g)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled Run returned nil Result, want partial cells")
+	}
+	if len(res.Cells) == 0 || len(res.Cells) >= g.Cells() {
+		t.Fatalf("partial cells = %d, want in [1, %d)", len(res.Cells), g.Cells())
+	}
+	for i, c := range res.Cells {
+		if c.Pattern == "" {
+			t.Errorf("partial cell %d is zero-valued", i)
+		}
+	}
+	// The partial result must render: CSV of a truncated campaign is
+	// still a valid, parseable archive.
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("partial CSV does not round-trip: %v", err)
+	}
+	if len(back.Cells) != len(res.Cells) {
+		t.Errorf("round-trip cells = %d, want %d", len(back.Cells), len(res.Cells))
+	}
+}

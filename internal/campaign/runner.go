@@ -4,11 +4,8 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
-
-	"github.com/anacin-go/anacinx/internal/core"
 )
 
 // Progress is one observation of a running campaign, delivered to
@@ -59,13 +56,15 @@ type Runner struct {
 // (pattern, procs, iterations, nodes, nd). Per-cell failures are
 // recorded in Cell.Err and do not stop the campaign; cancelling ctx
 // does, aborting in-flight cells and returning an error satisfying
-// errors.Is(err, ctx.Err()).
+// errors.Is(err, ctx.Err()) — together with a partial Result holding
+// the cells that completed before cancellation, so callers can report
+// how far a truncated campaign got instead of discarding it.
 func (r *Runner) Run(ctx context.Context, g Grid) (*Result, error) {
 	q := g.withDefaults()
 	if err := q.validate(); err != nil {
 		return nil, err
 	}
-	cells := q.cellConfigs()
+	cells := q.CellSpecs()
 	workers := r.Workers
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
@@ -99,7 +98,7 @@ func (r *Runner) Run(ctx context.Context, g Grid) (*Result, error) {
 					continue
 				}
 				cellStart := time.Now()
-				res.Cells[idx] = runCell(ctx, q, cells[idx], runWorkers)
+				res.Cells[idx] = RunCell(ctx, q, cells[idx], runWorkers)
 				r.report(&mu, res.Cells[idx], time.Since(cellStart), start, len(cells), q.Runs, &done, &doneRuns)
 			}
 		}()
@@ -115,9 +114,20 @@ dispatch:
 	close(next)
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("campaign: cancelled after %d/%d cells: %w", doneCount(res), len(cells), err)
+		// Keep only the cells that actually ran (skipped dispatches leave
+		// zero-valued cells), sorted like a complete result, so the
+		// partial grid is directly renderable.
+		kept := res.Cells[:0]
+		for _, c := range res.Cells {
+			if c.Pattern != "" {
+				kept = append(kept, c)
+			}
+		}
+		res.Cells = kept
+		SortCells(res.Cells)
+		return res, fmt.Errorf("campaign: cancelled after %d/%d cells: %w", len(res.Cells), len(cells), err)
 	}
-	sort.Slice(res.Cells, func(i, j int) bool { return res.Cells[i].key() < res.Cells[j].key() })
+	SortCells(res.Cells)
 	return res, nil
 }
 
@@ -156,70 +166,4 @@ func etaFrom(elapsed time.Duration, done, remaining int) time.Duration {
 		return 0
 	}
 	return time.Duration(int64(elapsed) * int64(remaining) / int64(done))
-}
-
-// cellConfig is one grid point's coordinates, in grid declaration order.
-type cellConfig struct {
-	pattern    string
-	procs      int
-	iterations int
-	nodes      int
-	nd         float64
-}
-
-// cellConfigs expands the grid cross product. Order only affects
-// scheduling — results are sorted by key afterwards.
-func (g *Grid) cellConfigs() []cellConfig {
-	out := make([]cellConfig, 0, g.Cells())
-	for _, pattern := range g.Patterns {
-		for _, procs := range g.Procs {
-			for _, iters := range g.Iterations {
-				for _, nodes := range g.Nodes {
-					for _, nd := range g.NDPercents {
-						out = append(out, cellConfig{pattern, procs, iters, nodes, nd})
-					}
-				}
-			}
-		}
-	}
-	return out
-}
-
-// runCell executes one grid cell and reduces it to its summary. A cell
-// failure is recorded, not returned: sibling cells are independent
-// measurements and the campaign reports partial grids.
-func runCell(ctx context.Context, q Grid, cc cellConfig, runWorkers int) Cell {
-	cell := Cell{
-		Pattern: cc.pattern, Procs: cc.procs, Iterations: cc.iterations,
-		Nodes: cc.nodes, NDPercent: cc.nd, Runs: q.Runs,
-	}
-	e := core.DefaultExperiment(cc.pattern, cc.procs, cc.nd)
-	e.Iterations = cc.iterations
-	e.Nodes = cc.nodes
-	e.Runs = q.Runs
-	e.BaseSeed = q.BaseSeed
-	e.CaptureStacks = q.CaptureStacks
-	e.Workers = runWorkers
-	rs, err := e.ExecuteContext(ctx)
-	if err != nil {
-		cell.Err = err
-		return cell
-	}
-	// DistanceSummary routes through the run set's embedding cache, so
-	// a future per-cell root-source pass would reuse these embeddings.
-	cell.Summary = rs.DistanceSummary(q.Kernel)
-	cell.DistinctStructures = rs.DistinctStructures()
-	return cell
-}
-
-// doneCount counts cells that actually ran (zero-valued cells from a
-// cancelled campaign have no pattern).
-func doneCount(res *Result) int {
-	n := 0
-	for _, c := range res.Cells {
-		if c.Pattern != "" {
-			n++
-		}
-	}
-	return n
 }

@@ -42,7 +42,7 @@ type Cache struct {
 
 type cacheKey struct {
 	kernel string
-	fp     [2]uint64
+	fp     Fingerprint
 }
 
 // NewCache returns an empty embedding cache.
@@ -126,23 +126,18 @@ func (c *Cache) Misses() uint64 {
 // (from, to, kind) triples. Two graphs with equal fingerprints receive
 // identical embeddings from every Kernel in this package; Lamport
 // times, callstacks, and Meta deliberately do not contribute.
-func fingerprint(g *graph.Graph) [2]uint64 {
-	h1 := uint64(fnvOffset)
-	h2 := splitmix64(fnvOffset)
-	fold := func(w uint64) {
-		h1 = hashWord(h1, w)
-		h2 = splitmix64(h2 ^ w)
-	}
-	fold(uint64(len(g.Nodes)))
+func fingerprint(g *graph.Graph) Fingerprint {
+	fp := NewFingerprinter()
+	fp.Word(uint64(len(g.Nodes)))
 	for i := range g.Nodes {
-		fold(labelInterner.Hash(g.Nodes[i].Label))
+		fp.Word(labelInterner.Hash(g.Nodes[i].Label))
 	}
-	fold(uint64(len(g.Edges)))
+	fp.Word(uint64(len(g.Edges)))
 	for i := range g.Edges {
 		e := &g.Edges[i]
 		// NodeIDs are int32 and non-negative, so from/to fit in 31 bits
 		// each and the kind bit lands at 63: one word per edge.
-		fold(uint64(uint32(e.From)) | uint64(uint32(e.To))<<31 | uint64(e.Kind)<<63)
+		fp.Word(uint64(uint32(e.From)) | uint64(uint32(e.To))<<31 | uint64(e.Kind)<<63)
 	}
-	return [2]uint64{h1, h2}
+	return fp.Sum()
 }

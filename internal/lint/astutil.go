@@ -20,6 +20,13 @@ func lastSegment(path string) string {
 // world: everything they compute must be a pure function of (config,
 // seed), so the wall clock is off limits (DESIGN.md "Determinism
 // invariants").
+//
+// The campaign service (internal/serve) is deliberately NOT here, nor
+// in singleOwnerPkgs below: it sits outside the simulated world and
+// legitimately reads wall time (uptime, ETAs), starts goroutines (HTTP
+// handlers, job workers), and serves the network. Repo-wide analyzers
+// (maprange, floatfold, globalrand) still cover it. The scoping is
+// pinned by the testdata/src/serve fixture.
 var virtualTimePkgs = map[string]bool{
 	"sim":      true,
 	"trace":    true,

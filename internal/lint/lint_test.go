@@ -142,6 +142,20 @@ func TestDomainChecksDoNotApplyElsewhere(t *testing.T) {
 	}
 }
 
+// TestServeStyleCodeOutOfDomain pins the linter's scoping for the
+// campaign service: a serve-named package full of wall-clock reads,
+// goroutines, and net/http produces no wallclock/goroutine findings —
+// the service lives outside the simulated world by design (see
+// virtualTimePkgs) — while the repo-wide maprange analyzer still fires
+// on its one escaping map iteration.
+func TestServeStyleCodeOutOfDomain(t *testing.T) {
+	checkWants(t, "serve", WallClock, Goroutine, MapRange)
+	pkg := loadFixture(t, "serve")
+	if findings := Run([]*Package{pkg}, []*Analyzer{WallClock, Goroutine}); len(findings) != 0 {
+		t.Errorf("domain analyzers fired on serve-style code: %v", findings)
+	}
+}
+
 func TestByName(t *testing.T) {
 	all, err := ByName("")
 	if err != nil || len(all) != 5 {

@@ -1,0 +1,41 @@
+// Package serve is the fixture pinning the linter's scoping for the
+// campaign service (internal/serve): a package named outside the
+// virtual-time and single-owner sets may legitimately read the wall
+// clock, start goroutines, and speak HTTP — none of that is a finding.
+// The repo-wide analyzers still apply: a map iteration whose order
+// escapes is as much a bug in a JSON handler as in the simulator.
+package serve
+
+import (
+	"net/http"
+	"time"
+)
+
+// Wall-clock reads are the service's job (uptime, ETAs): silent here,
+// a finding in any virtualTimePkgs package.
+func uptimeMS(started time.Time) int64 {
+	return time.Since(started).Milliseconds()
+}
+
+// Request handlers naturally spawn goroutines; the single-owner
+// discipline binds the DES world (sim, trace), not the HTTP world.
+func handleAsync(w http.ResponseWriter, r *http.Request) {
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(time.Millisecond)
+		close(done)
+	}()
+	<-done
+	w.WriteHeader(http.StatusAccepted)
+	_ = time.Now()
+}
+
+// Map iteration order escaping into a response is still a finding:
+// maprange is scoped to the whole repository, service included.
+func listIDs(jobs map[string]int) []string {
+	var ids []string
+	for id := range jobs { // want "maprange: map iteration order escapes via append"
+		ids = append(ids, id)
+	}
+	return ids
+}

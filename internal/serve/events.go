@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// Event is one server-sent event: a monotonically increasing ID (the
+// SSE `id:` field, 1-based per job), a type (the SSE `event:` field),
+// and a pre-marshaled JSON payload (the SSE `data:` field).
+type Event struct {
+	ID   int
+	Type string
+	Data []byte
+}
+
+// EventLog is an append-only per-job event history with broadcast.
+// Every subscriber — no matter how late it connects — observes exactly
+// the same sequence: Snapshot replays the backlog from any cursor, and
+// the changed channel wakes waiters on append. The log is closed when
+// its job reaches a terminal state; a drained subscriber then ends its
+// stream instead of waiting forever.
+type EventLog struct {
+	mu      sync.Mutex
+	events  []Event
+	closed  bool
+	changed chan struct{} // closed and replaced on every Append/Close
+}
+
+// NewEventLog returns an empty open log.
+func NewEventLog() *EventLog {
+	return &EventLog{changed: make(chan struct{})}
+}
+
+// Append marshals v and appends it as the next event. Appending to a
+// closed log panics: events after the terminal event would be
+// unobservable by design, so that is a programming error.
+func (l *EventLog) Append(typ string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Event payloads are our own structs of plain values; a marshal
+		// failure is a programming error, not a runtime condition.
+		panic("serve: unmarshalable event payload: " + err.Error())
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		panic("serve: Append on closed EventLog")
+	}
+	l.events = append(l.events, Event{ID: len(l.events) + 1, Type: typ, Data: data})
+	close(l.changed)
+	l.changed = make(chan struct{})
+}
+
+// Close marks the log complete and wakes all waiters. Closing twice is
+// a no-op.
+func (l *EventLog) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	close(l.changed)
+	l.changed = make(chan struct{})
+}
+
+// Snapshot returns the events after cursor (an event ID; 0 replays
+// everything), whether the log is closed, and a channel that is closed
+// on the next append or close. The caller loops: deliver the batch,
+// advance its cursor, and when the batch is empty and the log is not
+// closed, wait on changed (or its client's disconnect).
+func (l *EventLog) Snapshot(cursor int) (batch []Event, closed bool, changed <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor < len(l.events) {
+		// Events are 1-based and dense, so the event after ID cursor
+		// lives at index cursor.
+		batch = l.events[cursor:len(l.events):len(l.events)]
+	}
+	return batch, l.closed, l.changed
+}
+
+// Len returns the number of events appended so far.
+func (l *EventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}

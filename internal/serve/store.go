@@ -1,0 +1,191 @@
+// Package serve is the long-running campaign service in front of the
+// pipeline: submit a campaign grid as JSON, get a job id, stream live
+// per-cell progress over SSE, and fetch results when done. Its
+// production core is a content-addressed result store — every grid
+// cell is keyed by a fingerprint of everything that determines its
+// measurement (campaign.Grid.CellFingerprint), so concurrent jobs
+// submitting overlapping grids dedupe to one simulation and repeat
+// queries are served from the store without simulating at all.
+//
+// The package lives outside the simulated world: unlike internal/sim
+// and friends it legitimately uses wall-clock time, goroutines, and
+// net/http, and is therefore deliberately not in the determinism
+// linter's wallclock/goroutine package scopes (internal/lint).
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"github.com/anacin-go/anacinx/internal/campaign"
+	"github.com/anacin-go/anacinx/internal/kernel"
+)
+
+// Source says where a cell result came from.
+type Source string
+
+const (
+	// SourceComputed: this request ran the simulation.
+	SourceComputed Source = "computed"
+	// SourceJoined: another request was already simulating the same
+	// cell; this one waited for it (in-flight dedupe).
+	SourceJoined Source = "joined"
+	// SourceStore: the cell was already in the store (content hit).
+	SourceStore Source = "store"
+)
+
+// Store is the content-addressed result store. Completed cells are
+// kept forever (a cell is a pure function of its fingerprint, so
+// entries never go stale), and at most one simulation per fingerprint
+// is in flight at a time: concurrent requests for the same cell join
+// the in-flight computation instead of starting their own
+// (singleflight). All methods are safe for concurrent use.
+type Store struct {
+	mu       sync.Mutex
+	cells    map[kernel.Fingerprint]campaign.Cell
+	inflight map[kernel.Fingerprint]*flight
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	joined atomic.Uint64
+}
+
+// flight is one in-progress cell computation. The compute context is
+// detached from any single caller and refcounted by waiters: it is
+// cancelled only when every job waiting on the cell has gone away, so
+// one client disconnecting never aborts work another client needs.
+type flight struct {
+	done    chan struct{} // closed when cell is set
+	cell    campaign.Cell
+	waiters int
+	cancel  context.CancelFunc
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		cells:    make(map[kernel.Fingerprint]campaign.Cell, 64),
+		inflight: make(map[kernel.Fingerprint]*flight),
+	}
+}
+
+// GetOrCompute returns the cell stored under fp, computing it at most
+// once across all concurrent callers. compute receives a context that
+// stays alive while at least one caller is still waiting; if every
+// waiter's ctx is cancelled, the computation is cancelled too. The
+// returned Source distinguishes a store hit, an in-flight join, and an
+// actual computation. ctx errors are returned as err; a failed
+// computation instead surfaces via the returned cell's Err field and
+// is NOT stored, so a later identical request retries it.
+func (s *Store) GetOrCompute(ctx context.Context, fp kernel.Fingerprint, compute func(context.Context) campaign.Cell) (campaign.Cell, Source, error) {
+	for {
+		cell, src, retry, err := s.attempt(ctx, fp, compute)
+		if err == nil && retry && ctx.Err() == nil {
+			// The flight this caller joined was cancelled under it (its
+			// last waiter left just as we arrived). Our context is still
+			// live, so try again — the next attempt computes fresh.
+			continue
+		}
+		return cell, src, err
+	}
+}
+
+func (s *Store) attempt(ctx context.Context, fp kernel.Fingerprint, compute func(context.Context) campaign.Cell) (campaign.Cell, Source, bool, error) {
+	s.mu.Lock()
+	if cell, ok := s.cells[fp]; ok {
+		s.hits.Add(1)
+		s.mu.Unlock()
+		return cell, SourceStore, false, nil
+	}
+	if f, ok := s.inflight[fp]; ok {
+		s.joined.Add(1)
+		f.waiters++
+		s.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.cell, SourceJoined, cancelled(f.cell), nil
+		case <-ctx.Done():
+			s.release(f)
+			return campaign.Cell{}, SourceJoined, false, ctx.Err()
+		}
+	}
+	s.misses.Add(1)
+	// The compute context is rooted in Background, not in ctx: other
+	// waiters may join this flight, and their interest must keep the
+	// simulation alive after the first caller disconnects.
+	cctx, cancel := context.WithCancel(context.Background())
+	f := &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	s.inflight[fp] = f
+	s.mu.Unlock()
+
+	go func() {
+		cell := compute(cctx)
+		s.mu.Lock()
+		f.cell = cell
+		if cell.Err == nil {
+			s.cells[fp] = cell
+		}
+		delete(s.inflight, fp)
+		s.mu.Unlock()
+		cancel()
+		close(f.done)
+	}()
+
+	select {
+	case <-f.done:
+		return f.cell, SourceComputed, false, nil
+	case <-ctx.Done():
+		s.release(f)
+		return campaign.Cell{}, SourceComputed, false, ctx.Err()
+	}
+}
+
+// Len returns the number of stored cells.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cells)
+}
+
+// Inflight returns how many cell computations are currently running.
+func (s *Store) Inflight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.inflight)
+}
+
+// Hits counts requests served directly from the store.
+func (s *Store) Hits() uint64 { return s.hits.Load() }
+
+// Misses counts requests that started a simulation — the store's
+// measure of actual compute spent. A resubmitted grid whose every cell
+// hits leaves Misses unchanged.
+func (s *Store) Misses() uint64 { return s.misses.Load() }
+
+// Joined counts requests that deduped onto an in-flight computation.
+func (s *Store) Joined() uint64 { return s.joined.Load() }
+
+// release drops one waiter's interest in a flight; the last one out
+// cancels the computation. Cancelling after the flight completed is a
+// harmless no-op.
+func (s *Store) release(f *flight) {
+	s.mu.Lock()
+	f.waiters--
+	last := f.waiters == 0
+	s.mu.Unlock()
+	if last {
+		f.cancel()
+	}
+}
+
+// cancelled reports whether the cell's recorded error is cancellation
+// fallout rather than a real measurement failure. A joiner that
+// receives such a cell retries (its own context is still live): the
+// flight it joined was torn down because its other waiters left, not
+// because the cell is uncomputable.
+func cancelled(c campaign.Cell) bool {
+	return c.Err != nil &&
+		(errors.Is(c.Err, context.Canceled) || errors.Is(c.Err, context.DeadlineExceeded))
+}

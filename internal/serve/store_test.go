@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/anacin-go/anacinx/internal/campaign"
+	"github.com/anacin-go/anacinx/internal/kernel"
+)
+
+func fpOf(word uint64) kernel.Fingerprint {
+	f := kernel.NewFingerprinter()
+	f.Word(word)
+	return f.Sum()
+}
+
+func okCell(pattern string) campaign.Cell {
+	return campaign.Cell{Pattern: pattern, Procs: 4, Iterations: 1, Nodes: 1, Runs: 2}
+}
+
+func TestStoreHitMissCounters(t *testing.T) {
+	s := NewStore()
+	computes := 0
+	compute := func(context.Context) campaign.Cell { computes++; return okCell("p") }
+
+	cell, src, err := s.GetOrCompute(context.Background(), fpOf(1), compute)
+	if err != nil || src != SourceComputed || cell.Pattern != "p" {
+		t.Fatalf("first get: cell=%+v src=%v err=%v", cell, src, err)
+	}
+	cell, src, err = s.GetOrCompute(context.Background(), fpOf(1), compute)
+	if err != nil || src != SourceStore || cell.Pattern != "p" {
+		t.Fatalf("second get: cell=%+v src=%v err=%v", cell, src, err)
+	}
+	if computes != 1 {
+		t.Errorf("computes = %d, want 1", computes)
+	}
+	if s.Hits() != 1 || s.Misses() != 1 || s.Joined() != 0 || s.Len() != 1 {
+		t.Errorf("counters: hits=%d misses=%d joined=%d len=%d", s.Hits(), s.Misses(), s.Joined(), s.Len())
+	}
+}
+
+// TestStoreSingleflight pins the dedupe core: N concurrent requests
+// for the same fingerprint run exactly one computation, and everyone
+// receives its result.
+func TestStoreSingleflight(t *testing.T) {
+	s := NewStore()
+	var computes atomic.Int32
+	release := make(chan struct{})
+	compute := func(ctx context.Context) campaign.Cell {
+		computes.Add(1)
+		<-release
+		return okCell("dedup")
+	}
+
+	const n = 8
+	var wg sync.WaitGroup
+	var joined atomic.Int32
+	results := make([]campaign.Cell, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cell, src, err := s.GetOrCompute(context.Background(), fpOf(7), compute)
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+			}
+			if src == SourceJoined {
+				joined.Add(1)
+			}
+			results[i] = cell
+		}(i)
+	}
+	// Let the requests pile onto the flight, then release the compute.
+	for s.Joined() < n-1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Errorf("computations = %d, want 1", got)
+	}
+	if got := joined.Load(); got != n-1 {
+		t.Errorf("joined = %d, want %d", got, n-1)
+	}
+	for i, c := range results {
+		if c.Pattern != "dedup" {
+			t.Errorf("request %d got cell %+v", i, c)
+		}
+	}
+}
+
+// TestStoreComputeOutlivesFirstCaller: the computation keeps running
+// for the second waiter after the first caller disconnects.
+func TestStoreComputeOutlivesFirstCaller(t *testing.T) {
+	s := NewStore()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var sawCancel atomic.Bool
+	compute := func(ctx context.Context) campaign.Cell {
+		close(started)
+		select {
+		case <-release:
+			return okCell("survivor")
+		case <-ctx.Done():
+			sawCancel.Store(true)
+			return campaign.Cell{Err: ctx.Err()}
+		}
+	}
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	firstDone := make(chan error, 1)
+	go func() {
+		_, _, err := s.GetOrCompute(ctx1, fpOf(9), compute)
+		firstDone <- err
+	}()
+	<-started
+
+	secondDone := make(chan campaign.Cell, 1)
+	go func() {
+		cell, _, err := s.GetOrCompute(context.Background(), fpOf(9), compute)
+		if err != nil {
+			t.Errorf("second waiter: %v", err)
+		}
+		secondDone <- cell
+	}()
+	// Wait until the second request has actually joined the flight.
+	for s.Joined() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	cancel1()
+	if err := <-firstDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("first caller err = %v, want context.Canceled", err)
+	}
+	close(release)
+	if cell := <-secondDone; cell.Pattern != "survivor" || cell.Err != nil {
+		t.Errorf("second waiter cell = %+v", cell)
+	}
+	if sawCancel.Load() {
+		t.Error("computation was cancelled despite a live waiter")
+	}
+	if s.Misses() != 1 {
+		t.Errorf("misses = %d, want 1", s.Misses())
+	}
+}
+
+// TestStoreCancelWhenAllWaiversGone: once every waiter disconnects,
+// the computation's context is cancelled and nothing is stored.
+func TestStoreCancelWhenAllWaitersGone(t *testing.T) {
+	s := NewStore()
+	started := make(chan struct{})
+	cancelled := make(chan struct{})
+	compute := func(ctx context.Context) campaign.Cell {
+		close(started)
+		<-ctx.Done()
+		close(cancelled)
+		return campaign.Cell{Err: ctx.Err()}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := s.GetOrCompute(ctx, fpOf(11), compute)
+		errCh <- err
+	}()
+	<-started
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	select {
+	case <-cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("compute context never cancelled after its only waiter left")
+	}
+	// The cancelled result must not be stored: a retry computes fresh.
+	for s.Inflight() != 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if s.Len() != 0 {
+		t.Errorf("store kept a cancelled cell (len=%d)", s.Len())
+	}
+	cell, src, err := s.GetOrCompute(context.Background(), fpOf(11),
+		func(context.Context) campaign.Cell { return okCell("retry") })
+	if err != nil || src != SourceComputed || cell.Pattern != "retry" {
+		t.Errorf("retry after cancel: cell=%+v src=%v err=%v", cell, src, err)
+	}
+}
+
+// TestStoreFailedCellNotCached: a cell that fails (non-cancellation)
+// is returned to its requester but not stored, so the next request
+// retries.
+func TestStoreFailedCellNotCached(t *testing.T) {
+	s := NewStore()
+	calls := 0
+	boom := errors.New("boom")
+	compute := func(context.Context) campaign.Cell {
+		calls++
+		if calls == 1 {
+			return campaign.Cell{Pattern: "p", Err: boom}
+		}
+		return okCell("p")
+	}
+	cell, _, err := s.GetOrCompute(context.Background(), fpOf(3), compute)
+	if err != nil || !errors.Is(cell.Err, boom) {
+		t.Fatalf("first: cell.Err=%v err=%v", cell.Err, err)
+	}
+	cell, src, err := s.GetOrCompute(context.Background(), fpOf(3), compute)
+	if err != nil || cell.Err != nil || src != SourceComputed {
+		t.Fatalf("retry: cell=%+v src=%v err=%v", cell, src, err)
+	}
+	if calls != 2 {
+		t.Errorf("calls = %d, want 2", calls)
+	}
+}

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke test of `anacin serve` (anacind).
+#
+# Builds the CLI with the race detector, boots the service on an
+# ephemeral port, and drives the full campaign lifecycle over real
+# HTTP: submit a grid, consume the SSE stream to its natural EOF,
+# fetch results, then resubmit the identical grid and assert the store
+# answered it without a single new simulation (misses unchanged, hits
+# grown). Finally SIGINTs the server and requires a clean drain.
+#
+# This is the CI gate for the PR's acceptance criterion; the in-process
+# twin is TestEndToEndRealSimulation in internal/serve. Run it locally
+# with:  bash scripts/serve_smoke.sh
+#
+# Requires: go, curl, python3. Writes server logs to serve-smoke.log
+# (uploaded as an artifact on CI failure).
+set -euo pipefail
+
+log=serve-smoke.log
+portfile=$(mktemp)
+grid='{"patterns":["message_race","amg2013"],"procs":[8],"iterations":[1],"nodes":[1],"nd_percents":[0,100],"runs":4,"base_seed":1,"kernel":"wl2"}'
+
+fail() {
+  echo "serve_smoke: FAIL: $*" >&2
+  echo "--- server log ---" >&2
+  cat "$log" >&2 || true
+  exit 1
+}
+
+stat_of() { # stat_of <field>  — read one store counter from /v1/stats
+  curl -sf "http://$addr/v1/stats" \
+    | python3 -c "import sys,json; print(json.load(sys.stdin)['store']['$1'])"
+}
+
+echo "serve_smoke: building anacin (-race)"
+go build -race -o anacin-smoke ./cmd/anacin
+
+./anacin-smoke serve -addr 127.0.0.1:0 -portfile "$portfile" -grace 30s >"$log" 2>&1 &
+server_pid=$!
+trap 'kill "$server_pid" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 100); do
+  [ -s "$portfile" ] && break
+  kill -0 "$server_pid" 2>/dev/null || fail "server exited during startup"
+  sleep 0.1
+done
+addr=$(cat "$portfile")
+[ -n "$addr" ] || fail "server never wrote its port file"
+echo "serve_smoke: server up at $addr"
+
+curl -sf "http://$addr/healthz" >/dev/null || fail "healthz not ok"
+
+echo "serve_smoke: submitting 2x2 grid"
+job=$(curl -sf -X POST "http://$addr/v1/campaigns" \
+        -H 'Content-Type: application/json' -d "$grid" \
+      | python3 -c 'import sys,json; print(json.load(sys.stdin)["id"])')
+[ -n "$job" ] || fail "submission returned no job id"
+
+# The SSE stream ends after the terminal `done` event, so a plain
+# blocking read runs exactly until the job is over.
+events=$(curl -sfN "http://$addr/v1/campaigns/$job/events")
+echo "$events" | grep -q '^event: done' || fail "stream ended without a done event"
+cells=$(echo "$events" | grep -c '^event: cell') || true
+[ "$cells" -eq 4 ] || fail "saw $cells cell events, want 4"
+
+curl -sf "http://$addr/v1/campaigns/$job/results" >/dev/null || fail "results not fetchable"
+curl -sf "http://$addr/v1/campaigns/$job/results?format=csv" | grep -q message_race \
+  || fail "csv results missing cells"
+
+misses=$(stat_of misses)
+hits=$(stat_of hits)
+echo "serve_smoke: first pass done (misses=$misses hits=$hits)"
+[ "$misses" -eq 4 ] || fail "first pass ran $misses simulations, want 4"
+
+echo "serve_smoke: resubmitting the identical grid"
+job2=$(curl -sf -X POST "http://$addr/v1/campaigns" \
+         -H 'Content-Type: application/json' -d "$grid" \
+       | python3 -c 'import sys,json; print(json.load(sys.stdin)["id"])')
+curl -sfN "http://$addr/v1/campaigns/$job2/events" | grep -q '^event: done' \
+  || fail "resubmitted job never finished"
+
+misses2=$(stat_of misses)
+hits2=$(stat_of hits)
+echo "serve_smoke: second pass done (misses=$misses2 hits=$hits2)"
+[ "$misses2" -eq "$misses" ] \
+  || fail "resubmission simulated: misses $misses -> $misses2 (store must answer it)"
+[ "$hits2" -gt "$hits" ] || fail "resubmission did not hit the store (hits $hits -> $hits2)"
+
+sources=$(curl -sf "http://$addr/v1/campaigns/$job2/results" \
+  | python3 -c 'import sys,json; print(" ".join(sorted({c["source"] for c in json.load(sys.stdin)["cells"]})))')
+[ "$sources" = "store" ] || fail "resubmitted cell sources = [$sources], want only store"
+
+echo "serve_smoke: draining with SIGINT"
+kill -INT "$server_pid"
+wait "$server_pid" || fail "server exited non-zero on SIGINT"
+grep -q 'shut down' "$log" || fail "server log has no clean shutdown line"
+trap - EXIT
+
+echo "serve_smoke: PASS (resubmission served entirely from the store)"
