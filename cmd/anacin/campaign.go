@@ -51,6 +51,8 @@ flags:
 	kernSpec := fs.String("kernel", "wl2", "graph kernel: "+core.KernelSpecs())
 	csvPath := fs.String("csv", "", "also write the cells as CSV to this path")
 	workers := fs.Int("workers", 0, "concurrent cells (0 = one per core, capped at the cell count)")
+	archive := fs.String("archive", "", "archive every run's v2 trace under this directory\n(<dir>/<cell-fingerprint>/run-<i>.anctr, replayable with 'anacin replay')")
+	stream := fs.Bool("stream", false, "run cells through the streaming pipeline (flat per-cell memory;\nimplied by -archive)")
 	timeout := fs.Duration("timeout", 0, "cancel the campaign after this wall-clock duration (0 = none)")
 	quiet := fs.Bool("quiet", false, "suppress per-cell progress on stderr")
 	if err := fs.Parse(args); err != nil {
@@ -112,7 +114,7 @@ flags:
 		defer cancel()
 	}
 
-	runner := &campaign.Runner{Workers: *workers}
+	runner := &campaign.Runner{Workers: *workers, Stream: *stream, ArchiveDir: *archive}
 	if !*quiet {
 		runner.Progress = func(p campaign.Progress) {
 			status := fmt.Sprintf("median %.4g", p.Cell.Summary.Median)

@@ -406,14 +406,46 @@ func cmdRecord(args []string) error {
 	return nil
 }
 
-// cmdReplay re-runs a configuration pinned to a recorded schedule.
+// cmdReplay has two modes. With positional arguments, it replays
+// stored trace artifacts: each file (or directory of .anctr files,
+// such as a campaign archive) is re-embedded and the distance
+// statistics re-derived — byte-identical to what the live pipeline
+// produced when the traces were recorded. Without positionals, it
+// re-runs a configuration pinned to a recorded schedule (-in).
 func cmdReplay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprint(fs.Output(), `usage: anacin replay [flags] [trace-file-or-dir ...]
+
+With trace files (or directories of .anctr files, e.g. a campaign
+archive), re-derives embeddings, structure hashes, and distance
+statistics from the stored traces without re-simulating; the values
+are identical to what the live pipeline produced. With no positional
+arguments, re-runs the -pattern configuration pinned to a recorded
+schedule (-in; see 'anacin record').
+
+flags:
+`)
+		fs.PrintDefaults()
+	}
 	var f expFlags
 	bindExpFlags(fs, &f, 5)
-	in := fs.String("in", "schedule.json", "schedule input path")
+	in := fs.String("in", "schedule.json", "schedule input path (schedule mode)")
+	raw := fs.Bool("raw", false, "print every pairwise distance (artifact mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if fs.NArg() > 0 {
+		inSet := false
+		fs.Visit(func(fl *flag.Flag) {
+			if fl.Name == "in" {
+				inSet = true
+			}
+		})
+		if inSet {
+			return fmt.Errorf("-in (schedule mode) cannot be combined with trace-file arguments (artifact mode)")
+		}
+		return replayArtifacts(fs.Args(), f.kernel, *raw)
 	}
 	sched, err := sim.LoadSchedule(*in)
 	if err != nil {

@@ -34,6 +34,7 @@ var commands = map[string]func(args []string) error{
 	"replay":    cmdReplay,
 	"figures":   cmdFigures,
 	"diff":      cmdDiff,
+	"inspect":   cmdInspect,
 	"critpath":  cmdCritpath,
 	"expose":    cmdExpose,
 	"campaign":  cmdCampaign,
@@ -69,9 +70,13 @@ commands:
   sweep       sweep a knob (nd, procs, iters, nodes) and tabulate
   callstack   identify root sources of non-determinism (callstack ranking)
   record      record a message-matching schedule from one run
-  replay      re-run with receives pinned to a recorded schedule
+  replay      re-derive embeddings and distance statistics from stored
+              trace files (v2 archives), or re-run with receives pinned
+              to a recorded schedule (-in)
   figures     regenerate the paper's figures (fig1..fig8)
   diff        compare two saved traces (distance + first divergence)
+  inspect     show a stored trace's format version, metadata, and (v2)
+              footer index statistics without decoding events
   critpath    show the critical path of one execution
   expose      find the smallest ND%% that makes the workload diverge
   campaign    run a grid of experiments on a worker pool (cancellable

@@ -54,6 +54,7 @@ flags:
 	maxCells := fs.Int("maxcells", serve.DefaultMaxCells, "reject grids with more cells")
 	maxRuns := fs.Int("maxruns", serve.DefaultMaxRuns, "reject grids with more runs per cell")
 	grace := fs.Duration("grace", 30*time.Second, "graceful-drain budget on SIGINT/SIGTERM")
+	archive := fs.String("archive", "", "archive every run's v2 trace under this directory\n(<dir>/<cell-fingerprint>/run-<i>.anctr, replayable with 'anacin replay')")
 	portFile := fs.String("portfile", "", "write the bound address to this file once listening (for scripts using :0)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +66,7 @@ flags:
 		SimWorkers:  *simWorkers,
 		MaxCells:    *maxCells,
 		MaxRuns:     *maxRuns,
+		ArchiveDir:  *archive,
 		Log:         logger,
 	})
 

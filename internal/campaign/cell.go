@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"context"
+	"path/filepath"
 	"sort"
 
 	"github.com/anacin-go/anacinx/internal/core"
@@ -114,6 +115,42 @@ func RunCell(ctx context.Context, g Grid, spec CellSpec, runWorkers int) Cell {
 	// a future per-cell root-source pass would reuse these embeddings.
 	cell.Summary = rs.DistanceSummary(q.Kernel)
 	cell.DistinctStructures = rs.DistinctStructures()
+	return cell
+}
+
+// RunCellStream is RunCell through the streaming pipeline: every run
+// simulates straight into a v2 trace file, is embedded by streaming the
+// file back, and is reduced without a trace or graph ever materializing
+// — flat memory in run length. When archiveDir is non-empty, the cell's
+// traces are archived there under the cell's fingerprint
+// (<archiveDir>/<fingerprint>/run-<i>.anctr), making the directory a
+// content-addressed store replayable with `anacin replay`. The
+// resulting Cell is byte-identical to RunCell's (the embeddings, and
+// therefore the summary, match exactly — a property the tests pin).
+func RunCellStream(ctx context.Context, g Grid, spec CellSpec, runWorkers int, archiveDir string) Cell {
+	q := g.withDefaults()
+	cell := Cell{
+		Pattern: spec.Pattern, Procs: spec.Procs, Iterations: spec.Iterations,
+		Nodes: spec.Nodes, NDPercent: spec.NDPercent, Runs: q.Runs,
+	}
+	e := core.DefaultExperiment(spec.Pattern, spec.Procs, spec.NDPercent)
+	e.Iterations = spec.Iterations
+	e.Nodes = spec.Nodes
+	e.Runs = q.Runs
+	e.BaseSeed = q.BaseSeed
+	e.CaptureStacks = q.CaptureStacks
+	e.Workers = runWorkers
+	dir := ""
+	if archiveDir != "" {
+		dir = filepath.Join(archiveDir, g.CellFingerprint(spec).String())
+	}
+	srs, err := e.ExecuteStreamContext(ctx, q.Kernel, dir)
+	if err != nil {
+		cell.Err = err
+		return cell
+	}
+	cell.Summary = srs.DistanceSummary()
+	cell.DistinctStructures = srs.DistinctStructures()
 	return cell
 }
 

@@ -50,6 +50,14 @@ type Runner struct {
 	RunWorkers int
 	// Progress, when non-nil, observes every completed cell.
 	Progress func(Progress)
+	// Stream routes cells through the streaming pipeline (RunCellStream):
+	// runs simulate straight into v2 trace files and are embedded by
+	// streaming them back, holding per-cell memory flat in run length.
+	// Cell results are byte-identical to the materializing path.
+	Stream bool
+	// ArchiveDir, when non-empty, archives every run's v2 trace under
+	// <ArchiveDir>/<cell-fingerprint>/run-<i>.anctr and implies Stream.
+	ArchiveDir string
 }
 
 // Run executes every cell of the grid and returns the cells sorted by
@@ -98,7 +106,11 @@ func (r *Runner) Run(ctx context.Context, g Grid) (*Result, error) {
 					continue
 				}
 				cellStart := time.Now()
-				res.Cells[idx] = RunCell(ctx, q, cells[idx], runWorkers)
+				if r.Stream || r.ArchiveDir != "" {
+					res.Cells[idx] = RunCellStream(ctx, q, cells[idx], runWorkers, r.ArchiveDir)
+				} else {
+					res.Cells[idx] = RunCell(ctx, q, cells[idx], runWorkers)
+				}
 				r.report(&mu, res.Cells[idx], time.Since(cellStart), start, len(cells), q.Runs, &done, &doneRuns)
 			}
 		}()

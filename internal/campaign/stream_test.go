@@ -1,0 +1,81 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestRunCellStreamMatchesRunCell pins the campaign-level equivalence:
+// a cell run through the streaming pipeline carries exactly the summary
+// and distinct-structure count of the materializing path, and archives
+// its runs under the cell's fingerprint.
+func TestRunCellStreamMatchesRunCell(t *testing.T) {
+	g, err := smallGrid().Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := g.CellSpecs()
+	dir := t.TempDir()
+	for _, spec := range specs[:2] {
+		want := RunCell(context.Background(), g, spec, 0)
+		got := RunCellStream(context.Background(), g, spec, 0, dir)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("spec %+v: streamed cell %+v, want %+v", spec, got, want)
+		}
+
+		cellDir := filepath.Join(dir, g.CellFingerprint(spec).String())
+		entries, err := os.ReadDir(cellDir)
+		if err != nil {
+			t.Fatalf("spec %+v: archive dir: %v", spec, err)
+		}
+		if len(entries) != g.Runs {
+			t.Errorf("spec %+v: archived %d traces, want %d", spec, len(entries), g.Runs)
+		}
+		for i := 0; i < g.Runs; i++ {
+			p := filepath.Join(cellDir, fmt.Sprintf("run-%d.anctr", i))
+			if _, err := os.Stat(p); err != nil {
+				t.Errorf("spec %+v: missing archived trace: %v", spec, err)
+			}
+		}
+	}
+}
+
+// TestRunnerStreamMatchesDefault pins that Runner{Stream: true}
+// produces a Result deep-equal to the default materializing Runner —
+// the switch is purely an execution strategy.
+func TestRunnerStreamMatchesDefault(t *testing.T) {
+	g := smallGrid()
+	want, err := (&Runner{}).Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := (&Runner{Stream: true}).Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("streamed result differs from materializing result")
+	}
+
+	// ArchiveDir alone implies streaming and lays out one directory per
+	// cell fingerprint.
+	dir := t.TempDir()
+	archived, err := (&Runner{ArchiveDir: dir}).Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(archived, want) {
+		t.Errorf("archived result differs from materializing result")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantCells := g.Cells(); len(entries) != wantCells {
+		t.Errorf("archive has %d cell dirs, want %d", len(entries), wantCells)
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+
+	"github.com/anacin-go/anacinx/internal/analysis"
+	"github.com/anacin-go/anacinx/internal/kernel"
+	"github.com/anacin-go/anacinx/internal/patterns"
+	"github.com/anacin-go/anacinx/internal/sim"
+	"github.com/anacin-go/anacinx/internal/trace"
+)
+
+// Streaming execution: each run simulates straight into a v2 trace file
+// (sim.Config.Sink → trace.StreamWriter), then embeds by streaming the
+// file back through a trace.Reader. At no point does a full
+// *trace.Trace or *graph.Graph exist, so a run's peak memory is the
+// encoder's column buffers plus the kernel's refinement window — flat
+// in run length for balanced patterns. The embeddings, order hashes,
+// and therefore every distance derived from them are byte-identical to
+// the materializing ExecuteContext pipeline (pinned by tests).
+
+// StreamRunSet holds the artifacts of a streaming execution. It is the
+// flat-memory counterpart of RunSet: embeddings instead of graphs,
+// order hashes instead of traces.
+type StreamRunSet struct {
+	Experiment Experiment
+	// KernelName names the kernel that produced Features.
+	KernelName string
+	// Features[i] is run i's embedding.
+	Features []kernel.FeatureVector
+	// OrderHashes[i] is run i's trace order hash (the DistinctStructures
+	// input).
+	OrderHashes []uint64
+	// Stats[i] summarizes run i's simulation.
+	Stats []*sim.Stats
+	// TracePaths[i] is run i's archived v2 trace file; empty when the
+	// execution used an unarchived scratch directory.
+	TracePaths []string
+}
+
+// ExecuteStreamContext runs the experiment's sample through the
+// streaming pipeline, embedding every run under k. When archiveDir is
+// non-empty, each run's v2 trace is kept there as run-<i>.anctr
+// (the directory is created if needed) and recorded in TracePaths;
+// otherwise traces live in a scratch directory that is removed before
+// returning. Cancellation and failure semantics match ExecuteContext.
+func (e Experiment) ExecuteStreamContext(ctx context.Context, k kernel.Kernel, archiveDir string) (*StreamRunSet, error) {
+	if k == nil {
+		k = kernel.NewWL(2)
+	}
+	pat, err := patterns.ByName(e.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	if e.Runs < 1 {
+		return nil, fmt.Errorf("core: Runs = %d, need >= 1", e.Runs)
+	}
+	program, err := pat.Program(e.params())
+	if err != nil {
+		return nil, err
+	}
+	adapted := sim.Adapt(program)
+
+	dir := archiveDir
+	archived := dir != ""
+	if archived {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("core: archive dir: %w", err)
+		}
+	} else {
+		if dir, err = os.MkdirTemp("", "anacin-stream-*"); err != nil {
+			return nil, fmt.Errorf("core: scratch dir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	srs := &StreamRunSet{
+		Experiment:  e,
+		KernelName:  k.Name(),
+		Features:    make([]kernel.FeatureVector, e.Runs),
+		OrderHashes: make([]uint64, e.Runs),
+		Stats:       make([]*sim.Stats, e.Runs),
+	}
+	if archived {
+		srs.TracePaths = make([]string, e.Runs)
+	}
+
+	workers := e.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > e.Runs {
+		workers = e.Runs
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		next     = make(chan int)
+	)
+	fail := func(i int, err error) {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return
+		}
+		errOnce.Do(func() {
+			firstErr = fmt.Errorf("core: run %d: %w", i, err)
+			cancel()
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if runCtx.Err() != nil {
+					continue
+				}
+				path := filepath.Join(dir, fmt.Sprintf("run-%d.anctr", i))
+				stats, err := e.streamRun(runCtx, i, pat, adapted, path)
+				if err != nil {
+					fail(i, err)
+					continue
+				}
+				fv, oh, err := embedTraceFile(k, path)
+				if err != nil {
+					fail(i, err)
+					continue
+				}
+				if !archived {
+					os.Remove(path)
+				} else {
+					srs.TracePaths[i] = path
+				}
+				srs.Features[i], srs.OrderHashes[i], srs.Stats[i] = fv, oh, stats
+			}
+		}()
+	}
+dispatch:
+	for i := 0; i < e.Runs; i++ {
+		select {
+		case next <- i:
+		case <-runCtx.Done():
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: experiment cancelled: %w", err)
+	}
+	return srs, nil
+}
+
+// streamRun simulates run i with its events streaming into a v2 trace
+// file at path.
+func (e *Experiment) streamRun(ctx context.Context, i int, pat patterns.Pattern, program sim.Program, path string) (*sim.Stats, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	// Meta must match what the materializing pipeline's trace carries,
+	// so the archived file decodes to exactly the trace ExecuteContext
+	// would have materialized. (The bytes themselves can differ from a
+	// rank-major WriteBinaryV2 of that trace: the v2 callstack
+	// dictionary numbers stacks in first-seen order, and the scheduler
+	// interleaves ranks. Streamed bytes are still deterministic in the
+	// seed.)
+	meta := trace.Meta{
+		Pattern: e.Pattern, Iterations: e.Iterations, MsgSize: e.MsgSize,
+		Procs: e.Procs, Nodes: e.Nodes, NDPercent: e.NDPercent,
+		Seed: e.BaseSeed + int64(i),
+	}
+	sw := trace.NewStreamWriter(f, meta)
+	cfg := e.config(i, pat)
+	cfg.Sink = sw
+	_, stats, err := sim.RunContext(ctx, cfg, meta, program)
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	if err := sw.Close(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("encode %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+// embedTraceFile opens one archived trace and reduces it to its
+// embedding and order hash.
+func embedTraceFile(k kernel.Kernel, path string) (kernel.FeatureVector, uint64, error) {
+	r, err := trace.OpenReader(path)
+	if err != nil {
+		return kernel.FeatureVector{}, 0, err
+	}
+	defer r.Close()
+	fv, err := kernel.FeaturesFromReader(k, r)
+	if err != nil {
+		return kernel.FeatureVector{}, 0, err
+	}
+	oh, err := r.OrderHash()
+	if err != nil {
+		return kernel.FeatureVector{}, 0, err
+	}
+	return fv, oh, nil
+}
+
+// Distances returns the pairwise kernel-distance sample of the
+// streamed embeddings — the same sample RunSet.Distances draws from
+// graphs, byte-identical for equal embeddings.
+func (srs *StreamRunSet) Distances() []float64 {
+	return kernel.MatrixFromFeatures(srs.KernelName, srs.Features).PairwiseDistances()
+}
+
+// DistanceSummary summarizes the pairwise distances.
+func (srs *StreamRunSet) DistanceSummary() analysis.Summary {
+	return analysis.Summarize(srs.Distances())
+}
+
+// DistinctStructures reports how many distinct communication structures
+// the sample contains, matching RunSet.DistinctStructures.
+func (srs *StreamRunSet) DistinctStructures() int {
+	set := make(map[uint64]bool, len(srs.OrderHashes))
+	for _, oh := range srs.OrderHashes {
+		set[oh] = true
+	}
+	return len(set)
+}

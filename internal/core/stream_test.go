@@ -1,0 +1,165 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/anacin-go/anacinx/internal/kernel"
+	"github.com/anacin-go/anacinx/internal/trace"
+)
+
+// TestExecuteStreamMatchesExecute pins the tentpole equivalence: the
+// streaming pipeline (sim → v2 file → reader → streaming WL) produces
+// exactly the embeddings, order hashes, and distances of the
+// materializing pipeline (sim → *Trace → *Graph → WL), and each
+// archived v2 file decodes to exactly the trace the materializing
+// pipeline would have produced. (File bytes legitimately differ from a
+// rank-major WriteBinaryV2 — the callstack dictionary numbers stacks
+// in first-seen order, which follows the scheduler interleave when
+// streaming — so equivalence is pinned on the decoded trace hash,
+// and TestExecuteStreamDeterministicBytes pins the bytes themselves.)
+func TestExecuteStreamMatchesExecute(t *testing.T) {
+	for _, pat := range []string{"message_race", "amg2013"} {
+		t.Run(pat, func(t *testing.T) {
+			e := DefaultExperiment(pat, 6, 60)
+			e.Runs = 5
+			e.CaptureStacks = true
+			rs, err := e.ExecuteContext(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := kernel.NewWL(2)
+			dir := t.TempDir()
+			srs, err := e.ExecuteStreamContext(context.Background(), k, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if srs.KernelName != k.Name() {
+				t.Errorf("KernelName %q, want %q", srs.KernelName, k.Name())
+			}
+			for i := range rs.Traces {
+				if want := k.Features(rs.Graphs[i]); !reflect.DeepEqual(srs.Features[i], want) {
+					t.Errorf("run %d: streamed features differ from materialized", i)
+				}
+				if want := rs.Traces[i].OrderHash(); srs.OrderHashes[i] != want {
+					t.Errorf("run %d: order hash %#x, want %#x", i, srs.OrderHashes[i], want)
+				}
+				if srs.Stats[i] == nil || srs.Stats[i].Events != rs.Stats[i].Events {
+					t.Errorf("run %d: stats events differ", i)
+				}
+
+				// The archived file decodes to exactly the live trace.
+				want := filepath.Join(dir, fmt.Sprintf("run-%d.anctr", i))
+				if srs.TracePaths[i] != want {
+					t.Fatalf("run %d archived at %q, want %q", i, srs.TracePaths[i], want)
+				}
+				decoded, err := trace.LoadBinaryFile(srs.TracePaths[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if decoded.Hash() != rs.Traces[i].Hash() {
+					t.Errorf("run %d: archived trace decodes to a different trace than the live run", i)
+				}
+			}
+			if got, want := srs.Distances(), rs.Distances(k); !reflect.DeepEqual(got, want) {
+				t.Errorf("distances differ: %v vs %v", got, want)
+			}
+			if got, want := srs.DistanceSummary(), rs.DistanceSummary(k); got != want {
+				t.Errorf("summary %+v, want %+v", got, want)
+			}
+			if got, want := srs.DistinctStructures(), rs.DistinctStructures(); got != want {
+				t.Errorf("distinct structures %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+// TestExecuteStreamScratchLeavesNothing checks the unarchived mode:
+// results match the archived run, TracePaths stays nil, and the
+// scratch directory is gone.
+func TestExecuteStreamScratchLeavesNothing(t *testing.T) {
+	e := DefaultExperiment("unstructured_mesh", 4, 100)
+	e.Runs = 3
+	scratch, err := e.ExecuteStreamContext(context.Background(), nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scratch.TracePaths != nil {
+		t.Errorf("scratch run recorded trace paths %v", scratch.TracePaths)
+	}
+	if scratch.KernelName != kernel.NewWL(2).Name() {
+		t.Errorf("nil kernel defaulted to %q", scratch.KernelName)
+	}
+	archived, err := e.ExecuteStreamContext(context.Background(), nil, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scratch.Features, archived.Features) {
+		t.Error("scratch and archived runs disagree on features")
+	}
+	if !reflect.DeepEqual(scratch.OrderHashes, archived.OrderHashes) {
+		t.Error("scratch and archived runs disagree on order hashes")
+	}
+}
+
+// TestExecuteStreamDeterministicBytes pins that the streamed encoding
+// itself is reproducible: two archived executions of the same
+// experiment produce byte-identical trace files run-for-run — the
+// property `anacin replay` and the archival store rely on.
+func TestExecuteStreamDeterministicBytes(t *testing.T) {
+	e := DefaultExperiment("message_race", 6, 60)
+	e.Runs = 3
+	e.CaptureStacks = true
+	dirA, dirB := t.TempDir(), t.TempDir()
+	a, err := e.ExecuteStreamContext(context.Background(), nil, dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.ExecuteStreamContext(context.Background(), nil, dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.TracePaths {
+		ab, err := os.ReadFile(a.TracePaths[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := os.ReadFile(b.TracePaths[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ab, bb) {
+			t.Errorf("run %d: archived bytes differ across executions", i)
+		}
+	}
+}
+
+func TestExecuteStreamCancellation(t *testing.T) {
+	e := DefaultExperiment("message_race", 8, 100)
+	e.Runs = 50
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.ExecuteStreamContext(ctx, nil, "")
+	if err == nil || !strings.Contains(err.Error(), "cancelled") {
+		t.Fatalf("cancelled stream execution returned %v", err)
+	}
+}
+
+func TestExecuteStreamRejectsBadConfig(t *testing.T) {
+	e := DefaultExperiment("message_race", 4, 100)
+	e.Runs = 0
+	if _, err := e.ExecuteStreamContext(context.Background(), nil, ""); err == nil {
+		t.Error("Runs=0 accepted")
+	}
+	e = DefaultExperiment("nope", 4, 100)
+	e.Runs = 1
+	if _, err := e.ExecuteStreamContext(context.Background(), nil, ""); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}

@@ -1,0 +1,277 @@
+package graph
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"github.com/anacin-go/anacinx/internal/trace"
+	"github.com/anacin-go/anacinx/internal/vtime"
+)
+
+// Streaming trace→graph construction. A v2 trace file carries per-rank
+// event/send/receive counts and the maximum send id in its footer, so
+// the entire prefix-sum layout of fromTracePar can be fixed before a
+// single event is decoded. One decode pass per rank then fills nodes,
+// program edges, and the send join table directly from the cursor —
+// the full *trace.Trace is never materialized. The result is
+// bit-identical to FromTrace on the equivalent trace (a property the
+// tests pin).
+
+// FromReader builds the event graph of a v2 binary trace through its
+// footer index, without materializing a *trace.Trace. The graph is
+// identical to FromTrace(reader.ToTrace()).
+func FromReader(r *trace.Reader) (*Graph, error) {
+	return FromReaderWorkers(r, runtime.GOMAXPROCS(0))
+}
+
+// FromReaderWorkers is FromReader with an explicit worker bound.
+// workers <= 0 means GOMAXPROCS.
+func FromReaderWorkers(r *trace.Reader, workers int) (*Graph, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := r.Procs()
+	if workers > p {
+		workers = p
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Layout straight from the footer: no counting decode.
+	nodeOff := make([]int32, p+1)
+	progOff := make([]int32, p+1)
+	msgOff := make([]int32, p+1)
+	var numSends int
+	var maxSendID int64 = -1
+	for rank := 0; rank < p; rank++ {
+		events, sends, recvs, maxID := r.RankCounts(rank)
+		nodeOff[rank+1] = nodeOff[rank] + int32(events)
+		prog := events - 1
+		if prog < 0 {
+			prog = 0
+		}
+		progOff[rank+1] = progOff[rank] + int32(prog)
+		msgOff[rank+1] = msgOff[rank] + int32(recvs)
+		numSends += sends
+		if maxID > maxSendID {
+			maxSendID = maxID
+		}
+	}
+	// Same dense-table criterion as fromTracePar: scattered message ids
+	// fall back to the sequential map-based build (which needs the full
+	// trace anyway for its two-pass join).
+	if maxSendID+1 > int64(4*numSends)+1024 {
+		tr, err := r.ToTrace()
+		if err != nil {
+			return nil, err
+		}
+		return fromTraceSeq(tr)
+	}
+	numProg := int(progOff[p])
+	numRecvs := int(msgOff[p])
+
+	g := &Graph{
+		Meta:  r.Meta(),
+		Nodes: make([]Node, int(nodeOff[p])),
+		Edges: make([]Edge, numProg+numRecvs),
+	}
+	sendSlot := make([]int32, maxSendID+1)
+	matchEdge := make([]int32, maxSendID+1)
+	// msgID per event is the only column stages B and C need beyond what
+	// the nodes already carry (Kind lives in g.Nodes); everything else is
+	// dropped as soon as the node is written.
+	msgIDs := make([][]int64, p)
+	errs := make([]error, p)
+
+	// Stage A: decode each rank once — validate its stream invariants
+	// (the per-rank half of trace.Validate), fill nodes and program
+	// edges, and claim send slots. Duplicate-send detection rides the
+	// same CAS as fromTracePar.
+	forEachRank(workers, p, func(rank int) {
+		footEvents, footSends, footRecvs, footMax := r.RankCounts(rank)
+		base := nodeOff[rank]
+		pbase := progOff[rank]
+		ids := make([]int64, 0, footEvents)
+		c := r.Cursor(rank)
+		var ev trace.Event
+		var lastTime vtime.Time
+		var lastLamport int64
+		sends, recvs := 0, 0
+		var seenMax int64 = -1
+		i := 0
+		for c.Next(&ev) {
+			if i >= footEvents {
+				errs[rank] = fmt.Errorf("rank %d: more events than footer count %d", rank, footEvents)
+				return
+			}
+			if !ev.Kind.Valid() {
+				errs[rank] = fmt.Errorf("rank %d event %d: invalid kind %d", rank, i, ev.Kind)
+				return
+			}
+			if ev.Time < lastTime {
+				errs[rank] = fmt.Errorf("rank %d event %d: time %v before predecessor %v", rank, i, ev.Time, lastTime)
+				return
+			}
+			if i > 0 && ev.Lamport <= lastLamport {
+				errs[rank] = fmt.Errorf("rank %d event %d: lamport %d not after predecessor %d", rank, i, ev.Lamport, lastLamport)
+				return
+			}
+			lastTime, lastLamport = ev.Time, ev.Lamport
+			id := base + int32(i)
+			g.Nodes[id] = Node{
+				ID:           NodeID(id),
+				Rank:         ev.Rank,
+				Seq:          ev.Seq,
+				Kind:         ev.Kind,
+				Label:        ev.Label(),
+				Lamport:      ev.Lamport,
+				Time:         ev.Time,
+				CallstackKey: ev.CallstackKey(),
+			}
+			if i > 0 {
+				g.Edges[pbase+int32(i-1)] = Edge{From: NodeID(id - 1), To: NodeID(id), Kind: EdgeProgram}
+			}
+			ids = append(ids, ev.MsgID)
+			if ev.MsgID != trace.NoMsg {
+				if ev.Kind.IsSend() {
+					if ev.MsgID < 0 {
+						errs[rank] = fmt.Errorf("rank %d event %d: negative msg id %d", rank, i, ev.MsgID)
+						return
+					}
+					sends++
+					if ev.MsgID > seenMax {
+						seenMax = ev.MsgID
+					}
+					if !atomic.CompareAndSwapInt32(&sendSlot[ev.MsgID], 0, id+1) {
+						prev := int(atomic.LoadInt32(&sendSlot[ev.MsgID]) - 1)
+						errs[rank] = fmt.Errorf("graph: source trace invalid: msg %d sent twice (ranks %d and %d)",
+							ev.MsgID, g.Nodes[prev].Rank, rank)
+						return
+					}
+				} else if ev.Kind.IsReceive() {
+					recvs++
+				}
+			}
+			i++
+		}
+		if err := c.Err(); err != nil {
+			errs[rank] = err
+			return
+		}
+		// The footer counts fixed the layout; a stream that disagrees
+		// with them would silently corrupt slots in other ranks' ranges.
+		if i != footEvents || sends != footSends || recvs != footRecvs || seenMax != footMax {
+			errs[rank] = fmt.Errorf("rank %d: stream (%d events, %d sends, %d recvs, max id %d) disagrees with footer (%d, %d, %d, %d)",
+				rank, i, sends, recvs, seenMax, footEvents, footSends, footRecvs, footMax)
+			return
+		}
+		msgIDs[rank] = ids
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, fmt.Errorf("graph: source trace invalid: %w", err)
+	}
+
+	// Stage B: message edges, joined through the send table — same slot
+	// arithmetic as fromTracePar, reading kinds back from the nodes.
+	forEachRank(workers, p, func(rank int) {
+		base := nodeOff[rank]
+		slot := int32(numProg) + msgOff[rank]
+		for i, msgID := range msgIDs[rank] {
+			to := base + int32(i)
+			if msgID == trace.NoMsg || !g.Nodes[to].Kind.IsReceive() {
+				continue
+			}
+			var from int32
+			if msgID >= 0 && msgID <= maxSendID {
+				from = sendSlot[msgID]
+			}
+			if from == 0 {
+				errs[rank] = fmt.Errorf("graph: recv of msg %d has no send", msgID)
+				return
+			}
+			if g.Nodes[to].Lamport <= g.Nodes[from-1].Lamport {
+				errs[rank] = fmt.Errorf("graph: edge %d violates causality: lamport %d→%d",
+					slot, g.Nodes[from-1].Lamport, g.Nodes[to].Lamport)
+				return
+			}
+			g.Edges[slot] = Edge{From: NodeID(from - 1), To: NodeID(to), Kind: EdgeMessage}
+			if !atomic.CompareAndSwapInt32(&matchEdge[msgID], 0, slot+1) {
+				prev := atomic.LoadInt32(&matchEdge[msgID]) - 1
+				errs[rank] = fmt.Errorf("graph: source trace invalid: msg %d received twice (ranks %d and %d)",
+					msgID, g.Nodes[g.Edges[prev].To].Rank, rank)
+				return
+			}
+			slot++
+		}
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+
+	// Stage C: adjacency, identical to fromTracePar's carve-and-fill.
+	g.Out = make([][]int32, len(g.Nodes))
+	g.In = make([][]int32, len(g.Nodes))
+	forEachRank(workers, p, func(rank int) {
+		n := len(msgIDs[rank])
+		if n == 0 {
+			return
+		}
+		base := nodeOff[rank]
+		pbase := progOff[rank]
+		matched := 0
+		for i, msgID := range msgIDs[rank] {
+			if msgID != trace.NoMsg && g.Nodes[base+int32(i)].Kind.IsSend() && matchEdge[msgID] != 0 {
+				matched++
+			}
+		}
+		prog := n - 1
+		outBack := make([]int32, prog+matched)
+		inBack := make([]int32, prog+int(msgOff[rank+1]-msgOff[rank]))
+		var op, ip int32
+		recvSlot := int32(numProg) + msgOff[rank]
+		for i, msgID := range msgIDs[rank] {
+			id := base + int32(i)
+			outDeg, inDeg := int32(0), int32(0)
+			if i < n-1 {
+				outDeg++
+			}
+			if i > 0 {
+				inDeg++
+			}
+			isSend := msgID != trace.NoMsg && g.Nodes[id].Kind.IsSend()
+			isRecv := msgID != trace.NoMsg && g.Nodes[id].Kind.IsReceive()
+			var sendEdge int32
+			if isSend {
+				sendEdge = matchEdge[msgID]
+				if sendEdge != 0 {
+					outDeg++
+				}
+			}
+			if isRecv {
+				inDeg++
+			}
+			out := outBack[op : op : op+outDeg]
+			op += outDeg
+			in := inBack[ip : ip : ip+inDeg]
+			ip += inDeg
+			if i < n-1 {
+				out = append(out, pbase+int32(i))
+			}
+			if isSend && sendEdge != 0 {
+				out = append(out, sendEdge-1)
+			}
+			if i > 0 {
+				in = append(in, pbase+int32(i-1))
+			}
+			if isRecv {
+				in = append(in, recvSlot)
+				recvSlot++
+			}
+			g.Out[id] = out
+			g.In[id] = in
+		}
+	})
+	return g, nil
+}

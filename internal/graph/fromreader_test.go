@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/anacin-go/anacinx/internal/trace"
+	"github.com/anacin-go/anacinx/internal/vtime"
+)
+
+// readerFor encodes tr as a v2 binary trace and opens a Reader over it.
+func readerFor(t *testing.T, tr *trace.Trace) *trace.Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteBinaryV2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestFromReaderMatchesFromTrace(t *testing.T) {
+	traces := map[string]*trace.Trace{
+		"race-16rank":   iterRaceTrace(t, 16, 8, 25),
+		"race-64rank":   iterRaceTrace(t, 64, 4, 25),
+		"coll-12rank":   collectiveTrace(t, 12),
+		"empty-streams": trace.New(trace.Meta{Procs: 5}),
+	}
+	for name, tr := range traces {
+		want, err := fromTraceSeq(tr)
+		if err != nil {
+			t.Fatalf("%s: sequential build: %v", name, err)
+		}
+		r := readerFor(t, tr)
+		for _, workers := range []int{1, 2, 8} {
+			got, err := FromReaderWorkers(r, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: streaming build: %v", name, workers, err)
+			}
+			assertGraphsEqual(t, want, got, name)
+			if err := got.Validate(); err != nil {
+				t.Fatalf("%s workers=%d: streamed graph invalid: %v", name, workers, err)
+			}
+		}
+	}
+}
+
+// A trace with sparse, scattered message ids must take the sequential
+// map-based fallback and still come out identical.
+func TestFromReaderScatteredMsgIDFallback(t *testing.T) {
+	tr := trace.New(trace.Meta{Pattern: "sparse", Procs: 2})
+	tr.Append(trace.Event{Rank: 0, Kind: trace.KindSend, Peer: 1, MsgID: 1 << 40,
+		Time: vtime.Time(1), Lamport: 1})
+	tr.Append(trace.Event{Rank: 1, Kind: trace.KindRecv, Peer: 0, MsgID: 1 << 40,
+		Time: vtime.Time(2), Lamport: 2})
+	want, err := fromTraceSeq(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromReader(readerFor(t, tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, want, got, "sparse")
+}
+
+func TestFromReaderRejectsInvalidStream(t *testing.T) {
+	// The v2 codec happily serializes invalid traces (it does not
+	// validate); FromReader must reject them during its decode pass.
+	mk := func(mutate func(tr *trace.Trace)) *trace.Reader {
+		tr := iterRaceTrace(t, 16, 4, 0)
+		mutate(tr)
+		return readerFor(t, tr)
+	}
+	cases := map[string]struct {
+		r    *trace.Reader
+		want string
+	}{
+		"lamport-regression": {mk(func(tr *trace.Trace) {
+			tr.Events[3][1].Lamport = tr.Events[3][0].Lamport
+		}), "lamport"},
+		"recv-without-send": {mk(func(tr *trace.Trace) {
+			for i := range tr.Events[0] {
+				if tr.Events[0][i].Kind == trace.KindRecv {
+					tr.Events[0][i].MsgID = 500
+					break
+				}
+			}
+		}), "no send"},
+	}
+	for name, tc := range cases {
+		_, err := FromReaderWorkers(tc.r, 4)
+		if err == nil {
+			t.Errorf("%s: streaming build accepted an invalid trace", name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.want)
+		}
+	}
+}

@@ -113,6 +113,29 @@ func newMatrix(k Kernel, graphs []*graph.Graph, workers int, cache *Cache) *Matr
 	return m
 }
 
+// MatrixFromFeatures builds a Gram matrix from already-computed
+// embeddings — the streaming campaign path embeds each run as its trace
+// is consumed, so no graphs exist by matrix time. The degenerate sizes
+// and the dot-product order match newMatrix exactly, making the matrix
+// (and every distance derived from it) byte-identical to the
+// graph-based construction over the same embeddings.
+func MatrixFromFeatures(kernelName string, feats []FeatureVector) *Matrix {
+	n := len(feats)
+	switch n {
+	case 0:
+		return &Matrix{KernelName: kernelName, K: [][]float64{}}
+	case 1:
+		f := feats[0]
+		return &Matrix{KernelName: kernelName, K: [][]float64{{f.Dot(f)}}}
+	}
+	m := &Matrix{KernelName: kernelName, K: make([][]float64, n)}
+	for i := range m.K {
+		m.K[i] = make([]float64, n)
+	}
+	fillRows(feats, m.K, 0, n)
+	return m
+}
+
 // fillRows computes rows [lo, hi) of the upper triangle (and mirrors
 // them) from the embedded features.
 func fillRows(feats []FeatureVector, K [][]float64, lo, hi int) {

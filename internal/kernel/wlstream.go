@@ -1,0 +1,404 @@
+package kernel
+
+import (
+	"container/heap"
+	"fmt"
+
+	"github.com/anacin-go/anacinx/internal/graph"
+	"github.com/anacin-go/anacinx/internal/trace"
+)
+
+// Streaming WL embedding. WL refinement is local: a node's depth-d
+// label depends only on the depth-(d-1) labels of itself, its program
+// neighbors (the previous and next event of its rank), and its message
+// partner. Events therefore never need to exist all at once — a sliding
+// window per rank holds each node only until its own refinement is done
+// AND every neighbor that still needs its labels is done too. The
+// feature histogram is aggregated into a map as occurrences appear;
+// since vecBuilder.finish canonicalizes by sorting, the resulting
+// FeatureVector is byte-identical to WL.Features on the materialized
+// graph (a property the tests pin).
+//
+// Window growth mirrors message latency: balanced patterns (stencils,
+// meshes) hold a near-constant window, while an eager fan-in like
+// message_race defers every unmatched send to the end of the stream.
+
+// StreamingKernel is a Kernel that can embed a trace directly from a
+// v2 reader without materializing the trace or its graph.
+type StreamingKernel interface {
+	Kernel
+	// FeaturesFromReader computes the same embedding Features produces
+	// on the trace's event graph.
+	FeaturesFromReader(r *trace.Reader) (FeatureVector, error)
+}
+
+// StreamStats describes one streaming embedding pass.
+type StreamStats struct {
+	// Events is the number of trace events consumed.
+	Events int
+	// MaxWindow is the peak number of simultaneously buffered nodes.
+	MaxWindow int
+	// MaxInFlight is the peak number of message endpoints awaiting
+	// their partner.
+	MaxInFlight int
+	// DistinctFeatures is the size of the resulting histogram.
+	DistinctFeatures int
+}
+
+// FeaturesFromReader embeds the trace behind r under k. Kernels that
+// implement StreamingKernel stream; any other kernel falls back to
+// building the graph through the reader (graph.FromReader) and
+// embedding that. Either way the result equals k.Features of the
+// trace's event graph.
+func FeaturesFromReader(k Kernel, r *trace.Reader) (FeatureVector, error) {
+	if sk, ok := k.(StreamingKernel); ok {
+		return sk.FeaturesFromReader(r)
+	}
+	g, err := graph.FromReader(r)
+	if err != nil {
+		return FeatureVector{}, err
+	}
+	return k.Features(g), nil
+}
+
+// FeaturesFromReader implements StreamingKernel.
+func (w WL) FeaturesFromReader(r *trace.Reader) (FeatureVector, error) {
+	fv, _, err := w.FeaturesFromReaderStats(r)
+	return fv, err
+}
+
+// FeaturesFromReaderStats is FeaturesFromReader plus the pass's
+// windowing statistics (the footprint regression test pins MaxWindow).
+func (w WL) FeaturesFromReaderStats(r *trace.Reader) (FeatureVector, StreamStats, error) {
+	if w.H < 0 {
+		panic(fmt.Sprintf("kernel: WL.FeaturesFromReader called with negative depth H=%d (construct with NewWL, or set H >= 0)", w.H))
+	}
+	s := &wlStream{
+		w:        w,
+		r:        r,
+		dp:       make([]uint64, w.H+1),
+		windows:  make([]wlWindow, r.Procs()),
+		inflight: make(map[int64]*wlNode),
+		feats:    make(map[uint64]float64),
+	}
+	for d := 0; d <= w.H; d++ {
+		s.dp[d] = hashWord(fnvOffset, uint64(d))
+	}
+	if err := s.run(); err != nil {
+		return FeatureVector{}, s.stats, err
+	}
+	s.stats.DistinctFeatures = len(s.feats)
+	if s.stats.Events == 0 {
+		// Match Features on the empty graph: the literal zero value,
+		// not an allocated empty vector.
+		return FeatureVector{}, s.stats, nil
+	}
+	return FromMap(s.feats), s.stats, nil
+}
+
+// wlNode is one buffered event during a streaming pass.
+type wlNode struct {
+	seq     int
+	rank    int
+	depth   int
+	hasNext bool
+	// isSend/isRecv mark message-capable roles (MsgID present).
+	isSend, isRecv bool
+	// pendingMsg marks a send whose receive has not arrived; until the
+	// stream ends, it is unknown whether an out message edge exists.
+	pendingMsg bool
+	inWork     bool
+	partner    *wlNode
+	labels     []uint64
+}
+
+// wlWindow is one rank's sliding window, a deque indexed by sequence.
+type wlWindow struct {
+	nodes []*wlNode
+	head  int // seq of nodes[0]
+}
+
+func (w *wlWindow) at(seq int) *wlNode {
+	i := seq - w.head
+	if i < 0 || i >= len(w.nodes) {
+		return nil
+	}
+	return w.nodes[i]
+}
+
+// wlStream drives one embedding pass.
+type wlStream struct {
+	w        WL
+	r        *trace.Reader
+	dp       []uint64
+	windows  []wlWindow
+	inflight map[int64]*wlNode
+	feats    map[uint64]float64
+	work     []*wlNode
+	neigh    []uint64
+	live     int
+	stats    StreamStats
+}
+
+func (s *wlStream) addFeat(h uint64) { s.feats[h]++ }
+
+func (s *wlStream) push(n *wlNode) {
+	if n != nil && !n.inWork {
+		n.inWork = true
+		s.work = append(s.work, n)
+	}
+}
+
+// cursorHeap merges the per-rank streams by (time, rank): an
+// approximation of simulation order that keeps message partners close
+// in the merged stream. The interleave only affects window size — the
+// occurrence multiset, and therefore the embedding, is independent of
+// consumption order.
+type cursorEntry struct {
+	cur  *trace.Cursor
+	ev   trace.Event
+	rank int
+}
+type cursorHeap []cursorEntry
+
+func (h cursorHeap) Len() int { return len(h) }
+func (h cursorHeap) Less(i, j int) bool {
+	if h[i].ev.Time != h[j].ev.Time {
+		return h[i].ev.Time < h[j].ev.Time
+	}
+	return h[i].rank < h[j].rank
+}
+func (h cursorHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *cursorHeap) Push(x any)   { *h = append(*h, x.(cursorEntry)) }
+func (h *cursorHeap) Pop() any     { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
+
+func (s *wlStream) run() error {
+	p := s.r.Procs()
+	h := make(cursorHeap, 0, p)
+	for rank := 0; rank < p; rank++ {
+		c := s.r.Cursor(rank)
+		var ev trace.Event
+		if c.Next(&ev) {
+			h = append(h, cursorEntry{cur: c, ev: ev, rank: rank})
+		} else if err := c.Err(); err != nil {
+			return err
+		}
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		e := &h[0]
+		if err := s.ingest(e.ev); err != nil {
+			return err
+		}
+		if e.cur.Next(&e.ev) {
+			heap.Fix(&h, 0)
+		} else {
+			if err := e.cur.Err(); err != nil {
+				return err
+			}
+			heap.Pop(&h)
+		}
+	}
+
+	// End of stream: every still-pending send is an unmatched send — a
+	// node with no out message edge. A pending receive has no sender,
+	// which no valid trace produces.
+	for id, n := range s.inflight {
+		if n.isRecv {
+			return fmt.Errorf("kernel: recv of msg %d has no send", id)
+		}
+		n.pendingMsg = false
+		s.push(n)
+	}
+	clear(s.inflight)
+	// Final drain: everything left can now refine to full depth.
+	for rank := range s.windows {
+		for _, n := range s.windows[rank].nodes {
+			s.push(n)
+		}
+	}
+	s.propagate()
+	for rank := range s.windows {
+		s.release(rank)
+	}
+	if s.live != 0 {
+		return fmt.Errorf("kernel: streaming WL left %d nodes unrefined (internal error)", s.live)
+	}
+	return nil
+}
+
+func (s *wlStream) ingest(ev trace.Event) error {
+	n := &wlNode{
+		seq:    ev.Seq,
+		rank:   ev.Rank,
+		labels: make([]uint64, s.w.H+1),
+	}
+	base := labelInterner.Hash(ev.Label())
+	if s.w.Seed != 0 {
+		base = splitmix64(base ^ s.w.Seed)
+	}
+	n.labels[0] = base
+	s.addFeat(hashWord(s.dp[0], base))
+	events, _, _, _ := s.r.RankCounts(ev.Rank)
+	n.hasNext = ev.Seq < events-1
+
+	if ev.MsgID != trace.NoMsg {
+		switch {
+		case ev.Kind.IsSend():
+			n.isSend = true
+			if other, ok := s.inflight[ev.MsgID]; ok {
+				if other.isSend {
+					return fmt.Errorf("kernel: msg %d sent twice (ranks %d and %d)", ev.MsgID, other.rank, n.rank)
+				}
+				n.partner, other.partner = other, n
+				delete(s.inflight, ev.MsgID)
+				s.push(other)
+			} else {
+				n.pendingMsg = true
+				s.inflight[ev.MsgID] = n
+			}
+		case ev.Kind.IsReceive():
+			n.isRecv = true
+			if other, ok := s.inflight[ev.MsgID]; ok {
+				if other.isRecv {
+					return fmt.Errorf("kernel: msg %d received twice (ranks %d and %d)", ev.MsgID, other.rank, n.rank)
+				}
+				other.pendingMsg = false
+				n.partner, other.partner = other, n
+				delete(s.inflight, ev.MsgID)
+				s.push(other)
+			} else {
+				s.inflight[ev.MsgID] = n
+			}
+		}
+		if len(s.inflight) > s.stats.MaxInFlight {
+			s.stats.MaxInFlight = len(s.inflight)
+		}
+	}
+
+	win := &s.windows[ev.Rank]
+	if len(win.nodes) == 0 {
+		win.head = ev.Seq
+	}
+	win.nodes = append(win.nodes, n)
+	s.live++
+	s.stats.Events++
+	if s.live > s.stats.MaxWindow {
+		s.stats.MaxWindow = s.live
+	}
+
+	s.push(n)
+	s.push(win.at(ev.Seq - 1)) // its arrival may unblock the predecessor
+	s.propagate()
+	s.release(ev.Rank)
+	if n.partner != nil {
+		s.release(n.partner.rank)
+	}
+	return nil
+}
+
+// propagate advances every worklist node as far as its dependencies
+// allow, feeding newly unblocked neighbors back onto the list.
+func (s *wlStream) propagate() {
+	for len(s.work) > 0 {
+		n := s.work[len(s.work)-1]
+		s.work = s.work[:len(s.work)-1]
+		n.inWork = false
+		for s.advance(n) {
+			win := &s.windows[n.rank]
+			s.push(win.at(n.seq - 1))
+			s.push(win.at(n.seq + 1))
+			s.push(n.partner)
+		}
+	}
+}
+
+// advance computes n's next refinement depth if all depth-d inputs are
+// available, reporting whether it advanced.
+func (s *wlStream) advance(n *wlNode) bool {
+	d := n.depth
+	if d >= s.w.H || n.pendingMsg {
+		return false
+	}
+	if n.partner != nil && n.partner.depth < d {
+		return false
+	}
+	win := &s.windows[n.rank]
+	var prev, next *wlNode
+	if n.seq > win.head {
+		if prev = win.at(n.seq - 1); prev == nil || prev.depth < d {
+			return false
+		}
+	}
+	if n.hasNext {
+		if next = win.at(n.seq + 1); next == nil || next.depth < d {
+			return false
+		}
+	}
+
+	// Same recurrence as WL.Features: fold the sorted neighbor
+	// contributions (in then out when directed, separated; unioned when
+	// not) into the node's own depth-d label.
+	h := hashWord(fnvOffset, n.labels[d])
+	neigh := s.neigh[:0]
+	if s.w.Directed {
+		if prev != nil {
+			neigh = append(neigh, contribution(graph.EdgeProgram, prev.labels[d]))
+		}
+		if n.isRecv && n.partner != nil {
+			neigh = append(neigh, contribution(graph.EdgeMessage, n.partner.labels[d]))
+		}
+		h = foldSorted(h, neigh)
+		h = hashWord(h, inOutSeparator)
+		neigh = neigh[:0]
+		if next != nil {
+			neigh = append(neigh, contribution(graph.EdgeProgram, next.labels[d]))
+		}
+		if n.isSend && n.partner != nil {
+			neigh = append(neigh, contribution(graph.EdgeMessage, n.partner.labels[d]))
+		}
+		h = foldSorted(h, neigh)
+	} else {
+		if prev != nil {
+			neigh = append(neigh, contribution(graph.EdgeProgram, prev.labels[d]))
+		}
+		if next != nil {
+			neigh = append(neigh, contribution(graph.EdgeProgram, next.labels[d]))
+		}
+		if n.partner != nil {
+			neigh = append(neigh, contribution(graph.EdgeMessage, n.partner.labels[d]))
+		}
+		h = foldSorted(h, neigh)
+	}
+	s.neigh = neigh[:0]
+	n.depth = d + 1
+	n.labels[d+1] = h
+	s.addFeat(hashWord(s.dp[d+1], h))
+	return true
+}
+
+// release frees the window head of one rank while nothing still needs
+// it: the head itself is fully refined, its successor (which reads the
+// head's labels) is too, and so is its message partner.
+func (s *wlStream) release(rank int) {
+	win := &s.windows[rank]
+	for len(win.nodes) > 0 {
+		n := win.nodes[0]
+		if n.depth < s.w.H || n.pendingMsg {
+			return
+		}
+		if n.hasNext {
+			next := win.at(n.seq + 1)
+			if next == nil || next.depth < s.w.H {
+				return
+			}
+		}
+		if n.partner != nil && (n.partner.depth < s.w.H || n.partner.pendingMsg) {
+			return
+		}
+		win.nodes[0] = nil
+		win.nodes = win.nodes[1:]
+		win.head++
+		s.live--
+	}
+}

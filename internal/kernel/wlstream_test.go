@@ -1,0 +1,163 @@
+package kernel
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/anacin-go/anacinx/internal/graph"
+	"github.com/anacin-go/anacinx/internal/sim"
+	"github.com/anacin-go/anacinx/internal/trace"
+)
+
+// streamReaderFor encodes tr as a v2 binary trace in memory and opens a
+// Reader over it.
+func streamReaderFor(t testing.TB, tr *trace.Trace) *trace.Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteBinaryV2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// fanInTrace is the adversarial shape for windowed streaming: every
+// nonzero rank's sends complete only when rank 0 drains them.
+func fanInTrace(t testing.TB, procs, iters int, nd float64) *trace.Trace {
+	t.Helper()
+	cfg := sim.DefaultConfig(procs, 42)
+	cfg.NDPercent = nd
+	tr, _, err := sim.Run(cfg, trace.Meta{Pattern: "race"}, func(r *sim.Rank) {
+		if r.Rank() == 0 {
+			for i := 0; i < iters*(r.Size()-1); i++ {
+				r.Recv(sim.AnySource, sim.AnyTag)
+			}
+			return
+		}
+		for i := 0; i < iters; i++ {
+			r.SendSize(0, i, 64)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// stencilTrace interleaves sends and receives every iteration, so
+// messages are consumed about as fast as they are produced — the
+// balanced shape whose streaming window must stay flat.
+func stencilTrace(t testing.TB, procs, rounds int, nd float64) *trace.Trace {
+	t.Helper()
+	cfg := sim.DefaultConfig(procs, 11)
+	cfg.NDPercent = nd
+	tr, _, err := sim.Run(cfg, trace.Meta{Pattern: "stencil"}, func(r *sim.Rank) {
+		p := r.Size()
+		left, right := (r.Rank()-1+p)%p, (r.Rank()+1)%p
+		for i := 0; i < rounds; i++ {
+			r.SendSize(left, i, 1)
+			r.SendSize(right, i, 1)
+			r.Recv(sim.AnySource, sim.AnyTag)
+			r.Recv(sim.AnySource, sim.AnyTag)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestStreamingWLMatchesFeatures(t *testing.T) {
+	traces := map[string]*trace.Trace{
+		"mesh-8rank":    meshTrace(t, 8, 6, 25, 3),
+		"mesh-16rank":   meshTrace(t, 16, 4, 50, 9),
+		"stencil-8rank": stencilTrace(t, 8, 10, 25),
+		"race-12rank":   fanInTrace(t, 12, 5, 25),
+		"empty":         trace.New(trace.Meta{Procs: 3}),
+	}
+	kernels := []WL{
+		NewWL(0), NewWL(1), NewWL(2), NewWL(3),
+		{H: 2, Directed: false},
+		{H: 2, Directed: true, Seed: 0xfeedface},
+	}
+	for name, tr := range traces {
+		g, err := graph.FromTrace(tr)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, k := range kernels {
+			want := k.Features(g)
+			got, stats, err := k.FeaturesFromReaderStats(streamReaderFor(t, tr))
+			if err != nil {
+				t.Fatalf("%s %s: streaming: %v", name, k.Name(), err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("%s %s: streamed embedding differs from Features", name, k.Name())
+			}
+			if stats.Events != tr.NumEvents() || stats.DistinctFeatures != got.Len() {
+				t.Errorf("%s %s: stats %+v inconsistent (%d events, %d features)",
+					name, k.Name(), stats, tr.NumEvents(), got.Len())
+			}
+		}
+	}
+}
+
+// A balanced pattern must hold a window that does not grow with run
+// length — the kernel-level half of the campaign footprint guarantee.
+func TestStreamingWLWindowFlatOnBalancedPattern(t *testing.T) {
+	window := func(rounds int) int {
+		tr := stencilTrace(t, 8, rounds, 25)
+		_, stats, err := NewWL(2).FeaturesFromReaderStats(streamReaderFor(t, tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.MaxWindow
+	}
+	small, large := window(5), window(50)
+	if large > 2*small+64 {
+		t.Errorf("window grew with run length: %d events buffered at 5 rounds, %d at 50", small, large)
+	}
+}
+
+func TestFeaturesFromReaderFallback(t *testing.T) {
+	tr := meshTrace(t, 6, 3, 25, 5)
+	g, err := graph.FromTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []Kernel{VertexHistogram{}, EdgeHistogram{}} {
+		want := k.Features(g)
+		got, err := FeaturesFromReader(k, streamReaderFor(t, tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: reader fallback embedding differs", k.Name())
+		}
+	}
+}
+
+func TestMatrixFromFeaturesMatchesNewMatrix(t *testing.T) {
+	k := NewWL(2)
+	var graphs []*graph.Graph
+	var feats []FeatureVector
+	for seed := int64(1); seed <= 4; seed++ {
+		g := meshGraph(t, 6, 3, 50, seed)
+		graphs = append(graphs, g)
+		feats = append(feats, k.Features(g))
+	}
+	for n := 0; n <= 4; n++ {
+		want := NewMatrix(k, graphs[:n])
+		got := MatrixFromFeatures(k.Name(), feats[:n])
+		if !reflect.DeepEqual(want.K, got.K) {
+			t.Errorf("n=%d: feature-built matrix differs from graph-built", n)
+		}
+		if got.KernelName != want.KernelName {
+			t.Errorf("n=%d: kernel name %q vs %q", n, got.KernelName, want.KernelName)
+		}
+	}
+}

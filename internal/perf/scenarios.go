@@ -1,6 +1,7 @@
 package perf
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strings"
@@ -394,6 +395,125 @@ func campaignCellScenario() Scenario {
 	}
 }
 
+// raceTrace simulates one run of the 1024-rank message-race cell
+// (stacks on, so the callstack table/dictionary codecs are exercised)
+// — the shared input of the trace-codec scenarios.
+func raceTrace() (*trace.Trace, error) {
+	pat, err := patterns.ByName("message_race")
+	if err != nil {
+		return nil, err
+	}
+	params := patterns.DefaultParams(1024)
+	params.Iterations = raceCellIterations
+	prog, err := pat.Program(params)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.DefaultConfig(1024, 1)
+	cfg.Nodes = 4
+	cfg.NDPercent = 50
+	cfg.CaptureStacks = true
+	cfg.EventsPerRankHint = pat.EventsPerRankHint(params)
+	meta := trace.Meta{Pattern: "message_race", Iterations: params.Iterations, MsgSize: params.MsgSize}
+	tr, _, err := sim.Run(cfg, meta, sim.Adapt(prog))
+	return tr, err
+}
+
+// traceEncodeScenario times binary encoding of a 1024-rank race trace
+// (51,152 events) into a discarding counter: the v1/v2 pair prices the
+// columnar rewrite — v2's per-rank delta columns and front-coded
+// dictionary versus v1's interleaved varint rows.
+func traceEncodeScenario(version int) Scenario {
+	return Scenario{
+		Name: fmt.Sprintf("trace-encode/1024rank-v%d", version),
+		Description: fmt.Sprintf("binary v%d encode of one 1024-rank message-race trace (%d iterations, stacks on)",
+			version, raceCellIterations),
+		Setup: func() (func() error, error) {
+			tr, err := raceTrace()
+			if err != nil {
+				return nil, err
+			}
+			return func() error {
+				var n countingWriter
+				if version == 1 {
+					err = tr.WriteBinary(&n)
+				} else {
+					err = tr.WriteBinaryV2(&n)
+				}
+				if err != nil {
+					return err
+				}
+				if n == 0 {
+					return fmt.Errorf("empty encoding")
+				}
+				return nil
+			}, nil
+		},
+	}
+}
+
+// countingWriter discards writes, keeping only the byte count — enough
+// to validate an encode without buffering 51k events of output per rep.
+type countingWriter int64
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	*w += countingWriter(len(p))
+	return len(p), nil
+}
+
+// traceDecodeGraphScenario times the stored-trace-to-graph path: the
+// v1 pair decodes the full trace and builds the graph from it; the v2
+// pair seeks the footer and streams rank cursors straight into the
+// graph builder (graph.FromReader) — the `anacin replay` hot path.
+func traceDecodeGraphScenario(version int) Scenario {
+	return Scenario{
+		Name: fmt.Sprintf("trace-decode+graph/1024rank-v%d", version),
+		Description: fmt.Sprintf("binary v%d decode + event-graph build of one 1024-rank message-race trace (%d iterations)",
+			version, raceCellIterations),
+		Setup: func() (func() error, error) {
+			tr, err := raceTrace()
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			if version == 1 {
+				err = tr.WriteBinary(&buf)
+			} else {
+				err = tr.WriteBinaryV2(&buf)
+			}
+			if err != nil {
+				return nil, err
+			}
+			data := buf.Bytes()
+			want := tr.NumEvents()
+			return func() error {
+				var g *graph.Graph
+				if version == 1 {
+					dt, err := trace.ReadBinary(bytes.NewReader(data))
+					if err != nil {
+						return err
+					}
+					if g, err = graph.FromTrace(dt); err != nil {
+						return err
+					}
+				} else {
+					r, err := trace.NewReader(bytes.NewReader(data), int64(len(data)))
+					if err != nil {
+						return err
+					}
+					if g, err = graph.FromReader(r); err != nil {
+						return err
+					}
+				}
+				if g.NumNodes() != want {
+					return fmt.Errorf("graph has %d nodes for %d events", g.NumNodes(), want)
+				}
+				return nil
+			}, nil
+		},
+	}
+}
+
 // figureScenario times one paper-figure runner end to end (quick
 // workload, no artifact files).
 func figureScenario(id string) Scenario {
@@ -434,6 +554,10 @@ func AllScenarios() []Scenario {
 		raceSimScenario(),
 		campaignCellScenario(),
 		traceToGraphScenario(32, simScenarioIterations),
+		traceEncodeScenario(1),
+		traceEncodeScenario(2),
+		traceDecodeGraphScenario(1),
+		traceDecodeGraphScenario(2),
 		wlFeaturesScenario("wl-features/h2/r32", 2, 32),
 		dotScenario(),
 		gramScenario(1),
@@ -466,6 +590,8 @@ var quickNames = []string{
 	"wl-features/h2/r32", "dot/wl-h2", "gram/w1", "gram/w4", "figure/fig2",
 	"sim/1024rank-stencil", "sim/1024rank-collectives", "sim/1024rank-masterworker",
 	"sim/1024rank-race", "campaign-cell/1024rank-race",
+	"trace-encode/1024rank-v1", "trace-encode/1024rank-v2",
+	"trace-decode+graph/1024rank-v1", "trace-decode+graph/1024rank-v2",
 }
 
 // ScenarioNames lists the full set's names in canonical order.

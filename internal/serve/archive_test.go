@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"github.com/anacin-go/anacinx/internal/campaign"
+)
+
+// swapRunCellStream overrides the streaming cell executor for the
+// duration of a test. Like swapRunCell, callers must not run in
+// parallel (package-global state).
+func swapRunCellStream(t *testing.T, fn func(context.Context, campaign.Grid, campaign.CellSpec, int, string) campaign.Cell) {
+	t.Helper()
+	old := runCellStreamFn
+	runCellStreamFn = fn
+	t.Cleanup(func() { runCellStreamFn = old })
+}
+
+// TestArchiveDirRoutesCellsThroughStreaming pins the serve wiring: a
+// server configured with ArchiveDir resolves every cell through the
+// streaming/archiving executor (passing the configured directory), and
+// never the materializing one.
+func TestArchiveDirRoutesCellsThroughStreaming(t *testing.T) {
+	var streamed, materialized atomic.Int64
+	var gotDir atomic.Value
+	swapRunCell(t, func(_ context.Context, g campaign.Grid, spec campaign.CellSpec, _ int) campaign.Cell {
+		materialized.Add(1)
+		return fakeCell(g, spec)
+	})
+	swapRunCellStream(t, func(_ context.Context, g campaign.Grid, spec campaign.CellSpec, _ int, dir string) campaign.Cell {
+		streamed.Add(1)
+		gotDir.Store(dir)
+		return fakeCell(g, spec)
+	})
+
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{MaxCells: 8, MaxRuns: 10, ArchiveDir: dir})
+	v := submit(t, ts, smallBody)
+	waitStatus(t, ts, v.ID, StatusDone)
+
+	if streamed.Load() != int64(v.Total) {
+		t.Errorf("streaming executor ran %d cells, want %d", streamed.Load(), v.Total)
+	}
+	if materialized.Load() != 0 {
+		t.Errorf("materializing executor ran %d cells, want 0", materialized.Load())
+	}
+	if got, _ := gotDir.Load().(string); got != dir {
+		t.Errorf("streaming executor got archive dir %q, want %q", got, dir)
+	}
+}
+
+// TestNoArchiveDirKeepsMaterializingPath pins the default: without
+// ArchiveDir the registry uses the materializing executor, so existing
+// deployments see no behavior change.
+func TestNoArchiveDirKeepsMaterializingPath(t *testing.T) {
+	var streamed, materialized atomic.Int64
+	swapRunCell(t, func(_ context.Context, g campaign.Grid, spec campaign.CellSpec, _ int) campaign.Cell {
+		materialized.Add(1)
+		return fakeCell(g, spec)
+	})
+	swapRunCellStream(t, func(_ context.Context, g campaign.Grid, spec campaign.CellSpec, _ int, _ string) campaign.Cell {
+		streamed.Add(1)
+		return fakeCell(g, spec)
+	})
+
+	_, ts := newTestServer(t, Config{MaxCells: 8, MaxRuns: 10})
+	v := submit(t, ts, smallBody)
+	waitStatus(t, ts, v.ID, StatusDone)
+
+	if materialized.Load() != int64(v.Total) {
+		t.Errorf("materializing executor ran %d cells, want %d", materialized.Load(), v.Total)
+	}
+	if streamed.Load() != 0 {
+		t.Errorf("streaming executor ran %d cells, want 0", streamed.Load())
+	}
+}

@@ -30,6 +30,9 @@ var ErrDraining = errors.New("serve: draining, not accepting new campaigns")
 // blocking, or instrumented cells without simulating.
 var runCellFn = campaign.RunCell
 
+// runCellStreamFn likewise indirects the streaming/archiving path.
+var runCellStreamFn = campaign.RunCellStream
+
 // SummaryView is analysis.Summary with wire-friendly field names.
 type SummaryView struct {
 	N      int     `json:"n"`
@@ -191,6 +194,7 @@ func etaMS(elapsed time.Duration, done, remaining int) int64 {
 type Registry struct {
 	store       *Store
 	cellWorkers int
+	archiveDir  string
 	simSlots    chan struct{}
 
 	mu       sync.Mutex
@@ -205,6 +209,15 @@ type Registry struct {
 // cellWorkers caps concurrent cells per job; simWorkers caps
 // simulations in flight across all jobs (both default to GOMAXPROCS).
 func NewRegistry(store *Store, cellWorkers, simWorkers int) *Registry {
+	return NewRegistryArchive(store, cellWorkers, simWorkers, "")
+}
+
+// NewRegistryArchive is NewRegistry with trace archiving: when
+// archiveDir is non-empty, cells run through the streaming pipeline and
+// every run's v2 trace is kept under
+// <archiveDir>/<cell-fingerprint>/run-<i>.anctr, replayable with
+// `anacin replay`. Cell results are byte-identical either way.
+func NewRegistryArchive(store *Store, cellWorkers, simWorkers int, archiveDir string) *Registry {
 	if cellWorkers < 1 {
 		cellWorkers = runtime.GOMAXPROCS(0)
 	}
@@ -214,6 +227,7 @@ func NewRegistry(store *Store, cellWorkers, simWorkers int) *Registry {
 	return &Registry{
 		store:       store,
 		cellWorkers: cellWorkers,
+		archiveDir:  archiveDir,
 		simSlots:    make(chan struct{}, simWorkers),
 		jobs:        make(map[string]*Job),
 	}
@@ -406,6 +420,9 @@ func (j *Job) runCell(ctx context.Context, r *Registry, idx, runWorkers int) {
 				NDPercent: spec.NDPercent, Runs: j.grid.Runs, Err: cctx.Err()}
 		}
 		defer func() { <-r.simSlots }()
+		if r.archiveDir != "" {
+			return runCellStreamFn(cctx, j.grid, spec, runWorkers, r.archiveDir)
+		}
 		return runCellFn(cctx, j.grid, spec, runWorkers)
 	})
 	if err != nil {

@@ -25,6 +25,12 @@ type Config struct {
 	MaxRuns int
 	// MaxBodyBytes caps the request body (0 = DefaultMaxBodyBytes).
 	MaxBodyBytes int64
+	// ArchiveDir, when non-empty, runs cells through the streaming
+	// pipeline and archives every run's v2 binary trace under
+	// <ArchiveDir>/<cell-fingerprint>/run-<i>.anctr. The archive is the
+	// durable counterpart of the in-memory result store: any archived
+	// cell can be re-derived offline with `anacin replay`.
+	ArchiveDir string
 	// Log receives request and lifecycle lines (nil = log.Default()).
 	Log *log.Logger
 }
@@ -65,7 +71,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		store:    store,
-		registry: NewRegistry(store, cfg.CellWorkers, cfg.SimWorkers),
+		registry: NewRegistryArchive(store, cfg.CellWorkers, cfg.SimWorkers, cfg.ArchiveDir),
 		mux:      http.NewServeMux(),
 		started:  time.Now(),
 	}

@@ -173,6 +173,11 @@ func (r *Rank) record(kind trace.EventKind, peer, tag, size int, msgID int64, ch
 		Lamport: r.lamport,
 	}
 	ev.SetStack(stack)
+	if r.sim.sink != nil {
+		r.sim.sink.Append(ev)
+		r.sim.sinkEvents++
+		return
+	}
 	r.sim.tr.Append(ev)
 }
 

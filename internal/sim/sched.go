@@ -394,9 +394,13 @@ func errStepBudget(budget int) error {
 // simulation holds all scheduler state. Exactly one goroutine — either
 // the scheduler or a single resumed rank — touches it at any moment.
 type simulation struct {
-	cfg   Config
-	tr    *trace.Trace
-	ranks []*Rank
+	cfg  Config
+	tr   *trace.Trace    // nil when events stream to sink instead
+	sink trace.EventSink // Config.Sink
+	// sinkEvents counts events handed to the sink, standing in for
+	// tr.NumEvents() in the run's stats.
+	sinkEvents int
+	ranks      []*Rank
 
 	events     eventHeap
 	ready      readyHeap // statusReady ranks, min (clock, id) first
@@ -443,11 +447,14 @@ func (s *simulation) cancelled() bool {
 func newSim(cfg Config, meta trace.Meta) *simulation {
 	s := &simulation{
 		cfg:     cfg,
-		tr:      trace.NewWithCapacity(meta, cfg.EventsPerRankHint),
+		sink:    cfg.Sink,
 		yielded: make(chan int),
 		netRNG:  vtime.NewRNG(cfg.Seed).Split(0xC0FFEE),
 		chans:   newChanTable(cfg.Procs),
 		ready:   make(readyHeap, 0, cfg.Procs),
+	}
+	if s.sink == nil {
+		s.tr = trace.NewWithCapacity(meta, cfg.EventsPerRankHint)
 	}
 	base := vtime.NewRNG(cfg.Seed)
 	s.ranks = make([]*Rank, cfg.Procs)
@@ -509,6 +516,10 @@ func (s *simulation) run(program Program) (*trace.Trace, *Stats, error) {
 	}
 	if err != nil {
 		return nil, nil, err
+	}
+	if s.sink != nil {
+		s.stats.Events = s.sinkEvents
+		return nil, &s.stats, nil
 	}
 	s.stats.Events = s.tr.NumEvents()
 	return s.tr, &s.stats, nil

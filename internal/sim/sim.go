@@ -78,6 +78,14 @@ type Config struct {
 	// capacity hint — traces grow past it freely; 0 means
 	// DefaultEventsPerRankHint.
 	EventsPerRankHint int
+	// Sink, when non-nil, streams every recorded event out of the
+	// simulation (in scheduler order) instead of accumulating an
+	// in-memory trace: Run then returns a nil *trace.Trace and the
+	// caller reads events back through the sink's own output (a
+	// trace.StreamWriter feeding a v2 trace file, typically). Per-rank
+	// sequence numbers are the sink's concern; sink errors surface
+	// through the sink (trace.StreamWriter.Close/Err), not through Run.
+	Sink trace.EventSink
 }
 
 // DefaultEventsPerRankHint is the per-rank event-stream capacity used
@@ -235,7 +243,8 @@ type Stats struct {
 // Run executes program on every rank under cfg and returns the recorded
 // trace. meta fields describing the workload (Pattern, Iterations,
 // MsgSize) are caller-provided; Run fills the fields it owns (Procs,
-// Nodes, NDPercent, Seed).
+// Nodes, NDPercent, Seed). When cfg.Sink is set, events stream to the
+// sink instead and the returned trace is nil.
 func Run(cfg Config, meta trace.Meta, program Program) (*trace.Trace, *Stats, error) {
 	return RunContext(context.Background(), cfg, meta, program)
 }

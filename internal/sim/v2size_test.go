@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/anacin-go/anacinx/internal/trace"
+)
+
+// TestBinaryV2SmallerThanV1OnGoldens pins the v2 format's size win on
+// the committed golden traces: re-encoding each v1 golden as v2 must
+// shave at least 30% — the delta/columnar layout and front-coded
+// dictionary paying for the footer index they add.
+func TestBinaryV2SmallerThanV1OnGoldens(t *testing.T) {
+	goldens, err := filepath.Glob(filepath.Join("testdata", "*.trace"))
+	if err != nil || len(goldens) == 0 {
+		t.Fatalf("no golden traces found (err %v)", err)
+	}
+	for _, path := range goldens {
+		v1, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := trace.ReadBinary(bytes.NewReader(v1))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		var v2 bytes.Buffer
+		if err := tr.WriteBinaryV2(&v2); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		ratio := float64(v2.Len()) / float64(len(v1))
+		t.Logf("%s: v1=%d bytes, v2=%d bytes (%.1f%%)", path, len(v1), v2.Len(), 100*ratio)
+		if ratio > 0.70 {
+			t.Errorf("%s: v2 is %.1f%% of v1, want <= 70%%", path, 100*ratio)
+		}
+
+		// The smaller encoding must still round-trip exactly.
+		rt, err := trace.ReadBinary(bytes.NewReader(v2.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: v2 reread: %v", path, err)
+		}
+		if rt.Hash() != tr.Hash() {
+			t.Errorf("%s: v2 re-encoding changed the trace", path)
+		}
+	}
+}

@@ -2,9 +2,11 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strings"
 
@@ -50,9 +52,14 @@ func (t *Trace) WriteBinary(w io.Writer) error {
 	if err := writeString(t.Meta.Pattern); err != nil {
 		return err
 	}
+	// NDPercent is rounded, not truncated, to micro-percent: truncation
+	// broke round-tripping of values like 0.3 whose nearest float64 sits
+	// just below an exact micro-percent multiple (0.3e6 evaluates to
+	// 299999.99999999994, which int64() floored to 299999). v2 stores the
+	// exact bit pattern instead (see binaryv2.go).
 	for _, v := range []int64{
 		int64(t.Meta.Procs), int64(t.Meta.Nodes), int64(t.Meta.Iterations),
-		int64(t.Meta.MsgSize), int64(t.Meta.NDPercent * 1e6), t.Meta.Seed,
+		int64(t.Meta.MsgSize), int64(math.Round(t.Meta.NDPercent * 1e6)), t.Meta.Seed,
 	} {
 		if err := writeVarint(v); err != nil {
 			return err
@@ -93,16 +100,52 @@ func (t *Trace) WriteBinary(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses a trace written with WriteBinary and validates it.
+// unknownMagicError explains a header that is neither v1 nor v2,
+// distinguishing an unsupported version of this format from a file that
+// is not a binary trace at all.
+func unknownMagicError(magic [8]byte) error {
+	if bytes.HasPrefix(magic[:], []byte("ANCNTR")) {
+		return fmt.Errorf("trace: unsupported binary trace version %q (supported: %q, %q)",
+			magic[6:], binaryMagic[6:], binaryMagicV2[6:])
+	}
+	return fmt.Errorf("trace: not a binary trace (magic %q)", magic[:])
+}
+
+// ReadBinary parses a binary trace and validates it. The format version
+// is auto-detected from the magic header: v1 ("ANCNTR01") decodes
+// streamingly; v2 ("ANCNTR02") is buffered in full first, since its
+// index lives at the end of the file (prefer OpenReader or
+// LoadBinaryFile for seekable v2 sources). Unknown versions return a
+// clear error.
 func ReadBinary(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("trace: binary header: %w", err)
 	}
-	if magic != binaryMagic {
-		return nil, fmt.Errorf("trace: not a binary trace (magic %q)", magic[:])
+	switch magic {
+	case binaryMagic:
+		return readBinaryV1(br)
+	case binaryMagicV2:
+		rest, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: v2 body: %w", err)
+		}
+		buf := make([]byte, 0, 8+len(rest))
+		buf = append(buf, magic[:]...)
+		buf = append(buf, rest...)
+		rd, err := NewReader(bytes.NewReader(buf), int64(len(buf)))
+		if err != nil {
+			return nil, err
+		}
+		return rd.ToTrace()
+	default:
+		return nil, unknownMagicError(magic)
 	}
+}
+
+// readBinaryV1 decodes the v1 body following the magic header.
+func readBinaryV1(br *bufio.Reader) (*Trace, error) {
 	readVarint := func() (int64, error) { return binary.ReadVarint(br) }
 	readString := func() (string, error) {
 		n, err := readVarint()
@@ -219,12 +262,32 @@ func (t *Trace) SaveBinaryFile(path string) (err error) {
 	return t.WriteBinary(f)
 }
 
-// LoadBinaryFile reads a binary trace from path.
+// LoadBinaryFile reads a binary trace (v1 or v2, auto-detected) from
+// path. v2 files are decoded through their footer index rather than
+// buffered whole.
 func LoadBinaryFile(path string) (*Trace, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: binary header: %w", err)
+	}
+	if magic == binaryMagicV2 {
+		st, err := f.Stat()
+		if err != nil {
+			return nil, err
+		}
+		rd, err := NewReader(f, st.Size())
+		if err != nil {
+			return nil, err
+		}
+		return rd.ToTrace()
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
 	return ReadBinary(f)
 }

@@ -1,0 +1,494 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// Binary trace format v2 ("ANCNTR02"): columnar, compressed, and
+// append-only, built for campaign archives that write hundreds of runs
+// and read back a few ranks at a time. Where v1 interleaves nine
+// varints per event, v2 groups events into per-rank segments and stores
+// each field as its own column: kinds as raw bytes, identities as plain
+// varints, and the monotone clock columns (time, lamport) plus the
+// locally near-sequential ones (msg id, channel seq) as varint deltas,
+// which collapse to one or two bytes per value. Each segment's column
+// payload, and the footer, are then DEFLATE-compressed — the columnar
+// grouping is what makes this bite, since same-field bytes share a
+// skewed distribution the entropy coder can exploit. Callstacks are
+// dictionary-coded once per file; the dictionary is front-coded in
+// sorted order (each key stores only its suffix after the longest
+// common prefix with its predecessor).
+//
+// The file ends with a footer index — per-rank event/send/receive
+// counts, the per-rank maximum send id, and the (offset, count) list of
+// the rank's segments — followed by a fixed 16-byte trailer holding the
+// footer offset and a trailing magic. A reader seeks the trailer from
+// EOF, loads the footer, and can then decode any single rank without
+// touching the rest of the file (segments are compressed
+// independently); the counts are exactly the inputs the parallel graph
+// builder's prefix-sum layout needs, so graph construction from a v2
+// file skips the counting decode entirely.
+//
+// Layout:
+//
+//	magic "ANCNTR02"
+//	meta: pattern (uvarint len + bytes), varint procs/nodes/iterations/
+//	      msg size, 8-byte LE math.Float64bits(nd percent), varint seed
+//	segment blocks (any order, located per rank by the footer). A
+//	block holds one run of events per rank it covers: the steady-state
+//	flush emits single-rank blocks, and the final drain at Close packs
+//	rank tails into blocks of at most ~v2DrainBlockEvents events, so a
+//	small trace's ranks share one compression context instead of
+//	paying DEFLATE's fixed cost per rank, while a cursor reading a
+//	wide trace never inflates more than a small shared block to reach
+//	its own run. Block layout:
+//	  uvarint run count, per run (uvarint rank, uvarint count), then
+//	  uvarint raw payload len, uvarint compressed len, DEFLATE(payload)
+//	  where the payload is each run's columns in header order:
+//	  kind bytes; peer/tag/size varints; msg id, chan seq, time,
+//	  lamport varint deltas (restarting from 0 each run); stack-index
+//	  uvarints
+//	footer: uvarint raw len, uvarint compressed len, DEFLATE(payload);
+//	  the payload is:
+//	  dictionary: uvarint count, front-coded sorted keys
+//	    (uvarint shared-prefix len, uvarint suffix len, suffix bytes),
+//	    then count uvarints mapping stack index -> sorted position
+//	  rank index: uvarint rank count, per rank uvarint events/sends/
+//	    recvs, varint max send id, uvarint segment count, per segment
+//	    uvarint offset + uvarint count
+//	trailer: 8-byte LE footer offset, magic "ANCNTR02"
+var binaryMagicV2 = [8]byte{'A', 'N', 'C', 'N', 'T', 'R', '0', '2'}
+
+// v2MaxPayloadBytes bounds a segment payload's claimed raw size per
+// event: nine fields of at most ten varint bytes each, rounded up. The
+// reader rejects larger claims before allocating, so corrupted length
+// fields cannot force huge allocations.
+const v2MaxPayloadBytesPerEvent = 96
+
+// v2SegmentEvents is the StreamWriter's per-rank flush threshold. It
+// bounds both the writer's buffering and a reader cursor's working set:
+// decoding never holds more than one segment of columns per open
+// cursor. 1024 events ≈ 9 KiB of column data.
+const v2SegmentEvents = 1024
+
+// v2DrainBlockEvents caps how many events Close's final drain packs
+// into one multi-rank block. Small enough that a cursor inflating a
+// shared block (it decompresses the whole block to reach its run) does
+// bounded redundant work across many ranks; large enough that a small
+// trace's ranks share one compression context.
+const v2DrainBlockEvents = 256
+
+// v2TrailerSize is the fixed byte size of the v2 trailer.
+const v2TrailerSize = 16
+
+// EventSink consumes trace events as they are recorded. The simulator
+// accepts one in place of materializing a *Trace (sim.Config.Sink), and
+// StreamWriter implements it by encoding straight to a v2 file, so a
+// run's peak trace memory is the sink's segment buffers instead of the
+// full event record.
+type EventSink interface {
+	// Append records one event. Implementations assign the per-rank
+	// sequence number themselves (events of one rank must arrive in
+	// stream order) and surface failures from their Close/Err methods
+	// rather than returning them per event.
+	Append(Event)
+}
+
+// v2Segment locates one encoded run of events within the file.
+type v2Segment struct {
+	off   int64
+	count int
+}
+
+// rankEncoder buffers one rank's pending column data and accumulates
+// its footer counts.
+type rankEncoder struct {
+	kinds    []byte
+	peers    []int64
+	tags     []int64
+	sizes    []int64
+	msgIDs   []int64
+	chanSeqs []int64
+	times    []int64
+	lamports []int64
+	stacks   []int
+
+	events, sends, recvs int
+	maxSendID            int64
+	segs                 []v2Segment
+}
+
+// StreamWriter encodes a v2 binary trace incrementally. Events arrive
+// via Append in any rank interleaving (each rank's own events in
+// stream order); segments are flushed as rank buffers fill, and Close
+// writes the dictionary, footer, and trailer. Errors are sticky: the
+// first I/O or usage error disables further encoding and is returned by
+// Close (and Err).
+//
+// StreamWriter implements EventSink.
+type StreamWriter struct {
+	bw     *bufio.Writer
+	off    int64
+	err    error
+	closed bool
+
+	meta  Meta
+	ranks []rankEncoder
+	dict  map[string]int
+	keys  []string // dictionary keys in index (first-seen) order
+	total int
+
+	payload bytes.Buffer // raw segment/footer payload being assembled
+	comp    bytes.Buffer // its DEFLATE-compressed form
+	fw      *flate.Writer
+
+	scratch [binary.MaxVarintLen64]byte
+}
+
+// NewStreamWriter starts a v2 binary trace for meta on w, writing the
+// header immediately. The caller must Close the writer to produce a
+// complete file.
+func NewStreamWriter(w io.Writer, meta Meta) *StreamWriter {
+	sw := &StreamWriter{
+		bw:    bufio.NewWriter(w),
+		meta:  meta,
+		ranks: make([]rankEncoder, meta.Procs),
+		dict:  make(map[string]int),
+	}
+	if meta.Procs < 0 {
+		sw.err = fmt.Errorf("trace: negative proc count %d", meta.Procs)
+		return sw
+	}
+	for i := range sw.ranks {
+		sw.ranks[i].maxSendID = -1
+	}
+	sw.write(binaryMagicV2[:])
+	sw.writeString(meta.Pattern)
+	sw.writeVarint(int64(meta.Procs))
+	sw.writeVarint(int64(meta.Nodes))
+	sw.writeVarint(int64(meta.Iterations))
+	sw.writeVarint(int64(meta.MsgSize))
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(meta.NDPercent))
+	sw.write(b[:])
+	sw.writeVarint(meta.Seed)
+	return sw
+}
+
+func (sw *StreamWriter) write(p []byte) {
+	if sw.err != nil {
+		return
+	}
+	n, err := sw.bw.Write(p)
+	sw.off += int64(n)
+	sw.err = err
+}
+
+func (sw *StreamWriter) writeVarint(v int64) {
+	if sw.err != nil {
+		return
+	}
+	n := binary.PutVarint(sw.scratch[:], v)
+	sw.write(sw.scratch[:n])
+}
+
+func (sw *StreamWriter) writeUvarint(v uint64) {
+	if sw.err != nil {
+		return
+	}
+	n := binary.PutUvarint(sw.scratch[:], v)
+	sw.write(sw.scratch[:n])
+}
+
+func (sw *StreamWriter) writeString(s string) {
+	sw.writeUvarint(uint64(len(s)))
+	if sw.err == nil {
+		n, err := sw.bw.WriteString(s)
+		sw.off += int64(n)
+		sw.err = err
+	}
+}
+
+// Buffer-side encoders assemble a payload before compression.
+
+func (sw *StreamWriter) bufVarint(v int64) {
+	n := binary.PutVarint(sw.scratch[:], v)
+	sw.payload.Write(sw.scratch[:n])
+}
+
+func (sw *StreamWriter) bufUvarint(v uint64) {
+	n := binary.PutUvarint(sw.scratch[:], v)
+	sw.payload.Write(sw.scratch[:n])
+}
+
+func (sw *StreamWriter) bufString(s string) {
+	sw.bufUvarint(uint64(len(s)))
+	sw.payload.WriteString(s)
+}
+
+// writeCompressed DEFLATE-compresses the assembled payload and writes
+// it framed as uvarint raw len, uvarint compressed len, compressed
+// bytes. The payload buffer is reset for the next use.
+func (sw *StreamWriter) writeCompressed() {
+	if sw.err != nil {
+		sw.payload.Reset()
+		return
+	}
+	sw.comp.Reset()
+	if sw.fw == nil {
+		fw, err := flate.NewWriter(&sw.comp, flate.BestSpeed)
+		if err != nil {
+			sw.err = err
+			return
+		}
+		sw.fw = fw
+	} else {
+		sw.fw.Reset(&sw.comp)
+	}
+	if _, err := sw.fw.Write(sw.payload.Bytes()); err != nil {
+		sw.err = err
+		return
+	}
+	if err := sw.fw.Close(); err != nil {
+		sw.err = err
+		return
+	}
+	sw.writeUvarint(uint64(sw.payload.Len()))
+	sw.writeUvarint(uint64(sw.comp.Len()))
+	sw.write(sw.comp.Bytes())
+	sw.payload.Reset()
+}
+
+// Append implements EventSink: it buffers one event into its rank's
+// pending segment, flushing the segment when it reaches
+// v2SegmentEvents. The event's Seq is ignored — position in the rank's
+// append order is authoritative, exactly as Trace.Append assigns it.
+func (sw *StreamWriter) Append(e Event) {
+	if sw.err != nil {
+		return
+	}
+	if sw.closed {
+		sw.err = fmt.Errorf("trace: StreamWriter.Append after Close")
+		return
+	}
+	if e.Rank < 0 || e.Rank >= len(sw.ranks) {
+		sw.err = fmt.Errorf("trace: event rank %d out of range [0,%d)", e.Rank, len(sw.ranks))
+		return
+	}
+	re := &sw.ranks[e.Rank]
+	re.kinds = append(re.kinds, byte(e.Kind))
+	re.peers = append(re.peers, int64(e.Peer))
+	re.tags = append(re.tags, int64(e.Tag))
+	re.sizes = append(re.sizes, int64(e.Size))
+	re.msgIDs = append(re.msgIDs, e.MsgID)
+	re.chanSeqs = append(re.chanSeqs, int64(e.ChanSeq))
+	re.times = append(re.times, int64(e.Time))
+	re.lamports = append(re.lamports, e.Lamport)
+	key := e.CallstackKey()
+	idx, ok := sw.dict[key]
+	if !ok {
+		idx = len(sw.keys)
+		sw.dict[key] = idx
+		sw.keys = append(sw.keys, key)
+	}
+	re.stacks = append(re.stacks, idx)
+	if e.MsgID != NoMsg {
+		if e.Kind.IsSend() {
+			re.sends++
+			if e.MsgID > re.maxSendID {
+				re.maxSendID = e.MsgID
+			}
+		} else if e.Kind.IsReceive() {
+			re.recvs++
+		}
+	}
+	re.events++
+	sw.total++
+	if len(re.kinds) >= v2SegmentEvents {
+		sw.flushRanks(e.Rank, e.Rank+1)
+	}
+}
+
+// bufColumn encodes one int64 column into the payload buffer, either as
+// plain varints or as deltas from the previous value (starting at 0
+// each segment).
+func (sw *StreamWriter) bufColumn(vals []int64, delta bool) {
+	var prev int64
+	for _, v := range vals {
+		if delta {
+			sw.bufVarint(v - prev)
+			prev = v
+		} else {
+			sw.bufVarint(v)
+		}
+	}
+}
+
+// flushRanks writes the buffered events of ranks [lo, hi) that have any
+// as one compressed block of per-rank runs, and records each run for
+// the footer. All runs share one block offset and one DEFLATE stream.
+func (sw *StreamWriter) flushRanks(lo, hi int) {
+	var runs []int
+	for r := lo; r < hi; r++ {
+		if len(sw.ranks[r].kinds) > 0 {
+			runs = append(runs, r)
+		}
+	}
+	if len(runs) == 0 {
+		return
+	}
+	off := sw.off
+	sw.writeUvarint(uint64(len(runs)))
+	for _, r := range runs {
+		re := &sw.ranks[r]
+		re.segs = append(re.segs, v2Segment{off: off, count: len(re.kinds)})
+		sw.writeUvarint(uint64(r))
+		sw.writeUvarint(uint64(len(re.kinds)))
+	}
+	for _, r := range runs {
+		re := &sw.ranks[r]
+		sw.payload.Write(re.kinds)
+		sw.bufColumn(re.peers, false)
+		sw.bufColumn(re.tags, false)
+		sw.bufColumn(re.sizes, false)
+		sw.bufColumn(re.msgIDs, true)
+		sw.bufColumn(re.chanSeqs, true)
+		sw.bufColumn(re.times, true)
+		sw.bufColumn(re.lamports, true)
+		for _, si := range re.stacks {
+			sw.bufUvarint(uint64(si))
+		}
+		re.kinds = re.kinds[:0]
+		re.peers = re.peers[:0]
+		re.tags = re.tags[:0]
+		re.sizes = re.sizes[:0]
+		re.msgIDs = re.msgIDs[:0]
+		re.chanSeqs = re.chanSeqs[:0]
+		re.times = re.times[:0]
+		re.lamports = re.lamports[:0]
+		re.stacks = re.stacks[:0]
+	}
+	sw.writeCompressed()
+}
+
+// commonPrefixLen returns the length of the longest common prefix of a
+// and b.
+func commonPrefixLen(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// Close flushes the pending segments and writes the dictionary, footer,
+// and trailer. It returns the first error the writer encountered.
+// Close is idempotent; Append after Close is an error.
+func (sw *StreamWriter) Close() error {
+	if sw.closed {
+		return sw.err
+	}
+	sw.closed = true
+	// Drain rank tails into multi-rank blocks of bounded size: one
+	// block for a small trace, ~v2DrainBlockEvents-event blocks for a
+	// wide one (a tail larger than the budget flushes alone).
+	lo, pending := 0, 0
+	for r := range sw.ranks {
+		n := len(sw.ranks[r].kinds)
+		if pending > 0 && pending+n > v2DrainBlockEvents {
+			sw.flushRanks(lo, r)
+			lo, pending = r, 0
+		}
+		pending += n
+	}
+	sw.flushRanks(lo, len(sw.ranks))
+	footerOff := sw.off
+
+	// Dictionary: keys sorted for front-coding, then the permutation
+	// from first-seen index (what segments reference) to sorted slot.
+	sorted := append([]string(nil), sw.keys...)
+	sort.Strings(sorted)
+	pos := make(map[string]int, len(sorted))
+	for i, k := range sorted {
+		pos[k] = i
+	}
+	sw.bufUvarint(uint64(len(sorted)))
+	prev := ""
+	for _, k := range sorted {
+		p := commonPrefixLen(prev, k)
+		sw.bufUvarint(uint64(p))
+		sw.bufString(k[p:])
+		prev = k
+	}
+	for _, k := range sw.keys {
+		sw.bufUvarint(uint64(pos[k]))
+	}
+
+	// Rank index.
+	sw.bufUvarint(uint64(len(sw.ranks)))
+	for r := range sw.ranks {
+		re := &sw.ranks[r]
+		sw.bufUvarint(uint64(re.events))
+		sw.bufUvarint(uint64(re.sends))
+		sw.bufUvarint(uint64(re.recvs))
+		sw.bufVarint(re.maxSendID)
+		sw.bufUvarint(uint64(len(re.segs)))
+		for _, s := range re.segs {
+			sw.bufUvarint(uint64(s.off))
+			sw.bufUvarint(uint64(s.count))
+		}
+	}
+	sw.writeCompressed()
+
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(footerOff))
+	sw.write(b[:])
+	sw.write(binaryMagicV2[:])
+	if ferr := sw.bw.Flush(); sw.err == nil {
+		sw.err = ferr
+	}
+	return sw.err
+}
+
+// Err returns the writer's sticky error without closing it.
+func (sw *StreamWriter) Err() error { return sw.err }
+
+// NumEvents returns how many events have been appended.
+func (sw *StreamWriter) NumEvents() int { return sw.total }
+
+// WriteBinaryV2 serializes the trace in the v2 binary format.
+func (t *Trace) WriteBinaryV2(w io.Writer) error {
+	sw := NewStreamWriter(w, t.Meta)
+	for _, evs := range t.Events {
+		for i := range evs {
+			sw.Append(evs[i])
+		}
+	}
+	return sw.Close()
+}
+
+// SaveBinaryV2File writes the trace to path in the v2 binary format.
+func (t *Trace) SaveBinaryV2File(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return t.WriteBinaryV2(f)
+}

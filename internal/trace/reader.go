@@ -1,0 +1,685 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"github.com/anacin-go/anacinx/internal/vtime"
+)
+
+// Reader decodes a v2 binary trace (see binaryv2.go) without
+// materializing a *Trace: the footer index is loaded up front, and
+// per-rank Cursors then stream events one segment of columns at a time.
+// Opening a Reader costs the meta block, the callstack dictionary, and
+// the rank index — independent of event count — and a cursor's working
+// set is one segment, so consumers that fold over events (the graph
+// builder, the streaming kernel path, OrderHash) run in flat memory
+// regardless of run length.
+//
+// A Reader is safe for concurrent cursor use: Cursors read through
+// io.ReaderAt and share no mutable state.
+type Reader struct {
+	src    io.ReaderAt
+	closer io.Closer
+
+	meta      Meta
+	keys      []string   // dictionary, in stack-index order
+	frames    [][]string // split frames per key (nil for "(unknown)")
+	ranks     []rankIndex
+	footerOff int64
+	total     int
+	maxSeg    int
+	dictBytes int64
+	size      int64
+}
+
+// rankIndex is one rank's footer entry.
+type rankIndex struct {
+	events, sends, recvs int
+	maxSendID            int64
+	segs                 []v2Segment
+}
+
+// sectionDecoder reads varint-framed fields from a byte-range of the
+// underlying file.
+type sectionDecoder struct {
+	br *bufio.Reader
+}
+
+func newSectionDecoder(src io.ReaderAt, off, n int64) *sectionDecoder {
+	return &sectionDecoder{br: bufio.NewReader(io.NewSectionReader(src, off, n))}
+}
+
+func (d *sectionDecoder) uvarint() (uint64, error) { return binary.ReadUvarint(d.br) }
+func (d *sectionDecoder) varint() (int64, error)   { return binary.ReadVarint(d.br) }
+
+func (d *sectionDecoder) stringN(n uint64) (string, error) {
+	if n > 1<<20 {
+		return "", fmt.Errorf("trace: unreasonable string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(d.br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func (d *sectionDecoder) string() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	return d.stringN(n)
+}
+
+// inflateFrame reads a compressed frame (uvarint raw len, uvarint
+// compressed len, DEFLATE bytes) from br and returns the decompressed
+// payload. maxRaw bounds the claimed raw size so corrupted length
+// fields cannot force huge allocations; maxComp bounds the compressed
+// bytes by the space actually available in the file section.
+func inflateFrame(br *bufio.Reader, maxRaw, maxComp int64, what string) ([]byte, error) {
+	rawLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", what, err)
+	}
+	compLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", what, err)
+	}
+	if int64(rawLen) > maxRaw {
+		return nil, fmt.Errorf("trace: %s: unreasonable payload size %d", what, rawLen)
+	}
+	if int64(compLen) > maxComp {
+		return nil, fmt.Errorf("trace: %s: compressed size %d exceeds section", what, compLen)
+	}
+	fr := flate.NewReader(io.LimitReader(br, int64(compLen)))
+	var buf bytes.Buffer
+	if rawLen <= 1<<20 {
+		// Pre-size only when the claim is modest; a corrupted claim
+		// within maxRaw must not force a huge allocation before the
+		// inflate fails on its own.
+		buf.Grow(int(rawLen))
+	}
+	n, err := io.Copy(&buf, io.LimitReader(fr, int64(rawLen)+1))
+	if err != nil {
+		return nil, fmt.Errorf("trace: %s: inflate: %w", what, err)
+	}
+	if n != int64(rawLen) {
+		return nil, fmt.Errorf("trace: %s: payload is %d bytes, frame declares %d", what, n, rawLen)
+	}
+	return buf.Bytes(), nil
+}
+
+// OpenReader opens a v2 binary trace file for streaming access. The
+// caller must Close the Reader to release the file. v1 files are
+// rejected (they carry no index; load them with LoadBinaryFile).
+func OpenReader(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r, err := NewReader(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r.closer = f
+	return r, nil
+}
+
+// NewReader opens a v2 binary trace held by src (size bytes) for
+// streaming access. Close is a no-op for readers constructed this way.
+func NewReader(src io.ReaderAt, size int64) (*Reader, error) {
+	if size < 8+v2TrailerSize {
+		return nil, fmt.Errorf("trace: file too short (%d bytes) for a v2 binary trace", size)
+	}
+	var head [8]byte
+	if _, err := src.ReadAt(head[:], 0); err != nil {
+		return nil, fmt.Errorf("trace: binary header: %w", err)
+	}
+	if head != binaryMagicV2 {
+		if head == binaryMagic {
+			return nil, fmt.Errorf("trace: v1 binary trace has no seekable index; load it with LoadBinaryFile")
+		}
+		return nil, unknownMagicError(head)
+	}
+	var trailer [v2TrailerSize]byte
+	if _, err := src.ReadAt(trailer[:], size-v2TrailerSize); err != nil {
+		return nil, fmt.Errorf("trace: v2 trailer: %w", err)
+	}
+	var tail [8]byte
+	copy(tail[:], trailer[8:])
+	if tail != binaryMagicV2 {
+		return nil, fmt.Errorf("trace: truncated v2 binary trace (no trailing magic)")
+	}
+	footerOff := int64(binary.LittleEndian.Uint64(trailer[:8]))
+	if footerOff < 8 || footerOff > size-v2TrailerSize {
+		return nil, fmt.Errorf("trace: v2 footer offset %d out of range", footerOff)
+	}
+	r := &Reader{src: src, footerOff: footerOff, size: size}
+
+	// Meta block.
+	d := newSectionDecoder(src, 8, footerOff-8)
+	var err error
+	if r.meta.Pattern, err = d.string(); err != nil {
+		return nil, fmt.Errorf("trace: v2 meta: %w", err)
+	}
+	ints := make([]int64, 4)
+	for i := range ints {
+		if ints[i], err = d.varint(); err != nil {
+			return nil, fmt.Errorf("trace: v2 meta: %w", err)
+		}
+	}
+	r.meta.Procs = int(ints[0])
+	r.meta.Nodes = int(ints[1])
+	r.meta.Iterations = int(ints[2])
+	r.meta.MsgSize = int(ints[3])
+	var bits [8]byte
+	if _, err := io.ReadFull(d.br, bits[:]); err != nil {
+		return nil, fmt.Errorf("trace: v2 meta: %w", err)
+	}
+	r.meta.NDPercent = math.Float64frombits(binary.LittleEndian.Uint64(bits[:]))
+	if r.meta.Seed, err = d.varint(); err != nil {
+		return nil, fmt.Errorf("trace: v2 meta: %w", err)
+	}
+	if r.meta.Procs < 0 || r.meta.Procs > 1<<22 {
+		return nil, fmt.Errorf("trace: unreasonable proc count %d", r.meta.Procs)
+	}
+
+	if err := r.readFooter(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// readFooter inflates and parses the dictionary and rank index.
+func (r *Reader) readFooter() error {
+	section := r.size - v2TrailerSize - r.footerOff
+	fd := newSectionDecoder(r.src, r.footerOff, section)
+	// A corrupted raw-length claim is bounded by DEFLATE's worst-case
+	// expansion of the compressed bytes actually present in the section.
+	payload, err := inflateFrame(fd.br, 1040*section+64, section, "v2 footer")
+	if err != nil {
+		return err
+	}
+	d := &sectionDecoder{br: bufio.NewReader(bytes.NewReader(payload))}
+
+	nKeys, err := d.uvarint()
+	if err != nil {
+		return fmt.Errorf("trace: v2 dictionary: %w", err)
+	}
+	if nKeys > 1<<22 {
+		return fmt.Errorf("trace: unreasonable callstack table size %d", nKeys)
+	}
+	sorted := make([]string, nKeys)
+	prev := ""
+	for i := range sorted {
+		p, err := d.uvarint()
+		if err != nil {
+			return fmt.Errorf("trace: v2 dictionary: %w", err)
+		}
+		if p > uint64(len(prev)) {
+			return fmt.Errorf("trace: v2 dictionary entry %d: prefix %d exceeds predecessor length %d", i, p, len(prev))
+		}
+		suffix, err := d.string()
+		if err != nil {
+			return fmt.Errorf("trace: v2 dictionary: %w", err)
+		}
+		sorted[i] = prev[:p] + suffix
+		prev = sorted[i]
+	}
+	r.keys = make([]string, nKeys)
+	r.frames = make([][]string, nKeys)
+	for i := range r.keys {
+		p, err := d.uvarint()
+		if err != nil {
+			return fmt.Errorf("trace: v2 dictionary: %w", err)
+		}
+		if p >= nKeys {
+			return fmt.Errorf("trace: v2 dictionary permutation entry %d out of table", p)
+		}
+		r.keys[i] = sorted[p]
+		if r.keys[i] != "(unknown)" {
+			r.frames[i] = splitCallstackKey(r.keys[i])
+		}
+	}
+
+	nRanks, err := d.uvarint()
+	if err != nil {
+		return fmt.Errorf("trace: v2 rank index: %w", err)
+	}
+	if int(nRanks) != r.meta.Procs {
+		return fmt.Errorf("trace: v2 rank index has %d ranks, meta declares %d", nRanks, r.meta.Procs)
+	}
+	r.ranks = make([]rankIndex, nRanks)
+	for rank := range r.ranks {
+		ri := &r.ranks[rank]
+		events, err := d.uvarint()
+		if err != nil {
+			return fmt.Errorf("trace: v2 rank index: %w", err)
+		}
+		if events > 1<<30 {
+			return fmt.Errorf("trace: unreasonable event count %d", events)
+		}
+		sends, err := d.uvarint()
+		if err != nil {
+			return fmt.Errorf("trace: v2 rank index: %w", err)
+		}
+		recvs, err := d.uvarint()
+		if err != nil {
+			return fmt.Errorf("trace: v2 rank index: %w", err)
+		}
+		maxSendID, err := d.varint()
+		if err != nil {
+			return fmt.Errorf("trace: v2 rank index: %w", err)
+		}
+		nSegs, err := d.uvarint()
+		if err != nil {
+			return fmt.Errorf("trace: v2 rank index: %w", err)
+		}
+		if nSegs > events {
+			return fmt.Errorf("trace: v2 rank %d: %d segments for %d events", rank, nSegs, events)
+		}
+		ri.events = int(events)
+		ri.sends = int(sends)
+		ri.recvs = int(recvs)
+		ri.maxSendID = maxSendID
+		ri.segs = make([]v2Segment, nSegs)
+		var sum int
+		for i := range ri.segs {
+			off, err := d.uvarint()
+			if err != nil {
+				return fmt.Errorf("trace: v2 rank index: %w", err)
+			}
+			count, err := d.uvarint()
+			if err != nil {
+				return fmt.Errorf("trace: v2 rank index: %w", err)
+			}
+			if int64(off) < 8 || int64(off) >= r.footerOff {
+				return fmt.Errorf("trace: v2 rank %d segment %d: offset %d out of data section", rank, i, off)
+			}
+			if count == 0 || count > events {
+				return fmt.Errorf("trace: v2 rank %d segment %d: bad count %d", rank, i, count)
+			}
+			ri.segs[i] = v2Segment{off: int64(off), count: int(count)}
+			sum += int(count)
+			if int(count) > r.maxSeg {
+				r.maxSeg = int(count)
+			}
+		}
+		if sum != ri.events {
+			return fmt.Errorf("trace: v2 rank %d: segments hold %d events, index declares %d", rank, sum, ri.events)
+		}
+		r.total += ri.events
+	}
+	return nil
+}
+
+// Meta returns the run description stored in the header.
+func (r *Reader) Meta() Meta { return r.meta }
+
+// Procs returns the number of ranks in the trace.
+func (r *Reader) Procs() int { return len(r.ranks) }
+
+// NumEvents returns the total event count across all ranks (from the
+// footer, without decoding).
+func (r *Reader) NumEvents() int { return r.total }
+
+// RankCounts returns rank's footer entry: its event count, its counts
+// of message-carrying sends and receives, and the largest MsgID among
+// its sends (-1 if none). These are exactly the inputs the parallel
+// graph layout needs.
+func (r *Reader) RankCounts(rank int) (events, sends, recvs int, maxSendID int64) {
+	ri := &r.ranks[rank]
+	return ri.events, ri.sends, ri.recvs, ri.maxSendID
+}
+
+// Callstacks returns the distinct callstack keys in the trace, sorted —
+// the same set Trace.Callstacks reports after materializing.
+func (r *Reader) Callstacks() []string {
+	keys := append([]string(nil), r.keys...)
+	sort.Strings(keys)
+	return keys
+}
+
+// Close releases the underlying file when the Reader was constructed by
+// OpenReader; otherwise it is a no-op.
+func (r *Reader) Close() error {
+	if r.closer == nil {
+		return nil
+	}
+	c := r.closer
+	r.closer = nil
+	return c.Close()
+}
+
+// Cursor returns a fresh streaming cursor over rank's events. Multiple
+// cursors (of the same or different ranks) may be used concurrently.
+func (r *Reader) Cursor(rank int) *Cursor {
+	c := &Cursor{r: r, rank: rank}
+	if rank < 0 || rank >= len(r.ranks) {
+		c.err = fmt.Errorf("trace: cursor rank %d out of range [0,%d)", rank, len(r.ranks))
+	}
+	return c
+}
+
+// Cursor streams one rank's events in sequence order, decoding one
+// segment of columns at a time.
+type Cursor struct {
+	r      *Reader
+	rank   int
+	segIdx int
+	pos, n int
+	seq    int
+	err    error
+
+	br       *bufio.Reader
+	pr       bytes.Reader
+	kinds    []byte
+	peers    []int64
+	tags     []int64
+	sizes    []int64
+	msgIDs   []int64
+	chanSeqs []int64
+	times    []int64
+	lamports []int64
+	stacks   []int32
+}
+
+// Err returns the first decode error the cursor hit, or nil.
+func (c *Cursor) Err() error { return c.err }
+
+// Next decodes the next event into *ev and reports whether one was
+// available. After Next returns false, Err distinguishes end-of-stream
+// from a decode failure. The event's Callstack (and cached key) alias
+// the Reader's dictionary and must be treated as immutable.
+func (c *Cursor) Next(ev *Event) bool {
+	if c.err != nil {
+		return false
+	}
+	for c.pos == c.n {
+		if c.segIdx == len(c.r.ranks[c.rank].segs) {
+			return false
+		}
+		if err := c.loadSegment(c.r.ranks[c.rank].segs[c.segIdx]); err != nil {
+			c.err = err
+			return false
+		}
+		c.segIdx++
+	}
+	i := c.pos
+	*ev = Event{
+		Rank:    c.rank,
+		Seq:     c.seq,
+		Kind:    EventKind(c.kinds[i]),
+		Peer:    int(c.peers[i]),
+		Tag:     int(c.tags[i]),
+		Size:    int(c.sizes[i]),
+		MsgID:   c.msgIDs[i],
+		ChanSeq: int(c.chanSeqs[i]),
+		Time:    vtime.Time(c.times[i]),
+		Lamport: c.lamports[i],
+	}
+	if si := c.stacks[i]; c.r.frames[si] != nil {
+		ev.Callstack = c.r.frames[si]
+		ev.ckey = c.r.keys[si]
+	}
+	c.pos++
+	c.seq++
+	return true
+}
+
+// growI64 returns s resized to n, reallocating only when needed.
+func growI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+// skipVarints discards n varints from pr.
+func skipVarints(pr *bytes.Reader, n int) error {
+	for i := 0; i < n; i++ {
+		for {
+			b, err := pr.ReadByte()
+			if err != nil {
+				return err
+			}
+			if b < 0x80 {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// skipRun discards one sibling run's columns (n kind bytes, then eight
+// varint columns of n values) from pr.
+func skipRun(pr *bytes.Reader, n int) error {
+	if _, err := pr.Seek(int64(n), io.SeekCurrent); err != nil {
+		return err
+	}
+	return skipVarints(pr, 8*n)
+}
+
+// loadSegment inflates one segment block's payload and decodes the
+// cursor's rank's run into its reusable buffers; sibling ranks' runs in
+// the same block are varint-skipped.
+func (c *Cursor) loadSegment(seg v2Segment) error {
+	sr := io.NewSectionReader(c.r.src, seg.off, c.r.footerOff-seg.off)
+	if c.br == nil {
+		c.br = bufio.NewReader(sr)
+	} else {
+		c.br.Reset(sr)
+	}
+	nRuns, err := binary.ReadUvarint(c.br)
+	if err != nil {
+		return fmt.Errorf("trace: v2 block at %d: %w", seg.off, err)
+	}
+	if nRuns == 0 || nRuns > uint64(len(c.r.ranks)) {
+		return fmt.Errorf("trace: v2 block at %d: %d runs for %d ranks", seg.off, nRuns, len(c.r.ranks))
+	}
+	type run struct{ rank, count int }
+	runs := make([]run, nRuns)
+	total, myIdx := 0, -1
+	for i := range runs {
+		rank, err := binary.ReadUvarint(c.br)
+		if err != nil {
+			return fmt.Errorf("trace: v2 block at %d: %w", seg.off, err)
+		}
+		count, err := binary.ReadUvarint(c.br)
+		if err != nil {
+			return fmt.Errorf("trace: v2 block at %d: %w", seg.off, err)
+		}
+		if count == 0 || count > 1<<30 {
+			return fmt.Errorf("trace: v2 block at %d: bad run count %d", seg.off, count)
+		}
+		runs[i] = run{rank: int(rank), count: int(count)}
+		total += int(count)
+		if int(rank) == c.rank {
+			if myIdx != -1 {
+				return fmt.Errorf("trace: v2 block at %d: rank %d appears twice", seg.off, rank)
+			}
+			if int(count) != seg.count {
+				return fmt.Errorf("trace: v2 block at %d: run count %d, index says %d", seg.off, count, seg.count)
+			}
+			myIdx = i
+		}
+	}
+	if myIdx == -1 {
+		return fmt.Errorf("trace: v2 block at %d: no run for rank %d", seg.off, c.rank)
+	}
+	payload, err := inflateFrame(c.br,
+		int64(total)*v2MaxPayloadBytesPerEvent+64, c.r.footerOff-seg.off,
+		fmt.Sprintf("v2 block at %d", seg.off))
+	if err != nil {
+		return err
+	}
+	c.pr.Reset(payload)
+	for i := 0; i < myIdx; i++ {
+		if err := skipRun(&c.pr, runs[i].count); err != nil {
+			return fmt.Errorf("trace: v2 block at %d: skipping rank %d run: %w", seg.off, runs[i].rank, err)
+		}
+	}
+	n := seg.count
+	if cap(c.kinds) < n {
+		c.kinds = make([]byte, n)
+		c.stacks = make([]int32, n)
+	}
+	c.kinds = c.kinds[:n]
+	c.stacks = c.stacks[:n]
+	if _, err := io.ReadFull(&c.pr, c.kinds); err != nil {
+		return fmt.Errorf("trace: v2 segment at %d: kinds: %w", seg.off, err)
+	}
+	c.peers = growI64(c.peers, n)
+	c.tags = growI64(c.tags, n)
+	c.sizes = growI64(c.sizes, n)
+	c.msgIDs = growI64(c.msgIDs, n)
+	c.chanSeqs = growI64(c.chanSeqs, n)
+	c.times = growI64(c.times, n)
+	c.lamports = growI64(c.lamports, n)
+	for _, col := range []struct {
+		vals  []int64
+		delta bool
+		name  string
+	}{
+		{c.peers, false, "peers"},
+		{c.tags, false, "tags"},
+		{c.sizes, false, "sizes"},
+		{c.msgIDs, true, "msg ids"},
+		{c.chanSeqs, true, "chan seqs"},
+		{c.times, true, "times"},
+		{c.lamports, true, "lamports"},
+	} {
+		var prev int64
+		for i := 0; i < n; i++ {
+			v, err := binary.ReadVarint(&c.pr)
+			if err != nil {
+				return fmt.Errorf("trace: v2 segment at %d: %s: %w", seg.off, col.name, err)
+			}
+			if col.delta {
+				prev += v
+				col.vals[i] = prev
+			} else {
+				col.vals[i] = v
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		si, err := binary.ReadUvarint(&c.pr)
+		if err != nil {
+			return fmt.Errorf("trace: v2 segment at %d: stacks: %w", seg.off, err)
+		}
+		if si >= uint64(len(c.r.keys)) {
+			return fmt.Errorf("trace: callstack index %d out of table", si)
+		}
+		c.stacks[i] = int32(si)
+	}
+	for i := myIdx + 1; i < len(runs); i++ {
+		if err := skipRun(&c.pr, runs[i].count); err != nil {
+			return fmt.Errorf("trace: v2 block at %d: skipping rank %d run: %w", seg.off, runs[i].rank, err)
+		}
+	}
+	if c.pr.Len() != 0 {
+		return fmt.Errorf("trace: v2 block at %d: %d trailing payload bytes", seg.off, c.pr.Len())
+	}
+	c.pos, c.n = 0, n
+	return nil
+}
+
+// OrderHash streams the communication-structure hash of the trace —
+// identical to materializing it and calling Trace.OrderHash.
+func (r *Reader) OrderHash() (uint64, error) {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	var ev Event
+	for rank := range r.ranks {
+		writeInt(int64(r.ranks[rank].events))
+		c := r.Cursor(rank)
+		for c.Next(&ev) {
+			writeInt(int64(ev.Kind))
+			writeInt(int64(ev.Peer))
+			writeInt(int64(ev.Tag))
+			writeInt(int64(ev.ChanSeq))
+		}
+		if err := c.Err(); err != nil {
+			return 0, err
+		}
+	}
+	return h.Sum64(), nil
+}
+
+// ToTrace materializes the full *Trace and validates it — the v2 analog
+// of ReadBinary's v1 path.
+func (r *Reader) ToTrace() (*Trace, error) {
+	t := New(r.meta)
+	var ev Event
+	for rank := range r.ranks {
+		if n := r.ranks[rank].events; n > 0 {
+			t.Events[rank] = make([]Event, 0, n)
+		}
+		c := r.Cursor(rank)
+		for c.Next(&ev) {
+			t.Append(ev)
+		}
+		if err := c.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: binary trace invalid: %w", err)
+	}
+	return t, nil
+}
+
+// FooterStats summarizes a v2 file's index for inspection tooling.
+type FooterStats struct {
+	// Ranks is the rank count; Segments the total segment count.
+	Ranks, Segments int
+	// Events is the total event count; MaxSegmentEvents the largest
+	// single segment.
+	Events, MaxSegmentEvents int
+	// Sends and Recvs count message-carrying send and receive events.
+	Sends, Recvs int
+	// DictEntries is the callstack dictionary size.
+	DictEntries int
+	// DataBytes is the size of the segment section, FooterBytes of the
+	// footer (dictionary + rank index), FileBytes of the whole file.
+	DataBytes, FooterBytes, FileBytes int64
+}
+
+// Stats returns the file's footer statistics.
+func (r *Reader) Stats() FooterStats {
+	st := FooterStats{
+		Ranks:            len(r.ranks),
+		Events:           r.total,
+		MaxSegmentEvents: r.maxSeg,
+		DictEntries:      len(r.keys),
+		DataBytes:        r.footerOff - 8,
+		FooterBytes:      r.size - v2TrailerSize - r.footerOff,
+		FileBytes:        r.size,
+	}
+	for i := range r.ranks {
+		st.Segments += len(r.ranks[i].segs)
+		st.Sends += r.ranks[i].sends
+		st.Recvs += r.ranks[i].recvs
+	}
+	return st
+}
