@@ -4,7 +4,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"time"
 
 	"github.com/anacin-go/anacinx/internal/perf"
@@ -28,6 +30,8 @@ func cmdBench(args []string) error {
 	threshold := fs.Float64("threshold", 0.25, "allowed relative increase of the gated statistic and of allocs/op vs the baseline (0.25 = 25%)")
 	statName := fs.String("stat", "median", `statistic the regression gate compares: "median" or "min" (min is robust to load spikes on shared CI runners)`)
 	summary := fs.String("summary", "", "append a markdown results table (and, with -compare, a before/after delta table) to this file — CI passes $GITHUB_STEP_SUMMARY")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the timed reps to this file (inspect with 'go tool pprof')")
+	memprofile := fs.String("memprofile", "", "write an allocation profile taken after the run to this file")
 	list := fs.Bool("list", false, "list scenario names and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,9 +60,38 @@ func cmdBench(args []string) error {
 		},
 	}
 	fmt.Printf("running %d scenario(s), %d reps (+%d warmup) each\n", len(selected), opts.Reps, opts.Warmup)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 	report, err := perf.Run(selected, opts)
 	if err != nil {
 		return err
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // settle the heap so the profile shows live + cumulative allocation sites
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *memprofile)
 	}
 	if err := report.WriteFile(*out); err != nil {
 		return err

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/anacin-go/anacinx/internal/serve"
+	"github.com/anacin-go/anacinx/internal/trace"
 )
 
 // cmdServe runs the anacind campaign service: a long-running HTTP
@@ -55,6 +56,8 @@ flags:
 	maxRuns := fs.Int("maxruns", serve.DefaultMaxRuns, "reject grids with more runs per cell")
 	grace := fs.Duration("grace", 30*time.Second, "graceful-drain budget on SIGINT/SIGTERM")
 	archive := fs.String("archive", "", "archive every run's v2 trace under this directory\n(<dir>/<cell-fingerprint>/run-<i>.anctr, replayable with 'anacin replay')")
+	compressLevel := fs.Int("compress-level", 0, "DEFLATE level for archived traces (-2..9; 0 = format default,\nBestSpeed). Changes archived bytes; applies with -archive")
+	codecWorkers := fs.Int("codec-workers", 0, "trace-compression workers per archive writer (0 = one per core,\n1 = inline/serial). Never changes archived bytes")
 	portFile := fs.String("portfile", "", "write the bound address to this file once listening (for scripts using :0)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,6 +70,7 @@ flags:
 		MaxCells:    *maxCells,
 		MaxRuns:     *maxRuns,
 		ArchiveDir:  *archive,
+		Codec:       trace.CodecOptions{Level: *compressLevel, Workers: *codecWorkers},
 		Log:         logger,
 	})
 

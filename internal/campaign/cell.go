@@ -7,6 +7,7 @@ import (
 
 	"github.com/anacin-go/anacinx/internal/core"
 	"github.com/anacin-go/anacinx/internal/kernel"
+	"github.com/anacin-go/anacinx/internal/trace"
 )
 
 // CellSpec is one grid point's coordinates: the dimensions a Grid
@@ -127,7 +128,9 @@ func RunCell(ctx context.Context, g Grid, spec CellSpec, runWorkers int) Cell {
 // content-addressed store replayable with `anacin replay`. The
 // resulting Cell is byte-identical to RunCell's (the embeddings, and
 // therefore the summary, match exactly — a property the tests pin).
-func RunCellStream(ctx context.Context, g Grid, spec CellSpec, runWorkers int, archiveDir string) Cell {
+// codec tunes archived-trace compression (zero = format default); the
+// worker count never changes archived bytes.
+func RunCellStream(ctx context.Context, g Grid, spec CellSpec, runWorkers int, archiveDir string, codec trace.CodecOptions) Cell {
 	q := g.withDefaults()
 	cell := Cell{
 		Pattern: spec.Pattern, Procs: spec.Procs, Iterations: spec.Iterations,
@@ -140,6 +143,7 @@ func RunCellStream(ctx context.Context, g Grid, spec CellSpec, runWorkers int, a
 	e.BaseSeed = q.BaseSeed
 	e.CaptureStacks = q.CaptureStacks
 	e.Workers = runWorkers
+	e.Codec = codec
 	dir := ""
 	if archiveDir != "" {
 		dir = filepath.Join(archiveDir, g.CellFingerprint(spec).String())

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"github.com/anacin-go/anacinx/internal/trace"
 )
 
 // Progress is one observation of a running campaign, delivered to
@@ -58,6 +60,10 @@ type Runner struct {
 	// ArchiveDir, when non-empty, archives every run's v2 trace under
 	// <ArchiveDir>/<cell-fingerprint>/run-<i>.anctr and implies Stream.
 	ArchiveDir string
+	// Codec tunes archived-trace compression (DEFLATE level, codec
+	// worker count) on the streaming path. Zero is the v2 format
+	// default; the worker count never changes archived bytes.
+	Codec trace.CodecOptions
 }
 
 // Run executes every cell of the grid and returns the cells sorted by
@@ -107,7 +113,7 @@ func (r *Runner) Run(ctx context.Context, g Grid) (*Result, error) {
 				}
 				cellStart := time.Now()
 				if r.Stream || r.ArchiveDir != "" {
-					res.Cells[idx] = RunCellStream(ctx, q, cells[idx], runWorkers, r.ArchiveDir)
+					res.Cells[idx] = RunCellStream(ctx, q, cells[idx], runWorkers, r.ArchiveDir, r.Codec)
 				} else {
 					res.Cells[idx] = RunCell(ctx, q, cells[idx], runWorkers)
 				}

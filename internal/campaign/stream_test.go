@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+
+	"github.com/anacin-go/anacinx/internal/trace"
 )
 
 // TestRunCellStreamMatchesRunCell pins the campaign-level equivalence:
@@ -22,7 +24,7 @@ func TestRunCellStreamMatchesRunCell(t *testing.T) {
 	dir := t.TempDir()
 	for _, spec := range specs[:2] {
 		want := RunCell(context.Background(), g, spec, 0)
-		got := RunCellStream(context.Background(), g, spec, 0, dir)
+		got := RunCellStream(context.Background(), g, spec, 0, dir, trace.CodecOptions{})
 		if !reflect.DeepEqual(got, want) {
 			t.Errorf("spec %+v: streamed cell %+v, want %+v", spec, got, want)
 		}

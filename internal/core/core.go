@@ -60,6 +60,10 @@ type Experiment struct {
 	Net sim.NetModel
 	// Replay optionally pins receives to a recorded schedule.
 	Replay *sim.Schedule
+	// Codec tunes archived-trace compression on the streaming path
+	// (DEFLATE level, codec worker count); ignored unless the
+	// experiment streams to an archive. Zero is the v2 format default.
+	Codec trace.CodecOptions
 }
 
 // DefaultExperiment returns the paper's base configuration for a
@@ -104,6 +108,7 @@ func (e *Experiment) config(i int, pat patterns.Pattern) sim.Config {
 		Replay:            e.Replay,
 		CaptureStacks:     e.CaptureStacks,
 		EventsPerRankHint: pat.EventsPerRankHint(e.params()),
+		Codec:             e.Codec,
 	}
 }
 

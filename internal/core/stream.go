@@ -181,8 +181,8 @@ func (e *Experiment) streamRun(ctx context.Context, i int, pat patterns.Pattern,
 		Procs: e.Procs, Nodes: e.Nodes, NDPercent: e.NDPercent,
 		Seed: e.BaseSeed + int64(i),
 	}
-	sw := trace.NewStreamWriter(f, meta)
 	cfg := e.config(i, pat)
+	sw := trace.NewStreamWriterOptions(f, meta, cfg.Codec)
 	cfg.Sink = sw
 	_, stats, err := sim.RunContext(ctx, cfg, meta, program)
 	if err != nil {

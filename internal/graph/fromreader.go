@@ -89,12 +89,19 @@ func FromReaderWorkers(r *trace.Reader, workers int) (*Graph, error) {
 	// (the per-rank half of trace.Validate), fill nodes and program
 	// edges, and claim send slots. Duplicate-send detection rides the
 	// same CAS as fromTracePar.
+	readAhead := runtime.GOMAXPROCS(0) > 1
 	forEachRank(workers, p, func(rank int) {
 		footEvents, footSends, footRecvs, footMax := r.RankCounts(rank)
 		base := nodeOff[rank]
 		pbase := progOff[rank]
 		ids := make([]int64, 0, footEvents)
+		// Each rank is drained start to finish here, so segment
+		// read-ahead overlaps the next block's inflate with this
+		// block's node/edge fill whenever a second core exists.
 		c := r.Cursor(rank)
+		if readAhead {
+			c.EnableReadAhead()
+		}
 		var ev trace.Event
 		var lastTime vtime.Time
 		var lastLamport int64

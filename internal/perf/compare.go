@@ -3,6 +3,7 @@ package perf
 import (
 	"fmt"
 	"io"
+	"strings"
 	"time"
 )
 
@@ -68,6 +69,18 @@ type Delta struct {
 	// count exceeds the baseline by more than the relative threshold AND
 	// by more than allocSlack absolute allocations.
 	AllocRegressed bool
+	// BaselineBytes and CurrentBytes hold the scenarios' measured output
+	// sizes (0 when the scenario does not measure one).
+	BaselineBytes int64
+	CurrentBytes  int64
+	// BytesRatio is CurrentBytes/BaselineBytes (0 when it cannot be
+	// computed).
+	BytesRatio float64
+	// BytesRegressed marks a gate failure on output size: both sides
+	// measured a size and the current one grew past the threshold.
+	// Output bytes are deterministic (no timing noise), so no absolute
+	// slack applies.
+	BytesRegressed bool
 	// Note explains non-numeric outcomes: "missing in current report",
 	// "no baseline (new scenario)", "zero baseline median".
 	Note string
@@ -91,6 +104,14 @@ func Compare(baseline, current *Report, threshold float64) ([]Delta, error) {
 // absolute allocations is flagged AllocRegressed. Allocation regressions
 // are invisible to wall-clock statistics at small scale but compound
 // into GC pressure at large scale, so the gate catches them directly.
+//
+// Scenarios that measure an output size (Result.OutputBytes) are gated
+// on it too: when both sides recorded a size and the current one grew
+// by more than the threshold, the delta is flagged BytesRegressed. This
+// keeps a codec change honest — trading archive size for encode speed
+// passes the wall-clock gate but not this one. A side with no
+// measurement (old baseline, or a wall-clock-only scenario) leaves the
+// size gate inert.
 func CompareBy(baseline, current *Report, threshold float64, stat Stat) ([]Delta, error) {
 	if threshold < 0 {
 		return nil, fmt.Errorf("perf: negative regression threshold %v", threshold)
@@ -132,6 +153,11 @@ func CompareBy(baseline, current *Report, threshold float64, stat Stat) ([]Delta
 			grown := d.CurrentAllocs - d.BaselineAllocs
 			d.AllocRegressed = grown > allocSlack &&
 				float64(d.CurrentAllocs) > float64(d.BaselineAllocs)*(1+threshold)
+			d.BaselineBytes, d.CurrentBytes = base.OutputBytes, now.OutputBytes
+			if d.BaselineBytes > 0 && d.CurrentBytes > 0 {
+				d.BytesRatio = float64(d.CurrentBytes) / float64(d.BaselineBytes)
+				d.BytesRegressed = d.BytesRatio > 1+threshold
+			}
 		}
 		deltas = append(deltas, d)
 	}
@@ -146,12 +172,12 @@ func CompareBy(baseline, current *Report, threshold float64, stat Stat) ([]Delta
 	return deltas, nil
 }
 
-// Regressions filters the deltas that fail the gate, on either the
-// timed statistic or allocs/op.
+// Regressions filters the deltas that fail the gate, on the timed
+// statistic, allocs/op, or output size.
 func Regressions(deltas []Delta) []Delta {
 	var out []Delta
 	for _, d := range deltas {
-		if d.Regressed || d.AllocRegressed {
+		if d.Regressed || d.AllocRegressed || d.BytesRegressed {
 			out = append(out, d)
 		}
 	}
@@ -161,14 +187,19 @@ func Regressions(deltas []Delta) []Delta {
 // WriteDeltas renders a human-readable comparison table.
 func WriteDeltas(w io.Writer, deltas []Delta) error {
 	for _, d := range deltas {
+		var failed []string
+		if d.Regressed {
+			failed = append(failed, "time")
+		}
+		if d.AllocRegressed {
+			failed = append(failed, "allocs")
+		}
+		if d.BytesRegressed {
+			failed = append(failed, "bytes")
+		}
 		status := "ok"
-		switch {
-		case d.Regressed && d.AllocRegressed:
-			status = "REGRESSED time+allocs"
-		case d.Regressed:
-			status = "REGRESSED"
-		case d.AllocRegressed:
-			status = "REGRESSED allocs"
+		if len(failed) > 0 {
+			status = "REGRESSED " + strings.Join(failed, "+")
 		}
 		line := fmt.Sprintf("%-24s %12s -> %12s", d.Name,
 			time.Duration(d.BaselineNs), time.Duration(d.CurrentNs))
@@ -178,6 +209,9 @@ func WriteDeltas(w io.Writer, deltas []Delta) error {
 		line += fmt.Sprintf("  allocs %d -> %d", d.BaselineAllocs, d.CurrentAllocs)
 		if d.AllocRatio != 0 {
 			line += fmt.Sprintf(" (%+.1f%%)", (d.AllocRatio-1)*100)
+		}
+		if d.BytesRatio != 0 {
+			line += fmt.Sprintf("  bytes %d -> %d (%+.1f%%)", d.BaselineBytes, d.CurrentBytes, (d.BytesRatio-1)*100)
 		}
 		if d.Note != "" {
 			line += "  (" + d.Note + ")"

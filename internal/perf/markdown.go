@@ -3,6 +3,7 @@ package perf
 import (
 	"fmt"
 	"io"
+	"strings"
 	"time"
 )
 
@@ -20,13 +21,20 @@ func WriteMarkdownReport(w io.Writer, r *Report) error {
 		r.Reps, r.Warmup, r.GOMAXPROCS); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "| Scenario | Median | P95 | Min | Allocs/op |\n|---|---:|---:|---:|---:|\n"); err != nil {
+	if _, err := fmt.Fprintf(w, "| Scenario | Median | P95 | Min | Allocs/op | Output |\n|---|---:|---:|---:|---:|---:|\n"); err != nil {
 		return err
 	}
 	for _, res := range r.Scenarios {
-		if _, err := fmt.Fprintf(w, "| %s | %s | %s | %s | %d |\n",
+		out := ""
+		if res.OutputBytes > 0 {
+			out = fmt.Sprintf("%d B", res.OutputBytes)
+			if res.OutputRatio > 0 {
+				out += fmt.Sprintf(" (%.2fx v1)", res.OutputRatio)
+			}
+		}
+		if _, err := fmt.Fprintf(w, "| %s | %s | %s | %s | %d | %s |\n",
 			res.Name, time.Duration(res.MedianNs), time.Duration(res.P95Ns),
-			time.Duration(res.MinNs), res.AllocsPerOp); err != nil {
+			time.Duration(res.MinNs), res.AllocsPerOp, out); err != nil {
 			return err
 		}
 	}
@@ -45,7 +53,7 @@ func WriteMarkdownDeltas(w io.Writer, deltas []Delta, stat Stat, threshold float
 	if _, err := fmt.Fprintf(w, "### Benchmark comparison (gate: +%.0f%% %s)\n\n", threshold*100, stat); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "| Scenario | Baseline | Current | Delta | Allocs/op | Status |\n|---|---:|---:|---:|---:|:---:|\n"); err != nil {
+	if _, err := fmt.Fprintf(w, "| Scenario | Baseline | Current | Delta | Allocs/op | Output | Status |\n|---|---:|---:|---:|---:|---:|:---:|\n"); err != nil {
 		return err
 	}
 	for _, d := range deltas {
@@ -54,21 +62,33 @@ func WriteMarkdownDeltas(w io.Writer, deltas []Delta, stat Stat, threshold float
 			delta = fmt.Sprintf("%+.1f%%", (d.Ratio-1)*100)
 		}
 		allocs := fmt.Sprintf("%d → %d", d.BaselineAllocs, d.CurrentAllocs)
+		out := ""
+		if d.BytesRatio != 0 {
+			out = fmt.Sprintf("%d → %d B (%+.1f%%)", d.BaselineBytes, d.CurrentBytes, (d.BytesRatio-1)*100)
+		} else if d.CurrentBytes > 0 {
+			out = fmt.Sprintf("%d B", d.CurrentBytes)
+		}
+		var failed []string
+		if d.Regressed {
+			failed = append(failed, "time")
+		}
+		if d.AllocRegressed {
+			failed = append(failed, "allocs")
+		}
+		if d.BytesRegressed {
+			failed = append(failed, "bytes")
+		}
 		status := "✅"
 		switch {
-		case d.Regressed && d.AllocRegressed:
-			status = "❌ regressed (time, allocs)"
-		case d.Regressed:
-			status = "❌ regressed"
-		case d.AllocRegressed:
-			status = "❌ regressed (allocs)"
+		case len(failed) > 0:
+			status = "❌ regressed (" + strings.Join(failed, ", ") + ")"
 		case d.Note != "":
 			status = "➖ " + d.Note
 		case d.Ratio != 0 && d.Ratio < 1:
 			status = "✅ faster"
 		}
-		if _, err := fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %s |\n",
-			d.Name, time.Duration(d.BaselineNs), time.Duration(d.CurrentNs), delta, allocs, status); err != nil {
+		if _, err := fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %s | %s |\n",
+			d.Name, time.Duration(d.BaselineNs), time.Duration(d.CurrentNs), delta, allocs, out, status); err != nil {
 			return err
 		}
 	}

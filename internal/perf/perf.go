@@ -65,6 +65,13 @@ type Result struct {
 	// not exact per-op accounting.
 	AllocsPerOp int64 `json:"allocs_per_op"`
 	BytesPerOp  int64 `json:"bytes_per_op"`
+	// OutputBytes and OutputRatio record the size of the artifact the
+	// scenario produces (e.g. a compressed trace archive) and its ratio
+	// against a reference encoding, when the scenario declares an Output
+	// hook. Zero means "not measured" — wall-clock-only scenarios omit
+	// the fields entirely, keeping old baselines readable.
+	OutputBytes int64   `json:"output_bytes,omitempty"`
+	OutputRatio float64 `json:"output_ratio,omitempty"`
 }
 
 // Scenario is a named, self-contained benchmark: Setup builds the
@@ -73,6 +80,13 @@ type Scenario struct {
 	Name        string
 	Description string
 	Setup       func() (func() error, error)
+	// Output, when non-nil, measures the scenario's artifact size after
+	// the timed reps (untimed): it returns the output byte count and a
+	// ratio against a reference encoding (0 when there is none). Codec
+	// scenarios use it to track compressed archive size next to
+	// wall-clock, so a "faster" codec that bloats archives still trips
+	// the comparison gate.
+	Output func() (bytes int64, ratio float64, err error)
 }
 
 // Options configure a harness run.
@@ -124,9 +138,16 @@ func Run(scenarios []Scenario, opts Options) (*Report, error) {
 		}
 		rep.Scenarios = append(rep.Scenarios, res)
 		if opts.Logf != nil {
-			opts.Logf("%-24s median %s  p95 %s  min %s  %d allocs/op",
+			line := fmt.Sprintf("%-24s median %s  p95 %s  min %s  %d allocs/op",
 				sc.Name, time.Duration(res.MedianNs), time.Duration(res.P95Ns),
 				time.Duration(res.MinNs), res.AllocsPerOp)
+			if res.OutputBytes > 0 {
+				line += fmt.Sprintf("  out %d B", res.OutputBytes)
+				if res.OutputRatio > 0 {
+					line += fmt.Sprintf(" (%.2fx v1)", res.OutputRatio)
+				}
+			}
+			opts.Logf("%s", line)
 		}
 	}
 	return rep, nil
@@ -176,6 +197,13 @@ func runScenario(sc Scenario, opts Options) (Result, error) {
 	res.MinNs = durs[0]
 	res.MedianNs = median(durs)
 	res.P95Ns = percentile(durs, 0.95)
+	if sc.Output != nil {
+		b, ratio, err := sc.Output()
+		if err != nil {
+			return Result{}, fmt.Errorf("output: %w", err)
+		}
+		res.OutputBytes, res.OutputRatio = b, ratio
+	}
 	return res, nil
 }
 

@@ -238,6 +238,62 @@ func TestCompareAllocGate(t *testing.T) {
 	}
 }
 
+// TestCompareBytesGate pins the output-size gate: growth past the
+// threshold fails only when both sides measured a size, so old
+// baselines without the field and wall-clock-only scenarios stay inert.
+func TestCompareBytesGate(t *testing.T) {
+	baseline := &Report{Schema: Schema, Scenarios: []Result{
+		{Name: "bloated", MedianNs: 100, OutputBytes: 1000},
+		{Name: "at-threshold", MedianNs: 100, OutputBytes: 1000},
+		{Name: "shrunk", MedianNs: 100, OutputBytes: 1000},
+		{Name: "no-baseline-size", MedianNs: 100},
+		{Name: "size-dropped", MedianNs: 100, OutputBytes: 1000},
+	}}
+	current := &Report{Schema: Schema, Scenarios: []Result{
+		{Name: "bloated", MedianNs: 100, OutputBytes: 1300},      // +30%: fails
+		{Name: "at-threshold", MedianNs: 100, OutputBytes: 1250}, // exactly +25%: passes
+		{Name: "shrunk", MedianNs: 100, OutputBytes: 600},
+		{Name: "no-baseline-size", MedianNs: 100, OutputBytes: 5000}, // no anchor: inert
+		{Name: "size-dropped", MedianNs: 100},                        // measurement removed: inert
+	}}
+	deltas, err := Compare(baseline, current, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]bool{
+		"bloated":          true,
+		"at-threshold":     false,
+		"shrunk":           false,
+		"no-baseline-size": false,
+		"size-dropped":     false,
+	} {
+		d := deltaByName(t, deltas, name)
+		if d.BytesRegressed != want {
+			t.Errorf("%s: BytesRegressed = %v, want %v (%d -> %d bytes)",
+				name, d.BytesRegressed, want, d.BaselineBytes, d.CurrentBytes)
+		}
+		if d.Regressed || d.AllocRegressed {
+			t.Errorf("%s: wrong gate tripped, only output size moved: %+v", name, d)
+		}
+	}
+	if d := deltaByName(t, deltas, "shrunk"); d.BytesRatio != 0.6 {
+		t.Errorf("shrunk: BytesRatio = %v, want 0.6", d.BytesRatio)
+	}
+	if got := Regressions(deltas); len(got) != 1 {
+		t.Errorf("Regressions returned %d deltas, want 1 size regression", len(got))
+	}
+	var buf bytes.Buffer
+	if err := WriteDeltas(&buf, deltas); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "REGRESSED bytes") {
+		t.Errorf("delta table does not flag size regressions:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "bytes 1000 -> 1300 (+30.0%)") {
+		t.Errorf("delta table does not show size movement:\n%s", buf.String())
+	}
+}
+
 // TestMarkdownWriters pins the step-summary tables: a results table
 // row per scenario, and a delta table that labels regressions,
 // improvements, and ungated (noted) scenarios distinctly.
@@ -249,9 +305,9 @@ func TestMarkdownWriters(t *testing.T) {
 	got := buf.String()
 	for _, want := range []string{
 		"### Benchmark results (10 reps, 2 warmup, GOMAXPROCS 8)",
-		"| Scenario | Median | P95 | Min | Allocs/op |",
-		"| wl-features/h2/r32 | 120µs | 150µs | 110µs | 4 |",
-		"| gram/w4 | 900µs | 1.1ms | 850µs | 200 |",
+		"| Scenario | Median | P95 | Min | Allocs/op | Output |",
+		"| wl-features/h2/r32 | 120µs | 150µs | 110µs | 4 |  |",
+		"| gram/w4 | 900µs | 1.1ms | 850µs | 200 |  |",
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("results table missing %q:\n%s", want, got)
@@ -264,6 +320,8 @@ func TestMarkdownWriters(t *testing.T) {
 		{Name: "flat", BaselineNs: 100, CurrentNs: 100, Ratio: 1},
 		{Name: "leaky", BaselineNs: 100, CurrentNs: 100, Ratio: 1,
 			BaselineAllocs: 10, CurrentAllocs: 500, AllocRatio: 50, AllocRegressed: true},
+		{Name: "bloat", BaselineNs: 100, CurrentNs: 100, Ratio: 1,
+			BaselineBytes: 1000, CurrentBytes: 2000, BytesRatio: 2, BytesRegressed: true},
 		{Name: "new", CurrentNs: 50, Note: "new scenario (not gated)"},
 	}
 	buf.Reset()
@@ -273,11 +331,12 @@ func TestMarkdownWriters(t *testing.T) {
 	got = buf.String()
 	for _, want := range []string{
 		"### Benchmark comparison (gate: +25% min)",
-		"| worse | 100ns | 200ns | +100.0% | 0 → 0 | ❌ regressed |",
-		"| better | 200ns | 100ns | -50.0% | 0 → 0 | ✅ faster |",
-		"| flat | 100ns | 100ns | +0.0% | 0 → 0 | ✅ |",
-		"| leaky | 100ns | 100ns | +0.0% | 10 → 500 | ❌ regressed (allocs) |",
-		"| new | 0s | 50ns | n/a | 0 → 0 | ➖ new scenario (not gated) |",
+		"| worse | 100ns | 200ns | +100.0% | 0 → 0 |  | ❌ regressed (time) |",
+		"| better | 200ns | 100ns | -50.0% | 0 → 0 |  | ✅ faster |",
+		"| flat | 100ns | 100ns | +0.0% | 0 → 0 |  | ✅ |",
+		"| leaky | 100ns | 100ns | +0.0% | 10 → 500 |  | ❌ regressed (allocs) |",
+		"| bloat | 100ns | 100ns | +0.0% | 0 → 0 | 1000 → 2000 B (+100.0%) | ❌ regressed (bytes) |",
+		"| new | 0s | 50ns | n/a | 0 → 0 |  | ➖ new scenario (not gated) |",
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("delta table missing %q:\n%s", want, got)

@@ -422,25 +422,46 @@ func raceTrace() (*trace.Trace, error) {
 // traceEncodeScenario times binary encoding of a 1024-rank race trace
 // (51,152 events) into a discarding counter: the v1/v2 pair prices the
 // columnar rewrite — v2's per-rank delta columns and front-coded
-// dictionary versus v1's interleaved varint rows.
-func traceEncodeScenario(version int) Scenario {
+// dictionary versus v1's interleaved varint rows. Each scenario also
+// records its encoded size (and, for v2, the ratio against v1) through
+// the Output hook, so a codec change that trades archive bloat for
+// speed is visible — and gated — in the same report as the wall-clock.
+// workers > 1 routes the v2 encode through the segment-compression
+// pipeline (WriteBinaryV2Options); the bytes are identical to the
+// serial encode by design, which the Output measurement re-confirms on
+// every bench run since the ratio is computed against a serial v1
+// encode of the same trace.
+func traceEncodeScenario(version, workers int) Scenario {
+	name := fmt.Sprintf("trace-encode/1024rank-v%d", version)
+	desc := fmt.Sprintf("binary v%d encode of one 1024-rank message-race trace (%d iterations, stacks on)",
+		version, raceCellIterations)
+	if workers > 1 {
+		name = fmt.Sprintf("trace-encode/1024rank-v%d-par%d", version, workers)
+		desc = fmt.Sprintf("binary v%d encode of one 1024-rank message-race trace through the %d-worker compression pipeline (bytes identical to serial)",
+			version, workers)
+	}
+	encode := func(tr *trace.Trace, w *countingWriter) error {
+		switch {
+		case version == 1:
+			return tr.WriteBinary(w)
+		case workers > 1:
+			return tr.WriteBinaryV2Options(w, trace.CodecOptions{Workers: workers})
+		default:
+			return tr.WriteBinaryV2(w)
+		}
+	}
+	var tr *trace.Trace
 	return Scenario{
-		Name: fmt.Sprintf("trace-encode/1024rank-v%d", version),
-		Description: fmt.Sprintf("binary v%d encode of one 1024-rank message-race trace (%d iterations, stacks on)",
-			version, raceCellIterations),
+		Name:        name,
+		Description: desc,
 		Setup: func() (func() error, error) {
-			tr, err := raceTrace()
-			if err != nil {
+			var err error
+			if tr, err = raceTrace(); err != nil {
 				return nil, err
 			}
 			return func() error {
 				var n countingWriter
-				if version == 1 {
-					err = tr.WriteBinary(&n)
-				} else {
-					err = tr.WriteBinaryV2(&n)
-				}
-				if err != nil {
+				if err := encode(tr, &n); err != nil {
 					return err
 				}
 				if n == 0 {
@@ -448,6 +469,22 @@ func traceEncodeScenario(version int) Scenario {
 				}
 				return nil
 			}, nil
+		},
+		Output: func() (int64, float64, error) {
+			if tr == nil {
+				return 0, 0, fmt.Errorf("output measured before setup")
+			}
+			var n, v1 countingWriter
+			if err := encode(tr, &n); err != nil {
+				return 0, 0, err
+			}
+			if version == 1 {
+				return int64(n), 0, nil
+			}
+			if err := tr.WriteBinary(&v1); err != nil {
+				return 0, 0, err
+			}
+			return int64(n), float64(n) / float64(v1), nil
 		},
 	}
 }
@@ -554,8 +591,9 @@ func AllScenarios() []Scenario {
 		raceSimScenario(),
 		campaignCellScenario(),
 		traceToGraphScenario(32, simScenarioIterations),
-		traceEncodeScenario(1),
-		traceEncodeScenario(2),
+		traceEncodeScenario(1, 1),
+		traceEncodeScenario(2, 1),
+		traceEncodeScenario(2, 4),
 		traceDecodeGraphScenario(1),
 		traceDecodeGraphScenario(2),
 		wlFeaturesScenario("wl-features/h2/r32", 2, 32),
@@ -590,7 +628,7 @@ var quickNames = []string{
 	"wl-features/h2/r32", "dot/wl-h2", "gram/w1", "gram/w4", "figure/fig2",
 	"sim/1024rank-stencil", "sim/1024rank-collectives", "sim/1024rank-masterworker",
 	"sim/1024rank-race", "campaign-cell/1024rank-race",
-	"trace-encode/1024rank-v1", "trace-encode/1024rank-v2",
+	"trace-encode/1024rank-v1", "trace-encode/1024rank-v2", "trace-encode/1024rank-v2-par4",
 	"trace-decode+graph/1024rank-v1", "trace-decode+graph/1024rank-v2",
 }
 

@@ -6,12 +6,13 @@ import (
 	"testing"
 
 	"github.com/anacin-go/anacinx/internal/campaign"
+	"github.com/anacin-go/anacinx/internal/trace"
 )
 
 // swapRunCellStream overrides the streaming cell executor for the
 // duration of a test. Like swapRunCell, callers must not run in
 // parallel (package-global state).
-func swapRunCellStream(t *testing.T, fn func(context.Context, campaign.Grid, campaign.CellSpec, int, string) campaign.Cell) {
+func swapRunCellStream(t *testing.T, fn func(context.Context, campaign.Grid, campaign.CellSpec, int, string, trace.CodecOptions) campaign.Cell) {
 	t.Helper()
 	old := runCellStreamFn
 	runCellStreamFn = fn
@@ -29,7 +30,7 @@ func TestArchiveDirRoutesCellsThroughStreaming(t *testing.T) {
 		materialized.Add(1)
 		return fakeCell(g, spec)
 	})
-	swapRunCellStream(t, func(_ context.Context, g campaign.Grid, spec campaign.CellSpec, _ int, dir string) campaign.Cell {
+	swapRunCellStream(t, func(_ context.Context, g campaign.Grid, spec campaign.CellSpec, _ int, dir string, _ trace.CodecOptions) campaign.Cell {
 		streamed.Add(1)
 		gotDir.Store(dir)
 		return fakeCell(g, spec)
@@ -60,7 +61,7 @@ func TestNoArchiveDirKeepsMaterializingPath(t *testing.T) {
 		materialized.Add(1)
 		return fakeCell(g, spec)
 	})
-	swapRunCellStream(t, func(_ context.Context, g campaign.Grid, spec campaign.CellSpec, _ int, _ string) campaign.Cell {
+	swapRunCellStream(t, func(_ context.Context, g campaign.Grid, spec campaign.CellSpec, _ int, _ string, _ trace.CodecOptions) campaign.Cell {
 		streamed.Add(1)
 		return fakeCell(g, spec)
 	})

@@ -10,6 +10,7 @@ import (
 
 	"github.com/anacin-go/anacinx/internal/analysis"
 	"github.com/anacin-go/anacinx/internal/campaign"
+	"github.com/anacin-go/anacinx/internal/trace"
 )
 
 // Status is a job's lifecycle state.
@@ -195,6 +196,7 @@ type Registry struct {
 	store       *Store
 	cellWorkers int
 	archiveDir  string
+	codec       trace.CodecOptions
 	simSlots    chan struct{}
 
 	mu       sync.Mutex
@@ -209,15 +211,17 @@ type Registry struct {
 // cellWorkers caps concurrent cells per job; simWorkers caps
 // simulations in flight across all jobs (both default to GOMAXPROCS).
 func NewRegistry(store *Store, cellWorkers, simWorkers int) *Registry {
-	return NewRegistryArchive(store, cellWorkers, simWorkers, "")
+	return NewRegistryArchive(store, cellWorkers, simWorkers, "", trace.CodecOptions{})
 }
 
 // NewRegistryArchive is NewRegistry with trace archiving: when
 // archiveDir is non-empty, cells run through the streaming pipeline and
 // every run's v2 trace is kept under
 // <archiveDir>/<cell-fingerprint>/run-<i>.anctr, replayable with
-// `anacin replay`. Cell results are byte-identical either way.
-func NewRegistryArchive(store *Store, cellWorkers, simWorkers int, archiveDir string) *Registry {
+// `anacin replay`. Cell results are byte-identical either way. codec
+// tunes archived-trace compression (zero = the v2 format default; the
+// codec worker count never changes archived bytes).
+func NewRegistryArchive(store *Store, cellWorkers, simWorkers int, archiveDir string, codec trace.CodecOptions) *Registry {
 	if cellWorkers < 1 {
 		cellWorkers = runtime.GOMAXPROCS(0)
 	}
@@ -228,6 +232,7 @@ func NewRegistryArchive(store *Store, cellWorkers, simWorkers int, archiveDir st
 		store:       store,
 		cellWorkers: cellWorkers,
 		archiveDir:  archiveDir,
+		codec:       codec,
 		simSlots:    make(chan struct{}, simWorkers),
 		jobs:        make(map[string]*Job),
 	}
@@ -421,7 +426,7 @@ func (j *Job) runCell(ctx context.Context, r *Registry, idx, runWorkers int) {
 		}
 		defer func() { <-r.simSlots }()
 		if r.archiveDir != "" {
-			return runCellStreamFn(cctx, j.grid, spec, runWorkers, r.archiveDir)
+			return runCellStreamFn(cctx, j.grid, spec, runWorkers, r.archiveDir, r.codec)
 		}
 		return runCellFn(cctx, j.grid, spec, runWorkers)
 	})

@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"github.com/anacin-go/anacinx/internal/trace"
 )
 
 // Config tunes a Server. The zero value serves with sensible limits.
@@ -31,6 +33,10 @@ type Config struct {
 	// durable counterpart of the in-memory result store: any archived
 	// cell can be re-derived offline with `anacin replay`.
 	ArchiveDir string
+	// Codec tunes archived-trace compression (DEFLATE level, codec
+	// worker count). Zero is the v2 format default; the worker count
+	// never changes archived bytes.
+	Codec trace.CodecOptions
 	// Log receives request and lifecycle lines (nil = log.Default()).
 	Log *log.Logger
 }
@@ -71,7 +77,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		store:    store,
-		registry: NewRegistryArchive(store, cfg.CellWorkers, cfg.SimWorkers, cfg.ArchiveDir),
+		registry: NewRegistryArchive(store, cfg.CellWorkers, cfg.SimWorkers, cfg.ArchiveDir, cfg.Codec),
 		mux:      http.NewServeMux(),
 		started:  time.Now(),
 	}

@@ -2,14 +2,13 @@ package trace
 
 import (
 	"bufio"
-	"bytes"
-	"compress/flate"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
 	"os"
 	"sort"
+	"sync"
 )
 
 // Binary trace format v2 ("ANCNTR02"): columnar, compressed, and
@@ -65,6 +64,11 @@ import (
 //	    recvs, varint max send id, uvarint segment count, per segment
 //	    uvarint offset + uvarint count
 //	trailer: 8-byte LE footer offset, magic "ANCNTR02"
+//
+// Because every block is its own compression context, the writer is
+// free to compress blocks on a worker pool (see CodecOptions.Workers
+// and codec.go) — the archived bytes are identical for every worker
+// count.
 var binaryMagicV2 = [8]byte{'A', 'N', 'C', 'N', 'T', 'R', '0', '2'}
 
 // v2MaxPayloadBytes bounds a segment payload's claimed raw size per
@@ -83,7 +87,9 @@ const v2SegmentEvents = 1024
 // into one multi-rank block. Small enough that a cursor inflating a
 // shared block (it decompresses the whole block to reach its run) does
 // bounded redundant work across many ranks; large enough that a small
-// trace's ranks share one compression context.
+// trace's ranks share one compression context. (The reader additionally
+// caches a shared block's inflated payload across the cursors that
+// need it — see sharedBlock in reader.go.)
 const v2DrainBlockEvents = 256
 
 // v2TrailerSize is the fixed byte size of the v2 trailer.
@@ -108,9 +114,45 @@ type v2Segment struct {
 	count int
 }
 
+// colBlockCap is the initial per-rank column capacity: one pooled
+// carve covers a small rank's whole stream (master–worker workers,
+// drain-only ranks); a hot rank's columns regrow past it once and then
+// reset in place between segment flushes.
+const colBlockCap = 64
+
+// colBlock is the pooled backing storage of one rank's column buffers:
+// one byte slice for kinds, one int64 arena carved into the seven
+// numeric columns, one int slice for stack indices. Pooling these is
+// what keeps a wide writer (1024 ranks × 9 columns) from paying tens
+// of thousands of append-growth allocations per encode.
+type colBlock struct {
+	kinds  []byte
+	i64    []int64
+	stacks []int
+}
+
+var colBlockPool sync.Pool
+
+func getColBlock() *colBlock {
+	if cb, ok := colBlockPool.Get().(*colBlock); ok {
+		return cb
+	}
+	return &colBlock{
+		kinds:  make([]byte, 0, colBlockCap),
+		i64:    make([]int64, 7*colBlockCap),
+		stacks: make([]int, 0, colBlockCap),
+	}
+}
+
+func putColBlock(cb *colBlock) { colBlockPool.Put(cb) }
+
 // rankEncoder buffers one rank's pending column data and accumulates
-// its footer counts.
+// its footer counts. Column slices are carved from a pooled colBlock on
+// the rank's first event and released at Close; a column that outgrows
+// its carve regrows independently and keeps its capacity across segment
+// flushes.
 type rankEncoder struct {
+	cb       *colBlock
 	kinds    []byte
 	peers    []int64
 	tags     []int64
@@ -126,6 +168,80 @@ type rankEncoder struct {
 	segs                 []v2Segment
 }
 
+// attach carves the rank's column buffers out of cb.
+func (re *rankEncoder) attach(cb *colBlock) {
+	const c = colBlockCap
+	re.cb = cb
+	re.kinds = cb.kinds[:0]
+	re.stacks = cb.stacks[:0]
+	re.peers = cb.i64[0:0:c]
+	re.tags = cb.i64[c : c : 2*c]
+	re.sizes = cb.i64[2*c : 2*c : 3*c]
+	re.msgIDs = cb.i64[3*c : 3*c : 4*c]
+	re.chanSeqs = cb.i64[4*c : 4*c : 5*c]
+	re.times = cb.i64[5*c : 5*c : 6*c]
+	re.lamports = cb.i64[6*c : 6*c : 7*c]
+}
+
+// release returns the rank's colBlock to the pool and drops the column
+// slices (some may alias the block's arena).
+func (re *rankEncoder) release() {
+	if re.cb == nil {
+		return
+	}
+	putColBlock(re.cb)
+	re.cb = nil
+	re.kinds, re.stacks = nil, nil
+	re.peers, re.tags, re.sizes, re.msgIDs = nil, nil, nil, nil
+	re.chanSeqs, re.times, re.lamports = nil, nil, nil
+}
+
+// fileSink is the buffered file writer plus its running offset and
+// sticky I/O error. Exactly one goroutine owns it at a time: the
+// StreamWriter's caller during the header, footer, and serial
+// operation, the pipeline's drain goroutine between the first
+// pipelined flush and the Close-time join.
+type fileSink struct {
+	bw      *bufio.Writer
+	off     int64
+	err     error
+	scratch [binary.MaxVarintLen64]byte
+}
+
+func (s *fileSink) write(p []byte) {
+	if s.err != nil {
+		return
+	}
+	n, err := s.bw.Write(p)
+	s.off += int64(n)
+	s.err = err
+}
+
+func (s *fileSink) writeVarint(v int64) {
+	if s.err != nil {
+		return
+	}
+	n := binary.PutVarint(s.scratch[:], v)
+	s.write(s.scratch[:n])
+}
+
+func (s *fileSink) writeUvarint(v uint64) {
+	if s.err != nil {
+		return
+	}
+	n := binary.PutUvarint(s.scratch[:], v)
+	s.write(s.scratch[:n])
+}
+
+func (s *fileSink) writeString(str string) {
+	s.writeUvarint(uint64(len(str)))
+	if s.err == nil {
+		n, err := s.bw.WriteString(str)
+		s.off += int64(n)
+		s.err = err
+	}
+}
+
 // StreamWriter encodes a v2 binary trace incrementally. Events arrive
 // via Append in any rank interleaving (each rank's own events in
 // stream order); segments are flushed as rank buffers fill, and Close
@@ -133,11 +249,14 @@ type rankEncoder struct {
 // first I/O or usage error disables further encoding and is returned by
 // Close (and Err).
 //
+// With CodecOptions.Workers > 1 the DEFLATE stage runs on a worker
+// pool behind a sequence-numbered reorder (codec.go); the bytes
+// written are identical to the serial path's for every worker count.
+//
 // StreamWriter implements EventSink.
 type StreamWriter struct {
-	bw     *bufio.Writer
-	off    int64
-	err    error
+	sink   fileSink
+	err    error // usage/compression errors; merged with sink.err at Close
 	closed bool
 
 	meta  Meta
@@ -146,125 +265,65 @@ type StreamWriter struct {
 	keys  []string // dictionary keys in index (first-seen) order
 	total int
 
-	payload bytes.Buffer // raw segment/footer payload being assembled
-	comp    bytes.Buffer // its DEFLATE-compressed form
-	fw      *flate.Writer
+	// lastKey/lastIdx memoize the previous Append's dictionary hit:
+	// event streams repeat callsites in tight alternation, and interned
+	// keys are pointer-equal, so this string compare is O(1) far more
+	// often than not.
+	lastKey string
+	lastIdx int
 
-	scratch [binary.MaxVarintLen64]byte
+	level   int
+	workers int
+	pipe    *codecPipeline // non-nil once a block has been pipelined
+
+	payload []byte      // raw segment/footer payload being assembled
+	header  []byte      // block header being assembled
+	refs    []segRef    // serial-path footer refs scratch
+	comp    *compressor // serial-path and footer DEFLATE context
 }
 
-// NewStreamWriter starts a v2 binary trace for meta on w, writing the
-// header immediately. The caller must Close the writer to produce a
-// complete file.
+// NewStreamWriter starts a v2 binary trace for meta on w with default
+// codec options, writing the header immediately. The caller must Close
+// the writer to produce a complete file.
 func NewStreamWriter(w io.Writer, meta Meta) *StreamWriter {
+	return NewStreamWriterOptions(w, meta, CodecOptions{})
+}
+
+// NewStreamWriterOptions is NewStreamWriter with explicit codec
+// options. The compression level changes the archived bytes; the
+// worker count never does.
+func NewStreamWriterOptions(w io.Writer, meta Meta, opts CodecOptions) *StreamWriter {
 	sw := &StreamWriter{
-		bw:    bufio.NewWriter(w),
-		meta:  meta,
-		ranks: make([]rankEncoder, meta.Procs),
-		dict:  make(map[string]int),
+		sink:    fileSink{bw: bufio.NewWriter(w)},
+		meta:    meta,
+		ranks:   make([]rankEncoder, meta.Procs),
+		dict:    make(map[string]int),
+		lastIdx: -1,
 	}
 	if meta.Procs < 0 {
 		sw.err = fmt.Errorf("trace: negative proc count %d", meta.Procs)
 		return sw
 	}
+	level, workers, err := opts.resolve()
+	if err != nil {
+		sw.err = err
+		return sw
+	}
+	sw.level, sw.workers = level, workers
 	for i := range sw.ranks {
 		sw.ranks[i].maxSendID = -1
 	}
-	sw.write(binaryMagicV2[:])
-	sw.writeString(meta.Pattern)
-	sw.writeVarint(int64(meta.Procs))
-	sw.writeVarint(int64(meta.Nodes))
-	sw.writeVarint(int64(meta.Iterations))
-	sw.writeVarint(int64(meta.MsgSize))
+	sw.sink.write(binaryMagicV2[:])
+	sw.sink.writeString(meta.Pattern)
+	sw.sink.writeVarint(int64(meta.Procs))
+	sw.sink.writeVarint(int64(meta.Nodes))
+	sw.sink.writeVarint(int64(meta.Iterations))
+	sw.sink.writeVarint(int64(meta.MsgSize))
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], math.Float64bits(meta.NDPercent))
-	sw.write(b[:])
-	sw.writeVarint(meta.Seed)
+	sw.sink.write(b[:])
+	sw.sink.writeVarint(meta.Seed)
 	return sw
-}
-
-func (sw *StreamWriter) write(p []byte) {
-	if sw.err != nil {
-		return
-	}
-	n, err := sw.bw.Write(p)
-	sw.off += int64(n)
-	sw.err = err
-}
-
-func (sw *StreamWriter) writeVarint(v int64) {
-	if sw.err != nil {
-		return
-	}
-	n := binary.PutVarint(sw.scratch[:], v)
-	sw.write(sw.scratch[:n])
-}
-
-func (sw *StreamWriter) writeUvarint(v uint64) {
-	if sw.err != nil {
-		return
-	}
-	n := binary.PutUvarint(sw.scratch[:], v)
-	sw.write(sw.scratch[:n])
-}
-
-func (sw *StreamWriter) writeString(s string) {
-	sw.writeUvarint(uint64(len(s)))
-	if sw.err == nil {
-		n, err := sw.bw.WriteString(s)
-		sw.off += int64(n)
-		sw.err = err
-	}
-}
-
-// Buffer-side encoders assemble a payload before compression.
-
-func (sw *StreamWriter) bufVarint(v int64) {
-	n := binary.PutVarint(sw.scratch[:], v)
-	sw.payload.Write(sw.scratch[:n])
-}
-
-func (sw *StreamWriter) bufUvarint(v uint64) {
-	n := binary.PutUvarint(sw.scratch[:], v)
-	sw.payload.Write(sw.scratch[:n])
-}
-
-func (sw *StreamWriter) bufString(s string) {
-	sw.bufUvarint(uint64(len(s)))
-	sw.payload.WriteString(s)
-}
-
-// writeCompressed DEFLATE-compresses the assembled payload and writes
-// it framed as uvarint raw len, uvarint compressed len, compressed
-// bytes. The payload buffer is reset for the next use.
-func (sw *StreamWriter) writeCompressed() {
-	if sw.err != nil {
-		sw.payload.Reset()
-		return
-	}
-	sw.comp.Reset()
-	if sw.fw == nil {
-		fw, err := flate.NewWriter(&sw.comp, flate.BestSpeed)
-		if err != nil {
-			sw.err = err
-			return
-		}
-		sw.fw = fw
-	} else {
-		sw.fw.Reset(&sw.comp)
-	}
-	if _, err := sw.fw.Write(sw.payload.Bytes()); err != nil {
-		sw.err = err
-		return
-	}
-	if err := sw.fw.Close(); err != nil {
-		sw.err = err
-		return
-	}
-	sw.writeUvarint(uint64(sw.payload.Len()))
-	sw.writeUvarint(uint64(sw.comp.Len()))
-	sw.write(sw.comp.Bytes())
-	sw.payload.Reset()
 }
 
 // Append implements EventSink: it buffers one event into its rank's
@@ -284,6 +343,9 @@ func (sw *StreamWriter) Append(e Event) {
 		return
 	}
 	re := &sw.ranks[e.Rank]
+	if re.cb == nil {
+		re.attach(getColBlock())
+	}
 	re.kinds = append(re.kinds, byte(e.Kind))
 	re.peers = append(re.peers, int64(e.Peer))
 	re.tags = append(re.tags, int64(e.Tag))
@@ -293,11 +355,16 @@ func (sw *StreamWriter) Append(e Event) {
 	re.times = append(re.times, int64(e.Time))
 	re.lamports = append(re.lamports, e.Lamport)
 	key := e.CallstackKey()
-	idx, ok := sw.dict[key]
-	if !ok {
-		idx = len(sw.keys)
-		sw.dict[key] = idx
-		sw.keys = append(sw.keys, key)
+	idx := sw.lastIdx
+	if idx < 0 || key != sw.lastKey {
+		var ok bool
+		idx, ok = sw.dict[key]
+		if !ok {
+			idx = len(sw.keys)
+			sw.dict[key] = idx
+			sw.keys = append(sw.keys, key)
+		}
+		sw.lastKey, sw.lastIdx = key, idx
 	}
 	re.stacks = append(re.stacks, idx)
 	if e.MsgID != NoMsg {
@@ -317,55 +384,108 @@ func (sw *StreamWriter) Append(e Event) {
 	}
 }
 
-// bufColumn encodes one int64 column into the payload buffer, either as
-// plain varints or as deltas from the previous value (starting at 0
-// each segment).
-func (sw *StreamWriter) bufColumn(vals []int64, delta bool) {
-	var prev int64
-	for _, v := range vals {
-		if delta {
-			sw.bufVarint(v - prev)
-			prev = v
-		} else {
-			sw.bufVarint(v)
-		}
+// growFor returns dst with room for at least need more bytes, copying
+// on reallocation.
+func growFor(dst []byte, need int) []byte {
+	if cap(dst)-len(dst) >= need {
+		return dst
 	}
+	ndst := make([]byte, len(dst), len(dst)+need+cap(dst)/2)
+	copy(ndst, dst)
+	return ndst
 }
 
-// flushRanks writes the buffered events of ranks [lo, hi) that have any
-// as one compressed block of per-rank runs, and records each run for
-// the footer. All runs share one block offset and one DEFLATE stream.
-func (sw *StreamWriter) flushRanks(lo, hi int) {
-	var runs []int
-	for r := lo; r < hi; r++ {
-		if len(sw.ranks[r].kinds) > 0 {
-			runs = append(runs, r)
+// appendColumn encodes one int64 column into dst, either as plain
+// varints or as deltas from the previous value (starting at 0 each
+// run). Worst-case space is reserved once and the varint bytes written
+// by direct indexing: a wide flush emits hundreds of thousands of
+// varints, and the per-append bounds dance of binary.AppendVarint is
+// measurable at that volume. The encoding (zigzag, 7-bit groups) is
+// byte-identical to binary.AppendVarint's.
+func appendColumn(dst []byte, vals []int64, delta bool) []byte {
+	dst = growFor(dst, len(vals)*binary.MaxVarintLen64)
+	buf := dst[len(dst):cap(dst)]
+	i := 0
+	var prev int64
+	for _, v := range vals {
+		d := v
+		if delta {
+			d = v - prev
+			prev = v
 		}
+		u := uint64(d) << 1
+		if d < 0 {
+			u = ^u
+		}
+		for u >= 0x80 {
+			buf[i] = byte(u) | 0x80
+			i++
+			u >>= 7
+		}
+		buf[i] = byte(u)
+		i++
 	}
-	if len(runs) == 0 {
+	return dst[:len(dst)+i]
+}
+
+// appendUvarintColumn encodes one uvarint column (the stack indices)
+// the same way.
+func appendUvarintColumn(dst []byte, vals []int) []byte {
+	dst = growFor(dst, len(vals)*binary.MaxVarintLen64)
+	buf := dst[len(dst):cap(dst)]
+	i := 0
+	for _, v := range vals {
+		u := uint64(v)
+		for u >= 0x80 {
+			buf[i] = byte(u) | 0x80
+			i++
+			u >>= 7
+		}
+		buf[i] = byte(u)
+		i++
+	}
+	return dst[:len(dst)+i]
+}
+
+// flushRanks encodes the buffered events of ranks [lo, hi) that have
+// any as one block of per-rank runs sharing one DEFLATE stream, and
+// queues it for writing: inline when the writer is serial, through the
+// compression pipeline otherwise. The block's footer segments are
+// recorded when the block is written (writeBlock), which on both paths
+// happens in flush order — so offsets, footer, and bytes are identical
+// regardless of worker count.
+func (sw *StreamWriter) flushRanks(lo, hi int) {
+	if sw.err != nil {
 		return
 	}
-	off := sw.off
-	sw.writeUvarint(uint64(len(runs)))
-	for _, r := range runs {
-		re := &sw.ranks[r]
-		re.segs = append(re.segs, v2Segment{off: off, count: len(re.kinds)})
-		sw.writeUvarint(uint64(r))
-		sw.writeUvarint(uint64(len(re.kinds)))
-	}
-	for _, r := range runs {
-		re := &sw.ranks[r]
-		sw.payload.Write(re.kinds)
-		sw.bufColumn(re.peers, false)
-		sw.bufColumn(re.tags, false)
-		sw.bufColumn(re.sizes, false)
-		sw.bufColumn(re.msgIDs, true)
-		sw.bufColumn(re.chanSeqs, true)
-		sw.bufColumn(re.times, true)
-		sw.bufColumn(re.lamports, true)
-		for _, si := range re.stacks {
-			sw.bufUvarint(uint64(si))
+	refs := sw.refs[:0]
+	for r := lo; r < hi; r++ {
+		if n := len(sw.ranks[r].kinds); n > 0 {
+			refs = append(refs, segRef{rank: r, count: n})
 		}
+	}
+	sw.refs = refs[:0] // keep the scratch; a copy goes to the job below
+	if len(refs) == 0 {
+		return
+	}
+	header := sw.header[:0]
+	header = binary.AppendUvarint(header, uint64(len(refs)))
+	for _, ref := range refs {
+		header = binary.AppendUvarint(header, uint64(ref.rank))
+		header = binary.AppendUvarint(header, uint64(ref.count))
+	}
+	payload := sw.payload[:0]
+	for _, ref := range refs {
+		re := &sw.ranks[ref.rank]
+		payload = append(payload, re.kinds...)
+		payload = appendColumn(payload, re.peers, false)
+		payload = appendColumn(payload, re.tags, false)
+		payload = appendColumn(payload, re.sizes, false)
+		payload = appendColumn(payload, re.msgIDs, true)
+		payload = appendColumn(payload, re.chanSeqs, true)
+		payload = appendColumn(payload, re.times, true)
+		payload = appendColumn(payload, re.lamports, true)
+		payload = appendUvarintColumn(payload, re.stacks)
 		re.kinds = re.kinds[:0]
 		re.peers = re.peers[:0]
 		re.tags = re.tags[:0]
@@ -376,7 +496,83 @@ func (sw *StreamWriter) flushRanks(lo, hi int) {
 		re.lamports = re.lamports[:0]
 		re.stacks = re.stacks[:0]
 	}
-	sw.writeCompressed()
+
+	if sw.workers > 1 {
+		if sw.pipe == nil {
+			sw.pipe = newCodecPipeline(sw, sw.workers)
+		}
+		// The job owns header and payload until the drain releases them;
+		// grab fresh pooled scratch for the next flush.
+		sw.pipe.submit(&codecJob{
+			header:  header,
+			payload: payload,
+			refs:    append([]segRef(nil), refs...),
+			done:    make(chan struct{}),
+		})
+		sw.header = getBuf()
+		sw.payload = getBuf()
+		return
+	}
+	sw.header, sw.payload = header, payload
+	if sw.comp == nil {
+		c, err := getCompressor(sw.level)
+		if err != nil {
+			sw.err = err
+			return
+		}
+		sw.comp = c
+	}
+	comp, err := sw.comp.compress(payload)
+	if err != nil {
+		sw.err = err
+		return
+	}
+	sw.writeBlock(header, len(payload), comp, refs)
+}
+
+// writeBlock writes one compressed block — header, frame lengths,
+// DEFLATE bytes — and records its runs in the footer segment lists at
+// the offset the block landed on. On the pipelined path this runs on
+// the drain goroutine, which owns both the sink and the segment lists
+// until Close joins it.
+func (sw *StreamWriter) writeBlock(header []byte, rawLen int, comp []byte, refs []segRef) {
+	off := sw.sink.off
+	sw.sink.write(header)
+	sw.sink.writeUvarint(uint64(rawLen))
+	sw.sink.writeUvarint(uint64(len(comp)))
+	sw.sink.write(comp)
+	for _, ref := range refs {
+		re := &sw.ranks[ref.rank]
+		re.segs = append(re.segs, v2Segment{off: off, count: ref.count})
+	}
+}
+
+// writeCompressedPayload DEFLATE-compresses the assembled sw.payload
+// and writes it framed as uvarint raw len, uvarint compressed len,
+// compressed bytes — the footer's framing. The payload buffer is reset
+// for the next use.
+func (sw *StreamWriter) writeCompressedPayload() {
+	if sw.err != nil {
+		sw.payload = sw.payload[:0]
+		return
+	}
+	if sw.comp == nil {
+		c, err := getCompressor(sw.level)
+		if err != nil {
+			sw.err = err
+			return
+		}
+		sw.comp = c
+	}
+	comp, err := sw.comp.compress(sw.payload)
+	if err != nil {
+		sw.err = err
+		return
+	}
+	sw.sink.writeUvarint(uint64(len(sw.payload)))
+	sw.sink.writeUvarint(uint64(len(comp)))
+	sw.sink.write(comp)
+	sw.payload = sw.payload[:0]
 }
 
 // commonPrefixLen returns the length of the longest common prefix of a
@@ -393,9 +589,10 @@ func commonPrefixLen(a, b string) int {
 	return i
 }
 
-// Close flushes the pending segments and writes the dictionary, footer,
-// and trailer. It returns the first error the writer encountered.
-// Close is idempotent; Append after Close is an error.
+// Close flushes the pending segments, joins the compression pipeline,
+// and writes the dictionary, footer, and trailer. It returns the first
+// error the writer encountered. Close is idempotent; Append after
+// Close is an error.
 func (sw *StreamWriter) Close() error {
 	if sw.closed {
 		return sw.err
@@ -414,7 +611,18 @@ func (sw *StreamWriter) Close() error {
 		pending += n
 	}
 	sw.flushRanks(lo, len(sw.ranks))
-	footerOff := sw.off
+	if sw.pipe != nil {
+		// Join: every submitted block is compressed and written, and
+		// sink ownership passes back to this goroutine.
+		if err := sw.pipe.finish(); err != nil && sw.err == nil {
+			sw.err = err
+		}
+		sw.pipe = nil
+	}
+	for r := range sw.ranks {
+		sw.ranks[r].release()
+	}
+	footerOff := sw.sink.off
 
 	// Dictionary: keys sorted for front-coding, then the permutation
 	// from first-seen index (what segments reference) to sorted slot.
@@ -424,53 +632,82 @@ func (sw *StreamWriter) Close() error {
 	for i, k := range sorted {
 		pos[k] = i
 	}
-	sw.bufUvarint(uint64(len(sorted)))
+	payload := sw.payload[:0]
+	payload = binary.AppendUvarint(payload, uint64(len(sorted)))
 	prev := ""
 	for _, k := range sorted {
 		p := commonPrefixLen(prev, k)
-		sw.bufUvarint(uint64(p))
-		sw.bufString(k[p:])
+		payload = binary.AppendUvarint(payload, uint64(p))
+		payload = binary.AppendUvarint(payload, uint64(len(k)-p))
+		payload = append(payload, k[p:]...)
 		prev = k
 	}
 	for _, k := range sw.keys {
-		sw.bufUvarint(uint64(pos[k]))
+		payload = binary.AppendUvarint(payload, uint64(pos[k]))
 	}
 
 	// Rank index.
-	sw.bufUvarint(uint64(len(sw.ranks)))
+	payload = binary.AppendUvarint(payload, uint64(len(sw.ranks)))
 	for r := range sw.ranks {
 		re := &sw.ranks[r]
-		sw.bufUvarint(uint64(re.events))
-		sw.bufUvarint(uint64(re.sends))
-		sw.bufUvarint(uint64(re.recvs))
-		sw.bufVarint(re.maxSendID)
-		sw.bufUvarint(uint64(len(re.segs)))
+		payload = binary.AppendUvarint(payload, uint64(re.events))
+		payload = binary.AppendUvarint(payload, uint64(re.sends))
+		payload = binary.AppendUvarint(payload, uint64(re.recvs))
+		payload = binary.AppendVarint(payload, re.maxSendID)
+		payload = binary.AppendUvarint(payload, uint64(len(re.segs)))
 		for _, s := range re.segs {
-			sw.bufUvarint(uint64(s.off))
-			sw.bufUvarint(uint64(s.count))
+			payload = binary.AppendUvarint(payload, uint64(s.off))
+			payload = binary.AppendUvarint(payload, uint64(s.count))
 		}
 	}
-	sw.writeCompressed()
+	sw.payload = payload
+	sw.writeCompressedPayload()
 
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], uint64(footerOff))
-	sw.write(b[:])
-	sw.write(binaryMagicV2[:])
-	if ferr := sw.bw.Flush(); sw.err == nil {
-		sw.err = ferr
+	sw.sink.write(b[:])
+	sw.sink.write(binaryMagicV2[:])
+	if ferr := sw.sink.bw.Flush(); sw.sink.err == nil {
+		sw.sink.err = ferr
 	}
+	if sw.err == nil {
+		sw.err = sw.sink.err
+	}
+	putCompressor(sw.comp)
+	sw.comp = nil
+	putBuf(sw.payload)
+	putBuf(sw.header)
+	sw.payload, sw.header = nil, nil
 	return sw.err
 }
 
-// Err returns the writer's sticky error without closing it.
-func (sw *StreamWriter) Err() error { return sw.err }
+// Err returns the writer's sticky usage or compression error without
+// closing it. I/O errors from pipelined block writes surface at Close,
+// when the pipeline is joined.
+func (sw *StreamWriter) Err() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if sw.pipe == nil {
+		return sw.sink.err
+	}
+	return nil
+}
 
 // NumEvents returns how many events have been appended.
 func (sw *StreamWriter) NumEvents() int { return sw.total }
 
-// WriteBinaryV2 serializes the trace in the v2 binary format.
+// WriteBinaryV2 serializes the trace in the v2 binary format with
+// default codec options.
 func (t *Trace) WriteBinaryV2(w io.Writer) error {
-	sw := NewStreamWriter(w, t.Meta)
+	return t.WriteBinaryV2Options(w, CodecOptions{})
+}
+
+// WriteBinaryV2Options serializes the trace in the v2 binary format
+// with explicit codec options. The output bytes depend on the
+// compression level but never on the worker count.
+func (t *Trace) WriteBinaryV2Options(w io.Writer, opts CodecOptions) error {
+	sw := NewStreamWriterOptions(w, t.Meta, opts)
 	for _, evs := range t.Events {
 		for i := range evs {
 			sw.Append(evs[i])

@@ -1,0 +1,242 @@
+package trace
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestArchiveBytesIdenticalAcrossCodecWorkers pins the parallel codec's
+// core contract: the worker count is a throughput knob, never a format
+// knob. Every worker setting — serial, the pipeline at several widths,
+// and the GOMAXPROCS default — must produce archives byte-identical to
+// the serial encode, because each segment block is an independent
+// DEFLATE stream and the drain writes blocks in submission order.
+func TestArchiveBytesIdenticalAcrossCodecWorkers(t *testing.T) {
+	tr := interleavedTrace(3, 2*v2SegmentEvents+57)
+
+	var serial bytes.Buffer
+	if err := tr.WriteBinaryV2Options(&serial, CodecOptions{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if serial.Len() == 0 {
+		t.Fatal("empty serial encoding")
+	}
+
+	for _, workers := range []int{0, 2, 3, 4, 8} {
+		var got bytes.Buffer
+		if err := tr.WriteBinaryV2Options(&got, CodecOptions{Workers: workers}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !bytes.Equal(serial.Bytes(), got.Bytes()) {
+			t.Errorf("workers=%d produced different bytes: %d vs serial %d",
+				workers, got.Len(), serial.Len())
+		}
+	}
+
+	// The default WriteBinaryV2 (zero options) is the same archive too.
+	var def bytes.Buffer
+	if err := tr.WriteBinaryV2(&def); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), def.Bytes()) {
+		t.Error("default WriteBinaryV2 differs from explicit serial encode")
+	}
+}
+
+// TestStreamWriterBytesIdenticalAcrossCodecWorkers repeats the
+// determinism pin on the streaming path — interleaved appends, segment
+// flushes mid-stream — which is the path campaign archives actually
+// take.
+func TestStreamWriterBytesIdenticalAcrossCodecWorkers(t *testing.T) {
+	const procs, perRank = 3, v2SegmentEvents + 211
+	tr := interleavedTrace(procs, perRank)
+
+	encode := func(workers int) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		sw := NewStreamWriterOptions(&buf, tr.Meta, CodecOptions{Workers: workers})
+		for i := 0; i < perRank; i++ {
+			for rank := 0; rank < procs; rank++ {
+				sw.Append(tr.Events[rank][i])
+			}
+		}
+		if err := sw.Close(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return buf.Bytes()
+	}
+
+	serial := encode(1)
+	for _, workers := range []int{0, 2, 4} {
+		if got := encode(workers); !bytes.Equal(serial, got) {
+			t.Errorf("stream workers=%d produced different bytes: %d vs serial %d",
+				workers, len(got), len(serial))
+		}
+	}
+}
+
+// TestCodecLevelRoundTrips pins the compression-level knob: non-default
+// levels legitimately change the archived bytes, but every level must
+// decode back to the identical trace, serial and pipelined alike.
+func TestCodecLevelRoundTrips(t *testing.T) {
+	tr := interleavedTrace(2, v2SegmentEvents+91)
+	for _, level := range []int{flate.HuffmanOnly, flate.NoCompression, 1, 6, flate.BestCompression} {
+		var serial, piped bytes.Buffer
+		if err := tr.WriteBinaryV2Options(&serial, CodecOptions{Level: level, Workers: 1}); err != nil {
+			t.Fatalf("level=%d: %v", level, err)
+		}
+		if err := tr.WriteBinaryV2Options(&piped, CodecOptions{Level: level, Workers: 4}); err != nil {
+			t.Fatalf("level=%d workers=4: %v", level, err)
+		}
+		if !bytes.Equal(serial.Bytes(), piped.Bytes()) {
+			t.Errorf("level=%d: pipelined bytes differ from serial", level)
+		}
+		got, err := ReadBinary(bytes.NewReader(serial.Bytes()))
+		if err != nil {
+			t.Fatalf("level=%d: %v", level, err)
+		}
+		if got.Hash() != tr.Hash() {
+			t.Errorf("level=%d round trip changed the trace hash", level)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteBinaryV2Options(&buf, CodecOptions{Level: 42}); err == nil {
+		t.Error("out-of-range compression level accepted")
+	}
+}
+
+// streamedArchive encodes tr through a round-robin StreamWriter, the
+// interleaving that makes segments of different ranks share compressed
+// blocks — the shape the concurrent-cursor tests need.
+func streamedArchive(t *testing.T, tr *Trace, perRank int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf, tr.Meta)
+	for i := 0; i < perRank; i++ {
+		for rank := range tr.Events {
+			sw.Append(tr.Events[rank][i])
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// collectRank drains one cursor into comparable snapshots: every field
+// rendered into one string, with the callstack collapsed to its
+// interned key (Event itself holds a slice, so it isn't ==-comparable).
+type eventSnap string
+
+func snapOf(ev *Event) eventSnap {
+	return eventSnap(fmt.Sprintf("%d|%d|%v|%d|%d|%d|%d|%d|%v|%d|%q",
+		ev.Rank, ev.Seq, ev.Kind, ev.Peer, ev.Tag, ev.Size,
+		ev.MsgID, ev.ChanSeq, ev.Time, ev.Lamport, ev.CallstackKey()))
+}
+
+func collectRank(c *Cursor) ([]eventSnap, error) {
+	var out []eventSnap
+	var ev Event
+	for c.Next(&ev) {
+		out = append(out, snapOf(&ev))
+	}
+	return out, c.Err()
+}
+
+// TestConcurrentCursorsMatchSerial runs one cursor per rank
+// concurrently over a single shared Reader — the graph builder's access
+// pattern — and requires every stream to equal a serial pass over the
+// same Reader. Under -race this doubles as the data-race pin for the
+// shared-block cache and the pooled inflaters. Two concurrent passes
+// follow the serial one, so the second exercises the cache after the
+// first pass exhausted every shared block's refcount.
+func TestConcurrentCursorsMatchSerial(t *testing.T) {
+	const procs, perRank = 8, v2SegmentEvents/2 + 77
+	tr := interleavedTrace(procs, perRank)
+	data := streamedArchive(t, tr, perRank)
+
+	r, err := NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := make([][]eventSnap, procs)
+	for rank := 0; rank < procs; rank++ {
+		if want[rank], err = collectRank(r.Cursor(rank)); err != nil {
+			t.Fatal(err)
+		}
+		if len(want[rank]) != perRank {
+			t.Fatalf("serial rank %d drained %d events, want %d", rank, len(want[rank]), perRank)
+		}
+	}
+
+	for pass := 0; pass < 2; pass++ {
+		got := make([][]eventSnap, procs)
+		errs := make([]error, procs)
+		var wg sync.WaitGroup
+		for rank := 0; rank < procs; rank++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				c := r.Cursor(rank)
+				if rank%2 == pass%2 {
+					// Half the cursors pull segments through the read-ahead
+					// goroutine, alternating halves across passes.
+					c.EnableReadAhead()
+				}
+				got[rank], errs[rank] = collectRank(c)
+			}(rank)
+		}
+		wg.Wait()
+		for rank := 0; rank < procs; rank++ {
+			if errs[rank] != nil {
+				t.Fatalf("pass %d rank %d: %v", pass, rank, errs[rank])
+			}
+			if err := snapsEqual(want[rank], got[rank]); err != nil {
+				t.Fatalf("pass %d rank %d: concurrent stream diverged from serial: %v", pass, rank, err)
+			}
+		}
+	}
+}
+
+func snapsEqual(want, got []eventSnap) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("%d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return fmt.Errorf("event %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// TestReadAheadCursorMatchesSerial forces read-ahead on regardless of
+// GOMAXPROCS and requires the stream to match a plain cursor — the
+// equality that lets OrderHash and ToTrace flip it on opportunistically.
+func TestReadAheadCursorMatchesSerial(t *testing.T) {
+	const procs, perRank = 2, 3*v2SegmentEvents + 13
+	tr := interleavedTrace(procs, perRank)
+	data := streamedArchive(t, tr, perRank)
+
+	r, err := NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < procs; rank++ {
+		plain, err := collectRank(r.Cursor(rank))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ahead, err := collectRank(r.Cursor(rank).EnableReadAhead())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := snapsEqual(plain, ahead); err != nil {
+			t.Fatalf("rank %d: read-ahead stream diverged: %v", rank, err)
+		}
+	}
+}

@@ -3,14 +3,15 @@ package trace
 import (
 	"bufio"
 	"bytes"
-	"compress/flate"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"math"
 	"os"
+	"runtime"
 	"sort"
+	"sync"
 
 	"github.com/anacin-go/anacinx/internal/vtime"
 )
@@ -25,7 +26,8 @@ import (
 // regardless of run length.
 //
 // A Reader is safe for concurrent cursor use: Cursors read through
-// io.ReaderAt and share no mutable state.
+// io.ReaderAt, and the only mutable state they share — the cache of
+// inflated multi-rank drain blocks — is mutex-guarded (sharedBlock).
 type Reader struct {
 	src    io.ReaderAt
 	closer io.Closer
@@ -39,6 +41,13 @@ type Reader struct {
 	maxSeg    int
 	dictBytes int64
 	size      int64
+
+	// shared caches the inflated payload and run list of every block
+	// referenced by two or more ranks (the multi-rank drain blocks
+	// Close packs tails into), so N cursors crossing one block cost one
+	// inflate instead of N. Built once at open; lookups are lock-free,
+	// per-block state is mutex-guarded.
+	shared map[int64]*sharedBlock
 }
 
 // rankIndex is one rank's footer entry.
@@ -82,10 +91,13 @@ func (d *sectionDecoder) string() (string, error) {
 
 // inflateFrame reads a compressed frame (uvarint raw len, uvarint
 // compressed len, DEFLATE bytes) from br and returns the decompressed
-// payload. maxRaw bounds the claimed raw size so corrupted length
+// payload, inflated into dst when its capacity suffices (pass nil for a
+// fresh allocation the caller may retain). The inflater itself comes
+// from the process-wide pool (codec.go) instead of being constructed
+// per frame. maxRaw bounds the claimed raw size so corrupted length
 // fields cannot force huge allocations; maxComp bounds the compressed
 // bytes by the space actually available in the file section.
-func inflateFrame(br *bufio.Reader, maxRaw, maxComp int64, what string) ([]byte, error) {
+func inflateFrame(br *bufio.Reader, dst []byte, maxRaw, maxComp int64, what string) ([]byte, error) {
 	rawLen, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, fmt.Errorf("trace: %s: %w", what, err)
@@ -100,22 +112,36 @@ func inflateFrame(br *bufio.Reader, maxRaw, maxComp int64, what string) ([]byte,
 	if int64(compLen) > maxComp {
 		return nil, fmt.Errorf("trace: %s: compressed size %d exceeds section", what, compLen)
 	}
-	fr := flate.NewReader(io.LimitReader(br, int64(compLen)))
-	var buf bytes.Buffer
-	if rawLen <= 1<<20 {
-		// Pre-size only when the claim is modest; a corrupted claim
-		// within maxRaw must not force a huge allocation before the
-		// inflate fails on its own.
-		buf.Grow(int(rawLen))
+	fr := getInflater(io.LimitReader(br, int64(compLen)))
+	defer putInflater(fr)
+	if rawLen > 1<<20 {
+		// A huge claim (within maxRaw) must not force a huge allocation
+		// before the inflate proves it real: grow incrementally.
+		var buf bytes.Buffer
+		n, err := io.Copy(&buf, io.LimitReader(fr, int64(rawLen)+1))
+		if err != nil {
+			return nil, fmt.Errorf("trace: %s: inflate: %w", what, err)
+		}
+		if n != int64(rawLen) {
+			return nil, fmt.Errorf("trace: %s: payload is %d bytes, frame declares %d", what, n, rawLen)
+		}
+		return buf.Bytes(), nil
 	}
-	n, err := io.Copy(&buf, io.LimitReader(fr, int64(rawLen)+1))
-	if err != nil {
+	if cap(dst) < int(rawLen) {
+		dst = make([]byte, rawLen)
+	}
+	dst = dst[:rawLen]
+	if _, err := io.ReadFull(fr, dst); err != nil {
 		return nil, fmt.Errorf("trace: %s: inflate: %w", what, err)
 	}
-	if n != int64(rawLen) {
-		return nil, fmt.Errorf("trace: %s: payload is %d bytes, frame declares %d", what, n, rawLen)
+	var extra [1]byte
+	if n, err := fr.Read(extra[:]); n != 0 || (err != nil && err != io.EOF) {
+		if n != 0 {
+			return nil, fmt.Errorf("trace: %s: payload exceeds declared %d bytes", what, rawLen)
+		}
+		return nil, fmt.Errorf("trace: %s: inflate: %w", what, err)
 	}
-	return buf.Bytes(), nil
+	return dst, nil
 }
 
 // OpenReader opens a v2 binary trace file for streaming access. The
@@ -202,7 +228,32 @@ func NewReader(src io.ReaderAt, size int64) (*Reader, error) {
 	if err := r.readFooter(); err != nil {
 		return nil, err
 	}
+	r.buildSharedIndex()
 	return r, nil
+}
+
+// buildSharedIndex registers every block offset referenced by more than
+// one rank for cross-cursor payload caching.
+func (r *Reader) buildSharedIndex() {
+	counts := make(map[int64]int)
+	for i := range r.ranks {
+		for _, s := range r.ranks[i].segs {
+			counts[s.off]++
+		}
+	}
+	for i := range r.ranks {
+		for _, s := range r.ranks[i].segs {
+			if counts[s.off] < 2 {
+				continue
+			}
+			if r.shared == nil {
+				r.shared = make(map[int64]*sharedBlock)
+			}
+			if r.shared[s.off] == nil {
+				r.shared[s.off] = &sharedBlock{refs: counts[s.off]}
+			}
+		}
+	}
 }
 
 // readFooter inflates and parses the dictionary and rank index.
@@ -211,7 +262,7 @@ func (r *Reader) readFooter() error {
 	fd := newSectionDecoder(r.src, r.footerOff, section)
 	// A corrupted raw-length claim is bounded by DEFLATE's worst-case
 	// expansion of the compressed bytes actually present in the section.
-	payload, err := inflateFrame(fd.br, 1040*section+64, section, "v2 footer")
+	payload, err := inflateFrame(fd.br, nil, 1040*section+64, section, "v2 footer")
 	if err != nil {
 		return err
 	}
@@ -366,80 +417,117 @@ func (r *Reader) Close() error {
 	return c.Close()
 }
 
-// Cursor returns a fresh streaming cursor over rank's events. Multiple
-// cursors (of the same or different ranks) may be used concurrently.
-func (r *Reader) Cursor(rank int) *Cursor {
-	c := &Cursor{r: r, rank: rank}
-	if rank < 0 || rank >= len(r.ranks) {
-		c.err = fmt.Errorf("trace: cursor rank %d out of range [0,%d)", rank, len(r.ranks))
-	}
-	return c
+// blockRun names one run inside a block: the rank it belongs to and its
+// event count.
+type blockRun struct {
+	rank, count int
 }
 
-// Cursor streams one rank's events in sequence order, decoding one
-// segment of columns at a time.
-type Cursor struct {
-	r      *Reader
-	rank   int
-	segIdx int
-	pos, n int
-	seq    int
-	err    error
-
-	br       *bufio.Reader
-	pr       bytes.Reader
-	kinds    []byte
-	peers    []int64
-	tags     []int64
-	sizes    []int64
-	msgIDs   []int64
-	chanSeqs []int64
-	times    []int64
-	lamports []int64
-	stacks   []int32
+// readBlockRuns parses a block's run list from br into runs (reused
+// when capacity allows) and returns it with the block's total event
+// count.
+func readBlockRuns(r *Reader, br *bufio.Reader, off int64, runs []blockRun) ([]blockRun, int, error) {
+	nRuns, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, 0, fmt.Errorf("trace: v2 block at %d: %w", off, err)
+	}
+	if nRuns == 0 || nRuns > uint64(len(r.ranks)) {
+		return nil, 0, fmt.Errorf("trace: v2 block at %d: %d runs for %d ranks", off, nRuns, len(r.ranks))
+	}
+	total := 0
+	for i := 0; i < int(nRuns); i++ {
+		rank, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, 0, fmt.Errorf("trace: v2 block at %d: %w", off, err)
+		}
+		count, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, 0, fmt.Errorf("trace: v2 block at %d: %w", off, err)
+		}
+		if count == 0 || count > 1<<30 {
+			return nil, 0, fmt.Errorf("trace: v2 block at %d: bad run count %d", off, count)
+		}
+		runs = append(runs, blockRun{rank: int(rank), count: int(count)})
+		total += int(count)
+	}
+	return runs, total, nil
 }
 
-// Err returns the first decode error the cursor hit, or nil.
-func (c *Cursor) Err() error { return c.err }
+// loadBlock reads, parses, and inflates the block at off from scratch,
+// returning a freshly allocated run list and payload (retainable — the
+// shared cache hands them to multiple cursors).
+func (r *Reader) loadBlock(off int64) ([]blockRun, []byte, error) {
+	br := bufio.NewReader(io.NewSectionReader(r.src, off, r.footerOff-off))
+	runs, total, err := readBlockRuns(r, br, off, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	payload, err := inflateFrame(br, nil,
+		int64(total)*v2MaxPayloadBytesPerEvent+64, r.footerOff-off,
+		fmt.Sprintf("v2 block at %d", off))
+	if err != nil {
+		return nil, nil, err
+	}
+	return runs, payload, nil
+}
 
-// Next decodes the next event into *ev and reports whether one was
-// available. After Next returns false, Err distinguishes end-of-stream
-// from a decode failure. The event's Callstack (and cached key) alias
-// the Reader's dictionary and must be treated as immutable.
-func (c *Cursor) Next(ev *Event) bool {
-	if c.err != nil {
-		return false
+// sharedBlock caches one multi-rank block's inflated payload and run
+// list across the cursors that reference it. The first cursor to arrive
+// inflates; the rest reuse payload and run list without touching the
+// file. refs counts the expected consumers (one per referencing rank);
+// when the last one has been served the cache empties itself so a
+// drained Reader pins no payload — a second iteration pass simply
+// re-inflates per use.
+type sharedBlock struct {
+	mu      sync.Mutex
+	refs    int
+	loaded  bool
+	err     error
+	runs    []blockRun
+	payload []byte
+}
+
+// acquire returns the block's payload and run list, inflating on first
+// use. The returned slices are immutable shared state.
+func (sb *sharedBlock) acquire(r *Reader, off int64) ([]byte, []blockRun, error) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if !sb.loaded {
+		sb.runs, sb.payload, sb.err = r.loadBlock(off)
+		sb.loaded = true
 	}
-	for c.pos == c.n {
-		if c.segIdx == len(c.r.ranks[c.rank].segs) {
-			return false
+	payload, runs, err := sb.payload, sb.runs, sb.err
+	sb.refs--
+	if sb.refs <= 0 {
+		sb.loaded, sb.runs, sb.payload, sb.err = false, nil, nil, nil
+	}
+	return payload, runs, err
+}
+
+// skipNVarintsAt advances off past n varints in p.
+func skipNVarintsAt(p []byte, off, n int) (int, error) {
+	for i := 0; i < n; i++ {
+		for {
+			if off >= len(p) {
+				return 0, io.ErrUnexpectedEOF
+			}
+			b := p[off]
+			off++
+			if b < 0x80 {
+				break
+			}
 		}
-		if err := c.loadSegment(c.r.ranks[c.rank].segs[c.segIdx]); err != nil {
-			c.err = err
-			return false
-		}
-		c.segIdx++
 	}
-	i := c.pos
-	*ev = Event{
-		Rank:    c.rank,
-		Seq:     c.seq,
-		Kind:    EventKind(c.kinds[i]),
-		Peer:    int(c.peers[i]),
-		Tag:     int(c.tags[i]),
-		Size:    int(c.sizes[i]),
-		MsgID:   c.msgIDs[i],
-		ChanSeq: int(c.chanSeqs[i]),
-		Time:    vtime.Time(c.times[i]),
-		Lamport: c.lamports[i],
+	return off, nil
+}
+
+// skipRunAt advances off past one sibling run's columns (count kind
+// bytes, then eight varint columns of count values) in p.
+func skipRunAt(p []byte, off, count int) (int, error) {
+	if off+count > len(p) {
+		return 0, io.ErrUnexpectedEOF
 	}
-	if si := c.stacks[i]; c.r.frames[si] != nil {
-		ev.Callstack = c.r.frames[si]
-		ev.ckey = c.r.keys[si]
-	}
-	c.pos++
-	c.seq++
-	return true
+	return skipNVarintsAt(p, off+count, 8*count)
 }
 
 // growI64 returns s resized to n, reallocating only when needed.
@@ -450,126 +538,126 @@ func growI64(s []int64, n int) []int64 {
 	return s[:n]
 }
 
-// skipVarints discards n varints from pr.
-func skipVarints(pr *bytes.Reader, n int) error {
-	for i := 0; i < n; i++ {
-		for {
-			b, err := pr.ReadByte()
-			if err != nil {
-				return err
-			}
-			if b < 0x80 {
-				break
-			}
+// segBuf holds one decoded segment: the column buffers plus the private
+// scratch (section reader, run list, inflate buffer) used to fill them.
+// A cursor owns one (two with read-ahead, swapped as prefetches land);
+// all buffers are reused across loads.
+type segBuf struct {
+	n        int
+	kinds    []byte
+	peers    []int64
+	tags     []int64
+	sizes    []int64
+	msgIDs   []int64
+	chanSeqs []int64
+	times    []int64
+	lamports []int64
+	stacks   []int32
+
+	br      *bufio.Reader
+	runs    []blockRun
+	payload []byte
+}
+
+// load decodes the block at seg into the buffer: rank's run lands in
+// the column slices, sibling runs are varint-skipped. Shared blocks
+// come inflated from the Reader's cache; private blocks are read and
+// inflated into the segBuf's own scratch.
+func (b *segBuf) load(r *Reader, rank int, seg v2Segment) error {
+	var payload []byte
+	var runs []blockRun
+	if sh := r.shared[seg.off]; sh != nil {
+		var err error
+		payload, runs, err = sh.acquire(r, seg.off)
+		if err != nil {
+			return err
 		}
-	}
-	return nil
-}
-
-// skipRun discards one sibling run's columns (n kind bytes, then eight
-// varint columns of n values) from pr.
-func skipRun(pr *bytes.Reader, n int) error {
-	if _, err := pr.Seek(int64(n), io.SeekCurrent); err != nil {
-		return err
-	}
-	return skipVarints(pr, 8*n)
-}
-
-// loadSegment inflates one segment block's payload and decodes the
-// cursor's rank's run into its reusable buffers; sibling ranks' runs in
-// the same block are varint-skipped.
-func (c *Cursor) loadSegment(seg v2Segment) error {
-	sr := io.NewSectionReader(c.r.src, seg.off, c.r.footerOff-seg.off)
-	if c.br == nil {
-		c.br = bufio.NewReader(sr)
 	} else {
-		c.br.Reset(sr)
-	}
-	nRuns, err := binary.ReadUvarint(c.br)
-	if err != nil {
-		return fmt.Errorf("trace: v2 block at %d: %w", seg.off, err)
-	}
-	if nRuns == 0 || nRuns > uint64(len(c.r.ranks)) {
-		return fmt.Errorf("trace: v2 block at %d: %d runs for %d ranks", seg.off, nRuns, len(c.r.ranks))
-	}
-	type run struct{ rank, count int }
-	runs := make([]run, nRuns)
-	total, myIdx := 0, -1
-	for i := range runs {
-		rank, err := binary.ReadUvarint(c.br)
+		sr := io.NewSectionReader(r.src, seg.off, r.footerOff-seg.off)
+		if b.br == nil {
+			b.br = bufio.NewReader(sr)
+		} else {
+			b.br.Reset(sr)
+		}
+		var total int
+		var err error
+		b.runs, total, err = readBlockRuns(r, b.br, seg.off, b.runs[:0])
 		if err != nil {
-			return fmt.Errorf("trace: v2 block at %d: %w", seg.off, err)
+			return err
 		}
-		count, err := binary.ReadUvarint(c.br)
+		runs = b.runs
+		payload, err = inflateFrame(b.br, b.payload,
+			int64(total)*v2MaxPayloadBytesPerEvent+64, r.footerOff-seg.off,
+			fmt.Sprintf("v2 block at %d", seg.off))
 		if err != nil {
-			return fmt.Errorf("trace: v2 block at %d: %w", seg.off, err)
+			return err
 		}
-		if count == 0 || count > 1<<30 {
-			return fmt.Errorf("trace: v2 block at %d: bad run count %d", seg.off, count)
+		b.payload = payload
+	}
+
+	myIdx := -1
+	for i, run := range runs {
+		if run.rank != rank {
+			continue
 		}
-		runs[i] = run{rank: int(rank), count: int(count)}
-		total += int(count)
-		if int(rank) == c.rank {
-			if myIdx != -1 {
-				return fmt.Errorf("trace: v2 block at %d: rank %d appears twice", seg.off, rank)
-			}
-			if int(count) != seg.count {
-				return fmt.Errorf("trace: v2 block at %d: run count %d, index says %d", seg.off, count, seg.count)
-			}
-			myIdx = i
+		if myIdx != -1 {
+			return fmt.Errorf("trace: v2 block at %d: rank %d appears twice", seg.off, rank)
 		}
+		if run.count != seg.count {
+			return fmt.Errorf("trace: v2 block at %d: run count %d, index says %d", seg.off, run.count, seg.count)
+		}
+		myIdx = i
 	}
 	if myIdx == -1 {
-		return fmt.Errorf("trace: v2 block at %d: no run for rank %d", seg.off, c.rank)
+		return fmt.Errorf("trace: v2 block at %d: no run for rank %d", seg.off, rank)
 	}
-	payload, err := inflateFrame(c.br,
-		int64(total)*v2MaxPayloadBytesPerEvent+64, c.r.footerOff-seg.off,
-		fmt.Sprintf("v2 block at %d", seg.off))
-	if err != nil {
-		return err
-	}
-	c.pr.Reset(payload)
+
+	off := 0
+	var err error
 	for i := 0; i < myIdx; i++ {
-		if err := skipRun(&c.pr, runs[i].count); err != nil {
+		if off, err = skipRunAt(payload, off, runs[i].count); err != nil {
 			return fmt.Errorf("trace: v2 block at %d: skipping rank %d run: %w", seg.off, runs[i].rank, err)
 		}
 	}
 	n := seg.count
-	if cap(c.kinds) < n {
-		c.kinds = make([]byte, n)
-		c.stacks = make([]int32, n)
+	if cap(b.kinds) < n {
+		b.kinds = make([]byte, n)
+		b.stacks = make([]int32, n)
 	}
-	c.kinds = c.kinds[:n]
-	c.stacks = c.stacks[:n]
-	if _, err := io.ReadFull(&c.pr, c.kinds); err != nil {
-		return fmt.Errorf("trace: v2 segment at %d: kinds: %w", seg.off, err)
+	b.kinds = b.kinds[:n]
+	b.stacks = b.stacks[:n]
+	if off+n > len(payload) {
+		return fmt.Errorf("trace: v2 segment at %d: kinds: %w", seg.off, io.ErrUnexpectedEOF)
 	}
-	c.peers = growI64(c.peers, n)
-	c.tags = growI64(c.tags, n)
-	c.sizes = growI64(c.sizes, n)
-	c.msgIDs = growI64(c.msgIDs, n)
-	c.chanSeqs = growI64(c.chanSeqs, n)
-	c.times = growI64(c.times, n)
-	c.lamports = growI64(c.lamports, n)
+	copy(b.kinds, payload[off:off+n])
+	off += n
+	b.peers = growI64(b.peers, n)
+	b.tags = growI64(b.tags, n)
+	b.sizes = growI64(b.sizes, n)
+	b.msgIDs = growI64(b.msgIDs, n)
+	b.chanSeqs = growI64(b.chanSeqs, n)
+	b.times = growI64(b.times, n)
+	b.lamports = growI64(b.lamports, n)
 	for _, col := range []struct {
 		vals  []int64
 		delta bool
 		name  string
 	}{
-		{c.peers, false, "peers"},
-		{c.tags, false, "tags"},
-		{c.sizes, false, "sizes"},
-		{c.msgIDs, true, "msg ids"},
-		{c.chanSeqs, true, "chan seqs"},
-		{c.times, true, "times"},
-		{c.lamports, true, "lamports"},
+		{b.peers, false, "peers"},
+		{b.tags, false, "tags"},
+		{b.sizes, false, "sizes"},
+		{b.msgIDs, true, "msg ids"},
+		{b.chanSeqs, true, "chan seqs"},
+		{b.times, true, "times"},
+		{b.lamports, true, "lamports"},
 	} {
 		var prev int64
 		for i := 0; i < n; i++ {
-			v, err := binary.ReadVarint(&c.pr)
-			if err != nil {
-				return fmt.Errorf("trace: v2 segment at %d: %s: %w", seg.off, col.name, err)
+			v, w := binary.Varint(payload[off:])
+			if w <= 0 {
+				return fmt.Errorf("trace: v2 segment at %d: %s: malformed varint", seg.off, col.name)
 			}
+			off += w
 			if col.delta {
 				prev += v
 				col.vals[i] = prev
@@ -579,25 +667,151 @@ func (c *Cursor) loadSegment(seg v2Segment) error {
 		}
 	}
 	for i := 0; i < n; i++ {
-		si, err := binary.ReadUvarint(&c.pr)
-		if err != nil {
-			return fmt.Errorf("trace: v2 segment at %d: stacks: %w", seg.off, err)
+		si, w := binary.Uvarint(payload[off:])
+		if w <= 0 {
+			return fmt.Errorf("trace: v2 segment at %d: stacks: malformed varint", seg.off)
 		}
-		if si >= uint64(len(c.r.keys)) {
+		off += w
+		if si >= uint64(len(r.keys)) {
 			return fmt.Errorf("trace: callstack index %d out of table", si)
 		}
-		c.stacks[i] = int32(si)
+		b.stacks[i] = int32(si)
 	}
 	for i := myIdx + 1; i < len(runs); i++ {
-		if err := skipRun(&c.pr, runs[i].count); err != nil {
+		if off, err = skipRunAt(payload, off, runs[i].count); err != nil {
 			return fmt.Errorf("trace: v2 block at %d: skipping rank %d run: %w", seg.off, runs[i].rank, err)
 		}
 	}
-	if c.pr.Len() != 0 {
-		return fmt.Errorf("trace: v2 block at %d: %d trailing payload bytes", seg.off, c.pr.Len())
+	if off != len(payload) {
+		return fmt.Errorf("trace: v2 block at %d: %d trailing payload bytes", seg.off, len(payload)-off)
 	}
-	c.pos, c.n = 0, n
+	b.n = n
 	return nil
+}
+
+// Cursor returns a fresh streaming cursor over rank's events. Multiple
+// cursors (of the same or different ranks) may be used concurrently.
+func (r *Reader) Cursor(rank int) *Cursor {
+	c := &Cursor{r: r, rank: rank}
+	if rank < 0 || rank >= len(r.ranks) {
+		c.err = fmt.Errorf("trace: cursor rank %d out of range [0,%d)", rank, len(r.ranks))
+	}
+	return c
+}
+
+// readAheadResult carries one prefetched segment back to its cursor.
+type readAheadResult struct {
+	sb  *segBuf
+	err error
+}
+
+// Cursor streams one rank's events in sequence order, decoding one
+// segment of columns at a time.
+type Cursor struct {
+	r      *Reader
+	rank   int
+	segIdx int
+	pos    int
+	seq    int
+	err    error
+
+	readAhead bool
+	cur       *segBuf
+	spare     *segBuf
+	pending   chan readAheadResult
+}
+
+// EnableReadAhead makes the cursor decode segment N+1 on a background
+// goroutine while the consumer drains segment N, overlapping inflate
+// and decode with the fold that follows. Call it before the first Next.
+// The decoded stream is identical; only wall-clock changes. It returns
+// the cursor for chaining.
+func (c *Cursor) EnableReadAhead() *Cursor {
+	c.readAhead = true
+	return c
+}
+
+// Err returns the first decode error the cursor hit, or nil.
+func (c *Cursor) Err() error { return c.err }
+
+// nextSegment makes the next segment current, collecting an outstanding
+// prefetch or loading synchronously, and kicks off the next prefetch.
+// It returns false at end-of-stream or on error (recorded in c.err).
+func (c *Cursor) nextSegment() bool {
+	segs := c.r.ranks[c.rank].segs
+	if c.pending != nil {
+		res := <-c.pending
+		c.pending = nil
+		if res.err != nil {
+			c.err = res.err
+			return false
+		}
+		c.cur, c.spare = res.sb, c.cur
+	} else {
+		if c.segIdx >= len(segs) {
+			return false
+		}
+		if c.cur == nil {
+			c.cur = &segBuf{}
+		}
+		if err := c.cur.load(c.r, c.rank, segs[c.segIdx]); err != nil {
+			c.err = err
+			return false
+		}
+	}
+	c.segIdx++
+	c.pos = 0
+	if c.readAhead && c.segIdx < len(segs) {
+		sb := c.spare
+		c.spare = nil
+		if sb == nil {
+			sb = &segBuf{}
+		}
+		r, rank, seg := c.r, c.rank, segs[c.segIdx]
+		ch := make(chan readAheadResult, 1)
+		c.pending = ch
+		//anacin:allow goroutine read-ahead decodes the next segment into a buffer only it owns and parks the result in a buffered channel; the cursor collects it at the next segment boundary, and an abandoned cursor leaks nothing — the goroutine exits after its one send
+		go func() {
+			ch <- readAheadResult{sb: sb, err: sb.load(r, rank, seg)}
+		}()
+	}
+	return true
+}
+
+// Next decodes the next event into *ev and reports whether one was
+// available. After Next returns false, Err distinguishes end-of-stream
+// from a decode failure. The event's Callstack (and cached key) alias
+// the Reader's dictionary and must be treated as immutable.
+func (c *Cursor) Next(ev *Event) bool {
+	if c.err != nil {
+		return false
+	}
+	for c.cur == nil || c.pos == c.cur.n {
+		if !c.nextSegment() {
+			return false
+		}
+	}
+	b := c.cur
+	i := c.pos
+	*ev = Event{
+		Rank:    c.rank,
+		Seq:     c.seq,
+		Kind:    EventKind(b.kinds[i]),
+		Peer:    int(b.peers[i]),
+		Tag:     int(b.tags[i]),
+		Size:    int(b.sizes[i]),
+		MsgID:   b.msgIDs[i],
+		ChanSeq: int(b.chanSeqs[i]),
+		Time:    vtime.Time(b.times[i]),
+		Lamport: b.lamports[i],
+	}
+	if si := b.stacks[i]; c.r.frames[si] != nil {
+		ev.Callstack = c.r.frames[si]
+		ev.ckey = c.r.keys[si]
+	}
+	c.pos++
+	c.seq++
+	return true
 }
 
 // OrderHash streams the communication-structure hash of the trace —
@@ -609,10 +823,14 @@ func (r *Reader) OrderHash() (uint64, error) {
 		binary.LittleEndian.PutUint64(buf[:], uint64(v))
 		h.Write(buf[:])
 	}
+	readAhead := runtime.GOMAXPROCS(0) > 1
 	var ev Event
 	for rank := range r.ranks {
 		writeInt(int64(r.ranks[rank].events))
 		c := r.Cursor(rank)
+		if readAhead {
+			c.EnableReadAhead()
+		}
 		for c.Next(&ev) {
 			writeInt(int64(ev.Kind))
 			writeInt(int64(ev.Peer))
@@ -630,12 +848,16 @@ func (r *Reader) OrderHash() (uint64, error) {
 // of ReadBinary's v1 path.
 func (r *Reader) ToTrace() (*Trace, error) {
 	t := New(r.meta)
+	readAhead := runtime.GOMAXPROCS(0) > 1
 	var ev Event
 	for rank := range r.ranks {
 		if n := r.ranks[rank].events; n > 0 {
 			t.Events[rank] = make([]Event, 0, n)
 		}
 		c := r.Cursor(rank)
+		if readAhead {
+			c.EnableReadAhead()
+		}
 		for c.Next(&ev) {
 			t.Append(ev)
 		}
