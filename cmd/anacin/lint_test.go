@@ -10,7 +10,7 @@ import (
 
 func TestCmdLintList(t *testing.T) {
 	out := captureStdout(t, func() error { return cmdLint([]string{"-list"}) })
-	for _, check := range []string{"maprange", "wallclock", "globalrand", "goroutine", "floatfold"} {
+	for _, check := range []string{"maprange", "wallclock", "globalrand", "goroutine", "floatfold", "selectorder"} {
 		if !strings.Contains(out, check) {
 			t.Errorf("lint -list missing %q:\n%s", check, out)
 		}
@@ -26,7 +26,7 @@ func TestCmdLintSelfClean(t *testing.T) {
 	}
 	jsonPath := filepath.Join(t.TempDir(), "lint.json")
 	out := captureStdout(t, func() error { return cmdLint([]string{"-json", jsonPath, "."}) })
-	if !strings.Contains(out, "ok: 1 package(s), 5 checks") {
+	if !strings.Contains(out, "ok: 1 package(s), 6 checks") {
 		t.Errorf("lint output:\n%s", out)
 	}
 	data, err := os.ReadFile(jsonPath)

@@ -40,6 +40,7 @@ var commands = map[string]func(args []string) error{
 	"campaign":  cmdCampaign,
 	"bench":     cmdBench,
 	"lint":      cmdLint,
+	"verify":    cmdVerify,
 	"serve":     cmdServe,
 }
 
@@ -87,6 +88,10 @@ commands:
               iteration, no wall clock / global RNG in the virtual-time
               world, single-owner goroutines); fails on any finding not
               covered by an //anacin:allow directive
+  verify      statically verify pattern communication structure without
+              running the scheduler: deadlock cycles, unmatched
+              sends/receives, exact wildcard race sets and matching
+              counts at small P, and machine-checked registry metadata
   serve       run the anacind campaign service: submit grids over HTTP,
               stream per-cell progress via SSE, serve results from a
               content-addressed store that dedupes overlapping grids

@@ -45,6 +45,7 @@ var analyzers = []*Analyzer{
 	GlobalRand,
 	Goroutine,
 	MapRange,
+	SelectOrder,
 	WallClock,
 }
 

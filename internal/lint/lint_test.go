@@ -107,6 +107,39 @@ func TestVirtualKernelFixture(t *testing.T) {
 	checkWants(t, filepath.Join("virtual", "kernel"), WallClock)
 }
 
+func TestVirtualVtimeFixture(t *testing.T) {
+	checkWants(t, filepath.Join("virtual", "vtime"), SelectOrder)
+}
+
+// TestVtimeSuppression pins directive coverage for selectorder: the
+// fixture's sanctioned select surfaces as a suppressed finding with its
+// reason attached.
+func TestVtimeSuppression(t *testing.T) {
+	pkg := loadFixture(t, filepath.Join("virtual", "vtime"))
+	findings := Run([]*Package{pkg}, []*Analyzer{SelectOrder})
+	suppressed := 0
+	for _, f := range findings {
+		if f.Suppressed {
+			suppressed++
+			if !strings.HasPrefix(f.Reason, "fixture:") {
+				t.Errorf("unexpected reason %q", f.Reason)
+			}
+		}
+	}
+	if suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1\n%v", suppressed, findings)
+	}
+}
+
+// TestSelectOrderOutOfDomain: multi-case selects are fine outside the
+// deterministic engine (the campaign service multiplexes legitimately).
+func TestSelectOrderOutOfDomain(t *testing.T) {
+	pkg := loadFixture(t, "serve")
+	if findings := Run([]*Package{pkg}, []*Analyzer{SelectOrder}); len(findings) != 0 {
+		t.Errorf("selectorder fired outside its domain: %v", findings)
+	}
+}
+
 // TestVirtualSimSuppression pins the directive plumbing: the fixture's
 // sanctioned sites must surface as suppressed findings, with reasons.
 func TestVirtualSimSuppression(t *testing.T) {
@@ -158,8 +191,8 @@ func TestServeStyleCodeOutOfDomain(t *testing.T) {
 
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 5 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 5", len(all), err)
+	if err != nil || len(all) != 6 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 6", len(all), err)
 	}
 	two, err := ByName("maprange, wallclock")
 	if err != nil || len(two) != 2 {

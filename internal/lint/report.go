@@ -21,24 +21,42 @@ func WriteText(w io.Writer, findings []Finding, includeSuppressed bool) error {
 	return nil
 }
 
-// jsonReport is the schema of the machine-readable findings artifact
-// CI uploads. Version bumps on breaking shape changes.
-type jsonReport struct {
-	Version    int       `json:"version"`
-	Module     string    `json:"module"`
-	Checks     []string  `json:"checks"`
-	Total      int       `json:"total"`
-	Suppressed int       `json:"suppressed"`
-	Active     int       `json:"active"`
-	Findings   []Finding `json:"findings"`
+// Envelope is the schema of the machine-readable findings artifact CI
+// uploads. It is shared by every analysis surface that reports findings
+// (lint, verify), so downstream tooling parses one shape; Findings
+// holds the tool's own finding slice. Version bumps on breaking shape
+// changes.
+type Envelope struct {
+	Version    int      `json:"version"`
+	Module     string   `json:"module"`
+	Checks     []string `json:"checks"`
+	Total      int      `json:"total"`
+	Suppressed int      `json:"suppressed"`
+	Active     int      `json:"active"`
+	Findings   any      `json:"findings"`
+	// Summaries carries tool-specific per-unit results alongside the
+	// findings (verify's per-configuration matching counts); tools
+	// without them omit the key.
+	Summaries any `json:"summaries,omitempty"`
+}
+
+// WriteEnvelope encodes the envelope as indented JSON. A nil Findings
+// slice is normalized to [] by callers before passing it in.
+func WriteEnvelope(w io.Writer, e Envelope) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
 }
 
 // WriteJSON writes the full findings report — suppressed sites
 // included, so the artifact doubles as an inventory of every sanctioned
 // exception in the tree.
 func WriteJSON(w io.Writer, module string, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
 	active := Unsuppressed(findings)
-	rep := jsonReport{
+	return WriteEnvelope(w, Envelope{
 		Version:    1,
 		Module:     module,
 		Checks:     checkNames(),
@@ -46,11 +64,5 @@ func WriteJSON(w io.Writer, module string, findings []Finding) error {
 		Suppressed: len(findings) - active,
 		Active:     active,
 		Findings:   findings,
-	}
-	if rep.Findings == nil {
-		rep.Findings = []Finding{}
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	})
 }

@@ -41,7 +41,15 @@ func TestWriteJSONRoundTrip(t *testing.T) {
 	if err := WriteJSON(&buf, "example.com/mod", sampleFindings()); err != nil {
 		t.Fatal(err)
 	}
-	var rep jsonReport
+	var rep struct {
+		Version    int       `json:"version"`
+		Module     string    `json:"module"`
+		Checks     []string  `json:"checks"`
+		Total      int       `json:"total"`
+		Suppressed int       `json:"suppressed"`
+		Active     int       `json:"active"`
+		Findings   []Finding `json:"findings"`
+	}
 	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +59,7 @@ func TestWriteJSONRoundTrip(t *testing.T) {
 	if rep.Total != 2 || rep.Suppressed != 1 || rep.Active != 1 {
 		t.Errorf("counts: %+v", rep)
 	}
-	if len(rep.Checks) != 5 {
+	if len(rep.Checks) != 6 {
 		t.Errorf("checks: %v", rep.Checks)
 	}
 	if len(rep.Findings) != 2 || rep.Findings[1].Reason != "sanctioned" {

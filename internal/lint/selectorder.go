@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// SelectOrder flags select statements with two or more communication
+// cases inside the deterministic-engine packages. When several cases
+// are ready, the Go runtime chooses among them uniformly at random —
+// scheduler-visible non-determinism no seed controls, exactly what the
+// simulated world must never depend on. A single comm case (with or
+// without a default) is the sanctioned shape: it expresses "try then
+// fall through" with one deterministic outcome.
+var SelectOrder = &Analyzer{
+	Name: "selectorder",
+	Doc:  "multi-case select in the deterministic engine: ready-case choice is randomized by the runtime",
+	Run:  runSelectOrder,
+}
+
+// selectOrderPkgs names the packages whose control flow must stay
+// deterministic at the language level: the simulator/tracer (also
+// single-owner) and the virtual clock beneath them.
+var selectOrderPkgs = map[string]bool{
+	"sim":   true,
+	"trace": true,
+	"vtime": true,
+}
+
+func runSelectOrder(p *Pass) {
+	if !selectOrderPkgs[lastSegment(p.Path())] {
+		return
+	}
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			comm := 0
+			for _, clause := range sel.Body.List {
+				if c, ok := clause.(*ast.CommClause); ok && c.Comm != nil {
+					comm++
+				}
+			}
+			if comm >= 2 {
+				p.Reportf(sel.Pos(), "select with %d communication cases in deterministic package %s: the runtime picks among ready cases at random; restructure to one comm case (plus optional default)",
+					comm, lastSegment(p.Path()))
+			}
+			return true
+		})
+	}
+}

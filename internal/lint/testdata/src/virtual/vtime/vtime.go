@@ -1,0 +1,58 @@
+// Package vtime is the golden fixture for the selectorder analyzer:
+// its directory name opts it into the deterministic-engine package set
+// exactly like internal/vtime.
+package vtime
+
+// fanIn drains whichever producer is ready first: when both are ready
+// the runtime picks at random, so the merge order is non-deterministic.
+func fanIn(a, b <-chan int) int {
+	select { // want "selectorder: select with 2 communication cases in deterministic package vtime"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// threeWay shows the count in the message.
+func threeWay(a, b <-chan int, c chan<- int) int {
+	select { // want "selectorder: select with 3 communication cases in deterministic package vtime"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	case c <- 0:
+		return 0
+	}
+}
+
+// tryRecv is the sanctioned shape: one comm case plus a default has a
+// single deterministic outcome per channel state.
+func tryRecv(a <-chan int) (int, bool) {
+	select {
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// blockingRecv with a single case is equivalent to a plain receive.
+func blockingRecv(a <-chan int) int {
+	select {
+	case v := <-a:
+		return v
+	}
+}
+
+// sanctionedMerge carries a directive and stays out of the unsuppressed
+// count.
+func sanctionedMerge(a, b <-chan int) int {
+	//anacin:allow selectorder fixture: directive suppression on a select statement
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

@@ -51,9 +51,9 @@ func (ct *CollectiveTree) Program(p Params) (sim.ProcProgram, error) {
 	}
 	p = p.withDefaults()
 	return func(r sim.Proc) {
-		rank, ok := r.(*sim.Rank)
+		rank, ok := r.(sim.FullProc)
 		if !ok {
-			panic("patterns: collective_tree uses collectives and requires the DES runtime")
+			panic("patterns: collective_tree uses collectives and requires the full operation surface (DES runtime)")
 		}
 		for iter := 0; iter < p.Iterations; iter++ {
 			ct.solveStep(rank, p, iter)
@@ -63,7 +63,7 @@ func (ct *CollectiveTree) Program(p Params) (sim.ProcProgram, error) {
 
 // solveStep is one bulk-synchronous iteration: distribute, reduce,
 // synchronize.
-func (ct *CollectiveTree) solveStep(r *sim.Rank, p Params, iter int) {
+func (ct *CollectiveTree) solveStep(r sim.FullProc, p Params, iter int) {
 	size := p.MsgSize
 	if size < 8 {
 		size = 8

@@ -109,13 +109,15 @@ func (*Stencil2D) Grid(procs int) (rows, cols int) {
 	return rows, cols
 }
 
-// EventsPerRankHint implements Pattern: an interior grid rank exchanges
-// with 4 neighbours (4 sends + 4 receives per iteration); ranks outside
-// the grid record only the bracket.
+// EventsPerRankHint implements Pattern: each iteration exchanges one
+// message both ways across every interior grid edge (a rows×cols grid
+// has rows·(cols-1) + (rows-1)·cols of them), each recording one send
+// plus one receive; ranks outside the grid record only the bracket.
 func (s *Stencil2D) EventsPerRankHint(p Params) int {
 	p = p.withDefaults()
 	rows, cols := s.Grid(p.Procs)
-	return 2 + ceilDiv(8*p.Iterations*rows*cols, p.Procs)
+	edges := rows*(cols-1) + (rows-1)*cols
+	return 2 + ceilDiv(4*p.Iterations*edges, p.Procs)
 }
 
 // Program implements Pattern.
@@ -191,12 +193,12 @@ func (*ReducePipeline) Deterministic() bool { return false }
 // SumSink receives rank 0's final reduced value.
 type SumSink func(v float64)
 
-// EventsPerRankHint implements Pattern: the race burst averages two
-// events per rank per iteration, the reduction phase records one
-// Reduce and one Bcast event per rank.
+// EventsPerRankHint implements Pattern: per iteration the race burst
+// records P-1 sends plus P-1 receives and the reduction phase one
+// Reduce and one Bcast event per rank — 4P-2 events across P ranks.
 func (*ReducePipeline) EventsPerRankHint(p Params) int {
 	p = p.withDefaults()
-	return 2 + 4*p.Iterations
+	return 2 + ceilDiv(p.Iterations*(4*p.Procs-2), p.Procs)
 }
 
 // Program implements Pattern. The reduced value is discarded; use
@@ -204,16 +206,16 @@ func (*ReducePipeline) EventsPerRankHint(p Params) int {
 // operations, it requires the DES runtime: running it on the wallclock
 // runtime panics with an explanatory message.
 func (rp *ReducePipeline) Program(p Params) (sim.ProcProgram, error) {
-	prog, err := rp.ProgramWithSink(p, nil)
-	if err != nil {
+	if err := p.Validate(rp.MinProcs()); err != nil {
 		return nil, err
 	}
+	p = p.withDefaults()
 	return func(r sim.Proc) {
-		rank, ok := r.(*sim.Rank)
+		rank, ok := r.(sim.FullProc)
 		if !ok {
-			panic("patterns: reduce_pipeline uses collectives and requires the DES runtime")
+			panic("patterns: reduce_pipeline uses collectives and requires the full operation surface (DES runtime)")
 		}
-		prog(rank)
+		rp.run(rank, p, nil)
 	}, nil
 }
 
@@ -224,21 +226,25 @@ func (rp *ReducePipeline) ProgramWithSink(p Params, sink SumSink) (sim.Program, 
 		return nil, err
 	}
 	p = p.withDefaults()
-	return func(r *sim.Rank) {
-		var last float64
-		for iter := 0; iter < p.Iterations; iter++ {
-			rp.racePhase(r, p, iter)
-			last = rp.reducePhase(r, iter)
-			r.Compute(p.ComputeGrain)
-		}
-		if sink != nil && r.Rank() == 0 {
-			sink(last)
-		}
-	}, nil
+	return func(r *sim.Rank) { rp.run(r, p, sink) }, nil
+}
+
+// run is the pattern body, written against the full operation surface so
+// it executes identically under the DES runtime and the static verifier.
+func (rp *ReducePipeline) run(r sim.FullProc, p Params, sink SumSink) {
+	var last float64
+	for iter := 0; iter < p.Iterations; iter++ {
+		rp.racePhase(r, p, iter)
+		last = rp.reducePhase(r, iter)
+		r.Compute(p.ComputeGrain)
+	}
+	if sink != nil && r.Rank() == 0 {
+		sink(last)
+	}
 }
 
 // racePhase is the message-race burst into rank 0.
-func (rp *ReducePipeline) racePhase(r *sim.Rank, p Params, iter int) {
+func (rp *ReducePipeline) racePhase(r sim.FullProc, p Params, iter int) {
 	if r.Rank() == 0 {
 		for i := 0; i < r.Size()-1; i++ {
 			r.Recv(sim.AnySource, sim.AnyTag)
@@ -253,7 +259,7 @@ func (rp *ReducePipeline) racePhase(r *sim.Rank, p Params, iter int) {
 // they cancel exactly and the small terms survive; when a small term is
 // absorbed into a huge one first, it is lost to rounding — so the
 // rounded result depends on arrival order.
-func (rp *ReducePipeline) reducePhase(r *sim.Rank, iter int) float64 {
+func (rp *ReducePipeline) reducePhase(r sim.FullProc, iter int) float64 {
 	var contribution float64
 	switch r.Rank() {
 	case 0:

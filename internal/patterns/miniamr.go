@@ -71,13 +71,19 @@ func (m *MiniAMR) RefinementPlan(p Params) (refined [][]bool, inbound [][]int) {
 	return refined, inbound
 }
 
-// EventsPerRankHint implements Pattern: an unrefined rank sends one
-// message per ring side, a refined one (refineFraction of ranks)
-// refinedMessages; receives mirror sends in aggregate.
+// EventsPerRankHint implements Pattern: per iteration every rank sends
+// one message to each ring side and the nRefined refined ranks send
+// refinedMessages-1 extra each; receives mirror sends in aggregate, so
+// one iteration records 4·(P + (refinedMessages-1)·nRefined) events
+// across P ranks.
 func (m *MiniAMR) EventsPerRankHint(p Params) int {
 	p = p.withDefaults()
-	avgSends := 2 * (1 + int(refineFraction*float64(refinedMessages-1)+0.5))
-	return 2 + 2*p.Iterations*avgSends
+	nRefined := int(refineFraction * float64(p.Procs))
+	if nRefined < 1 {
+		nRefined = 1
+	}
+	comm := 4 * p.Iterations * (p.Procs + (refinedMessages-1)*nRefined)
+	return 2 + ceilDiv(comm, p.Procs)
 }
 
 // Program implements Pattern.

@@ -49,13 +49,16 @@ func (*Sweep3D) Grid(procs int) (rows, cols int) {
 // sweepDirections are the four corner origins: (rowStep, colStep).
 var sweepDirections = [4][2]int{{1, 1}, {1, -1}, {-1, 1}, {-1, -1}}
 
-// EventsPerRankHint implements Pattern: a grid-interior rank touches
-// up to 2 receives and 2 sends per sweep, 4 sweeps per iteration;
-// ranks outside the grid record only the bracket.
+// EventsPerRankHint implements Pattern: each of the 4 sweeps per
+// iteration pushes one message across every interior grid edge (a
+// rows×cols grid has rows·(cols-1) + (rows-1)·cols of them), and each
+// message records one send plus one receive; ranks outside the grid
+// record only the bracket.
 func (s *Sweep3D) EventsPerRankHint(p Params) int {
 	p = p.withDefaults()
 	rows, cols := s.Grid(p.Procs)
-	return 2 + ceilDiv(16*p.Iterations*rows*cols, p.Procs)
+	edges := rows*(cols-1) + (rows-1)*cols
+	return 2 + ceilDiv(8*p.Iterations*edges, p.Procs)
 }
 
 // Program implements Pattern.

@@ -14,6 +14,7 @@ import (
 	"github.com/anacin-go/anacinx/internal/patterns"
 	"github.com/anacin-go/anacinx/internal/sim"
 	"github.com/anacin-go/anacinx/internal/trace"
+	"github.com/anacin-go/anacinx/internal/verify"
 )
 
 // The scenario set covers every layer of the hot path behind the
@@ -551,6 +552,32 @@ func traceDecodeGraphScenario(version int) Scenario {
 	}
 }
 
+// verifyScenario times the static verifier end to end at one process
+// count: dual-policy symbolic elaboration of every registered pattern
+// plus match/deadlock/count/metadata analysis — the `anacin verify`
+// inner loop, which must stay in milliseconds so CI can gate on it for
+// free.
+func verifyScenario(procs int) Scenario {
+	return Scenario{
+		Name: fmt.Sprintf("verify/elaborate-%drank", procs),
+		Description: fmt.Sprintf("static verification of all registered patterns at %d ranks (dual elaboration + analysis)",
+			procs),
+		Setup: func() (func() error, error) {
+			opts := verify.Options{Procs: []int{procs}, Iters: []int{1}}
+			return func() error {
+				findings, summaries := verify.VerifyAll(opts)
+				if n := verify.Gating(findings); n > 0 {
+					return fmt.Errorf("%d gating findings", n)
+				}
+				if len(summaries) == 0 {
+					return fmt.Errorf("no verified configurations")
+				}
+				return nil
+			}, nil
+		},
+	}
+}
+
 // figureScenario times one paper-figure runner end to end (quick
 // workload, no artifact files).
 func figureScenario(id string) Scenario {
@@ -603,6 +630,7 @@ func AllScenarios() []Scenario {
 		gramScenario(4),
 		gramScenario(8),
 		sliceProfileScenario(),
+		verifyScenario(32),
 		figureScenario("fig2"),
 		largePSimScenario("stencil2d", "stencil", 256, 25),
 		largePSimScenario("stencil2d", "stencil", 1024, 25),
@@ -626,6 +654,7 @@ func AllScenarios() []Scenario {
 var quickNames = []string{
 	"sim/32rank-stacks", "sim/32rank-nostacks", "trace-to-graph/32rank",
 	"wl-features/h2/r32", "dot/wl-h2", "gram/w1", "gram/w4", "figure/fig2",
+	"verify/elaborate-32rank",
 	"sim/1024rank-stencil", "sim/1024rank-collectives", "sim/1024rank-masterworker",
 	"sim/1024rank-race", "campaign-cell/1024rank-race",
 	"trace-encode/1024rank-v1", "trace-encode/1024rank-v2", "trace-encode/1024rank-v2-par4",

@@ -32,8 +32,53 @@ func Adapt(p ProcProgram) Program {
 	return func(r *Rank) { p(r) }
 }
 
-// Compile-time checks that both runtimes satisfy Proc.
+// FullProc is the complete MPI-like operation surface a rank program can
+// use: the point-to-point Proc subset plus non-blocking operations,
+// probes, and collectives. It is the recording seam for static analysis:
+// patterns that need more than Proc assert to FullProc (never to *Rank
+// directly), so any implementation — the DES runtime or a symbolic
+// recorder that elaborates the program into a static op model without
+// running the scheduler (internal/verify) — can execute them.
+//
+// The wallclock runtime implements only Proc; asserting FullProc on it
+// fails, which is how collective-using patterns reject that substrate.
+type FullProc interface {
+	Proc
+	// Isend is the non-blocking send; complete it with Wait.
+	Isend(dst, tag int, data []byte) *Request
+	// Irecv posts a non-blocking receive; complete it with Wait.
+	Irecv(src, tag int) *Request
+	// Wait blocks until req completes; returns the message for Irecv.
+	Wait(req *Request) Message
+	// Waitall completes the given requests in order.
+	Waitall(reqs []*Request) []Message
+	// Waitany completes one not-yet-waited request (completion order —
+	// a root source of non-determinism).
+	Waitany(reqs []*Request) (int, Message)
+	// Probe blocks for a matching envelope without consuming it.
+	Probe(src, tag int) (msgSrc, msgTag, size int)
+	// Iprobe reports whether a matching message has arrived.
+	Iprobe(src, tag int) (ok bool, msgSrc, msgTag, size int)
+	// Sendrecv issues a non-blocking send, completes the receive, then
+	// waits for the send.
+	Sendrecv(dst, sendTag int, data []byte, src, recvTag int) Message
+	// Collective operations; every rank must call the same sequence.
+	Barrier()
+	Bcast(root int, data []byte) []byte
+	Reduce(root int, data []byte, op ReduceOp) []byte
+	ReduceArrival(root int, data []byte, op ReduceOp) []byte
+	Allreduce(data []byte, op ReduceOp) []byte
+	Gather(root int, data []byte) [][]byte
+	Scatter(root int, parts [][]byte) []byte
+	Allgather(data []byte) [][]byte
+	Scan(data []byte, op ReduceOp) []byte
+	Alltoall(parts [][]byte) [][]byte
+}
+
+// Compile-time checks: both runtimes satisfy Proc, and the DES runtime
+// satisfies the full surface.
 var (
-	_ Proc = (*Rank)(nil)
-	_ Proc = (*WallRank)(nil)
+	_ Proc     = (*Rank)(nil)
+	_ Proc     = (*WallRank)(nil)
+	_ FullProc = (*Rank)(nil)
 )

@@ -1,0 +1,208 @@
+package verify
+
+import "fmt"
+
+// Structural analysis of one elaboration: deadlock cycles, unmatched
+// traffic, collective mismatches, and elaboration failures. All
+// findings here are produced against the canonical (low-policy)
+// elaboration.
+
+// maxPerCheck caps same-check findings per configuration so one broken
+// pattern does not drown the report; the overflow is summarized.
+const maxPerCheck = 8
+
+// Analyze derives structural findings from one elaboration of the
+// named pattern configuration.
+func Analyze(pattern string, procs, iters int, res *Result) []Finding {
+	var out []Finding
+	mk := func(check string, sev Severity, rank int, msg string, witness ...string) {
+		out = append(out, Finding{
+			Check: check, Severity: sev, Pattern: pattern,
+			Procs: procs, Iterations: iters, Rank: rank,
+			Message: msg, Witness: witness,
+		})
+	}
+
+	if res.CollMismatch != "" {
+		mk("collective-mismatch", SevError, -1,
+			"ranks joined different collective operations at the same step",
+			res.CollMismatch)
+	}
+	if res.BudgetExceeded {
+		mk("elaboration", SevError, -1,
+			fmt.Sprintf("op budget exhausted after %d ops (livelock or unbounded loop)", res.OpCount))
+	}
+	for r := range res.Ranks {
+		if pm := res.Ranks[r].PanicMsg; pm != "" {
+			mk("elaboration", SevError, r, "rank program panicked during elaboration: "+pm)
+		}
+	}
+
+	if res.Stalled {
+		out = append(out, analyzeStall(pattern, procs, iters, res)...)
+	}
+
+	// Unmatched sends: posted messages no receive ever consumed. Only
+	// meaningful when elaboration was not aborted early by a mismatch or
+	// budget blowout (those already explain the residue).
+	if res.CollMismatch == "" && !res.BudgetExceeded {
+		unsent := 0
+		for _, m := range res.Msgs {
+			if m.Consumed {
+				continue
+			}
+			unsent++
+			if unsent <= maxPerCheck {
+				mk("unmatched-send", SevError, m.Src,
+					fmt.Sprintf("message to rank %d never matched by any receive", m.Dst),
+					fmt.Sprintf("rank %d op %d: send(dst=%d, tag=%d, size=%d, chan-seq=%d) in %s",
+						m.Src, m.SrcOp, m.Dst, m.Tag, m.Size, m.ChanSeq, m.Caller))
+			}
+		}
+		if unsent > maxPerCheck {
+			mk("unmatched-send", SevError, -1,
+				fmt.Sprintf("%d further unmatched sends omitted", unsent-maxPerCheck))
+		}
+	}
+
+	for r := range res.Ranks {
+		rr := &res.Ranks[r]
+		for i, d := range rr.PendingRecvs {
+			if i >= maxPerCheck {
+				mk("unmatched-recv", SevError, r,
+					fmt.Sprintf("%d further pending receives omitted", len(rr.PendingRecvs)-maxPerCheck))
+				break
+			}
+			mk("unmatched-recv", SevError, r,
+				"nonblocking receive posted but never matched", d)
+		}
+		for i, d := range rr.UnwaitedReqs {
+			if i >= maxPerCheck {
+				mk("unwaited-request", SevWarn, r,
+					fmt.Sprintf("%d further unwaited requests omitted", len(rr.UnwaitedReqs)-maxPerCheck))
+				break
+			}
+			mk("unwaited-request", SevWarn, r,
+				"request completed by neither Wait nor Waitany before the rank finished", d)
+		}
+	}
+	return out
+}
+
+// analyzeStall classifies a no-runnable-rank stall: a cycle in the
+// wait-for graph is a deadlock (reported once, with the minimal witness
+// cycle); blocked ranks outside any cycle are starved receives/waits
+// whose peer finished without sending.
+func analyzeStall(pattern string, procs, iters int, res *Result) []Finding {
+	var out []Finding
+	cycle := minimalCycle(res.WaitsOn)
+	inCycle := make([]bool, res.Procs)
+	if len(cycle) > 0 {
+		witness := make([]string, 0, len(cycle))
+		for i, r := range cycle {
+			inCycle[r] = true
+			next := cycle[(i+1)%len(cycle)]
+			witness = append(witness, fmt.Sprintf("%s — waits on rank %d",
+				res.Ranks[r].BlockDesc, next))
+		}
+		out = append(out, Finding{
+			Check: "deadlock", Severity: SevError, Pattern: pattern,
+			Procs: procs, Iterations: iters, Rank: cycle[0],
+			Message: fmt.Sprintf("wait-for cycle of %d ranks under the runtime's matching semantics", len(cycle)),
+			Witness: witness,
+		})
+	}
+	n := 0
+	for r := range res.WaitsOn {
+		if res.WaitsOn[r] == nil || inCycle[r] {
+			continue
+		}
+		n++
+		if n > maxPerCheck {
+			continue
+		}
+		out = append(out, Finding{
+			Check: "unmatched-recv", Severity: SevError, Pattern: pattern,
+			Procs: procs, Iterations: iters, Rank: r,
+			Message: "rank blocked at elaboration stall with no matching message in flight",
+			Witness: []string{res.Ranks[r].BlockDesc},
+		})
+	}
+	if n > maxPerCheck {
+		out = append(out, Finding{
+			Check: "unmatched-recv", Severity: SevError, Pattern: pattern,
+			Procs: procs, Iterations: iters, Rank: -1,
+			Message: fmt.Sprintf("%d further blocked ranks omitted", n-maxPerCheck),
+		})
+	}
+	return out
+}
+
+// minimalCycle finds a shortest cycle in the wait-for graph (nil edge
+// lists are non-blocked ranks). It BFSes from every blocked rank for
+// the shortest path back to itself and keeps the overall minimum,
+// breaking ties toward the lowest starting rank; the returned cycle is
+// rotated to start at its lowest member.
+func minimalCycle(waitsOn [][]int) []int {
+	n := len(waitsOn)
+	var best []int
+	for start := 0; start < n; start++ {
+		if waitsOn[start] == nil {
+			continue
+		}
+		// BFS over edges, looking for the shortest path start → ... →
+		// start.
+		prev := make([]int, n)
+		for i := range prev {
+			prev[i] = -2 // unvisited
+		}
+		queue := []int{start}
+		prev[start] = -1
+		found := -1
+		for len(queue) > 0 && found < 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			if waitsOn[cur] == nil {
+				continue // done/running rank: absorbing, no outgoing edges
+			}
+			for _, t := range waitsOn[cur] {
+				if t == start {
+					found = cur
+					break
+				}
+				if prev[t] == -2 {
+					prev[t] = cur
+					queue = append(queue, t)
+				}
+			}
+		}
+		if found < 0 {
+			continue
+		}
+		var cyc []int
+		for cur := found; cur != -1; cur = prev[cur] {
+			cyc = append(cyc, cur)
+		}
+		// cyc is found..start reversed; reverse to start..found.
+		for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+			cyc[i], cyc[j] = cyc[j], cyc[i]
+		}
+		if best == nil || len(cyc) < len(best) {
+			best = cyc
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	// Canonical rotation: start at the lowest-numbered member.
+	lo := 0
+	for i, r := range best {
+		if r < best[lo] {
+			lo = i
+		}
+	}
+	rot := make([]int, 0, len(best))
+	rot = append(rot, best[lo:]...)
+	rot = append(rot, best[:lo]...)
+	return rot
+}

@@ -1,0 +1,371 @@
+package verify
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+
+	"github.com/anacin-go/anacinx/internal/sim"
+)
+
+// Matching counting. A matching assigns every message to a receive slot
+// of its destination rank subject to (1) the slot's source/tag filter
+// and (2) per-channel non-overtaking: messages on one (src,dst) channel
+// are consumed in channel-sequence order. Destinations are independent
+// under this model, so the pattern-wide count is the product of
+// per-destination counts.
+//
+// The count is computed from the canonical elaboration's op structure.
+// Its relation to the real simulator's reachable executions depends on
+// whether control flow is matching-dependent (see Exactness): when the
+// skeleton is matching-independent the enumeration covers every real
+// execution, so it is always a sound upper bound; it is exact when
+// additionally no send is gated behind a receive, wait, or collective
+// (then every enumerated matching is realizable by some arrival order).
+
+// Exactness qualifies how a matching count relates to the set of
+// executions the simulator can actually realize.
+type Exactness int
+
+// Exactness levels.
+const (
+	// Exact: the count equals the number of distinct matchings the
+	// simulator can realize.
+	Exact Exactness = iota
+	// UpperBound: every realizable matching is counted, but some counted
+	// matchings may be unrealizable because sends are ordered behind
+	// receives, waits, or collectives.
+	UpperBound
+	// Canonical: control flow is matching-dependent (the low- and
+	// high-policy elaborations issued different op skeletons), so the
+	// count describes only the canonical (low-policy) elaboration.
+	Canonical
+)
+
+func (e Exactness) String() string {
+	switch e {
+	case Exact:
+		return "exact"
+	case UpperBound:
+		return "upper-bound"
+	default:
+		return "canonical"
+	}
+}
+
+// SlotRace describes one wildcard receive slot with its exact candidate
+// sender set: the sources whose message can match the slot in at least
+// one valid matching.
+type SlotRace struct {
+	// Rank is the receiving rank; Slot its index in matching order; Op
+	// the receive op's Seq.
+	Rank, Slot, Op int
+	// Caller is the pattern function that posted the receive.
+	Caller string
+	// Candidates is the sorted set of feasible source ranks.
+	Candidates []int
+	// Partial marks candidate sets computed under a saturated
+	// enumeration: the set is a subset of the true candidates.
+	Partial bool
+}
+
+// Count is the matching count of one elaboration.
+type Count struct {
+	// Matchings is the number of distinct valid matchings; when
+	// Saturated it is a floor (the true value is at least this).
+	Matchings uint64
+	// Saturated reports uint64 overflow or a state-budget cut-off.
+	Saturated bool
+	// Races lists every receive slot with more than one candidate
+	// sender, in (rank, slot) order.
+	Races []SlotRace
+}
+
+// dfsStateCap bounds the memo table per destination; beyond it the
+// enumeration saturates rather than running away.
+const dfsStateCap = 1 << 20
+
+// CountMatchings counts the distinct matchings of a clean elaboration
+// and derives the exact candidate-sender set of every receive slot.
+func CountMatchings(res *Result) Count {
+	total := uint64(1)
+	saturated := false
+	var races []SlotRace
+	for d := 0; d < res.Procs; d++ {
+		slots := res.Slots[d]
+		if len(slots) == 0 {
+			continue
+		}
+		// Channel view of the destination's inbox: per-source message
+		// lists already in channel-sequence order (Msgs is in global post
+		// order and ChanSeq increases per channel).
+		chans := make([][]*MsgRec, res.Procs)
+		nmsgs := 0
+		for _, m := range res.Msgs {
+			if m.Dst == d {
+				chans[m.Src] = append(chans[m.Src], m)
+				nmsgs++
+			}
+		}
+		if nmsgs != len(slots) {
+			// Unclean elaboration (unmatched traffic); the match analyzer
+			// reports it — counting would be meaningless here.
+			continue
+		}
+		c, sat, destRaces := countDest(d, slots, chans)
+		saturated = saturated || sat
+		races = append(races, destRaces...)
+		var mulSat bool
+		total, mulSat = satMul(total, c)
+		saturated = saturated || mulSat
+	}
+	sort.Slice(races, func(i, j int) bool {
+		if races[i].Rank != races[j].Rank {
+			return races[i].Rank < races[j].Rank
+		}
+		return races[i].Slot < races[j].Slot
+	})
+	return Count{Matchings: total, Saturated: saturated, Races: races}
+}
+
+// slotAccepts reports whether a slot's filters admit a message.
+func slotAccepts(s *Slot, m *MsgRec) bool {
+	if s.SrcFilter != sim.AnySource && s.SrcFilter != m.Src {
+		return false
+	}
+	if s.TagFilter != sim.AnyTag && s.TagFilter != m.Tag {
+		return false
+	}
+	return true
+}
+
+// countDest counts matchings for one destination and computes per-slot
+// candidate sets.
+func countDest(dst int, slots []Slot, chans [][]*MsgRec) (uint64, bool, []SlotRace) {
+	// Compact the channel list to the sources that actually sent.
+	var srcs []int
+	for s, ms := range chans {
+		if len(ms) > 0 {
+			srcs = append(srcs, s)
+		}
+	}
+	allCompatible := true
+	for i := range slots {
+		for _, s := range srcs {
+			for _, m := range chans[s] {
+				if !slotAccepts(&slots[i], m) {
+					allCompatible = false
+				}
+			}
+		}
+	}
+	var (
+		count       uint64
+		sat         bool
+		cands       [][]bool // [slot][channel index] feasibility
+		candPartial bool
+	)
+	if allCompatible {
+		// Count may saturate, but the closed-form candidate sets stay
+		// exact.
+		count, sat = multinomial(srcs, chans)
+		cands = closedFormCandidates(len(slots), srcs, chans)
+	} else {
+		count, sat, cands = countDestDFS(slots, srcs, chans)
+		candPartial = sat
+	}
+	var races []SlotRace
+	for i := range slots {
+		var cs []int
+		for ci, ok := range cands[i] {
+			if ok {
+				cs = append(cs, srcs[ci])
+			}
+		}
+		if len(cs) > 1 {
+			races = append(races, SlotRace{
+				Rank:       dst,
+				Slot:       i,
+				Op:         slots[i].Op,
+				Caller:     slots[i].Caller,
+				Candidates: cs,
+				Partial:    candPartial,
+			})
+		}
+	}
+	return count, sat, races
+}
+
+// multinomial computes (Σn)! / Πn! — the interleaving count when every
+// slot accepts every message — with saturating arithmetic, as a product
+// of binomial coefficients.
+func multinomial(srcs []int, chans [][]*MsgRec) (uint64, bool) {
+	remaining := 0
+	for _, s := range srcs {
+		remaining += len(chans[s])
+	}
+	result := uint64(1)
+	saturated := false
+	for _, s := range srcs {
+		b, bsat := binomial(remaining, len(chans[s]))
+		saturated = saturated || bsat
+		var msat bool
+		result, msat = satMul(result, b)
+		saturated = saturated || msat
+		remaining -= len(chans[s])
+	}
+	return result, saturated
+}
+
+// binomial computes C(n,k) with saturation. Prefix products are
+// themselves binomials, so the running division is exact.
+func binomial(n, k int) (uint64, bool) {
+	if k < 0 || k > n {
+		return 0, false
+	}
+	if k > n-k {
+		k = n - k
+	}
+	result := uint64(1)
+	for i := 1; i <= k; i++ {
+		f := uint64(n - k + i)
+		if result > math.MaxUint64/f {
+			return math.MaxUint64, true
+		}
+		result = result * f / uint64(i)
+	}
+	return result, false
+}
+
+// closedFormCandidates derives candidate sets in the all-compatible
+// case: slot j can consume some message of channel c iff a position
+// k ∈ [0, n_c) exists with k ≤ j and j−k ≤ (total − n_c).
+func closedFormCandidates(nslots int, srcs []int, chans [][]*MsgRec) [][]bool {
+	total := 0
+	for _, s := range srcs {
+		total += len(chans[s])
+	}
+	cands := make([][]bool, nslots)
+	for j := 0; j < nslots; j++ {
+		cands[j] = make([]bool, len(srcs))
+		for ci, s := range srcs {
+			nc := len(chans[s])
+			lo := j - (total - nc)
+			if lo < 0 {
+				lo = 0
+			}
+			hi := j
+			if nc-1 < hi {
+				hi = nc - 1
+			}
+			cands[j][ci] = lo <= hi
+		}
+	}
+	return cands
+}
+
+// countDestDFS enumerates matchings slot by slot: at slot depth the
+// choices are the unconsumed heads of each channel that pass the slot's
+// filter. States are memoized on the per-channel consumed counts (the
+// head position fully determines a channel under non-overtaking).
+// Candidate sets are recorded on the first expansion of each state —
+// every state lives at exactly one depth (= Σ consumed), so memo hits
+// never hide a (slot, channel) transition that was not already
+// recorded.
+func countDestDFS(slots []Slot, srcs []int, chans [][]*MsgRec) (uint64, bool, [][]bool) {
+	nch := len(srcs)
+	memo := make(map[string]uint64, 64)
+	cands := make([][]bool, len(slots))
+	for i := range cands {
+		cands[i] = make([]bool, nch)
+	}
+	saturated := false
+	consumed := make([]uint16, nch)
+	key := make([]byte, 2*nch)
+	encode := func() string {
+		for i, c := range consumed {
+			binary.LittleEndian.PutUint16(key[2*i:], c)
+		}
+		return string(key)
+	}
+	var dfs func(depth int) uint64
+	dfs = func(depth int) uint64 {
+		if depth == len(slots) {
+			return 1
+		}
+		k := encode()
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		if len(memo) >= dfsStateCap {
+			saturated = true
+			return 0
+		}
+		var total uint64
+		for ci, s := range srcs {
+			if int(consumed[ci]) >= len(chans[s]) {
+				continue
+			}
+			head := chans[s][consumed[ci]]
+			if !slotAccepts(&slots[depth], head) {
+				continue
+			}
+			consumed[ci]++
+			sub := dfs(depth + 1)
+			consumed[ci]--
+			if sub > 0 {
+				cands[depth][ci] = true
+			}
+			var addSat bool
+			total, addSat = satAdd(total, sub)
+			saturated = saturated || addSat
+		}
+		memo[k] = total
+		return total
+	}
+	count := dfs(0)
+	return count, saturated, cands
+}
+
+// satMul multiplies with saturation at MaxUint64.
+func satMul(a, b uint64) (uint64, bool) {
+	if a == 0 || b == 0 {
+		return 0, false
+	}
+	if a > math.MaxUint64/b {
+		return math.MaxUint64, true
+	}
+	return a * b, false
+}
+
+// satAdd adds with saturation at MaxUint64.
+func satAdd(a, b uint64) (uint64, bool) {
+	if a > math.MaxUint64-b {
+		return math.MaxUint64, true
+	}
+	return a + b, false
+}
+
+// ClassifyExactness derives the count's relation to the simulator's
+// reachable executions from the dual-policy elaborations: Canonical if
+// the skeletons diverged, Exact if additionally no rank orders a send
+// after a receive, wait, or collective, UpperBound otherwise.
+func ClassifyExactness(low, high *Result) Exactness {
+	if !skeletonsEqual(low, high) {
+		return Canonical
+	}
+	for r := range low.Ranks {
+		gate := false
+		for _, o := range low.Ranks[r].Ops {
+			switch o.Kind {
+			case OpRecv, OpIrecv, OpWait, OpWaitany, OpCollective:
+				gate = true
+			case OpSend, OpIsend:
+				if gate {
+					return UpperBound
+				}
+			}
+		}
+	}
+	return Exact
+}

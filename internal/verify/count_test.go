@@ -1,0 +1,241 @@
+package verify
+
+import (
+	"math"
+	"testing"
+
+	"github.com/anacin-go/anacinx/internal/patterns"
+	"github.com/anacin-go/anacinx/internal/sim"
+)
+
+func countPattern(t *testing.T, name string, procs, iters int) Count {
+	t.Helper()
+	res := elaboratePattern(t, name, procs, iters, PolicyLow)
+	if !res.Clean() {
+		t.Fatalf("%s P=%d iters=%d: elaboration not clean", name, procs, iters)
+	}
+	return CountMatchings(res)
+}
+
+func TestCountMessageRace(t *testing.T) {
+	// P-1 workers send iters messages each into rank 0's wildcard
+	// receives: the count is the multinomial (iters·(P-1))! / (iters!)^(P-1).
+	cases := []struct {
+		procs, iters int
+		want         uint64
+	}{
+		{2, 1, 1},
+		{2, 2, 1},
+		{3, 1, 2},
+		{3, 2, 6},
+		{4, 1, 6},
+		{4, 2, 90},
+	}
+	for _, c := range cases {
+		got := countPattern(t, "message_race", c.procs, c.iters)
+		if got.Saturated {
+			t.Fatalf("P=%d iters=%d: unexpected saturation", c.procs, c.iters)
+		}
+		if got.Matchings != c.want {
+			t.Errorf("P=%d iters=%d: matchings = %d, want %d", c.procs, c.iters, got.Matchings, c.want)
+		}
+	}
+}
+
+func TestCountRaceCandidateSets(t *testing.T) {
+	count := countPattern(t, "message_race", 4, 1)
+	if len(count.Races) != 3 {
+		t.Fatalf("race slots = %d, want 3", len(count.Races))
+	}
+	for _, r := range count.Races {
+		if r.Rank != 0 {
+			t.Fatalf("race on rank %d, want 0", r.Rank)
+		}
+		// Every slot can receive from every worker.
+		if len(r.Candidates) != 3 || r.Candidates[0] != 1 || r.Candidates[2] != 3 {
+			t.Fatalf("slot %d candidates = %v, want [1 2 3]", r.Slot, r.Candidates)
+		}
+		if r.Partial {
+			t.Fatalf("slot %d candidates flagged partial without saturation", r.Slot)
+		}
+	}
+}
+
+func TestCountDeterministicPatternsAreOne(t *testing.T) {
+	for _, name := range []string{"ring_halo", "stencil2d", "collective_tree"} {
+		count := countPattern(t, name, 4, 2)
+		if count.Matchings != 1 || len(count.Races) != 0 {
+			t.Errorf("%s: matchings=%d races=%d, want 1 and 0", name, count.Matchings, len(count.Races))
+		}
+	}
+}
+
+// taggedFunnel mixes a concrete-tag receive into a wildcard burst so
+// the all-compatible fast path cannot apply: rank 0 first drains two
+// wildcard-source messages of tag 0, then one of tag 1 from anyone.
+// Rank 1 sends tag 0 then tag 1 on one channel (FIFO-ordered); rank 2
+// sends tag 0.
+func taggedFunnel(r sim.Proc) {
+	switch r.Rank() {
+	case 0:
+		r.Recv(sim.AnySource, 0)
+		r.Recv(sim.AnySource, 0)
+		r.Recv(sim.AnySource, 1)
+	case 1:
+		r.SendSize(0, 0, 1)
+		r.SendSize(0, 1, 1)
+	case 2:
+		r.SendSize(0, 0, 1)
+	}
+}
+
+func TestCountDFSWithTagFilters(t *testing.T) {
+	res := Elaborate(taggedFunnel, 3, PolicyLow, 0, 0)
+	if !res.Clean() {
+		t.Fatalf("taggedFunnel not clean")
+	}
+	count := CountMatchings(res)
+	// Slot 2 demands tag 1, which only rank 1's second message carries,
+	// so slots 0/1 interleave rank 1's tag-0 and rank 2's tag-0: 2 ways.
+	if count.Matchings != 2 || count.Saturated {
+		t.Fatalf("matchings = %d (sat=%v), want 2", count.Matchings, count.Saturated)
+	}
+	// Slots 0 and 1 race between ranks 1 and 2; slot 2 is deterministic
+	// despite its wildcard source filter.
+	if len(count.Races) != 2 {
+		t.Fatalf("race slots = %d, want 2: %+v", len(count.Races), count.Races)
+	}
+	for _, r := range count.Races {
+		if r.Slot == 2 {
+			t.Fatalf("tag-constrained slot 2 wrongly reported racy")
+		}
+		if len(r.Candidates) != 2 {
+			t.Fatalf("slot %d candidates = %v, want two", r.Slot, r.Candidates)
+		}
+	}
+}
+
+func TestBinomialSaturates(t *testing.T) {
+	if got, sat := binomial(4, 2); got != 6 || sat {
+		t.Fatalf("C(4,2) = %d (sat=%v)", got, sat)
+	}
+	if got, sat := binomial(80, 40); got != math.MaxUint64 || !sat {
+		t.Fatalf("C(80,40) = %d (sat=%v), want saturation", got, sat)
+	}
+}
+
+func TestClassifyExactness(t *testing.T) {
+	// message_race: skeletons agree but rank 0 never sends after its
+	// receives... it only receives — workers only send. Exact.
+	low := elaboratePattern(t, "message_race", 3, 1, PolicyLow)
+	high := elaboratePattern(t, "message_race", 3, 1, PolicyHigh)
+	if got := ClassifyExactness(low, high); got != Exact {
+		t.Errorf("message_race exactness = %s, want exact", got)
+	}
+	// reduce_pipeline: iteration 2's sends happen after iteration 1's
+	// collective — gated, so the enumeration is an upper bound.
+	low = elaboratePattern(t, "reduce_pipeline", 3, 2, PolicyLow)
+	high = elaboratePattern(t, "reduce_pipeline", 3, 2, PolicyHigh)
+	if got := ClassifyExactness(low, high); got != UpperBound {
+		t.Errorf("reduce_pipeline exactness = %s, want upper-bound", got)
+	}
+	// master_worker: work assignment depends on which worker's result
+	// arrives first, so the skeletons diverge.
+	low = elaboratePattern(t, "master_worker", 4, 1, PolicyLow)
+	high = elaboratePattern(t, "master_worker", 4, 1, PolicyHigh)
+	if got := ClassifyExactness(low, high); got != Canonical {
+		t.Errorf("master_worker exactness = %s, want canonical", got)
+	}
+}
+
+func TestVerifyAllRegisteredPatternsClean(t *testing.T) {
+	findings, summaries := VerifyAll(Options{})
+	if g := Gating(findings); g != 0 {
+		for _, f := range findings {
+			if f.Severity == SevError && !f.Suppressed {
+				t.Errorf("gating finding: %s", f.String())
+			}
+		}
+		t.Fatalf("%d gating findings; registered patterns must verify clean", g)
+	}
+	for _, f := range findings {
+		if f.Severity == SevWarn && !f.Suppressed {
+			t.Errorf("unexpected warning: %s", f.String())
+		}
+	}
+	if len(summaries) == 0 {
+		t.Fatalf("no configuration summaries")
+	}
+	perPattern := map[string]int{}
+	for _, s := range summaries {
+		perPattern[s.Pattern]++
+	}
+	for _, pat := range patterns.All() {
+		if perPattern[pat.Name()] == 0 {
+			t.Errorf("pattern %s has no clean verified configuration", pat.Name())
+		}
+	}
+}
+
+func TestVerifyMetadataChecksCatchLies(t *testing.T) {
+	// A pattern whose metadata is wrong in both directions: claims
+	// determinism over a wildcard race and overstates its hint.
+	findings, _ := VerifyPattern(&lyingPattern{}, Options{Procs: []int{3}, Iters: []int{1}})
+	var hint, det bool
+	for _, f := range findings {
+		switch f.Check {
+		case "metadata-hint":
+			hint = f.Severity == SevError
+		case "metadata-deterministic":
+			det = f.Severity == SevError
+		}
+	}
+	if !hint || !det {
+		t.Fatalf("metadata lies not caught (hint=%v det=%v): %+v", hint, det, findings)
+	}
+}
+
+// lyingPattern is a message race that misdescribes itself.
+type lyingPattern struct{}
+
+func (*lyingPattern) Name() string                            { return "lying_fixture" }
+func (*lyingPattern) Description() string                     { return "metadata fixture" }
+func (*lyingPattern) MinProcs() int                           { return 2 }
+func (*lyingPattern) Deterministic() bool                     { return true }
+func (*lyingPattern) EventsPerRankHint(p patterns.Params) int { return 99 }
+func (*lyingPattern) Program(p patterns.Params) (sim.ProcProgram, error) {
+	return func(r sim.Proc) {
+		if r.Rank() == 0 {
+			for i := 1; i < r.Size(); i++ {
+				r.Recv(sim.AnySource, sim.AnyTag)
+			}
+		} else {
+			r.SendSize(0, 0, 1)
+		}
+	}, nil
+}
+
+func TestSanctionedExceptionSuppresses(t *testing.T) {
+	findings, _ := VerifyPattern(&lyingPattern{}, Options{
+		Procs: []int{3}, Iters: []int{1},
+		Exceptions: []Exception{
+			{Pattern: "lying_fixture", Check: "metadata-hint", Reason: "fixture hint is intentionally wrong"},
+			{Pattern: "lying_fixture", Check: "metadata-deterministic", Reason: "fixture claim is intentionally wrong"},
+		},
+	})
+	if g := Gating(findings); g != 0 {
+		t.Fatalf("exceptions did not suppress: %d gating findings", g)
+	}
+	seen := false
+	for _, f := range findings {
+		if f.Check == "metadata-hint" {
+			if !f.Suppressed || f.Reason == "" {
+				t.Fatalf("suppressed finding missing reason: %+v", f)
+			}
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatalf("suppressed findings must stay in the report")
+	}
+}

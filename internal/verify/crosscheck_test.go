@@ -1,0 +1,162 @@
+package verify
+
+import (
+	"testing"
+
+	"github.com/anacin-go/anacinx/internal/patterns"
+	"github.com/anacin-go/anacinx/internal/sim"
+	"github.com/anacin-go/anacinx/internal/trace"
+)
+
+// Cross-checks of the static model against the real discrete-event
+// simulator: the verifier must describe the executions the scheduler
+// actually produces, not a private abstraction.
+
+// runPattern executes one configuration through the DES runtime.
+func runPattern(t *testing.T, pat patterns.Pattern, p patterns.Params, nd float64, seed int64) *trace.Trace {
+	t.Helper()
+	prog, err := pat.Program(p)
+	if err != nil {
+		t.Fatalf("%s: Program: %v", pat.Name(), err)
+	}
+	cfg := sim.DefaultConfig(p.Procs, seed)
+	cfg.NDPercent = nd
+	tr, _, err := sim.Run(cfg, trace.Meta{Pattern: pat.Name(), Iterations: p.Iterations}, sim.Adapt(prog))
+	if err != nil {
+		t.Fatalf("%s: Run: %v", pat.Name(), err)
+	}
+	return tr
+}
+
+// TestStaticCountMatchesExhaustiveSimulation pins the tentpole claim:
+// for message_race (exact tier) the static matching count equals the
+// number of distinct communication structures (OrderHash, which covers
+// kinds/peers/tags/matching and ignores virtual time) an exhaustive
+// seed sweep through the real simulator at 100% non-determinism
+// reaches.
+func TestStaticCountMatchesExhaustiveSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hundreds of simulator runs; skipped in -short")
+	}
+	pat, err := patterns.ByName("message_race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		procs, iters, seeds int
+	}{
+		{2, 1, 40},
+		{2, 2, 40},
+		{3, 1, 120},
+		{3, 2, 400},
+		{4, 1, 400},
+	}
+	for _, c := range cases {
+		p := patterns.DefaultParams(c.procs)
+		p.Iterations = c.iters
+		prog, err := pat.Program(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Elaborate(prog, c.procs, PolicyLow, 0, 0)
+		if !res.Clean() {
+			t.Fatalf("P=%d iters=%d: elaboration not clean", c.procs, c.iters)
+		}
+		count := CountMatchings(res)
+		if count.Saturated {
+			t.Fatalf("P=%d iters=%d: saturated count", c.procs, c.iters)
+		}
+		hashes := map[uint64]bool{}
+		for seed := int64(1); seed <= int64(c.seeds); seed++ {
+			tr := runPattern(t, pat, p, 100, seed)
+			hashes[tr.OrderHash()] = true
+		}
+		if uint64(len(hashes)) != count.Matchings {
+			t.Errorf("P=%d iters=%d: static count %d, simulator reached %d distinct structures over %d seeds",
+				c.procs, c.iters, count.Matchings, len(hashes), c.seeds)
+		}
+	}
+}
+
+// TestStaticCountBoundsSimulation: for the upper-bound tier the
+// simulator must never exceed the static count.
+func TestStaticCountBoundsSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many simulator runs; skipped in -short")
+	}
+	for _, name := range []string{"mcb", "reduce_pipeline"} {
+		pat, err := patterns.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := patterns.DefaultParams(3)
+		p.Iterations = 2
+		prog, err := pat.Program(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Elaborate(prog, p.Procs, PolicyLow, 0, 0)
+		if !res.Clean() {
+			t.Fatalf("%s: elaboration not clean", name)
+		}
+		count := CountMatchings(res)
+		hashes := map[uint64]bool{}
+		for seed := int64(1); seed <= 120; seed++ {
+			tr := runPattern(t, pat, p, 100, seed)
+			hashes[tr.OrderHash()] = true
+		}
+		if uint64(len(hashes)) > count.Matchings {
+			t.Errorf("%s: simulator reached %d distinct structures, static bound is %d",
+				name, len(hashes), count.Matchings)
+		}
+	}
+}
+
+// TestStaticTraceAccountingMatchesSimulator: the elaborator's
+// per-pattern trace-event totals must equal what the DES runtime
+// records, for every registered pattern.
+func TestStaticTraceAccountingMatchesSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every pattern through the simulator; skipped in -short")
+	}
+	for _, pat := range patterns.All() {
+		procs := pat.MinProcs()
+		if procs < 4 {
+			procs = 4
+		}
+		p := patterns.DefaultParams(procs)
+		p.Iterations = 2
+		prog, err := pat.Program(p)
+		if err != nil {
+			t.Fatalf("%s: %v", pat.Name(), err)
+		}
+		res := Elaborate(prog, procs, PolicyLow, 0, 0)
+		if !res.Clean() {
+			t.Fatalf("%s: elaboration not clean", pat.Name())
+		}
+		tr := runPattern(t, pat, p, 0, 1)
+		simEvents := 0
+		for r := range tr.Events {
+			simEvents += len(tr.Events[r])
+		}
+		if res.TotalTraced() != simEvents {
+			t.Errorf("%s: static model predicts %d trace events, simulator recorded %d",
+				pat.Name(), res.TotalTraced(), simEvents)
+		}
+		// Per-rank structure too, not just the total — but only where
+		// control flow is matching-independent: under a Canonical-tier
+		// pattern (master_worker) the canonical elaboration may hand out
+		// work differently than the scheduler's matching order, moving
+		// events between ranks while conserving the total.
+		high := Elaborate(prog, procs, PolicyHigh, 0, 0)
+		if !skeletonsEqual(res, high) {
+			continue
+		}
+		for r := range tr.Events {
+			if res.Ranks[r].Traced != len(tr.Events[r]) {
+				t.Errorf("%s rank %d: static %d events, simulator %d",
+					pat.Name(), r, res.Ranks[r].Traced, len(tr.Events[r]))
+			}
+		}
+	}
+}

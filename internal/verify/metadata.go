@@ -1,0 +1,68 @@
+package verify
+
+import (
+	"fmt"
+
+	"github.com/anacin-go/anacinx/internal/patterns"
+)
+
+// Metadata cross-checks: the pattern registry's self-descriptions
+// (EventsPerRankHint, Deterministic) verified against the elaborated
+// structure instead of trusted.
+
+// ceilDiv returns ⌈a/b⌉ for non-negative a and positive b.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// checkHint verifies EventsPerRankHint against the elaboration's exact
+// trace-event accounting. The hint's contract is the *average* per-rank
+// event count including the Init/Finalize bracket, so the reference
+// value is 2 + ⌈communication events / P⌉.
+func checkHint(pat patterns.Pattern, p patterns.Params, res *Result) *Finding {
+	comm := res.TotalTraced() - 2*res.Procs
+	want := 2 + ceilDiv(comm, res.Procs)
+	got := pat.EventsPerRankHint(p)
+	if got == want {
+		return nil
+	}
+	return &Finding{
+		Check: "metadata-hint", Severity: SevError,
+		Pattern: pat.Name(), Procs: p.Procs, Iterations: p.Iterations, Rank: -1,
+		Message: fmt.Sprintf(
+			"EventsPerRankHint returns %d but the elaborated structure records %d trace events across %d ranks (average 2+⌈%d/%d⌉ = %d)",
+			got, res.TotalTraced(), res.Procs, comm, res.Procs, want),
+	}
+}
+
+// checkDeterministic evaluates the Deterministic() claim over the whole
+// sweep: raced reports, per swept configuration, whether any receive
+// slot had more than one candidate sender. A true claim is falsified by
+// any racy configuration (error); a false claim that never races across
+// the sweep is flagged as a stale annotation (warn) — small-P
+// configurations often cannot race, which is why this check is
+// sweep-wide.
+func checkDeterministic(pat patterns.Pattern, configs []Config, raced []bool) []Finding {
+	var out []Finding
+	claim := pat.Deterministic()
+	any := false
+	for i, r := range raced {
+		if !r {
+			continue
+		}
+		any = true
+		if claim {
+			out = append(out, Finding{
+				Check: "metadata-deterministic", Severity: SevError,
+				Pattern: pat.Name(), Procs: configs[i].Procs, Iterations: configs[i].Iterations, Rank: -1,
+				Message: "Deterministic() claims arrival-order invariance, but a wildcard receive has multiple candidate senders at this configuration",
+			})
+		}
+	}
+	if !claim && !any && len(configs) > 0 {
+		out = append(out, Finding{
+			Check: "metadata-deterministic", Severity: SevWarn,
+			Pattern: pat.Name(), Procs: 0, Iterations: 0, Rank: -1,
+			Message: fmt.Sprintf("Deterministic() claims arrival-order sensitivity, but no receive slot has multiple candidate senders at any of the %d swept configurations", len(configs)),
+		})
+	}
+	return out
+}

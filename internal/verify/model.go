@@ -1,0 +1,245 @@
+package verify
+
+import (
+	"fmt"
+
+	"github.com/anacin-go/anacinx/internal/sim"
+)
+
+// OpKind classifies one operation in the elaborated static model.
+type OpKind uint8
+
+// Operation kinds, mirroring the sim.FullProc surface. Compute is kept
+// in the model (it shapes the skeleton) even though it records no trace
+// event.
+const (
+	OpSend OpKind = iota
+	OpIsend
+	OpRecv
+	OpIrecv
+	OpWait
+	OpWaitany
+	OpProbe
+	OpIprobe
+	OpCompute
+	OpCollective
+)
+
+var opKindNames = [...]string{
+	OpSend:       "Send",
+	OpIsend:      "Isend",
+	OpRecv:       "Recv",
+	OpIrecv:      "Irecv",
+	OpWait:       "Wait",
+	OpWaitany:    "Waitany",
+	OpProbe:      "Probe",
+	OpIprobe:     "Iprobe",
+	OpCompute:    "Compute",
+	OpCollective: "Collective",
+}
+
+func (k OpKind) String() string {
+	if int(k) < len(opKindNames) {
+		return opKindNames[k]
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Op is one elaborated operation of one rank, in program order.
+type Op struct {
+	// Kind is the operation class.
+	Kind OpKind
+	// Seq is the op's index within its rank's program.
+	Seq int
+	// Peer is the destination rank for sends, the source *filter* for
+	// receives and probes (sim.AnySource for wildcards), and the root
+	// for rooted collectives.
+	Peer int
+	// Tag is the tag argument (sim.AnyTag for wildcard receives).
+	Tag int
+	// Size is the payload size in bytes.
+	Size int
+	// Coll names the collective ("bcast", "allreduce", ...) for
+	// OpCollective ops.
+	Coll string
+	// Caller is the pattern function that issued the op (last two path
+	// segments, e.g. "patterns.(*MessageRace).drainRaces") — the root
+	// source the paper's callstack analysis surfaces.
+	Caller string
+	// Events is how many trace events the op records under the DES
+	// runtime (0 for Compute and probes).
+	Events int
+	// MatchSrc/MatchSeq identify the message the op consumed under the
+	// canonical elaboration (receive-completing ops only): the sender
+	// rank and the per-channel sequence number. -1 when not applicable.
+	MatchSrc, MatchSeq int
+}
+
+func (o Op) describe(rank int) string {
+	switch o.Kind {
+	case OpSend, OpIsend:
+		return fmt.Sprintf("rank %d op %d: %s(dst=%d, tag=%d, size=%d) in %s",
+			rank, o.Seq, o.Kind, o.Peer, o.Tag, o.Size, o.Caller)
+	case OpRecv, OpIrecv, OpProbe, OpIprobe:
+		return fmt.Sprintf("rank %d op %d: %s(src=%s, tag=%s) in %s",
+			rank, o.Seq, o.Kind, peerString(o.Peer), tagString(o.Tag), o.Caller)
+	case OpCollective:
+		return fmt.Sprintf("rank %d op %d: %s(root=%d) in %s",
+			rank, o.Seq, o.Coll, o.Peer, o.Caller)
+	default:
+		return fmt.Sprintf("rank %d op %d: %s in %s", rank, o.Seq, o.Kind, o.Caller)
+	}
+}
+
+func peerString(p int) string {
+	if p == sim.AnySource {
+		return "ANY"
+	}
+	return fmt.Sprintf("%d", p)
+}
+
+func tagString(t int) string {
+	if t == sim.AnyTag {
+		return "ANY"
+	}
+	return fmt.Sprintf("%d", t)
+}
+
+// skel is the control-flow skeleton of one op: everything about it
+// except the non-deterministic matching outcome. Two elaborations with
+// identical per-rank skeletons issued identical communication, so any
+// difference proves matching-dependent control flow.
+type skel struct {
+	kind      OpKind
+	peer, tag int
+	size      int
+	coll      string
+}
+
+func (o Op) skeleton() skel {
+	return skel{kind: o.Kind, peer: o.Peer, tag: o.Tag, size: o.Size, coll: o.Coll}
+}
+
+// MsgRec is one user message of the elaborated execution.
+type MsgRec struct {
+	Src, Dst  int
+	Tag, Size int
+	// ChanSeq is the message's sequence number on its (src,dst) channel
+	// — the non-overtaking order.
+	ChanSeq int
+	// SrcOp is the Seq of the send op that posted the message.
+	SrcOp int
+	// Caller is the sending pattern function.
+	Caller string
+	// Consumed reports whether any receive matched the message.
+	Consumed bool
+}
+
+// Slot is one receive decision point of a destination rank, in matching
+// order (program order for blocking receives, post order for Irecv).
+type Slot struct {
+	// Rank is the receiving rank.
+	Rank int
+	// Op is the Seq of the receive op.
+	Op int
+	// SrcFilter/TagFilter are the receive's arguments (Any* wildcards).
+	SrcFilter, TagFilter int
+	// Caller is the receiving pattern function.
+	Caller string
+	// MatchSrc/MatchSeq are the canonical elaboration's match.
+	MatchSrc, MatchSeq int
+}
+
+// RankResult is one rank's elaborated program.
+type RankResult struct {
+	Ops []Op
+	// Traced counts the rank's trace events including the Init/Finalize
+	// bracket of 2.
+	Traced int
+	// Done reports whether the rank ran to completion.
+	Done bool
+	// BlockDesc describes the op the rank is blocked in when !Done.
+	BlockDesc string
+	// PanicMsg is the recovered panic text when the rank's program
+	// panicked during elaboration.
+	PanicMsg string
+	// PendingRecvs describes Irecvs posted but never matched when the
+	// rank finished.
+	PendingRecvs []string
+	// UnwaitedReqs describes requests the rank never completed with
+	// Wait before finishing.
+	UnwaitedReqs []string
+}
+
+// Result is one complete elaboration of a pattern configuration.
+type Result struct {
+	Procs int
+	Ranks []RankResult
+	// Msgs lists every user message in global post order.
+	Msgs []*MsgRec
+	// Slots lists every rank's receive slots in matching order.
+	Slots [][]Slot
+	// Stalled reports that elaboration reached a state with no runnable
+	// rank before all ranks finished (deadlock or unmatched receive).
+	Stalled bool
+	// WaitsOn gives, for each rank blocked at the stall, the set of
+	// ranks whose progress it needs (nil for done/running ranks).
+	WaitsOn [][]int
+	// CollMismatch is the description of a mismatched collective
+	// sequence, when one aborted the elaboration.
+	CollMismatch string
+	// BudgetExceeded reports the op budget was exhausted (livelock
+	// guard).
+	BudgetExceeded bool
+	// OpCount is the total ops elaborated across ranks.
+	OpCount int
+}
+
+// TotalTraced sums the per-rank trace event counts.
+func (r *Result) TotalTraced() int {
+	total := 0
+	for i := range r.Ranks {
+		total += r.Ranks[i].Traced
+	}
+	return total
+}
+
+// Clean reports whether elaboration completed with no structural
+// residue: all ranks done, every message consumed, no panics.
+func (r *Result) Clean() bool {
+	if r.Stalled || r.BudgetExceeded || r.CollMismatch != "" {
+		return false
+	}
+	for i := range r.Ranks {
+		rr := &r.Ranks[i]
+		if !rr.Done || rr.PanicMsg != "" || len(rr.PendingRecvs) > 0 || len(rr.UnwaitedReqs) > 0 {
+			return false
+		}
+	}
+	for _, m := range r.Msgs {
+		if !m.Consumed {
+			return false
+		}
+	}
+	return true
+}
+
+// skeletonsEqual reports whether two elaborations issued identical
+// per-rank op skeletons.
+func skeletonsEqual(a, b *Result) bool {
+	if a.Procs != b.Procs {
+		return false
+	}
+	for r := 0; r < a.Procs; r++ {
+		ao, bo := a.Ranks[r].Ops, b.Ranks[r].Ops
+		if len(ao) != len(bo) {
+			return false
+		}
+		for i := range ao {
+			if ao[i].skeleton() != bo[i].skeleton() {
+				return false
+			}
+		}
+	}
+	return true
+}

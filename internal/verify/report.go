@@ -1,0 +1,179 @@
+package verify
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/anacin-go/anacinx/internal/lint"
+)
+
+// Severity grades a finding. Only error-grade findings gate a verify
+// run (non-zero exit); warnings and notes are informational.
+type Severity string
+
+// Severity levels.
+const (
+	SevError Severity = "error"
+	SevWarn  Severity = "warn"
+	SevInfo  Severity = "info"
+)
+
+// Finding is one verifier diagnostic, in the same suppression model as
+// internal/lint: a sanctioned exception marks the finding Suppressed
+// with the exception's reason, and suppressed findings do not gate.
+type Finding struct {
+	// Check is the analyzer that produced the finding: "deadlock",
+	// "unmatched-send", "unmatched-recv", "collective-mismatch",
+	// "metadata-hint", "metadata-deterministic", "nd-structure",
+	// "unwaited-request", or "elaboration".
+	Check string `json:"check"`
+	// Severity grades the finding; only "error" gates.
+	Severity Severity `json:"severity"`
+	// Pattern is the registry name of the pattern under verification.
+	Pattern string `json:"pattern"`
+	// Procs/Iterations identify the swept configuration.
+	Procs      int `json:"procs"`
+	Iterations int `json:"iterations"`
+	// Rank is the rank the finding anchors to, -1 when whole-pattern.
+	Rank int `json:"rank"`
+	// Message explains the violation.
+	Message string `json:"message"`
+	// Witness is the finding's evidence: a minimal wait-for cycle for
+	// deadlocks, the unmatched op for match findings.
+	Witness []string `json:"witness,omitempty"`
+	// Suppressed marks a sanctioned exception; Reason is its
+	// justification.
+	Suppressed bool   `json:"suppressed"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s[P=%d,iters=%d]: %s: %s: %s",
+		f.Pattern, f.Procs, f.Iterations, f.Severity, f.Check, f.Message)
+	for _, w := range f.Witness {
+		s += "\n    witness: " + w
+	}
+	if f.Suppressed {
+		s += fmt.Sprintf("\n    (allowed: %s)", f.Reason)
+	}
+	return s
+}
+
+// checkNames is the fixed inventory of verifier checks, for the report
+// envelope.
+func checkNames() []string {
+	return []string{
+		"deadlock", "unmatched-send", "unmatched-recv", "collective-mismatch",
+		"metadata-hint", "metadata-deterministic", "nd-structure",
+		"unwaited-request", "elaboration",
+	}
+}
+
+// Exception sanctions one (pattern, check) pair with a justification,
+// the verifier-level analogue of an //anacin:allow directive. The
+// reason is printed with every suppressed finding, so the exception
+// table doubles as the inventory of known divergences.
+type Exception struct {
+	Pattern string
+	Check   string
+	Reason  string
+}
+
+// sanctionedExceptions is the built-in exception table. It is empty:
+// every registered pattern currently verifies clean. Entries belong
+// here only with a reason a student could act on.
+var sanctionedExceptions = []Exception{}
+
+// applyExceptions marks findings covered by the exception table as
+// suppressed, attaching the reason.
+func applyExceptions(findings []Finding, table []Exception) []Finding {
+	for i := range findings {
+		for _, ex := range table {
+			if findings[i].Pattern == ex.Pattern && findings[i].Check == ex.Check {
+				findings[i].Suppressed = true
+				findings[i].Reason = ex.Reason
+				break
+			}
+		}
+	}
+	return findings
+}
+
+// Gating counts the findings that fail a verify run: unsuppressed
+// errors.
+func Gating(findings []Finding) int {
+	n := 0
+	for _, f := range findings {
+		if f.Severity == SevError && !f.Suppressed {
+			n++
+		}
+	}
+	return n
+}
+
+// sortFindings orders findings for stable output: by pattern, then
+// severity (errors first), then check, then configuration.
+func sortFindings(findings []Finding) {
+	rank := map[Severity]int{SevError: 0, SevWarn: 1, SevInfo: 2}
+	sort.SliceStable(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pattern != b.Pattern {
+			return a.Pattern < b.Pattern
+		}
+		if rank[a.Severity] != rank[b.Severity] {
+			return rank[a.Severity] < rank[b.Severity]
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		if a.Procs != b.Procs {
+			return a.Procs < b.Procs
+		}
+		return a.Iterations < b.Iterations
+	})
+}
+
+// WriteText prints findings one per line (with witnesses indented).
+// Suppressed findings are printed only when includeSuppressed is set.
+func WriteText(w io.Writer, findings []Finding, includeSuppressed bool) error {
+	for _, f := range findings {
+		if f.Suppressed && !includeSuppressed {
+			continue
+		}
+		if _, err := fmt.Fprintln(w, f.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the machine-readable report in the shared lint
+// envelope (docs/linting.md): suppressed findings included, so the
+// artifact inventories every sanctioned exception, plus the
+// per-configuration summaries (matching counts, exactness tier, race
+// structure tallies) under "summaries".
+func WriteJSON(w io.Writer, module string, findings []Finding, summaries []ConfigSummary) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	if summaries == nil {
+		summaries = []ConfigSummary{}
+	}
+	suppressed := 0
+	for _, f := range findings {
+		if f.Suppressed {
+			suppressed++
+		}
+	}
+	return lint.WriteEnvelope(w, lint.Envelope{
+		Version:    1,
+		Module:     module,
+		Checks:     checkNames(),
+		Total:      len(findings),
+		Suppressed: suppressed,
+		Active:     len(findings) - suppressed,
+		Findings:   findings,
+		Summaries:  summaries,
+	})
+}
